@@ -1,0 +1,114 @@
+"""Error-control designs (Sec. II-A2/3) as custom treatment plans.
+
+Regenerates: the three textbook designs the paper's experimentation
+background calls for — completely randomized, randomized complete block,
+Latin square — instantiated over the Fig. 5 factor structure and fed
+through the plan generator as "custom factor level variation plans"
+(Sec. IV-C1).
+Measures: design generation + plan expansion throughput.
+"""
+
+from collections import Counter
+
+from conftest import print_table
+
+from repro.core.designs import (
+    completely_randomized_design,
+    latin_square_design,
+    randomized_complete_block_design,
+)
+from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+from repro.core.plan import generate_plan
+
+
+def _case_factors():
+    """pairs x bw, as in Fig. 5 (without the actor map, which custom
+    plans must carry too — held at one level here)."""
+    return FactorList(
+        [
+            Factor(id="fact_pairs", type="int", usage=Usage.CONSTANT,
+                   levels=[Level(5), Level(20)]),
+            Factor(id="fact_bw", type="int", usage=Usage.CONSTANT,
+                   levels=[Level(10), Level(50), Level(100)]),
+        ],
+        ReplicationFactor(count=1),
+    )
+
+
+def test_designs_crd(benchmark):
+    fl = _case_factors()
+
+    def build():
+        custom = completely_randomized_design(fl, seed=7, replications=50)
+        return generate_plan(fl, 7, custom_treatments=custom)
+
+    plan = benchmark(build)
+    assert len(plan) == 300
+    combos = Counter(
+        (r.treatment["fact_pairs"], r.treatment["fact_bw"]) for r in plan
+    )
+    assert set(combos.values()) == {50}
+    # Randomized order: the first six runs are not one OFAT cycle.
+    head = [(r.treatment["fact_pairs"], r.treatment["fact_bw"]) for r in plan][:6]
+    assert len(set(head)) < 6 or head != sorted(head)
+    print_table(
+        "Design: completely randomized (300 runs)",
+        "first runs (pairs, bw)",
+        [str(head)],
+    )
+
+
+def test_designs_rcbd(benchmark):
+    # Block by bandwidth (e.g. each bandwidth needs a testbed reconfiguration).
+    fl = _case_factors()
+
+    def build():
+        return randomized_complete_block_design(fl, "fact_bw", seed=7)
+
+    custom = benchmark(build)
+    blocks = [t["fact_bw"] for t in custom]
+    assert blocks == [10, 10, 50, 50, 100, 100]
+    print_table(
+        "Design: randomized complete block (blocked by fact_bw)",
+        "sequence (bw, pairs)",
+        [", ".join(f"({t['fact_bw']},{t['fact_pairs']})" for t in custom)],
+    )
+
+
+def test_designs_latin_square(benchmark):
+    fl = FactorList(
+        [
+            Factor(id="day", type="int", usage=Usage.CONSTANT,
+                   levels=[Level(1), Level(2), Level(3)]),
+            Factor(id="channel", type="int", usage=Usage.CONSTANT,
+                   levels=[Level(1), Level(6), Level(11)]),
+            Factor(id="protocol_variant", type="str", usage=Usage.CONSTANT,
+                   levels=[Level("mdns"), Level("slp"), Level("hybrid")]),
+        ],
+        ReplicationFactor(count=1),
+    )
+
+    def build():
+        return latin_square_design(fl, "day", "channel", "protocol_variant", seed=7)
+
+    square = benchmark(build)
+    assert len(square) == 9
+    grid = {}
+    for t in square:
+        grid[(t["day"], t["channel"])] = t["protocol_variant"]
+    rows = []
+    for day in (1, 2, 3):
+        rows.append(
+            f"day {day}:  " + "  ".join(
+                f"{grid[(day, ch)]:<7}" for ch in (1, 6, 11)
+            )
+        )
+    print_table(
+        "Design: 3x3 Latin square (day x channel -> protocol variant)",
+        "         ch1      ch6      ch11",
+        rows,
+    )
+    for day in (1, 2, 3):
+        assert sorted(grid[(day, ch)] for ch in (1, 6, 11)) == ["hybrid", "mdns", "slp"]
+    for ch in (1, 6, 11):
+        assert sorted(grid[(day, ch)] for day in (1, 2, 3)) == ["hybrid", "mdns", "slp"]

@@ -1,0 +1,46 @@
+"""Fig. 6 — the node/environment process template.
+
+Regenerates: the parsed process scaffold (actor roles + env process) from
+the verbatim template listing.
+Measures: action-sequence parsing throughput over a realistic body.
+"""
+
+import xml.etree.ElementTree as ET
+
+from conftest import print_table
+
+from repro.core.xmlio import parse_action_sequence
+from repro.paper import FIG6_PROCESS_TEMPLATE, FIG9_SM_ACTOR, FIG10_SU_ACTOR
+
+
+def test_fig06_template_parses(benchmark):
+    def parse_template():
+        root = ET.fromstring(FIG6_PROCESS_TEMPLATE)
+        actors = root.find("node_process").findall("actor")
+        env = root.find("env_process")
+        return actors, env
+
+    actors, env = benchmark(parse_template)
+    assert [a.get("id") for a in actors] == ["actor0", "actor1"]
+    assert [a.get("name") for a in actors] == ["SM", "SU"]
+    assert env is not None
+    print_table(
+        "Fig. 6: process template",
+        "process        definition",
+        [f"node_process   actors: {', '.join(a.get('id') for a in actors)}",
+         "env_process    (no node definition needed)"],
+    )
+
+
+def test_fig06_action_sequence_parsing_throughput(benchmark):
+    """Parse the two real actor bodies (Figs. 9+10) repeatedly — the
+    front-end cost of loading a description."""
+    sm = ET.fromstring(FIG9_SM_ACTOR).find("sd_actions")
+    su = ET.fromstring(FIG10_SU_ACTOR).find("sd_actions")
+
+    def parse_both():
+        return parse_action_sequence(sm), parse_action_sequence(su)
+
+    sm_actions, su_actions = benchmark(parse_both)
+    assert len(sm_actions) == 5
+    assert len(su_actions) == 9

@@ -1,0 +1,95 @@
+"""Framework overheads (Sec. VI feasibility).
+
+Measures the machinery the prototype section describes, in isolation:
+
+* XML-RPC control-channel round trips (marshalling + per-node locking),
+* event bus registration + watcher matching throughput,
+* simulation kernel callback throughput,
+* conditioning throughput over a large synthetic run,
+* packet tagger throughput.
+"""
+
+import pytest
+
+from repro.core.events import EventBus, EventPattern, ExEvent
+from repro.core.rpc import ControlChannel, RpcServer
+from repro.net.packet import Packet
+from repro.net.tagger import PacketTagger
+from repro.sim.kernel import Simulator
+from repro.storage.conditioning import _condition_records
+
+
+def test_rpc_roundtrip_throughput(benchmark):
+    sim = Simulator()
+    channel = ControlChannel(sim, latency=0.0001)
+    server = RpcServer("n")
+    server.register_function(lambda x: x, "echo")
+    channel.add_node("n", server)
+
+    def hundred_calls():
+        def caller():
+            for i in range(100):
+                yield from channel.call("n", "echo", i)
+
+        proc = sim.process(caller())
+        sim.run(until_event=proc)
+
+    benchmark(hundred_calls)
+    assert channel.completed_calls >= 100
+
+
+def test_event_bus_throughput(benchmark):
+    sim = Simulator()
+
+    def register_thousand():
+        bus = EventBus(sim)
+        # A realistic mix: some waiters armed, most events uninteresting.
+        for i in range(10):
+            bus.watch(EventPattern(name=f"target{i}", run_id=0))
+        for i in range(1000):
+            bus.register(ExEvent(name=f"e{i % 50}", node="n", local_time=float(i),
+                                 run_id=0))
+        return bus
+
+    bus = benchmark(register_thousand)
+    assert len(bus.log) == 1000
+
+
+def test_kernel_callback_throughput(benchmark):
+    def schedule_and_drain():
+        sim = Simulator()
+        for i in range(5000):
+            sim.call_later(i * 0.001, lambda: None)
+        sim.run()
+        return sim
+
+    sim = benchmark(schedule_and_drain)
+    assert sim.executed_callbacks == 5000
+
+
+def test_conditioning_throughput(benchmark):
+    records = [
+        {"name": f"e{i}", "node": f"n{i % 8}", "local_time": i * 0.01,
+         "run_id": 0, "seq": i}
+        for i in range(10_000)
+    ]
+    offsets = {f"n{i}": (i - 4) * 0.123 for i in range(8)}
+
+    out = benchmark(_condition_records, records, offsets, 0)
+    assert len(out) == len(records)
+    times = [r["common_time"] for r in out]
+    assert times == sorted(times)
+
+
+def test_tagger_throughput(benchmark):
+    tagger = PacketTagger("n")
+
+    def tag_many():
+        for _ in range(10_000):
+            packet = Packet(src_addr="a", dst_addr="b", src_port=1,
+                            dst_port=2, payload=None)
+            tagger.tag(packet)
+        return tagger
+
+    tagger = benchmark(tag_many)
+    assert tagger.tagged_count >= 10_000

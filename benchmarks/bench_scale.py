@@ -1,0 +1,53 @@
+"""Scale: an experiment on a DES-testbed-sized mesh.
+
+The paper's platform is the ~100-node DES wireless testbed.  This bench
+runs the two-party discovery experiment on a 100-node emulated mesh
+(2 SMs, 2 SUs, 96 environment nodes, multicast flooding across the whole
+graph) and reports the wall-clock cost per run — the feasibility evidence
+that laptop-scale reproduction of testbed-scale experiments is practical.
+"""
+
+from conftest import print_table, run_once
+
+from repro import ExperiMaster, Level2Store
+from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+from repro.sd.processlib import build_two_party_description
+
+NODES = 100
+
+
+def test_scale_100_node_mesh(benchmark, workdir):
+    desc = build_two_party_description(
+        name="scale-100", seed=100, sm_count=2, su_count=2,
+        env_count=NODES - 4, replications=2, deadline=30.0,
+        special_params={"run_spacing": 0.0, "collect_packets": False},
+    )
+    config = PlatformConfig(topology="mesh", mesh_radius=0.22, base_loss=0.03)
+
+    def run_scale():
+        platform = SimulatedPlatform(desc, config)
+        master = ExperiMaster(platform, desc, Level2Store(workdir / "l2"))
+        result = master.execute()
+        return platform, master, result
+
+    platform, master, result = run_once(benchmark, run_scale)
+    assert len(result.executed_runs) == 2
+    assert result.timed_out_runs == []
+    adds = master.bus.events_named("sd_service_add")
+    # 2 SUs x 2 SMs x 2 runs = 8 discoveries.
+    assert len(adds) == 8
+
+    print_table(
+        "Scale: 100-node mesh, 2 runs",
+        "metric                      value",
+        [
+            f"nodes                       {NODES}",
+            f"mesh links                  {platform.topology.graph.number_of_edges()}",
+            f"medium transmissions        {platform.medium.stats.transmissions}",
+            f"kernel callbacks            {platform.sim.executed_callbacks}",
+            f"control-channel RPCs        {platform.channel.completed_calls}",
+            f"discoveries                 {len(adds)}/8",
+        ],
+    )
+    benchmark.extra_info["nodes"] = NODES
+    benchmark.extra_info["callbacks"] = platform.sim.executed_callbacks

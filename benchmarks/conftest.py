@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one artefact of the paper (a figure's listing
+executing, Table I's schema, or a case-study series) and measures the
+machinery behind it with pytest-benchmark.  Heavy experiment benches run
+once (``pedantic(rounds=1)``) — their value is the regenerated table, not
+a latency distribution.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture()
+def workdir():
+    return Path(tempfile.mkdtemp(prefix="excovery-bench-"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with a single measured execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title, header, rows):
+    """Emit one regenerated result table (visible with -s)."""
+    print(f"\n=== {title} ===")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(row)

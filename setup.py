@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction ships setuptools but not
+``wheel``, so PEP 660 editable installs (which build an editable wheel)
+fail.  Keeping a ``setup.py`` lets ``pip install -e . --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path, which works without
+``wheel``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

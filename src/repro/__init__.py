@@ -1,0 +1,87 @@
+"""ExCovery reproduction: a framework for distributed system experiments.
+
+A production-quality Python reimplementation of
+
+    Dittrich, Wanja, Malek — *"ExCovery – A Framework for Distributed
+    System Experiments and a Case Study of Service Discovery"*,
+    IPDPS Workshops (PDSEC) 2014,
+
+with the paper's physical platform (the DES wireless testbed) replaced by
+a deterministic discrete-event network emulator and its SDP substrate
+(Avahi/Zeroconf) replaced by from-scratch protocol implementations.
+
+Quickstart
+----------
+>>> from repro import run_experiment
+>>> from repro.sd.processlib import build_two_party_description
+>>> desc = build_two_party_description(replications=2, seed=7)
+>>> result = run_experiment(desc)           # doctest: +SKIP
+>>> result.summary()["executed"]            # doctest: +SKIP
+2
+
+See ``examples/quickstart.py`` for the full tour: description → execution
+→ conditioning → level-3 SQLite → analysis.
+"""
+
+from repro.core.description import ExperimentDescription
+from repro.core.master import ExperiMaster, ExperimentResult
+from repro.core.xmlio import description_from_xml, description_to_xml
+from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import store_level3
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperiMaster",
+    "ExperimentDescription",
+    "ExperimentResult",
+    "Level2Store",
+    "PlatformConfig",
+    "SimulatedPlatform",
+    "description_from_xml",
+    "description_to_xml",
+    "run_experiment",
+    "store_level3",
+    "__version__",
+]
+
+
+def run_experiment(
+    description,
+    store_root=None,
+    config=None,
+    resume=False,
+    plugins=None,
+):
+    """One-call convenience: build a platform, execute, return the result.
+
+    Parameters
+    ----------
+    description:
+        An :class:`ExperimentDescription` (build one programmatically, via
+        :mod:`repro.sd.processlib`, or parse XML with
+        :func:`description_from_xml`).
+    store_root:
+        Directory for the level-2 store; a temporary directory when
+        omitted.
+    config:
+        Optional :class:`PlatformConfig`.
+    resume:
+        Resume an aborted execution found under *store_root*.
+    plugins:
+        Optional :class:`repro.core.plugins.PluginManager`.
+    """
+    import tempfile
+
+    if store_root is None:
+        store_root = tempfile.mkdtemp(prefix="excovery-")
+    platform = SimulatedPlatform(description, config)
+    master = ExperiMaster(
+        platform,
+        description,
+        Level2Store(store_root),
+        resume=resume,
+        plugins=plugins,
+    )
+    return master.execute()

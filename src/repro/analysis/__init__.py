@@ -1,0 +1,52 @@
+"""Analysis of stored experiments.
+
+*"A set of functions exist for extraction and analysis of event and packet
+based metrics"* (Sec. VI).  These operate on level-3 databases (or the
+repository), i.e. on conditioned, common-time-base data:
+
+:mod:`repro.analysis.timeline`
+    Global causal timelines of runs — the data behind Fig. 11.
+:mod:`repro.analysis.responsiveness`
+    The case-study metric: P(discovery within deadline), per treatment.
+:mod:`repro.analysis.packetstats`
+    Loss and delay derived from tagged packet captures (the purpose of
+    the packet tagger, Sec. VI-A).
+:mod:`repro.analysis.stats`
+    Small statistics helpers (means, confidence intervals, percentiles).
+"""
+
+from repro.analysis.convergence import (
+    replications_to_converge,
+    running_responsiveness,
+)
+from repro.analysis.packetstats import packet_stats_for_run, tag_loss_between
+from repro.analysis.responsiveness import (
+    responsiveness_by_treatment,
+    run_outcomes,
+)
+from repro.analysis.routes import (
+    forwarding_matrix,
+    packet_routes,
+    path_statistics,
+    route_of,
+)
+from repro.analysis.stats import mean_confidence_interval, percentile, summarize
+from repro.analysis.timeline import RunTimeline, build_run_timeline
+
+__all__ = [
+    "RunTimeline",
+    "build_run_timeline",
+    "forwarding_matrix",
+    "mean_confidence_interval",
+    "packet_routes",
+    "packet_stats_for_run",
+    "path_statistics",
+    "percentile",
+    "replications_to_converge",
+    "responsiveness_by_treatment",
+    "route_of",
+    "run_outcomes",
+    "running_responsiveness",
+    "summarize",
+    "tag_loss_between",
+]

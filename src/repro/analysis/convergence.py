@@ -1,0 +1,65 @@
+"""Replication convergence: how many runs does an estimate need?
+
+Sec. II-A3: *"Replication increases the number of experiment runs to be
+able to average out random errors in responses and to collect data about
+the variation in responses over a set of runs."*  This module quantifies
+that trade-off for a stored experiment: the running responsiveness (or
+mean t_R) estimate as replications accumulate, and the replication count
+at which the estimate stays inside a tolerance band of its final value —
+useful for planning the next, bigger experiment (Sec. II-A2's "maximize
+the gained information per run").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.stats import binomial_proportion_ci
+from repro.sd.metrics import RunDiscovery
+
+__all__ = ["running_responsiveness", "replications_to_converge"]
+
+
+def running_responsiveness(
+    outcomes: Sequence[RunDiscovery],
+    deadline: float,
+) -> List[Dict[str, Any]]:
+    """The responsiveness estimate after 1..n outcomes, with Wilson CIs.
+
+    Outcomes are consumed in the given (execution) order, so the series
+    is exactly what an experimenter watching the experiment would see.
+    """
+    series: List[Dict[str, Any]] = []
+    hits = 0
+    for n, outcome in enumerate(outcomes, start=1):
+        if outcome.t_r is not None and outcome.t_r <= deadline:
+            hits += 1
+        p, lo, hi = binomial_proportion_ci(hits, n)
+        series.append({"n": n, "p": p, "ci_low": lo, "ci_high": hi})
+    return series
+
+
+def replications_to_converge(
+    outcomes: Sequence[RunDiscovery],
+    deadline: float,
+    tolerance: float = 0.05,
+) -> Optional[int]:
+    """Smallest n after which the running estimate never leaves
+    ``final ± tolerance``.
+
+    Returns ``None`` when the series never settles (tolerance too tight
+    for the sample) — a signal that the experiment needs more
+    replications, not fewer.
+    """
+    if not outcomes:
+        raise ValueError("need at least one outcome")
+    series = running_responsiveness(outcomes, deadline)
+    final = series[-1]["p"]
+    settle_at: Optional[int] = None
+    for point in series:
+        if abs(point["p"] - final) <= tolerance:
+            if settle_at is None:
+                settle_at = point["n"]
+        else:
+            settle_at = None
+    return settle_at

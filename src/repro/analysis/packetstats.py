@@ -1,0 +1,110 @@
+"""Packet-based metrics from tagged captures.
+
+Sec. VI-A explains why the tagger exists: *"To allow analysis of
+properties outside the scope of the ExCovery processes, for example packet
+loss and delay, a network packet tagger is provided."*
+
+A packet originated on node A carries A's 16-bit tag sequence; comparing
+the tag sets A transmitted against the tag sets another node B received
+yields end-to-end loss; comparing the common-time observation timestamps
+yields one-way delay (valid because conditioning already unified the time
+base).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analysis.stats import summarize
+from repro.net.tagger import TAG_MODULUS, TAG_NODE_OPTION, TAG_OPTION
+
+__all__ = ["tagged_observations", "tag_loss_between", "packet_stats_for_run"]
+
+
+def tagged_observations(
+    packets: Iterable[Dict[str, Any]],
+    origin_node: str,
+) -> Dict[str, Dict[int, float]]:
+    """``{observer_node: {tag: first common_time}}`` for packets that
+    *origin_node*'s tagger stamped.
+
+    TX records on the origin are the send times; RX records elsewhere are
+    receive times.
+    """
+    out: Dict[str, Dict[int, float]] = {}
+    for rec in packets:
+        options = rec.get("options") or {}
+        if options.get(TAG_NODE_OPTION) != origin_node:
+            continue
+        tag = options.get(TAG_OPTION)
+        if tag is None:
+            continue
+        node = rec.get("node", "?")
+        direction = rec.get("direction")
+        if node == origin_node and direction != "tx":
+            continue
+        if node != origin_node and direction != "rx":
+            continue
+        times = out.setdefault(node, {})
+        t = float(rec["common_time"]) if "common_time" in rec else float(rec["local_time"])
+        tag = int(tag) % TAG_MODULUS
+        if tag not in times or t < times[tag]:
+            times[tag] = t
+    return out
+
+
+def tag_loss_between(
+    packets: Iterable[Dict[str, Any]],
+    origin_node: str,
+    observer_node: str,
+) -> Dict[str, Any]:
+    """End-to-end loss and delay from *origin_node* to *observer_node*.
+
+    Returns ``sent``, ``received``, ``loss_rate`` and a one-way delay
+    summary over matched tags.
+    """
+    obs = tagged_observations(packets, origin_node)
+    sent = obs.get(origin_node, {})
+    recv = obs.get(observer_node, {})
+    matched = sorted(set(sent) & set(recv))
+    delays = [recv[tag] - sent[tag] for tag in matched]
+    loss = 1.0 - (len(matched) / len(sent)) if sent else 0.0
+    return {
+        "origin": origin_node,
+        "observer": observer_node,
+        "sent": len(sent),
+        "received": len(matched),
+        "loss_rate": loss,
+        "delay": summarize(delays),
+    }
+
+
+def packet_stats_for_run(
+    packets: List[Dict[str, Any]],
+    nodes: Optional[List[str]] = None,
+) -> List[Dict[str, Any]]:
+    """All ordered origin/observer loss+delay rows for one run's packets.
+
+    *nodes* limits the analysis; default is every node that originated
+    tagged packets.
+    """
+    origins = sorted(
+        {
+            (rec.get("options") or {}).get(TAG_NODE_OPTION)
+            for rec in packets
+            if (rec.get("options") or {}).get(TAG_NODE_OPTION)
+        }
+    )
+    if nodes is not None:
+        origins = [o for o in origins if o in nodes]
+    observers = set(nodes) if nodes is not None else {
+        rec.get("node") for rec in packets
+    }
+    rows = []
+    for origin in origins:
+        obs = tagged_observations(packets, origin)
+        for observer in sorted(observers - {origin, None}):
+            if observer not in obs:
+                continue
+            rows.append(tag_loss_between(packets, origin, observer))
+    return rows

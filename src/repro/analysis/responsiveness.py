@@ -1,0 +1,116 @@
+"""Responsiveness analysis over level-3 databases.
+
+Sec. VI: responsiveness is *"the probability that a number of SMs is
+found within a deadline, as required by the application calling SD"*.
+ExCovery was built to support exactly this analysis ([25], [26]); these
+functions reproduce it from a stored experiment:
+
+* :func:`run_outcomes` extracts each run's discovery outcome (which SU
+  found which SMs when),
+* :func:`responsiveness_by_treatment` groups runs by their treatment and
+  computes the probability per deadline — the case-study result tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import binomial_proportion_ci
+from repro.sd.metrics import RunDiscovery, extract_run_discovery, summarize_runs
+from repro.storage.level3 import ExperimentDatabase
+
+__all__ = [
+    "discover_roles",
+    "run_outcomes",
+    "responsiveness_by_treatment",
+    "treatment_key",
+]
+
+
+def discover_roles(db: ExperimentDatabase, run_id: int) -> Tuple[List[str], List[str]]:
+    """``(su_nodes, sm_nodes)`` of one run, inferred from its events.
+
+    SUs are nodes that emitted ``sd_start_search``; SMs are nodes that
+    emitted ``sd_start_publish``.  Inference from events (not the
+    description) keeps the analysis usable on any conforming experiment,
+    including ones with per-run role rotation.
+    """
+    sus = sorted({e["node"] for e in db.events(run_id=run_id, event_type="sd_start_search")})
+    sms = sorted({e["node"] for e in db.events(run_id=run_id, event_type="sd_start_publish")})
+    return sus, sms
+
+
+def run_outcomes(
+    db: ExperimentDatabase,
+    run_ids: Optional[Iterable[int]] = None,
+) -> List[RunDiscovery]:
+    """Every (run, SU) discovery outcome in the database."""
+    outcomes: List[RunDiscovery] = []
+    ids = list(run_ids) if run_ids is not None else db.run_ids()
+    for run_id in ids:
+        events = db.events(run_id=run_id)
+        sus, sms = discover_roles(db, run_id)
+        for su in sus:
+            outcomes.append(extract_run_discovery(events, run_id, su, sms))
+    return outcomes
+
+
+def treatment_key(treatment: Dict[str, Any], ignore: Sequence[str] = ()) -> str:
+    """Stable string key of a treatment (minus ignored factors).
+
+    The replication factor is always ignored — replications of one
+    treatment belong to the same group by definition.
+    """
+    drop = set(ignore) | {"fact_replication_id"}
+    flat = {
+        k: v for k, v in treatment.items()
+        if k not in drop and not isinstance(v, dict)
+    }
+    return json.dumps(flat, sort_keys=True)
+
+
+def responsiveness_by_treatment(
+    db: ExperimentDatabase,
+    deadlines: Sequence[float],
+    confidence: float = 0.95,
+) -> List[Dict[str, Any]]:
+    """The case-study result table.
+
+    One row per distinct treatment: the treatment's factor levels, run
+    count, ``t_r`` summary, and for each requested deadline the
+    responsiveness estimate with its Wilson confidence interval.
+    """
+    plan = {entry["run_id"]: entry for entry in db.plan()}
+    groups: Dict[str, Dict[str, Any]] = {}
+    for run_id in db.run_ids():
+        entry = plan.get(run_id)
+        if entry is None:
+            continue
+        key = treatment_key(entry["treatment"])
+        group = groups.setdefault(
+            key, {"treatment": entry["treatment"], "run_ids": []}
+        )
+        group["run_ids"].append(run_id)
+
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(groups):
+        group = groups[key]
+        outcomes = run_outcomes(db, group["run_ids"])
+        row: Dict[str, Any] = {
+            "treatment": {
+                k: v
+                for k, v in group["treatment"].items()
+                if not isinstance(v, dict) and k != "fact_replication_id"
+            },
+            "runs": len(group["run_ids"]),
+            "summary": summarize_runs(outcomes),
+        }
+        for deadline in deadlines:
+            hits = sum(
+                1 for o in outcomes if o.t_r is not None and o.t_r <= deadline
+            )
+            p, lo, hi = binomial_proportion_ci(hits, len(outcomes), confidence)
+            row[f"R({deadline:g}s)"] = {"p": p, "ci": (lo, hi)}
+        rows.append(row)
+    return rows

@@ -1,0 +1,102 @@
+"""Statistics helpers for experiment analysis.
+
+Kept deliberately small: means with confidence intervals (normal
+approximation, or Student-t when SciPy is available), percentiles and a
+one-call summary.  Vectorized with NumPy — analysis runs over tens of
+thousands of rows when replication counts approach the paper's 1000.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "mean_confidence_interval",
+    "percentile",
+    "summarize",
+    "binomial_proportion_ci",
+]
+
+#: Two-sided z quantiles for common confidence levels.
+_Z = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
+
+
+def _z_or_t(confidence: float, dof: int) -> float:
+    """Student-t quantile when SciPy is at hand, else the z approximation."""
+    try:
+        from scipy import stats as _st
+
+        return float(_st.t.ppf(0.5 + confidence / 2.0, dof))
+    except Exception:  # pragma: no cover - scipy present in this env
+        return _Z.get(confidence, 1.959963984540054)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """``(mean, lower, upper)`` of the sample mean.
+
+    Raises ``ValueError`` on an empty sample; a single observation yields
+    a degenerate (zero-width) interval.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    half = _z_or_t(confidence, arr.size - 1) * sem
+    return mean, mean - half, mean + half
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) of a sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    return float(np.percentile(arr, q))
+
+
+def binomial_proportion_ci(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Wilson score interval for a proportion — the right interval for
+    responsiveness estimates near 1.0, where the normal approximation
+    collapses."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    z = _Z.get(confidence, 1.959963984540054)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return p, max(0.0, center - half), min(1.0, center + half)
+
+
+def summarize(values: Iterable[float]) -> Dict[str, Optional[float]]:
+    """One-call sample summary used by report printers."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {
+            "n": 0, "mean": None, "std": None, "min": None,
+            "p50": None, "p95": None, "max": None,
+        }
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,280 @@
+"""Command-line interface: run, inspect and analyze experiments.
+
+The prototype section (Sec. VI) describes ExCovery as classes *"that can
+be instantiated by programs to analyze, visualize, trace or export
+experiment related data"*; this CLI is that program for the common
+workflows:
+
+``repro run <description.xml>``
+    Validate and execute a description on the emulated platform, write
+    the level-2 store and (optionally) the level-3 database.
+``repro validate <description.xml>``
+    Parse + semantic check; print errors and warnings.
+``repro describe <description.xml>``
+    Human-readable narration of a description and its treatment plan.
+``repro inspect <experiment.db>``
+    Summarize a stored experiment: schema, runs, discovery outcomes.
+``repro timeline <experiment.db> --run N``
+    Render the Fig. 11 ASCII timeline of one run.
+``repro condition <level2-dir> <experiment.db>``
+    Condition an existing level-2 store into a level-3 package.
+``repro import <repository.db> <experiment.db> [...]``
+    Import level-3 packages into a level-4 repository.
+
+Usage: ``python -m repro <command> ...`` (or the ``repro`` console script
+if installed with entry points).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExCovery: distributed system experiments (reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute an experiment description")
+    p_run.add_argument("description", type=Path, help="experiment XML file")
+    p_run.add_argument("--store", type=Path, default=None,
+                       help="level-2 store directory (default: ./<name>.l2)")
+    p_run.add_argument("--db", type=Path, default=None,
+                       help="also write the level-3 SQLite package here")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume an aborted execution in --store")
+    p_run.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
+                       default="mdns", help="SD protocol agents (default mdns)")
+    p_run.add_argument("--topology", default="mesh",
+                       choices=("mesh", "grid", "line", "full"),
+                       help="emulated mesh shape (default mesh)")
+    p_run.add_argument("--realtime", type=float, default=None, metavar="FACTOR",
+                       help="pace against the wall clock at this speed factor")
+    p_run.add_argument("--quiet", action="store_true")
+
+    p_val = sub.add_parser("validate", help="check a description")
+    p_val.add_argument("description", type=Path)
+
+    p_desc = sub.add_parser("describe", help="narrate a description")
+    p_desc.add_argument("description", type=Path)
+    p_desc.add_argument("--plan", action="store_true",
+                        help="also print the head of the treatment plan")
+
+    p_ins = sub.add_parser("inspect", help="summarize a level-3 database")
+    p_ins.add_argument("database", type=Path)
+
+    p_tl = sub.add_parser("timeline", help="render one run's timeline")
+    p_tl.add_argument("database", type=Path)
+    p_tl.add_argument("--run", type=int, default=0)
+    p_tl.add_argument("--width", type=int, default=72)
+    p_tl.add_argument("--svg", type=Path, default=None,
+                      help="write an SVG rendering to this path instead")
+
+    p_rep = sub.add_parser("report", help="markdown report of a level-3 DB")
+    p_rep.add_argument("database", type=Path)
+    p_rep.add_argument("--out", type=Path, default=None,
+                       help="write to file instead of stdout")
+    p_rep.add_argument("--run", type=int, default=0,
+                       help="run to render in the timeline section")
+
+    p_cond = sub.add_parser("condition", help="level-2 dir -> level-3 DB")
+    p_cond.add_argument("store", type=Path)
+    p_cond.add_argument("database", type=Path)
+
+    p_imp = sub.add_parser("import", help="import level-3 DBs into a repository")
+    p_imp.add_argument("repository", type=Path)
+    p_imp.add_argument("databases", type=Path, nargs="+")
+
+    p_paper = sub.add_parser(
+        "paper-xml",
+        help="emit the paper's complete Figs. 4-10 experiment description",
+    )
+    p_paper.add_argument("--replications", type=int, default=10)
+    p_paper.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _load_description(path: Path):
+    from repro.core.xmlio import description_from_xml
+
+    return description_from_xml(path.read_text(encoding="utf-8"))
+
+
+def _cmd_run(args) -> int:
+    from repro.core.master import ExperiMaster
+    from repro.platforms.localhost import LocalhostPlatform
+    from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+    from repro.storage.level2 import Level2Store
+    from repro.storage.level3 import store_level3
+    from repro.viz.describe import describe_result
+
+    desc = _load_description(args.description)
+    store_root = args.store or Path(f"{desc.name}.l2")
+    config = PlatformConfig(protocol=args.protocol, topology=args.topology)
+    if args.realtime is not None:
+        platform = LocalhostPlatform(desc, config, realtime_factor=args.realtime)
+    else:
+        platform = SimulatedPlatform(desc, config)
+    master = ExperiMaster(
+        platform, desc, Level2Store(store_root), resume=args.resume
+    )
+    result = master.execute()
+    if not args.quiet:
+        print(describe_result(result.summary()))
+        print(f"level-2 store: {store_root}")
+    if args.db is not None:
+        db_path = store_level3(result.store, args.db)
+        if not args.quiet:
+            print(f"level-3 database: {db_path}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.validation import validate_description
+
+    desc = _load_description(args.description)
+    report = validate_description(desc)
+    for problem in report.errors:
+        print(f"error: {problem}")
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    if report.ok:
+        print(f"OK: {desc.name!r} — {desc.factors.total_runs()} runs, "
+              f"{len(desc.actors)} actors, {len(desc.platform)} platform nodes"
+              + (f", {len(report.warnings)} warning(s)" if report.warnings else ""))
+        return 0
+    return 1
+
+
+def _cmd_describe(args) -> int:
+    from repro.core.plan import generate_plan
+    from repro.viz.describe import describe_description, describe_plan
+
+    desc = _load_description(args.description)
+    print(describe_description(desc))
+    if args.plan:
+        print()
+        print(describe_plan(generate_plan(desc.factors, desc.seed)))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.analysis.responsiveness import run_outcomes
+    from repro.sd.metrics import summarize_runs
+    from repro.storage.level3 import ExperimentDatabase
+
+    with ExperimentDatabase(args.database) as db:
+        info = db.experiment_info()
+        counts = db.row_counts()
+        print(f"experiment: {info['Name']}  ({info['EEVersion']})")
+        if info["Comment"]:
+            print(f"comment: {info['Comment']}")
+        print("rows: " + ", ".join(f"{t}={n}" for t, n in sorted(counts.items())))
+        run_ids = db.run_ids()
+        print(f"runs: {len(run_ids)}  nodes: {', '.join(db.node_ids())}")
+        outcomes = run_outcomes(db)
+        if outcomes:
+            summary = summarize_runs(outcomes)
+            print(f"discovery: {summary['complete']}/{summary['runs']} complete"
+                  + (f", median t_R = {summary['t_r_median']:.3f} s"
+                     if summary["t_r_median"] is not None else ""))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.analysis.timeline import build_run_timeline
+    from repro.storage.level3 import ExperimentDatabase
+    from repro.viz.timeline_art import render_timeline
+
+    with ExperimentDatabase(args.database) as db:
+        events = db.events(run_id=args.run)
+        if not events:
+            print(f"no events for run {args.run}", file=sys.stderr)
+            return 1
+        timeline = build_run_timeline(events, args.run)
+    if args.svg is not None:
+        from repro.viz.timeline_svg import render_timeline_svg
+
+        args.svg.write_text(render_timeline_svg(timeline), encoding="utf-8")
+        print(f"SVG timeline written to {args.svg}")
+    else:
+        print(render_timeline(timeline, width=args.width))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.storage.level3 import ExperimentDatabase
+    from repro.viz.report import experiment_report
+
+    with ExperimentDatabase(args.database) as db:
+        text = experiment_report(db, timeline_run=args.run)
+    if args.out is not None:
+        args.out.write_text(text, encoding="utf-8")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_condition(args) -> int:
+    from repro.storage.level2 import Level2Store
+    from repro.storage.level3 import store_level3
+
+    db_path = store_level3(Level2Store(args.store), args.database)
+    print(f"level-3 database: {db_path}")
+    return 0
+
+
+def _cmd_import(args) -> int:
+    from repro.storage.level4 import ExperimentRepository
+
+    with ExperimentRepository(args.repository) as repo:
+        for db in args.databases:
+            exp_id = repo.import_experiment(db)
+            print(f"imported {db} as experiment #{exp_id}")
+        print(f"repository now holds {len(repo.experiments())} experiment(s)")
+    return 0
+
+
+def _cmd_paper_xml(args) -> int:
+    from repro.paper import full_paper_experiment_xml
+
+    print(full_paper_experiment_xml(replications=args.replications, seed=args.seed))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "validate": _cmd_validate,
+    "describe": _cmd_describe,
+    "inspect": _cmd_inspect,
+    "timeline": _cmd_timeline,
+    "report": _cmd_report,
+    "condition": _cmd_condition,
+    "import": _cmd_import,
+    "paper-xml": _cmd_paper_xml,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

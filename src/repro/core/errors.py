@@ -1,0 +1,72 @@
+"""Exception hierarchy of the experimentation environment."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ExCoveryError",
+    "DescriptionError",
+    "ValidationError",
+    "PlanError",
+    "ExecutionError",
+    "RpcError",
+    "RpcFault",
+    "StorageError",
+    "RecoveryError",
+    "PlatformError",
+]
+
+
+class ExCoveryError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+class DescriptionError(ExCoveryError):
+    """The experiment description is structurally broken (parse level)."""
+
+
+class ValidationError(DescriptionError):
+    """The description parsed but violates a semantic rule.
+
+    Collects every violation found so the experimenter can fix them in one
+    round instead of whack-a-mole.
+    """
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        summary = "; ".join(self.problems[:5])
+        if len(self.problems) > 5:
+            summary += f" (+{len(self.problems) - 5} more)"
+        super().__init__(f"{len(self.problems)} validation problem(s): {summary}")
+
+
+class PlanError(ExCoveryError):
+    """Treatment plan generation failed (e.g. empty factor level set)."""
+
+
+class ExecutionError(ExCoveryError):
+    """An experiment run failed in a way the master cannot compensate."""
+
+
+class RpcError(ExCoveryError):
+    """Transport-level control channel failure."""
+
+
+class RpcFault(RpcError):
+    """The remote procedure raised; carries the remote fault string."""
+
+    def __init__(self, fault_code: int, fault_string: str):
+        self.fault_code = fault_code
+        self.fault_string = fault_string
+        super().__init__(f"RPC fault {fault_code}: {fault_string}")
+
+
+class StorageError(ExCoveryError):
+    """A storage level could not be written or read."""
+
+
+class RecoveryError(ExCoveryError):
+    """Resuming an aborted experiment is impossible (description mismatch)."""
+
+
+class PlatformError(ExCoveryError):
+    """The target platform misses a required capability (Sec. IV-A)."""

@@ -1,0 +1,490 @@
+"""The ExperiMaster: the controlling entity of an experiment.
+
+Sec. VI-A: *"The controlling ExperiMaster maintains a list of objects
+corresponding to the active nodes in the experiment, on which actions will
+be executed. ... Which action is executed at which time is specified in
+process descriptions loaded from the experiment description file."*
+
+The master drives the full workflow of Fig. 3:
+
+1. validate the description and generate the treatment plan,
+2. (on resume) read the journal and skip completed runs,
+3. ``experiment_init`` everywhere, topology snapshot *before*,
+4. per run: **preparation** (reset, settle, clock sync), **execution**
+   (spawn actor / manipulation / environment processes, wait for the
+   actor processes, backstopped by ``max_run_duration``), **clean-up**
+   (drain manipulations, stop leftovers, ``run_exit``, collect into
+   level-2 storage, journal the run),
+5. topology snapshot *after*, plugin + node collection,
+   ``experiment_exit``, journal completion.
+
+Everything the master does is a simulation process; :meth:`execute` spins
+the kernel until the experiment completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.actions import ActionRegistry, default_registry
+from repro.core.description import EE_VERSION, ExperimentDescription
+from repro.core.errors import ExecutionError, RecoveryError
+from repro.core.events import EventBus, ExEvent
+from repro.core.params import SpecialParams
+from repro.core.plan import Run, TreatmentPlan, generate_plan
+from repro.core.recovery import Journal
+from repro.core.runner import ProcessInterpreter, ProcessScope, RunBinding
+from repro.core.timesync import measure_offsets
+from repro.core.topomeasure import measure_hop_counts, snapshot_topology
+from repro.core.validation import validate_description
+from repro.core.plugins import PluginManager
+from repro.faults.manipulations import EnvContext, EnvironmentController
+from repro.storage.level2 import Level2Store
+
+__all__ = ["ExperiMaster", "ExperimentResult", "MASTER_NODE_ID"]
+
+#: Node identifier under which master-side events and data are stored.
+MASTER_NODE_ID = "master"
+
+
+@dataclass
+class ExperimentResult:
+    """What :meth:`ExperiMaster.execute` returns."""
+
+    description: ExperimentDescription
+    store: Level2Store
+    plan: TreatmentPlan
+    executed_runs: List[int] = field(default_factory=list)
+    skipped_runs: List[int] = field(default_factory=list)
+    timed_out_runs: List[int] = field(default_factory=list)
+    #: Reference (kernel) duration of the whole execution, seconds.
+    duration: float = 0.0
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.plan)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.description.name,
+            "total_runs": self.total_runs,
+            "executed": len(self.executed_runs),
+            "skipped": len(self.skipped_runs),
+            "timed_out": len(self.timed_out_runs),
+            "duration": self.duration,
+        }
+
+
+class ExperiMaster:
+    """Executes one experiment description on a platform.
+
+    Parameters
+    ----------
+    platform:
+        A platform object satisfying :class:`repro.platforms.base.Platform`.
+    description:
+        The abstract experiment description to execute.
+    store:
+        Level-2 store receiving all raw data.
+    resume:
+        Resume an aborted execution found in the store's journal.
+    plugins:
+        A :class:`~repro.core.plugins.PluginManager` (optional).
+    registry:
+        Action registry; defaults to the built-ins plus plugin actions.
+    abort_after_runs:
+        Test/demo hook: raise (simulating a master crash) after this many
+        runs completed in this execution.
+    custom_treatments:
+        Optional explicit treatment sequence replacing the default OFAT
+        expansion — the paper's "custom factor level variation plan"
+        (Sec. IV-C1).  Build one with :mod:`repro.core.designs`.
+    """
+
+    def __init__(
+        self,
+        platform,
+        description: ExperimentDescription,
+        store: Level2Store,
+        resume: bool = False,
+        plugins: Optional[PluginManager] = None,
+        registry: Optional[ActionRegistry] = None,
+        abort_after_runs: Optional[int] = None,
+        custom_treatments: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        self.platform = platform
+        self.description = description
+        self.store = store
+        self.resume = resume
+        self.plugins = plugins or PluginManager()
+        self.registry = registry or default_registry()
+        self.plugins.extend_registry(self.registry)
+        self.abort_after_runs = abort_after_runs
+        self.custom_treatments = custom_treatments
+
+        self.sim = platform.sim
+        self.channel = platform.channel
+        self.params = SpecialParams(description.special_params)
+        self.bus = EventBus(self.sim)
+        self.env_controller = EnvironmentController(
+            self.sim, self.channel, emit=self._emit_env_event
+        )
+        self.channel.set_master_handler(self._on_node_upcall)
+
+        self._run_events: Dict[int, List[Dict[str, Any]]] = {}
+        self._exp_events: List[Dict[str, Any]] = []
+        self._current_binding: Optional[RunBinding] = None
+        self._current_run_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _on_node_upcall(self, record: Dict[str, Any]) -> None:
+        """A node forwarded an event over the control channel."""
+        self.bus.register(ExEvent.from_record(record))
+
+    def emit_master(self, name: str, params=(), run_id: Optional[int] = None) -> ExEvent:
+        """Generate a master-side event (reference clock timestamps)."""
+        event = ExEvent(
+            name=name,
+            node=MASTER_NODE_ID,
+            local_time=self.sim.now,
+            params=tuple(params),
+            run_id=run_id,
+        )
+        record = event.as_record()
+        if run_id is None:
+            self._exp_events.append(record)
+        else:
+            self._run_events.setdefault(run_id, []).append(record)
+        self.bus.register(event)
+        return event
+
+    def _emit_env_event(self, name: str, params=()) -> None:
+        self.emit_master(name, params=params, run_id=self._current_run_id)
+
+    def env_context(self, binding: RunBinding) -> EnvContext:
+        acting = binding.acting_platform_nodes()
+        all_nodes = [n.node_id for n in self.description.platform.nodes]
+        env_nodes = [n for n in all_nodes if n not in acting]
+        return EnvContext(
+            run_id=binding.run.run_id,
+            replication=binding.run.replication,
+            acting_nodes=acting,
+            env_nodes=env_nodes,
+            addr_of=self.platform.addr_of,
+        )
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def execute(self) -> ExperimentResult:
+        """Run the experiment to completion; returns the result object.
+
+        Any unhandled failure propagates after the kernel stops — the
+        journal then allows a subsequent ``resume=True`` execution.
+        """
+        started_at = self.sim.now
+        done = self.sim.event(name="experiment-done")
+        result = ExperimentResult(
+            description=self.description,
+            store=self.store,
+            plan=generate_plan(
+                self.description.factors,
+                self.description.seed,
+                custom_treatments=self.custom_treatments,
+            ),
+        )
+        self.sim.process(self._main(result, done), name="experimaster")
+        try:
+            self.sim.run(
+                until_event=done,
+                realtime_factor=getattr(self.platform, "realtime_factor", None),
+            )
+        except Exception as exc:
+            # The master runs as a simulation process; unwrap its own
+            # failures from the kernel's crash report so callers see the
+            # framework error (ExecutionError, RecoveryError, ...), with
+            # the journal already reflecting every completed run.
+            from repro.core.errors import ExCoveryError
+            from repro.sim.kernel import SimulationError
+
+            if isinstance(exc, SimulationError) and isinstance(
+                exc.__cause__, ExCoveryError
+            ):
+                raise exc.__cause__ from exc
+            raise
+        result.duration = self.sim.now - started_at
+        return result
+
+    # ------------------------------------------------------------------
+    # Main experiment process
+    # ------------------------------------------------------------------
+    def _main(self, result: ExperimentResult, done):
+        desc = self.description
+        report = validate_description(desc, self.registry)
+        report.raise_if_failed()
+
+        plan = result.plan
+        journal = Journal(self.store)
+        completed: Set[int] = set()
+        if self.resume:
+            completed = journal.prepare_resume(desc, len(plan))
+            # The description fingerprint does not cover a programmatic
+            # custom treatment plan; compare against the stored plan so a
+            # resume cannot silently mix two different run sequences.
+            stored_plan = self.store.read_plan()
+            if stored_plan != _json_roundtrip(plan.describe()):
+                raise RecoveryError(
+                    "treatment plan changed since the aborted execution "
+                    "(custom_treatments differ?)"
+                )
+        else:
+            if journal.started():
+                raise RecoveryError(
+                    "store already holds a journal; pass resume=True or use "
+                    "a fresh store directory"
+                )
+            from repro.core.xmlio import description_to_xml
+
+            self.store.write_description(description_to_xml(desc))
+            self.store.write_plan(plan.describe())
+            self.store.write_eefile(
+                "VERSION", f"{EE_VERSION}\nfingerprint={desc.fingerprint()}\n"
+            )
+            journal.record_start(desc.fingerprint(), desc.seed, len(plan))
+        result.skipped_runs = sorted(completed)
+
+        node_ids = [n.node_id for n in desc.platform.nodes]
+        self.platform.check_nodes(node_ids)
+        self._install_plugin_handlers(node_ids)
+
+        # --- experiment initialization --------------------------------
+        self.emit_master("experiment_init", params=(desc.name,))
+        for node_id in node_ids:
+            yield from self.channel.call(node_id, "experiment_init", desc.name)
+        self.store.write_topology("before", self._topology_measurement(node_ids))
+        self.plugins.experiment_init(self)
+
+        # --- the run series --------------------------------------------
+        executed_this_session = 0
+        for run in plan:
+            if run.run_id in completed:
+                continue
+            timed_out = yield from self._execute_run(run, node_ids)
+            journal.record_run_complete(run.run_id)
+            result.executed_runs.append(run.run_id)
+            if timed_out:
+                result.timed_out_runs.append(run.run_id)
+            executed_this_session += 1
+            if (
+                self.abort_after_runs is not None
+                and executed_this_session >= self.abort_after_runs
+                and result.executed_runs[-1] != plan[-1].run_id
+            ):
+                raise ExecutionError(
+                    f"aborting after {executed_this_session} runs (abort_after_runs)"
+                )
+            spacing = self.params.get("run_spacing")
+            if spacing > 0:
+                yield self.sim.timeout(spacing)
+
+        # --- experiment teardown ---------------------------------------
+        self.store.write_topology("after", self._topology_measurement(node_ids))
+        for name, content in self.plugins.experiment_exit(self).items():
+            self.store.write_experiment_measurement(name, content)
+        for node_id in node_ids:
+            yield from self.channel.call(node_id, "experiment_exit")
+            data = yield from self.channel.call(node_id, "collect_experiment")
+            self.store.write_node_log(node_id, data.get("log", ""))
+            self.store.write_node_experiment_events(node_id, data.get("events", []))
+        self.emit_master("experiment_exit", params=(desc.name,))
+        self.store.write_node_experiment_events(MASTER_NODE_ID, self._exp_events)
+        journal.record_experiment_complete()
+        done.trigger(True)
+
+    def _install_plugin_handlers(self, node_ids: List[str]) -> None:
+        """Install action plugins' node-side handlers on every participating
+        NodeManager (the node half of the Sec. IV-D2 plugin concept).
+
+        A plugin handler has the signature ``handler(node_manager, params)``
+        so one plugin instance can serve every node; it is adapted to the
+        NodeManager's ``handler(params)`` convention per node.
+        """
+        for plugin in self.plugins.action:
+            for name, handler in plugin.node_handlers().items():
+                for node_id in node_ids:
+                    manager = self.platform.node_managers.get(node_id)
+                    if manager is None:
+                        continue
+                    manager.register_action_handler(
+                        name,
+                        (lambda params, _h=handler, _nm=manager: _h(_nm, params)),
+                    )
+
+    def _topology_measurement(self, node_ids: List[str]) -> Dict[str, Any]:
+        topology = self.platform.topology
+        names = [self.platform.topology_name(nid) for nid in node_ids]
+        return {
+            "hop_counts": measure_hop_counts(topology, names),
+            "snapshot": snapshot_topology(topology),
+        }
+
+    # ------------------------------------------------------------------
+    # One run
+    # ------------------------------------------------------------------
+    def _execute_run(self, run: Run, node_ids: List[str]):
+        desc = self.description
+        self._current_run_id = run.run_id
+        start_time = self.sim.now
+        self.emit_master("run_init", params=(run.run_id,), run_id=run.run_id)
+
+        # ---- preparation phase ----------------------------------------
+        # Platform-level per-run reset first (reseeds shared-medium and
+        # control-channel RNG streams so every run's randomness is a pure
+        # function of (experiment seed, run id) — resume-safe).
+        self.platform.on_run_init(run.run_id)
+        for node_id in node_ids:
+            yield from self.channel.call(node_id, "run_init", run.run_id)
+        settle = self.params.get("run_settle_time")
+        if settle > 0:
+            yield self.sim.timeout(settle)
+        sync = yield from measure_offsets(
+            self.sim, self.channel, node_ids, probes=self.params.get("sync_probes")
+        )
+        self.store.write_timesync(
+            run.run_id, {nid: m.as_record() for nid, m in sync.items()}
+        )
+        self.store.write_run_info(
+            run.run_id,
+            {
+                "run_id": run.run_id,
+                "start_time": start_time,
+                "treatment": {k: _json_safe(v) for k, v in run.treatment.items()},
+                "seed": run.seed,
+            },
+        )
+        binding = self._make_binding(run)
+        self._current_binding = binding
+        self.plugins.run_init(self, run)
+
+        # ---- execution phase ------------------------------------------
+        actor_procs = []
+        other_procs = []
+        for actor in desc.actors:
+            for inst_id, node_id in sorted(binding.actor_instances(actor.actor_id).items()):
+                scope = ProcessScope(
+                    kind="node",
+                    label=f"{actor.actor_id}[{inst_id}]",
+                    node_id=node_id,
+                )
+                interp = ProcessInterpreter(self, binding, scope, actor.actions)
+                actor_procs.append(
+                    self.sim.process(interp.run(), name=f"proc:{scope.label}")
+                )
+        for i, manip in enumerate(desc.manipulations):
+            targets: List[str] = []
+            if manip.actor_id is not None:
+                targets = sorted(binding.actor_instances(manip.actor_id).values())
+            elif manip.node_id is not None:
+                targets = [binding.platform_node(manip.node_id)]
+            for node_id in targets:
+                scope = ProcessScope(
+                    kind="node", label=f"manip{i}@{node_id}", node_id=node_id
+                )
+                interp = ProcessInterpreter(self, binding, scope, manip.actions)
+                other_procs.append(
+                    self.sim.process(interp.run(), name=f"proc:{scope.label}")
+                )
+        for i, env in enumerate(desc.environment_processes):
+            scope = ProcessScope(kind="env", label=f"env{i}:{env.name}")
+            interp = ProcessInterpreter(self, binding, scope, env.actions)
+            other_procs.append(
+                self.sim.process(interp.run(), name=f"proc:{scope.label}")
+            )
+
+        timed_out = False
+        max_duration = self.params.get("max_run_duration")
+        if actor_procs:
+            all_done = self.sim.all_of(*actor_procs)
+            backstop = self.sim.timeout(max_duration, name="run-backstop")
+            fired, _value = yield self.sim.any_of(all_done, backstop)
+            if fired is backstop and not all_done.triggered:
+                timed_out = True
+                self.emit_master("run_timeout", params=(run.run_id,), run_id=run.run_id)
+                for proc in actor_procs:
+                    if proc.alive:
+                        proc.interrupt("run_timeout")
+
+        # ---- clean-up phase -------------------------------------------
+        # Give manipulation/environment processes a grace period to wind
+        # down on their own (they typically wait for the 'done' flag).
+        alive = [p for p in other_procs if p.alive]
+        if alive:
+            grace = self.sim.timeout(5.0, name="cleanup-grace")
+            yield self.sim.any_of(self.sim.all_of(*alive), grace)
+            for proc in alive:
+                if proc.alive:
+                    proc.interrupt("run_cleanup")
+        yield from self.env_controller.cleanup()
+
+        collect_packets = self.params.get("collect_packets")
+        for node_id in node_ids:
+            yield from self.channel.call(node_id, "run_exit", run.run_id)
+        for node_id in node_ids:
+            data = yield from self.channel.call(node_id, "collect_run", run.run_id)
+            self.store.write_run_data(
+                node_id,
+                run.run_id,
+                data.get("events", []),
+                data.get("packets", []) if collect_packets else [],
+            )
+        self.emit_master("run_exit", params=(run.run_id,), run_id=run.run_id)
+        self.store.write_run_data(
+            MASTER_NODE_ID, run.run_id, self._run_events.get(run.run_id, []), []
+        )
+        for plugin_name, content in self.plugins.run_exit(self, run).items():
+            self.store.write_extra_measurement(
+                MASTER_NODE_ID, run.run_id, plugin_name, content
+            )
+        self.platform.on_run_exit(run.run_id)
+        self._current_binding = None
+        self._current_run_id = None
+        return timed_out
+
+    # ------------------------------------------------------------------
+    def _make_binding(self, run: Run) -> RunBinding:
+        desc = self.description
+        map_factor = desc.factors.actor_map_factor()
+        if map_factor is not None:
+            actor_map = run.treatment[map_factor.id]
+        else:
+            actor_map = {}
+        abstract_to_platform = {
+            n.abstract_id: n.node_id
+            for n in desc.platform.nodes
+            if n.abstract_id is not None
+        }
+        return RunBinding(
+            run=run,
+            actor_map=actor_map,
+            abstract_to_platform=abstract_to_platform,
+        )
+
+
+def _json_roundtrip(value: Any) -> Any:
+    """Normalize through JSON so comparisons match what level 2 stored
+    (tuples become lists, keys become strings)."""
+    import json
+
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+def _json_safe(value: Any) -> Any:
+    """Treatment values must survive JSON (actor maps are nested dicts)."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value

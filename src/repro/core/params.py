@@ -1,0 +1,108 @@
+"""Special parameters (Sec. IV-E).
+
+*"An experimenter can define a list of special parameters in the
+description file that can be used within the experimentation environment
+to expose specific parameters used in the implementation to the
+description file."*
+
+This module defines the parameters the reproduction's implementation
+understands, their types and defaults, and a typed accessor.  Unknown
+special parameters are allowed (platform-specific extensions may consume
+them) — validation only warns about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["SPECIAL_PARAM_DEFS", "SpecialParams", "ParamDef"]
+
+
+@dataclass(frozen=True)
+class ParamDef:
+    """Definition of one special parameter."""
+
+    key: str
+    type: type
+    default: Any
+    doc: str
+
+
+SPECIAL_PARAM_DEFS: Dict[str, ParamDef] = {
+    p.key: p
+    for p in [
+        ParamDef(
+            "max_run_duration", float, 120.0,
+            "Backstop timeout in seconds after which the master aborts a "
+            "run's processes and proceeds to clean-up.",
+        ),
+        ParamDef(
+            "run_settle_time", float, 0.25,
+            "Preparation settle delay per run, letting in-flight packets "
+            "of the previous run drain ('network packets generated in "
+            "previous runs must be dropped on all participants').",
+        ),
+        ParamDef(
+            "sync_probes", int, 5,
+            "Clock-offset probes per node per run (Sec. IV-B3); the "
+            "minimum-RTT probe wins.",
+        ),
+        ParamDef(
+            "rpc_latency", float, 0.0005,
+            "One-way control channel latency in seconds.",
+        ),
+        ParamDef(
+            "rpc_jitter", float, 0.0002,
+            "Uniform extra control-channel latency in seconds.",
+        ),
+        ParamDef(
+            "service_type", str, "_exp._udp",
+            "Service type used by the SD case-study actions when an "
+            "action does not name one explicitly.",
+        ),
+        ParamDef(
+            "run_spacing", float, 0.5,
+            "Idle time between consecutive runs, seconds.",
+        ),
+        ParamDef(
+            "collect_packets", bool, True,
+            "Whether packet captures are collected into storage (large).",
+        ),
+    ]
+}
+
+
+class SpecialParams:
+    """Typed accessor over a description's ``special_params`` mapping."""
+
+    def __init__(self, raw: Optional[Dict[str, Any]] = None) -> None:
+        self._raw = dict(raw or {})
+
+    def get(self, key: str) -> Any:
+        """Value of *key*, coerced to its declared type, or its default.
+
+        Unknown keys return the raw value (``None`` if absent).
+        """
+        definition = SPECIAL_PARAM_DEFS.get(key)
+        if definition is None:
+            return self._raw.get(key)
+        if key not in self._raw:
+            return definition.default
+        value = self._raw[key]
+        if definition.type is bool and isinstance(value, str):
+            return value.strip().lower() in {"1", "true", "yes"}
+        try:
+            return definition.type(value)
+        except (TypeError, ValueError):
+            return definition.default
+
+    def unknown_keys(self):
+        """Keys present in the description but not defined here."""
+        return sorted(k for k in self._raw if k not in SPECIAL_PARAM_DEFS)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {key: self.get(key) for key in SPECIAL_PARAM_DEFS}
+        for key in self.unknown_keys():
+            out[key] = self._raw[key]
+        return out

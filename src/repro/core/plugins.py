@@ -1,0 +1,151 @@
+"""Measurement and action plugins.
+
+Sec. IV-B: *"ExCovery has a plugin concept to extend these data with
+custom measurements on demand."*  Sec. IV-D2 adds that experimenters
+should extend the framework "by defining a plugin with new functions and
+their implementation".
+
+Two plugin kinds exist:
+
+:class:`MeasurementPlugin`
+    Hooks into the run/experiment lifecycle and returns named measurement
+    payloads.  Per-run payloads land in the ``ExtraRunMeasurements`` table,
+    per-experiment payloads in ``ExperimentMeasurements`` (Table I).
+    *"Plugins have a separate storage location"* — the master keeps plugin
+    data in its own level-2 area keyed by plugin name.
+
+:class:`ActionPlugin`
+    Registers new domain actions (an :class:`~repro.core.actions.ActionSpec`
+    plus node-side handlers), extending the description vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.actions import ActionRegistry, ActionSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.master import ExperiMaster
+    from repro.core.plan import Run
+
+__all__ = ["MeasurementPlugin", "ActionPlugin", "PluginManager", "MediumStatsPlugin"]
+
+
+class MeasurementPlugin:
+    """Base class for custom measurements.
+
+    Subclasses override any subset of the hooks.  Hooks run synchronously
+    on the master between lifecycle phases; returned mappings are stored
+    verbatim ({measurement name: JSON-serializable content}).
+    """
+
+    #: Unique plugin name; also the storage key.
+    name = "measurement"
+
+    def on_experiment_init(self, master: "ExperiMaster") -> None:
+        """Called once before the first run."""
+
+    def on_run_init(self, master: "ExperiMaster", run: "Run") -> None:
+        """Called during each run's preparation phase."""
+
+    def on_run_exit(self, master: "ExperiMaster", run: "Run") -> Dict[str, Any]:
+        """Called during clean-up; returns per-run measurements."""
+        return {}
+
+    def on_experiment_exit(self, master: "ExperiMaster") -> Dict[str, Any]:
+        """Called once after the last run; returns experiment measurements."""
+        return {}
+
+
+class ActionPlugin:
+    """A bundle of new actions: registry specs + node-side handlers."""
+
+    name = "action"
+
+    def action_specs(self) -> List[ActionSpec]:
+        """Specs to add to the action registry."""
+        return []
+
+    def node_handlers(self) -> Dict[str, Callable[..., Any]]:
+        """``{action_name: handler(node_manager, params) -> value}``
+        installed on every NodeManager."""
+        return {}
+
+
+class PluginManager:
+    """Holds the plugins of one experiment and fans hooks out to them."""
+
+    def __init__(
+        self,
+        measurement: Optional[List[MeasurementPlugin]] = None,
+        action: Optional[List[ActionPlugin]] = None,
+    ) -> None:
+        self.measurement = list(measurement or [])
+        self.action = list(action or [])
+        names = [p.name for p in self.measurement] + [p.name for p in self.action]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate plugin names: {sorted(names)}")
+
+    def extend_registry(self, registry: ActionRegistry) -> None:
+        for plugin in self.action:
+            for spec in plugin.action_specs():
+                registry.register(spec, replace=True)
+
+    def experiment_init(self, master: "ExperiMaster") -> None:
+        for plugin in self.measurement:
+            plugin.on_experiment_init(master)
+
+    def run_init(self, master: "ExperiMaster", run: "Run") -> None:
+        for plugin in self.measurement:
+            plugin.on_run_init(master, run)
+
+    def run_exit(self, master: "ExperiMaster", run: "Run") -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for plugin in self.measurement:
+            data = plugin.on_run_exit(master, run)
+            if data:
+                out[plugin.name] = data
+        return out
+
+    def experiment_exit(self, master: "ExperiMaster") -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for plugin in self.measurement:
+            data = plugin.on_experiment_exit(master)
+            if data:
+                out[plugin.name] = data
+        return out
+
+
+class MediumStatsPlugin(MeasurementPlugin):
+    """Example plugin: record per-run wireless medium statistics.
+
+    Demonstrates the plugin API; the case-study analyses use it to relate
+    responsiveness to the medium's transmission/loss counters.
+    """
+
+    name = "medium_stats"
+
+    def __init__(self, medium) -> None:
+        self.medium = medium
+        self._baseline: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def _snapshot(self) -> Tuple[int, int, int, int]:
+        s = self.medium.stats
+        return (s.transmissions, s.deliveries, s.losses, s.mac_retries)
+
+    def on_run_init(self, master: "ExperiMaster", run: "Run") -> None:
+        self._baseline = self._snapshot()
+
+    def on_run_exit(self, master: "ExperiMaster", run: "Run") -> Dict[str, Any]:
+        now = self._snapshot()
+        base = self._baseline
+        return {
+            "medium": {
+                "transmissions": now[0] - base[0],
+                "deliveries": now[1] - base[1],
+                "losses": now[2] - base[2],
+                "mac_retries": now[3] - base[3],
+                "utilization": self.medium.utilization(),
+            }
+        }

@@ -1,0 +1,119 @@
+"""Failure recovery: resuming aborted experiment series.
+
+Sec. VII: *"ExCovery manages series of experiments and recovers from
+failures by resuming aborted runs."*
+
+The mechanism is an append-only journal in the level-2 store.  The master
+writes:
+
+* ``experiment_start`` (with the description fingerprint and seed) once,
+* ``run_complete`` after each fully collected run,
+* ``experiment_complete`` at the end.
+
+On a resumed execution the journal tells the master which runs are already
+safe; it purges any partial data of unfinished runs and re-executes only
+those.  Resuming is refused when the description changed (fingerprint
+mismatch) — silently mixing two experiments would poison the series.
+
+Because the whole execution is deterministic in (description, seed), a
+resumed experiment converges to byte-identical level-3 contents as an
+uninterrupted one — which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.core.errors import RecoveryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.description import ExperimentDescription
+    from repro.storage.level2 import Level2Store
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """Typed access to the recovery journal of one level-2 store."""
+
+    def __init__(self, store: "Level2Store") -> None:
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_start(self, fingerprint: str, seed: int, total_runs: int) -> None:
+        self.store.append_journal(
+            {
+                "type": "experiment_start",
+                "fingerprint": fingerprint,
+                "seed": seed,
+                "total_runs": total_runs,
+            }
+        )
+
+    def record_run_complete(self, run_id: int) -> None:
+        self.store.append_journal({"type": "run_complete", "run_id": run_id})
+
+    def record_experiment_complete(self) -> None:
+        self.store.append_journal({"type": "experiment_complete"})
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        return self.store.read_journal()
+
+    def started(self) -> bool:
+        return any(e["type"] == "experiment_start" for e in self.entries())
+
+    def finished(self) -> bool:
+        return any(e["type"] == "experiment_complete" for e in self.entries())
+
+    def completed_runs(self) -> Set[int]:
+        return {
+            e["run_id"] for e in self.entries() if e["type"] == "run_complete"
+        }
+
+    def start_entry(self) -> Optional[Dict[str, Any]]:
+        for e in self.entries():
+            if e["type"] == "experiment_start":
+                return e
+        return None
+
+    # ------------------------------------------------------------------
+    # Resume protocol
+    # ------------------------------------------------------------------
+    def prepare_resume(
+        self, description: "ExperimentDescription", total_runs: int
+    ) -> Set[int]:
+        """Validate compatibility and return the set of safe run ids.
+
+        Also purges partial data of every *unfinished* run so re-execution
+        starts clean.  Raises :class:`RecoveryError` on mismatch.
+        """
+        start = self.start_entry()
+        if start is None:
+            raise RecoveryError("journal has no experiment_start entry; nothing to resume")
+        if self.finished():
+            raise RecoveryError("experiment already completed; nothing to resume")
+        fingerprint = description.fingerprint()
+        if start["fingerprint"] != fingerprint:
+            raise RecoveryError(
+                "description changed since the aborted execution "
+                f"(journal {start['fingerprint'][:12]}..., now {fingerprint[:12]}...)"
+            )
+        if start["seed"] != description.seed:
+            raise RecoveryError(
+                f"seed changed since the aborted execution "
+                f"({start['seed']} -> {description.seed})"
+            )
+        if start["total_runs"] != total_runs:
+            raise RecoveryError(
+                f"plan size changed ({start['total_runs']} -> {total_runs})"
+            )
+        completed = self.completed_runs()
+        for run_id in self.store.run_ids():
+            if run_id not in completed:
+                self.store.purge_run(run_id)
+        return completed

@@ -1,0 +1,257 @@
+"""Run-time interpretation of process descriptions.
+
+The master creates one interpreter per process instance (Sec. VI-A: *"The
+master creates an experiment process thread and a fault thread for each
+abstract node in the description.  A single thread is created for the
+environment manipulations."*).  Each interpreter is a simulation process
+executing its action sequence:
+
+* flow-control actions run master-side against the event bus / kernel,
+* node actions are dispatched over the control channel to the process's
+  bound node,
+* environment actions go through the master's
+  :class:`~repro.faults.manipulations.EnvironmentController`.
+
+Resolution rules: ``FactorRef`` parameters resolve against the run's
+treatment; ``NodeSelector`` parameters resolve to concrete platform node
+ids through the :class:`RunBinding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.actions import ActionKind
+from repro.core.errors import ExecutionError
+from repro.core.events import EventPattern
+from repro.core.processes import (
+    DomainAction,
+    EventFlag,
+    FactorRef,
+    NodeSelector,
+    WaitForEvent,
+    WaitForTime,
+    WaitMarker,
+    resolve_value,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.master import ExperiMaster
+    from repro.core.plan import Run
+
+__all__ = ["RunBinding", "ProcessScope", "ProcessInterpreter"]
+
+
+@dataclass
+class RunBinding:
+    """Everything needed to ground abstract references for one run.
+
+    Attributes
+    ----------
+    run:
+        The current :class:`~repro.core.plan.Run`.
+    actor_map:
+        ``{actor_id: {instance_id: abstract_node}}`` — the current level
+        of the ``actor_node_map`` factor.
+    abstract_to_platform:
+        ``{abstract_node: platform node id}`` from the platform spec.
+    """
+
+    run: "Run"
+    actor_map: Dict[str, Dict[str, str]]
+    abstract_to_platform: Dict[str, str]
+
+    def platform_node(self, abstract: str) -> str:
+        try:
+            return self.abstract_to_platform[abstract]
+        except KeyError:
+            raise ExecutionError(
+                f"abstract node {abstract!r} has no platform mapping"
+            ) from None
+
+    def actor_instances(self, actor_id: str) -> Dict[str, str]:
+        """``{instance_id: platform node id}`` for one actor role."""
+        try:
+            instances = self.actor_map[actor_id]
+        except KeyError:
+            raise ExecutionError(f"actor {actor_id!r} not in actor map") from None
+        return {
+            inst: self.platform_node(abstract)
+            for inst, abstract in instances.items()
+        }
+
+    def resolve_selector(self, sel: NodeSelector) -> List[str]:
+        """Platform node ids selected by *sel*."""
+        if sel.node_id is not None:
+            return [self.platform_node(sel.node_id)]
+        instances = self.actor_instances(sel.actor)  # type: ignore[arg-type]
+        if sel.instance == "all":
+            return sorted(instances.values())
+        try:
+            return [instances[sel.instance]]
+        except KeyError:
+            raise ExecutionError(
+                f"actor {sel.actor!r} has no instance {sel.instance!r}"
+            ) from None
+
+    def acting_platform_nodes(self) -> List[str]:
+        """All platform nodes bound to any actor instance in this run."""
+        nodes = set()
+        for actor_id in self.actor_map:
+            nodes.update(self.actor_instances(actor_id).values())
+        return sorted(nodes)
+
+
+@dataclass
+class ProcessScope:
+    """Where a process's non-flow actions execute."""
+
+    kind: str  # "node" | "env"
+    label: str
+    node_id: Optional[str] = None  # bound platform node for node scopes
+
+    @property
+    def is_node(self) -> bool:
+        return self.kind == "node"
+
+
+class ProcessInterpreter:
+    """Executes one action sequence in one scope for one run."""
+
+    def __init__(
+        self,
+        master: "ExperiMaster",
+        binding: RunBinding,
+        scope: ProcessScope,
+        actions,
+    ) -> None:
+        self.master = master
+        self.binding = binding
+        self.scope = scope
+        self.actions = actions
+        self._marker_seq: int = -1
+        self.executed_actions = 0
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """The generator the master spawns as a simulation process."""
+        for action in self.actions:
+            if isinstance(action, WaitForTime):
+                yield from self._wait_for_time(action)
+            elif isinstance(action, WaitMarker):
+                self._marker_seq = self.master.bus.marker()
+            elif isinstance(action, WaitForEvent):
+                yield from self._wait_for_event(action)
+            elif isinstance(action, EventFlag):
+                yield from self._event_flag(action)
+            elif isinstance(action, DomainAction):
+                yield from self._domain_action(action)
+            else:  # pragma: no cover - parser prevents this
+                raise ExecutionError(f"unknown action node {action!r}")
+            self.executed_actions += 1
+
+    # ------------------------------------------------------------------
+    # Flow control
+    # ------------------------------------------------------------------
+    def _wait_for_time(self, action: WaitForTime):
+        seconds = float(resolve_value(action.seconds, self.binding.run.treatment))
+        if seconds < 0:
+            raise ExecutionError(f"wait_for_time: negative delay {seconds}")
+        yield self.master.sim.timeout(seconds)
+
+    def _wait_for_event(self, action: WaitForEvent):
+        pattern = self._build_pattern(action)
+        # A marker is consumed by exactly one wait (Sec. IV-C2: "the next
+        # wait_for_event call").
+        self._marker_seq = -1
+        bus = self.master.bus
+        signal = bus.watch(pattern)
+        if action.timeout is not None:
+            seconds = float(resolve_value(action.timeout, self.binding.run.treatment))
+            timeout = self.master.sim.timeout(seconds, name=f"wfe-timeout:{action.event}")
+            fired, _value = yield self.master.sim.any_of(signal, timeout)
+            if fired is timeout:
+                bus.cancel(signal)
+                self.master.emit_master(
+                    "wait_timeout",
+                    params=(self.scope.label, action.event, seconds),
+                    run_id=self.binding.run.run_id,
+                )
+        else:
+            yield signal
+
+    def _build_pattern(self, action: WaitForEvent) -> EventPattern:
+        nodes = None
+        require_all_nodes = False
+        if action.from_nodes is not None:
+            nodes = frozenset(self.binding.resolve_selector(action.from_nodes))
+            require_all_nodes = action.from_nodes.wants_all_instances
+        params = None
+        require_all_params = False
+        if action.param_nodes is not None:
+            params = frozenset(self.binding.resolve_selector(action.param_nodes))
+            require_all_params = action.param_nodes.wants_all_instances
+        elif action.param_values is not None:
+            params = frozenset(action.param_values)
+        return EventPattern(
+            name=action.event,
+            nodes=nodes,
+            require_all_nodes=require_all_nodes,
+            params=params,
+            require_all_params=require_all_params,
+            after_seq=self._marker_seq,
+            run_id=self.binding.run.run_id,
+        )
+
+    def _event_flag(self, action: EventFlag):
+        params = [resolve_value(p, self.binding.run.treatment) for p in action.params]
+        if self.scope.is_node:
+            yield from self.master.channel.call(
+                self.scope.node_id,
+                "execute_action",
+                "event_flag",
+                {"value": action.value, "params": params},
+            )
+        else:
+            self.master.emit_master(
+                action.value, params=tuple(params), run_id=self.binding.run.run_id
+            )
+            # Keep generator semantics uniform (a flag costs no sim time).
+            yield self.master.sim.timeout(0.0)
+
+    # ------------------------------------------------------------------
+    # Domain actions
+    # ------------------------------------------------------------------
+    def _resolve_params(self, action: DomainAction) -> Dict[str, Any]:
+        wire: Dict[str, Any] = {}
+        for key, value in action.params.items():
+            if isinstance(value, NodeSelector):
+                resolved = self.binding.resolve_selector(value)
+                wire[key] = resolved[0] if len(resolved) == 1 else resolved
+            else:
+                resolved = resolve_value(value, self.binding.run.treatment)
+                if isinstance(resolved, tuple):
+                    resolved = list(resolved)
+                wire[key] = resolved
+        return wire
+
+    def _domain_action(self, action: DomainAction):
+        spec = self.master.registry.lookup(action.name)
+        params = self._resolve_params(action)
+        if spec.kind is ActionKind.ENVIRONMENT:
+            if self.scope.is_node:
+                raise ExecutionError(
+                    f"environment action {action.name!r} in node process "
+                    f"{self.scope.label!r}"
+                )
+            ctx = self.master.env_context(self.binding)
+            yield from self.master.env_controller.execute(action.name, params, ctx)
+        else:
+            if not self.scope.is_node:
+                raise ExecutionError(
+                    f"node action {action.name!r} in environment process"
+                )
+            yield from self.master.channel.call(
+                self.scope.node_id, "execute_action", action.name, params
+            )

@@ -1,0 +1,63 @@
+"""Topology measurement (Sec. IV-B4).
+
+*"To improve repeatability, a rudimentary description of the network
+topology is measured as hop count between the participating nodes.  This
+measurement is done before and after executing an experiment."*
+
+The paper's prototype traceroutes between nodes; here the platform exposes
+its connectivity and we compute hop counts from it.  The *advanced
+topology recording* the paper anticipates for future versions is also
+implemented: a full adjacency snapshot with link-quality attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["measure_hop_counts", "snapshot_topology", "compare_snapshots"]
+
+
+def measure_hop_counts(topology, node_names: List[str]) -> Dict[str, Optional[int]]:
+    """Hop counts between all ordered pairs of *node_names*.
+
+    Keys are ``"src->dst"`` strings (storage friendly); unreachable pairs
+    map to ``None``.
+    """
+    matrix = topology.hop_count_matrix(node_names)
+    return {f"{a}->{b}": hops for (a, b), hops in sorted(matrix.items())}
+
+
+def snapshot_topology(topology) -> Dict[str, Any]:
+    """Full adjacency snapshot (the paper's anticipated advanced recording).
+
+    Returns nodes, edges and per-edge quality attributes in a
+    serialization-friendly structure.
+    """
+    edges = []
+    for a, b, attrs in sorted(topology.graph.edges(data=True)):
+        edges.append(
+            {
+                "a": a,
+                "b": b,
+                "base_loss": float(attrs.get("base_loss", 0.0)),
+                "base_delay": float(attrs.get("base_delay", 0.0)),
+            }
+        )
+    return {"nodes": list(topology.node_names), "edges": edges}
+
+
+def compare_snapshots(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+    """Diff two snapshots — did the mesh change under the experiment?
+
+    A non-empty diff flags the run series for careful interpretation
+    (uncontrollable nuisance factor recorded, per Sec. II-A1).
+    """
+    b_edges = {(e["a"], e["b"]) for e in before["edges"]}
+    a_edges = {(e["a"], e["b"]) for e in after["edges"]}
+    return {
+        "nodes_added": sorted(set(after["nodes"]) - set(before["nodes"])),
+        "nodes_removed": sorted(set(before["nodes"]) - set(after["nodes"])),
+        "links_added": sorted(a_edges - b_edges),
+        "links_removed": sorted(b_edges - a_edges),
+        "stable": b_edges == a_edges and set(before["nodes"]) == set(after["nodes"]),
+    }

@@ -1,0 +1,585 @@
+"""XML notation of the abstract experiment description.
+
+ExCovery uses XML to notate descriptions (Sec. IV-C).  This module parses
+and serializes the dialect used throughout the paper's listings — the
+factor list of Fig. 5, the process templates of Fig. 6, the environment
+process of Fig. 7, the platform specification of Fig. 8 and the SD actor
+processes of Figs. 9/10 all parse verbatim (modulo the paper's own
+typographical line-wrapping).
+
+Dialect summary
+---------------
+::
+
+    <experiment name="..." seed="...">
+      <parameterlist>  <parameter key="..." value="..."/> ... </parameterlist>
+      <abstractnodes>  <abstractnode id="A"/> ...          </abstractnodes>
+      <factorlist>
+        <factor id="..." type="int|float|str|bool|actor_node_map"
+                usage="blocking|constant|random">
+          <levels> <level>VALUE</level> ... </levels>
+        </factor>
+        <replicationfactor usage="replication" type="int" id="...">N
+        </replicationfactor>
+      </factorlist>
+      <processes>
+        <node_process>
+          <possible_nodes><factorref id="fact_nodes"/></possible_nodes>
+          <actor id="actor0" name="SM"> <sd_actions> ... </sd_actions> </actor>
+        </node_process>
+        <manipulation_process actor="actor0"> <actions> ... </actions>
+        </manipulation_process>
+        <env_process> <env_actions> ... </env_actions> </env_process>
+      </processes>
+      <platform>
+        <actornode id="t9-105" address="10.0.0.1" abstract="A"/>
+        <envnode   id="t9-150" address="10.0.0.3"/>
+      </platform>
+      <specialparams> <param key="..." value="..."/> ... </specialparams>
+    </experiment>
+
+Inside any ``*_actions`` container, the four flow-control tags
+(``wait_for_time``, ``wait_for_event``, ``wait_marker``, ``event_flag``)
+are interpreted structurally; every other tag becomes a
+:class:`~repro.core.processes.DomainAction` whose child elements (and
+attributes) are its parameters.  Parameter values may be literal text
+(quotes as in the paper's listings are stripped), ``<factorref id="..."/>``
+references, or ``<node actor="..." instance="..."/>`` selectors.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.description import (
+    ActorDescription,
+    EnvironmentProcess,
+    ExperimentDescription,
+    ManipulationProcess,
+    PlatformNode,
+    PlatformSpec,
+)
+from repro.core.errors import DescriptionError
+from repro.core.factors import (
+    Factor,
+    FactorList,
+    Level,
+    ReplicationFactor,
+    Usage,
+    coerce_value,
+)
+from repro.core.processes import (
+    ActionSequence,
+    DomainAction,
+    EventFlag,
+    FactorRef,
+    NodeSelector,
+    Value,
+    WaitForEvent,
+    WaitForTime,
+    WaitMarker,
+)
+
+__all__ = [
+    "description_from_xml",
+    "description_to_xml",
+    "parse_factorlist",
+    "parse_action_sequence",
+    "parse_literal",
+]
+
+_FLOW_TAGS = {"wait_for_time", "wait_for_event", "wait_marker", "event_flag"}
+
+
+# ======================================================================
+# Parsing helpers
+# ======================================================================
+def parse_literal(text: Optional[str]) -> Any:
+    """Parse a literal value as it appears in the paper's listings.
+
+    Strips whitespace and the surrounding double quotes the paper prints
+    around values (``"done"``, ``"30"``), then tries int and float before
+    falling back to the raw string.
+    """
+    if text is None:
+        return ""
+    value = text.strip()
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        value = value[1:-1]
+    if value == "":
+        return ""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def _parse_node_selector(elem: ET.Element) -> NodeSelector:
+    """``<node actor="actor0" instance="all"/>`` or ``<node id="A"/>``."""
+    actor = elem.get("actor")
+    node_id = elem.get("id")
+    instance = elem.get("instance", "all")
+    return NodeSelector(actor=actor, instance=instance, node_id=node_id)
+
+
+def _parse_param_value(elem: ET.Element) -> Value:
+    """The value of one action parameter element."""
+    children = list(elem)
+    if children:
+        child = children[0]
+        if child.tag == "factorref":
+            ref_id = child.get("id")
+            if not ref_id:
+                raise DescriptionError("factorref without id")
+            return FactorRef(ref_id)
+        if child.tag == "node":
+            return _parse_node_selector(child)
+        raise DescriptionError(
+            f"unsupported value element <{child.tag}> inside <{elem.tag}>"
+        )
+    return parse_literal(elem.text)
+
+
+def _parse_wait_for_event(elem: ET.Element) -> WaitForEvent:
+    event = ""
+    from_nodes: Optional[NodeSelector] = None
+    param_nodes: Optional[NodeSelector] = None
+    param_values: Optional[Tuple[Any, ...]] = None
+    timeout: Optional[Value] = None
+    for child in elem:
+        if child.tag == "event_dependency":
+            event = str(parse_literal(child.text))
+        elif child.tag == "from_dependency":
+            nodes = child.findall("node")
+            if len(nodes) != 1:
+                raise DescriptionError("from_dependency needs exactly one <node>")
+            from_nodes = _parse_node_selector(nodes[0])
+        elif child.tag == "param_dependency":
+            nodes = child.findall("node")
+            values = child.findall("value")
+            if nodes and values:
+                raise DescriptionError("param_dependency: nodes or values, not both")
+            if nodes:
+                param_nodes = _parse_node_selector(nodes[0])
+            elif values:
+                param_values = tuple(parse_literal(v.text) for v in values)
+            else:
+                param_values = (parse_literal(child.text),) if (child.text or "").strip() else None
+        elif child.tag == "timeout":
+            timeout = _parse_param_value(child)
+        else:
+            raise DescriptionError(f"wait_for_event: unknown child <{child.tag}>")
+    return WaitForEvent(
+        event=event,
+        from_nodes=from_nodes,
+        param_nodes=param_nodes,
+        param_values=param_values,
+        timeout=timeout,
+    )
+
+
+def _parse_event_flag(elem: ET.Element) -> EventFlag:
+    value = ""
+    params: List[Any] = []
+    for child in elem:
+        if child.tag == "value":
+            value = str(parse_literal(child.text))
+        elif child.tag == "param":
+            params.append(parse_literal(child.text))
+        else:
+            raise DescriptionError(f"event_flag: unknown child <{child.tag}>")
+    if not value and (elem.text or "").strip():
+        value = str(parse_literal(elem.text))
+    return EventFlag(value=value, params=tuple(params))
+
+
+def _parse_wait_for_time(elem: ET.Element) -> WaitForTime:
+    seconds: Value = 0.0
+    sec_elem = elem.find("seconds")
+    if sec_elem is not None:
+        seconds = _parse_param_value(sec_elem)
+    elif elem.get("seconds") is not None:
+        seconds = parse_literal(elem.get("seconds"))
+    elif (elem.text or "").strip():
+        seconds = parse_literal(elem.text)
+    return WaitForTime(seconds=seconds)
+
+
+def _parse_domain_action(elem: ET.Element) -> DomainAction:
+    params: Dict[str, Value] = {}
+    for key, raw in elem.attrib.items():
+        params[key] = parse_literal(raw)
+    for child in elem:
+        params[child.tag] = _parse_param_value(child)
+    return DomainAction(name=elem.tag, params=params)
+
+
+def parse_action_sequence(container: ET.Element) -> ActionSequence:
+    """Parse the children of any ``*_actions`` container element."""
+    actions: ActionSequence = []
+    for elem in container:
+        tag = elem.tag
+        if tag == "wait_for_time":
+            actions.append(_parse_wait_for_time(elem))
+        elif tag == "wait_for_event":
+            actions.append(_parse_wait_for_event(elem))
+        elif tag == "wait_marker":
+            actions.append(WaitMarker())
+        elif tag == "event_flag":
+            actions.append(_parse_event_flag(elem))
+        else:
+            actions.append(_parse_domain_action(elem))
+    return actions
+
+
+def _find_actions_container(elem: ET.Element) -> Optional[ET.Element]:
+    for child in elem:
+        if child.tag == "actions" or child.tag.endswith("_actions"):
+            return child
+    return None
+
+
+# ======================================================================
+# Factor list
+# ======================================================================
+def _parse_actor_map_level(level_elem: ET.Element) -> Dict[str, Dict[str, str]]:
+    mapping: Dict[str, Dict[str, str]] = {}
+    for actor_elem in level_elem.findall("actor"):
+        actor_id = actor_elem.get("id")
+        if not actor_id:
+            raise DescriptionError("actor element in level without id")
+        instances: Dict[str, str] = {}
+        for inst in actor_elem.findall("instance"):
+            inst_id = inst.get("id")
+            if inst_id is None:
+                raise DescriptionError("instance element without id")
+            instances[inst_id] = str(parse_literal(inst.text))
+        mapping[actor_id] = instances
+    if not mapping:
+        raise DescriptionError("actor_node_map level contains no actors")
+    return mapping
+
+
+def parse_factorlist(elem: ET.Element) -> FactorList:
+    """Parse a ``<factorlist>`` element (Fig. 5)."""
+    factors: List[Factor] = []
+    replication: Optional[ReplicationFactor] = None
+    for child in elem:
+        if child.tag == "factor":
+            factor_id = child.get("id")
+            f_type = child.get("type", "str")
+            usage = Usage.parse(child.get("usage", "constant"))
+            if not factor_id:
+                raise DescriptionError("factor without id")
+            levels_elem = child.find("levels")
+            if levels_elem is None:
+                raise DescriptionError(f"factor {factor_id!r} without <levels>")
+            levels: List[Level] = []
+            for level_elem in levels_elem.findall("level"):
+                if f_type == "actor_node_map":
+                    levels.append(Level(_parse_actor_map_level(level_elem)))
+                else:
+                    levels.append(Level(coerce_value(f_type, parse_literal(level_elem.text))))
+            desc_elem = child.find("description")
+            factors.append(
+                Factor(
+                    id=factor_id,
+                    type=f_type,
+                    usage=usage,
+                    levels=levels,
+                    description=(desc_elem.text or "").strip() if desc_elem is not None else "",
+                )
+            )
+        elif child.tag == "replicationfactor":
+            rep_id = child.get("id", "fact_replication_id")
+            count = int(parse_literal(child.text))
+            replication = ReplicationFactor(id=rep_id, count=count)
+        else:
+            raise DescriptionError(f"factorlist: unknown child <{child.tag}>")
+    return FactorList(factors, replication)
+
+
+# ======================================================================
+# Whole-description parsing
+# ======================================================================
+def description_from_xml(xml_text: str) -> ExperimentDescription:
+    """Parse a complete ``<experiment>`` document."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DescriptionError(f"malformed XML: {exc}") from exc
+    if root.tag != "experiment":
+        raise DescriptionError(f"root element must be <experiment>, got <{root.tag}>")
+
+    desc = ExperimentDescription(
+        name=root.get("name", "unnamed"),
+        seed=int(parse_literal(root.get("seed", "1"))),
+        comment=root.get("comment", ""),
+    )
+
+    for section in root:
+        tag = section.tag
+        if tag == "parameterlist":
+            for param in section.findall("parameter"):
+                desc.parameters[param.get("key", "")] = param.get("value", "")
+        elif tag == "abstractnodes":
+            for node in section.findall("abstractnode"):
+                node_id = node.get("id")
+                if not node_id:
+                    raise DescriptionError("abstractnode without id")
+                desc.abstract_nodes.append(node_id)
+        elif tag == "factorlist":
+            desc.factors = parse_factorlist(section)
+        elif tag == "processes":
+            _parse_processes(section, desc)
+        elif tag == "platform":
+            desc.platform = _parse_platform(section)
+        elif tag == "specialparams":
+            for param in section.findall("param"):
+                desc.special_params[param.get("key", "")] = parse_literal(param.get("value"))
+        else:
+            raise DescriptionError(f"experiment: unknown section <{tag}>")
+    return desc
+
+
+def _parse_processes(section: ET.Element, desc: ExperimentDescription) -> None:
+    for proc in section:
+        if proc.tag == "node_process":
+            for actor_elem in proc.findall("actor"):
+                actor_id = actor_elem.get("id")
+                if not actor_id:
+                    raise DescriptionError("actor without id")
+                container = _find_actions_container(actor_elem)
+                actions = parse_action_sequence(container) if container is not None else []
+                desc.actors.append(
+                    ActorDescription(
+                        actor_id=actor_id,
+                        name=actor_elem.get("name", ""),
+                        actions=actions,
+                    )
+                )
+        elif proc.tag == "manipulation_process":
+            container = _find_actions_container(proc)
+            desc.manipulations.append(
+                ManipulationProcess(
+                    actions=parse_action_sequence(container) if container is not None else [],
+                    actor_id=proc.get("actor"),
+                    node_id=proc.get("node"),
+                    name=proc.get("name", ""),
+                )
+            )
+        elif proc.tag == "env_process":
+            container = _find_actions_container(proc)
+            desc.environment_processes.append(
+                EnvironmentProcess(
+                    actions=parse_action_sequence(container) if container is not None else [],
+                    name=proc.get("name", "environment"),
+                )
+            )
+        else:
+            raise DescriptionError(f"processes: unknown child <{proc.tag}>")
+
+
+def _parse_platform(section: ET.Element) -> PlatformSpec:
+    spec = PlatformSpec()
+    for node in section:
+        if node.tag == "actornode":
+            spec.add(
+                PlatformNode(
+                    node_id=node.get("id", ""),
+                    address=node.get("address", ""),
+                    abstract_id=node.get("abstract"),
+                )
+            )
+        elif node.tag == "envnode":
+            spec.add(PlatformNode(node_id=node.get("id", ""), address=node.get("address", "")))
+        else:
+            raise DescriptionError(f"platform: unknown child <{node.tag}>")
+    return spec
+
+
+# ======================================================================
+# Serialization
+# ======================================================================
+def _value_to_elem(parent: ET.Element, tag: str, value: Value) -> None:
+    elem = ET.SubElement(parent, tag)
+    if isinstance(value, FactorRef):
+        ET.SubElement(elem, "factorref", {"id": value.factor_id})
+    elif isinstance(value, NodeSelector):
+        attrs: Dict[str, str] = {}
+        if value.actor is not None:
+            attrs["actor"] = value.actor
+            attrs["instance"] = value.instance
+        else:
+            attrs["id"] = value.node_id or ""
+        ET.SubElement(elem, "node", attrs)
+    else:
+        elem.text = "" if value is None else str(value)
+
+
+def _sequence_to_elem(parent: ET.Element, tag: str, actions: ActionSequence) -> None:
+    container = ET.SubElement(parent, tag)
+    for action in actions:
+        if isinstance(action, WaitForTime):
+            elem = ET.SubElement(container, "wait_for_time")
+            _value_to_elem(elem, "seconds", action.seconds)
+        elif isinstance(action, WaitForEvent):
+            elem = ET.SubElement(container, "wait_for_event")
+            if action.from_nodes is not None:
+                _node_selector_to_elem(elem, "from_dependency", action.from_nodes)
+            dep = ET.SubElement(elem, "event_dependency")
+            dep.text = action.event
+            if action.param_nodes is not None:
+                _node_selector_to_elem(elem, "param_dependency", action.param_nodes)
+            elif action.param_values is not None:
+                pd = ET.SubElement(elem, "param_dependency")
+                for v in action.param_values:
+                    ET.SubElement(pd, "value").text = str(v)
+            if action.timeout is not None:
+                _value_to_elem(elem, "timeout", action.timeout)
+        elif isinstance(action, WaitMarker):
+            ET.SubElement(container, "wait_marker")
+        elif isinstance(action, EventFlag):
+            elem = ET.SubElement(container, "event_flag")
+            ET.SubElement(elem, "value").text = action.value
+            for p in action.params:
+                ET.SubElement(elem, "param").text = str(p)
+        elif isinstance(action, DomainAction):
+            elem = ET.SubElement(container, action.name)
+            for key, value in action.params.items():
+                _value_to_elem(elem, key, value)
+        else:  # pragma: no cover - defensive
+            raise DescriptionError(f"cannot serialize action {action!r}")
+
+
+def _node_selector_to_elem(parent: ET.Element, tag: str, sel: NodeSelector) -> None:
+    dep = ET.SubElement(parent, tag)
+    attrs: Dict[str, str] = {}
+    if sel.actor is not None:
+        attrs["actor"] = sel.actor
+        attrs["instance"] = sel.instance
+    else:
+        attrs["id"] = sel.node_id or ""
+    ET.SubElement(dep, "node", attrs)
+
+
+def description_to_xml(desc: ExperimentDescription) -> str:
+    """Serialize *desc* to the canonical XML document (storage level 1)."""
+    root = ET.Element(
+        "experiment",
+        {"name": desc.name, "seed": str(desc.seed)},
+    )
+    if desc.comment:
+        root.set("comment", desc.comment)
+
+    if desc.parameters:
+        plist = ET.SubElement(root, "parameterlist")
+        for key, value in desc.parameters.items():
+            ET.SubElement(plist, "parameter", {"key": key, "value": str(value)})
+
+    if desc.abstract_nodes:
+        anodes = ET.SubElement(root, "abstractnodes")
+        for node_id in desc.abstract_nodes:
+            ET.SubElement(anodes, "abstractnode", {"id": node_id})
+
+    flist = ET.SubElement(root, "factorlist")
+    for factor in desc.factors:
+        felem = ET.SubElement(
+            flist,
+            "factor",
+            {"id": factor.id, "type": factor.type, "usage": factor.usage.value},
+        )
+        if factor.description:
+            ET.SubElement(felem, "description").text = factor.description
+        levels = ET.SubElement(felem, "levels")
+        for level in factor.levels:
+            lelem = ET.SubElement(levels, "level")
+            if factor.type == "actor_node_map":
+                for actor_id in sorted(level.value):
+                    aelem = ET.SubElement(lelem, "actor", {"id": actor_id})
+                    for inst_id in sorted(level.value[actor_id]):
+                        ielem = ET.SubElement(aelem, "instance", {"id": inst_id})
+                        ielem.text = level.value[actor_id][inst_id]
+            else:
+                lelem.text = str(level.value)
+    rep = desc.factors.replication
+    repelem = ET.SubElement(
+        flist,
+        "replicationfactor",
+        {"usage": "replication", "type": "int", "id": rep.id},
+    )
+    repelem.text = str(rep.count)
+
+    procs = ET.SubElement(root, "processes")
+    if desc.actors:
+        nproc = ET.SubElement(procs, "node_process")
+        for actor in desc.actors:
+            aelem = ET.SubElement(
+                nproc, "actor", {"id": actor.actor_id, "name": actor.name}
+            )
+            _sequence_to_elem(aelem, "actions", actor.actions)
+    for manip in desc.manipulations:
+        attrs = {}
+        if manip.actor_id is not None:
+            attrs["actor"] = manip.actor_id
+        if manip.node_id is not None:
+            attrs["node"] = manip.node_id
+        if manip.name:
+            attrs["name"] = manip.name
+        melem = ET.SubElement(procs, "manipulation_process", attrs)
+        _sequence_to_elem(melem, "actions", manip.actions)
+    for env in desc.environment_processes:
+        eelem = ET.SubElement(procs, "env_process")
+        if env.name != "environment":
+            eelem.set("name", env.name)
+        _sequence_to_elem(eelem, "env_actions", env.actions)
+
+    if len(desc.platform):
+        pelem = ET.SubElement(root, "platform")
+        for node in desc.platform.nodes:
+            if node.is_actor_node:
+                ET.SubElement(
+                    pelem,
+                    "actornode",
+                    {
+                        "id": node.node_id,
+                        "address": node.address,
+                        "abstract": node.abstract_id or "",
+                    },
+                )
+            else:
+                ET.SubElement(
+                    pelem, "envnode", {"id": node.node_id, "address": node.address}
+                )
+
+    if desc.special_params:
+        selem = ET.SubElement(root, "specialparams")
+        for key in sorted(desc.special_params):
+            ET.SubElement(
+                selem, "param", {"key": key, "value": str(desc.special_params[key])}
+            )
+
+    _indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _indent(elem: ET.Element, level: int = 0) -> None:
+    """Pretty-print helper (ET.indent exists only on 3.9+ as function)."""
+    pad = "\n" + "  " * level
+    if len(elem):
+        if not (elem.text or "").strip():
+            elem.text = pad + "  "
+        for child in elem:
+            _indent(child, level + 1)
+            if not (child.tail or "").strip():
+                child.tail = pad + "  "
+        if not (elem[-1].tail or "").strip():
+            elem[-1].tail = pad
+    elif level and not (elem.tail or "").strip():
+        elem.tail = pad

@@ -1,0 +1,46 @@
+"""Fault injection and environment manipulation (Sec. IV-D).
+
+*"ExCovery has a concept for intentional manipulations done on participant
+nodes and on their network environment."*
+
+:mod:`repro.faults.model`
+    The common temporal fault parameters *duration*, *rate*, *randomseed*
+    and the activation-window algebra.
+:mod:`repro.faults.injectors`
+    The five communication fault injectors of Sec. IV-D1 — interface
+    fault, message loss, message delay, path loss, path delay — realized
+    as interface packet filters.
+:mod:`repro.faults.controller`
+    The node-side fault controller: starts/stops faults, schedules
+    activation windows, emits the start/stop events.
+:mod:`repro.faults.manipulations`
+    The environment manipulations of Sec. IV-D2 — traffic generation with
+    per-run pair switching, drop-all — orchestrated master-side.
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.injectors import (
+    DropExperimentFilter,
+    InterfaceFaultFilter,
+    MessageDelayFilter,
+    MessageLossFilter,
+    MessageReorderFilter,
+    PathDelayFilter,
+    PathLossFilter,
+)
+from repro.faults.manipulations import EnvironmentController
+from repro.faults.model import FaultTiming, FaultWindow
+
+__all__ = [
+    "DropExperimentFilter",
+    "EnvironmentController",
+    "FaultController",
+    "FaultTiming",
+    "FaultWindow",
+    "InterfaceFaultFilter",
+    "MessageDelayFilter",
+    "MessageLossFilter",
+    "MessageReorderFilter",
+    "PathDelayFilter",
+    "PathLossFilter",
+]

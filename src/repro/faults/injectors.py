@@ -1,0 +1,261 @@
+"""Communication fault injectors (Sec. IV-D1) as interface packet filters.
+
+*"Whenever the term packet is used, it refers to packets belonging to the
+experiment process"* — so every injector here matches only packets with
+the experiment flow label, leaving generated background load untouched.
+*"It should be noted that all injected faults add up to already existing
+communication faults in the target platform"* — filters compose with the
+medium's own loss and delay, they never replace them.
+
+Each injector honours an activation :class:`~repro.faults.model.FaultWindow`:
+outside its window it passes everything, so a single installed filter
+implements the duration/rate semantics without install/remove churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.faults.model import FaultWindow
+from repro.net.interface import DROP, PASS, Direction, FilterVerdict, PacketFilter
+from repro.net.packet import Packet
+
+__all__ = [
+    "EXPERIMENT_FLOW",
+    "FaultFilter",
+    "InterfaceFaultFilter",
+    "MessageLossFilter",
+    "MessageDelayFilter",
+    "PathLossFilter",
+    "PathDelayFilter",
+    "resolve_direction",
+]
+
+#: The flow label of packets belonging to the experiment process.
+EXPERIMENT_FLOW = "experiment"
+
+#: Window meaning "active from now until stopped".
+ALWAYS = FaultWindow(active_from=float("-inf"), active_until=None)
+
+
+def resolve_direction(text: str, rng: Optional[random.Random] = None) -> Direction:
+    """Map a description direction string to a :class:`Direction`.
+
+    ``"random"`` picks receive or transmit using *rng* (Sec. IV-D1:
+    "Direction can be receive, transmit, both, or chosen randomly").
+    """
+    text = (text or "both").strip().lower()
+    if text in ("rx", "receive"):
+        return Direction.RX
+    if text in ("tx", "transmit"):
+        return Direction.TX
+    if text == "both":
+        return Direction.BOTH
+    if text == "random":
+        if rng is None:
+            raise ValueError("direction 'random' requires an rng stream")
+        return rng.choice([Direction.RX, Direction.TX])
+    raise ValueError(f"unknown fault direction {text!r}")
+
+
+class FaultFilter(PacketFilter):
+    """Base class: window gating + experiment-flow matching."""
+
+    def __init__(
+        self,
+        direction: Direction = Direction.BOTH,
+        window: FaultWindow = ALWAYS,
+        label: str = "",
+        flow: Optional[str] = EXPERIMENT_FLOW,
+    ) -> None:
+        super().__init__(direction=direction, label=label)
+        self.window = window
+        self.flow = flow
+        self.hits = 0  # packets the fault actually affected
+
+    def applies(self, packet: Packet, now: float) -> bool:
+        if not self.window.is_active(now):
+            return False
+        if self.flow is not None and packet.flow != self.flow:
+            return False
+        return True
+
+    def decide(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        if not self.applies(packet, now):
+            return PASS
+        return self.affect(packet, direction, now)
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        raise NotImplementedError
+
+
+class InterfaceFaultFilter(FaultFilter):
+    """**Interface fault**: *"No messages are transmitted or received on
+    the specified interface in the specified direction as long as this
+    fault is active."*
+
+    Matches *all* flows — a dead radio is dead for everyone.
+    """
+
+    def __init__(self, direction: Direction, window: FaultWindow = ALWAYS) -> None:
+        super().__init__(direction=direction, window=window, label="iface_fault", flow=None)
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        self.hits += 1
+        return DROP
+
+
+class MessageLossFilter(FaultFilter):
+    """**Message loss**: drop each experiment packet with probability *p*."""
+
+    def __init__(
+        self,
+        probability: float,
+        rng: random.Random,
+        direction: Direction = Direction.BOTH,
+        window: FaultWindow = ALWAYS,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {probability}")
+        super().__init__(direction=direction, window=window, label="msg_loss")
+        self.probability = float(probability)
+        self.rng = rng
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        if self.rng.random() < self.probability:
+            self.hits += 1
+            return DROP
+        return PASS
+
+
+class MessageDelayFilter(FaultFilter):
+    """**Message delay**: *"Applies a given constant delay to every
+    packet."*"""
+
+    def __init__(
+        self,
+        delay: float,
+        direction: Direction = Direction.BOTH,
+        window: FaultWindow = ALWAYS,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(direction=direction, window=window, label="msg_delay")
+        self.delay = float(delay)
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        self.hits += 1
+        return FilterVerdict(extra_delay=self.delay)
+
+
+class DropExperimentFilter(FaultFilter):
+    """The node-local half of the **drop-all** manipulation: silently
+    discard every experiment-process packet in both directions (receive,
+    send *and* forward — forwarded packets cross the TX chain too)."""
+
+    def __init__(self) -> None:
+        super().__init__(direction=Direction.BOTH, label="drop_all")
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        self.hits += 1
+        return DROP
+
+
+class MessageReorderFilter(FaultFilter):
+    """**Message reordering**: randomly delay a fraction of packets.
+
+    Sec. IV-A2 requires platforms to support "dropping of packets,
+    delaying, *reordering*, and modifying their content".  Reordering is
+    realized as probabilistic extra delay: each matching packet is held
+    back for ``delay`` seconds with probability ``probability``, so held
+    packets overtake-resistant protocols must cope with out-of-order
+    arrival relative to the packets that slipped through immediately.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        delay: float,
+        rng: random.Random,
+        direction: Direction = Direction.BOTH,
+        window: FaultWindow = ALWAYS,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"reorder probability must be in [0, 1], got {probability}")
+        if delay <= 0:
+            raise ValueError(f"reorder delay must be positive, got {delay}")
+        super().__init__(direction=direction, window=window, label="msg_reorder")
+        self.probability = float(probability)
+        self.delay = float(delay)
+        self.rng = rng
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        if self.rng.random() < self.probability:
+            self.hits += 1
+            return FilterVerdict(extra_delay=self.delay)
+        return PASS
+
+
+class _PathMixin:
+    """Match only packets exchanged with one given peer address.
+
+    Path faults "selectively affect only the communication between the
+    target and a given second node" — matched on end-to-end addresses, so
+    multi-hop forwarding cannot smuggle the packet past the rule.
+    """
+
+    peer_addr: str
+
+    def involves_peer(self, packet: Packet) -> bool:
+        return self.peer_addr in (packet.src_addr, packet.dst_addr)
+
+
+class PathLossFilter(FaultFilter, _PathMixin):
+    """**Path loss**: message loss limited to one peer."""
+
+    def __init__(
+        self,
+        peer_addr: str,
+        probability: float,
+        rng: random.Random,
+        direction: Direction = Direction.BOTH,
+        window: FaultWindow = ALWAYS,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {probability}")
+        super().__init__(direction=direction, window=window, label="path_loss")
+        self.peer_addr = peer_addr
+        self.probability = float(probability)
+        self.rng = rng
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        if not self.involves_peer(packet):
+            return PASS
+        if self.rng.random() < self.probability:
+            self.hits += 1
+            return DROP
+        return PASS
+
+
+class PathDelayFilter(FaultFilter, _PathMixin):
+    """**Path delay**: constant delay limited to one peer."""
+
+    def __init__(
+        self,
+        peer_addr: str,
+        delay: float,
+        direction: Direction = Direction.BOTH,
+        window: FaultWindow = ALWAYS,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        super().__init__(direction=direction, window=window, label="path_delay")
+        self.peer_addr = peer_addr
+        self.delay = float(delay)
+
+    def affect(self, packet: Packet, direction: Direction, now: float) -> FilterVerdict:
+        if not self.involves_peer(packet):
+            return PASS
+        self.hits += 1
+        return FilterVerdict(extra_delay=self.delay)

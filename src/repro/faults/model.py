@@ -1,0 +1,109 @@
+"""Temporal fault parameters and activation windows.
+
+Sec. IV-D: *"Fault injection processes can have common parameters
+describing their temporal behavior: duration, rate and randomseed.  The
+duration specifies the amount of time a fault should be applied to the
+target.  The rate specifies a percentage of a given duration in which a
+fault is active.  The fault is active in one continuous block, its
+activation time is chosen randomly using the randomseed."*
+
+So a fault started at time ``t`` with ``duration=D`` and ``rate=r`` is
+active for one continuous block of length ``r*D`` placed uniformly at
+random inside ``[t, t+D]``; the placement is a pure function of
+``randomseed``, so replications can share or vary it deliberately.
+
+Faults without a duration are active from start until explicitly stopped
+(Sec. IV-D2: *"Every fault injection and environment manipulation but the
+traffic generator is started only once and without a given duration,
+needs to be explicitly stopped."*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.sim.rng import derive_seed
+
+import random
+
+__all__ = ["FaultTiming", "FaultWindow"]
+
+
+@dataclass(frozen=True)
+class FaultTiming:
+    """The common temporal parameters of a fault process."""
+
+    duration: Optional[float] = None
+    rate: float = 1.0
+    randomseed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration is not None and self.duration < 0:
+            raise ValueError(f"negative fault duration: {self.duration}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in (0, 1], got {self.rate}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when the fault runs until explicitly stopped."""
+        return self.duration is None
+
+    def window(self, start: float) -> "FaultWindow":
+        """Compute the activation window for a fault started at *start*."""
+        if self.unbounded:
+            return FaultWindow(active_from=start, active_until=None)
+        active_len = self.rate * self.duration
+        slack = self.duration - active_len
+        if slack > 0:
+            seed = self.randomseed if self.randomseed is not None else 0
+            # One draw from a dedicated generator: the placement depends
+            # only on the seed, never on shared RNG state.
+            offset = random.Random(derive_seed(seed, "fault_window")).uniform(0.0, slack)
+        else:
+            offset = 0.0
+        return FaultWindow(
+            active_from=start + offset,
+            active_until=start + offset + active_len,
+        )
+
+    @staticmethod
+    def from_params(params: Dict[str, Any]) -> "FaultTiming":
+        """Extract the common parameters from an action's parameter dict.
+
+        Consumes (pops) the common keys so the remaining dict holds only
+        fault-specific parameters.
+        """
+        duration = params.pop("duration", None)
+        rate = params.pop("rate", 1.0)
+        randomseed = params.pop("randomseed", None)
+        return FaultTiming(
+            duration=float(duration) if duration is not None else None,
+            rate=float(rate),
+            randomseed=int(randomseed) if randomseed is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A concrete activation interval ``[active_from, active_until)``.
+
+    ``active_until`` of ``None`` means "until explicitly stopped".
+    """
+
+    active_from: float
+    active_until: Optional[float]
+
+    def is_active(self, now: float) -> bool:
+        if now < self.active_from:
+            return False
+        return self.active_until is None or now < self.active_until
+
+    @property
+    def length(self) -> Optional[float]:
+        if self.active_until is None:
+            return None
+        return self.active_until - self.active_from
+
+    def as_record(self) -> Dict[str, Any]:
+        return {"active_from": self.active_from, "active_until": self.active_until}

@@ -1,0 +1,268 @@
+"""Shared wireless medium with load-dependent impairments.
+
+This is the radio model of the emulated mesh testbed.  Design goals, in
+order: (1) deterministic, (2) cheap, (3) qualitatively faithful to the
+phenomena the paper's case study measures — multicast being less reliable
+than unicast, loss and delay growing with offered load, and multi-hop
+paths compounding per-hop loss.
+
+Model
+-----
+* The medium is a single collision domain capacity-wise (one 802.11
+  channel shared by the whole mesh): all transmissions contribute to one
+  offered-load estimate, computed over a sliding window.
+* Per-link transmission succeeds with probability ``1 - p`` where
+  ``p = base_loss(link) + congestion_loss(utilization)``, clamped.
+* **Unicast** frames get MAC-layer retransmissions (up to
+  ``mac_retries``); each retry adds a backoff delay.  **Broadcast and
+  multicast** frames are sent once, unacknowledged — exactly why multicast
+  service discovery suffers first when the medium degrades.
+* One-hop latency is ``base_delay(link) + queueing(utilization) + jitter``.
+
+The medium only ever moves packets one hop.  Multi-hop unicast forwarding
+and multicast flooding are the receiving *node's* job
+(:meth:`repro.net.node.NetNode._receive`), mirroring the layering of a real
+mesh routing daemon.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.net.packet import Packet, is_broadcast, is_multicast
+from repro.net.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    import random
+
+    from repro.net.node import NetNode
+    from repro.sim.kernel import Simulator
+
+__all__ = ["CongestionModel", "WirelessMedium", "MediumStats"]
+
+
+@dataclass
+class CongestionModel:
+    """Analytic mapping from offered load to extra loss and delay.
+
+    Attributes
+    ----------
+    capacity_bps:
+        Usable shared capacity of the channel.  The DES testbed's effective
+        802.11 goodput in mesh mode is a few Mbit/s; default 2 Mbit/s.
+    window:
+        Sliding window (seconds) over which offered load is averaged.
+    loss_coeff:
+        Extra loss probability added at 100 % utilization (quadratic ramp).
+    queue_delay_at_capacity:
+        Queueing delay at 100 % utilization (linear ramp, capped).
+    jitter:
+        Uniform ±jitter/2 randomization of the one-hop delay.
+    """
+
+    capacity_bps: float = 2_000_000.0
+    window: float = 1.0
+    loss_coeff: float = 0.5
+    queue_delay_at_capacity: float = 0.050
+    jitter: float = 0.002
+
+    def extra_loss(self, utilization: float) -> float:
+        """Congestion-induced loss probability at *utilization*."""
+        return self.loss_coeff * utilization * utilization
+
+    def queue_delay(self, utilization: float) -> float:
+        """Congestion-induced queueing delay at *utilization*."""
+        return self.queue_delay_at_capacity * utilization
+
+
+@dataclass
+class MediumStats:
+    """Aggregate medium counters for analysis and benchmarks."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    losses: int = 0
+    mac_retries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "losses": self.losses,
+            "mac_retries": self.mac_retries,
+        }
+
+
+class WirelessMedium:
+    """The shared radio channel over a mesh :class:`Topology`.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    topology:
+        Connectivity graph; node names must match attached node names.
+    rng:
+        A dedicated :class:`random.Random` stream (derive it from the
+        experiment seed, e.g. ``rngs.stream("medium")``).
+    congestion:
+        Load model; ``None`` selects the defaults.
+    mac_retries:
+        Unicast MAC retransmission budget (802.11 default-ish: 3).
+    retry_backoff:
+        Extra delay per failed unicast attempt, seconds.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Topology,
+        rng: "random.Random",
+        congestion: Optional[CongestionModel] = None,
+        mac_retries: int = 3,
+        retry_backoff: float = 0.004,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng
+        self.congestion = congestion or CongestionModel()
+        self.mac_retries = int(mac_retries)
+        self.retry_backoff = float(retry_backoff)
+        self._nodes: Dict[str, "NetNode"] = {}
+        self._load_window: Deque[Tuple[float, int]] = deque()
+        self._load_bytes = 0
+        self.stats = MediumStats()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def attach(self, node: "NetNode") -> None:
+        """Register *node* on the medium; its name must exist in the topology."""
+        if node.name not in self.topology.graph:
+            raise KeyError(f"node {node.name!r} is not part of the topology")
+        if node.name in self._nodes:
+            raise ValueError(f"node {node.name!r} already attached")
+        self._nodes[node.name] = node
+        node.interface.medium = self
+
+    def detach(self, node: "NetNode") -> None:
+        self._nodes.pop(node.name, None)
+        node.interface.medium = None
+
+    def node(self, name: str) -> "NetNode":
+        return self._nodes[name]
+
+    def address_of(self, name: str) -> str:
+        return self._nodes[name].address
+
+    def node_by_address(self, address: str) -> Optional["NetNode"]:
+        for node in self._nodes.values():
+            if node.address == address:
+                return node
+        return None
+
+    @property
+    def attached_names(self):
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Load accounting
+    # ------------------------------------------------------------------
+    def _account(self, size: int) -> None:
+        now = self.sim.now
+        self._load_window.append((now, size))
+        self._load_bytes += size
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.congestion.window
+        window = self._load_window
+        while window and window[0][0] < horizon:
+            _, size = window.popleft()
+            self._load_bytes -= size
+
+    def utilization(self) -> float:
+        """Current offered load as a fraction of capacity, clamped to [0, 1.5]."""
+        self._evict(self.sim.now)
+        offered_bps = (self._load_bytes * 8.0) / self.congestion.window
+        return min(offered_bps / self.congestion.capacity_bps, 1.5)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, sender: "NetNode", packet: Packet, extra_delay: float = 0.0) -> None:
+        """Move *packet* one hop from *sender*.
+
+        Broadcast / multicast destinations reach every attached topology
+        neighbour (independent loss draws, no MAC retries).  Unicast is
+        carried to the next hop on the shortest path to ``dst_addr``; if
+        the destination is unknown or unreachable the frame is dropped,
+        which is what a mesh routing daemon with no route does.
+        """
+        self.stats.transmissions += 1
+        self._account(packet.size)
+        if is_broadcast(packet.dst_addr) or is_multicast(packet.dst_addr):
+            for neighbor in self.topology.neighbors(sender.name):
+                target = self._nodes.get(neighbor)
+                if target is None:
+                    continue
+                self._carry(sender, target, packet, unicast=False, extra_delay=extra_delay)
+            return
+
+        dst_node = self.node_by_address(packet.dst_addr)
+        if dst_node is None:
+            self.stats.losses += 1
+            return
+        next_hop_name = self.topology.next_hop(sender.name, dst_node.name)
+        if next_hop_name is None or next_hop_name not in self._nodes:
+            self.stats.losses += 1
+            return
+        self._carry(
+            sender, self._nodes[next_hop_name], packet, unicast=True, extra_delay=extra_delay
+        )
+
+    def _carry(
+        self,
+        sender: "NetNode",
+        receiver: "NetNode",
+        packet: Packet,
+        unicast: bool,
+        extra_delay: float,
+    ) -> None:
+        attrs = self.topology.edge_attrs(sender.name, receiver.name)
+        utilization = self.utilization()
+        p_loss = min(
+            0.99,
+            float(attrs.get("base_loss", 0.0)) + self.congestion.extra_loss(utilization),
+        )
+        attempts = 1 + (self.mac_retries if unicast else 0)
+        delay = (
+            extra_delay
+            + float(attrs.get("base_delay", 0.001))
+            + self.congestion.queue_delay(utilization)
+            + self.rng.uniform(0.0, self.congestion.jitter)
+        )
+        delivered = False
+        for attempt in range(attempts):
+            if self.rng.random() >= p_loss:
+                delivered = True
+                if attempt:
+                    self.stats.mac_retries += attempt
+                    delay += attempt * self.retry_backoff
+                break
+        if not delivered:
+            self.stats.losses += 1
+            return
+        self.stats.deliveries += 1
+        # Each hop copies the packet so in-flight mutation on one node
+        # cannot corrupt another's view; the uid survives for tracking.
+        arriving = packet.copy()
+        self.sim.call_later(delay, lambda: receiver.interface.deliver(arriving))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WirelessMedium nodes={len(self._nodes)} "
+            f"util={self.utilization():.2f}>"
+        )

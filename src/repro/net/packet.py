@@ -1,0 +1,147 @@
+"""Packet model for the emulated network.
+
+A packet mirrors what the paper records about packets (Sec. IV-B2): a
+unique identifier, source and destination network address, and the packet
+content itself.  Timestamps are *not* stored on the packet — they are a
+property of each observation of the packet (captures attach their own local
+timestamps), because "single packets are not easily identified: their
+location changes as they traverse the network".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "Packet",
+    "BROADCAST_ADDR",
+    "MULTICAST_SD_GROUP",
+    "MULTICAST_PREFIX",
+    "is_multicast",
+    "is_broadcast",
+    "DEFAULT_TTL",
+]
+
+#: Link-layer broadcast destination (reaches one-hop neighbours only).
+BROADCAST_ADDR = "255.255.255.255"
+
+#: Multicast group used by the service discovery protocols, analogous to
+#: mDNS's 224.0.0.251.  Flooded through the mesh with duplicate suppression.
+MULTICAST_SD_GROUP = "224.0.0.251"
+
+#: Addresses with this prefix are treated as multicast groups.
+MULTICAST_PREFIX = "224."
+
+#: Default hop limit, matching a typical mesh-local TTL.
+DEFAULT_TTL = 16
+
+_packet_uid = itertools.count(1)
+
+
+def is_multicast(addr: str) -> bool:
+    """True if *addr* names a multicast group."""
+    return addr.startswith(MULTICAST_PREFIX)
+
+
+def is_broadcast(addr: str) -> bool:
+    """True if *addr* is the link-local broadcast address."""
+    return addr == BROADCAST_ADDR
+
+
+@dataclass
+class Packet:
+    """A UDP-datagram-like unit of communication.
+
+    Attributes
+    ----------
+    src_addr / dst_addr:
+        Network addresses (strings).  ``dst_addr`` may be a unicast node
+        address, :data:`BROADCAST_ADDR` or a multicast group.
+    src_port / dst_port:
+        Integer ports multiplexing applications on a node.
+    payload:
+        Arbitrary structured content.  The storage layer serializes it; the
+        fault injectors may replace it ("modifying their content",
+        Sec. IV-A2).
+    size:
+        Size in bytes used for serialization/congestion accounting.  If the
+        payload has no natural size the creator estimates one.
+    ttl:
+        Remaining hop budget, decremented at each forwarding step.
+    options:
+        Header option dictionary.  The packet tagger writes its 16-bit
+        identifier under :data:`repro.net.tagger.TAG_OPTION`.
+    uid:
+        Globally unique creation identifier.  Never reused; copies made
+        during forwarding keep the uid so a packet can be tracked hop by
+        hop (Sec. IV-A3).
+    flow:
+        Optional label of the traffic flow the packet belongs to
+        (experiment process, generated load, ...), used by selective fault
+        rules and analysis.
+    """
+
+    src_addr: str
+    dst_addr: str
+    src_port: int
+    dst_port: int
+    payload: Any
+    size: int = 128
+    ttl: int = DEFAULT_TTL
+    options: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_packet_uid))
+    flow: str = "experiment"
+
+    def copy(self, **overrides: Any) -> "Packet":
+        """A shallow copy sharing payload, with independent options dict."""
+        clone = replace(self, **overrides)
+        if "options" not in overrides:
+            clone.options = dict(self.options)
+        return clone
+
+    def forwarded(self) -> "Packet":
+        """The copy of this packet sent onward by a forwarding hop."""
+        return self.copy(ttl=self.ttl - 1)
+
+    @property
+    def expired(self) -> bool:
+        """True when the hop budget is spent."""
+        return self.ttl <= 0
+
+    def endpoint_pair(self) -> Tuple[str, str]:
+        """The unordered end-to-end address pair, for path-fault matching."""
+        return tuple(sorted((self.src_addr, self.dst_addr)))  # type: ignore[return-value]
+
+    def describe(self) -> Dict[str, Any]:
+        """A flat, serialization-friendly summary of the packet."""
+        return {
+            "uid": self.uid,
+            "src": self.src_addr,
+            "dst": self.dst_addr,
+            "sport": self.src_port,
+            "dport": self.dst_port,
+            "size": self.size,
+            "ttl": self.ttl,
+            "flow": self.flow,
+            "options": dict(self.options),
+            "payload": self.payload,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.uid} {self.src_addr}:{self.src_port} -> "
+            f"{self.dst_addr}:{self.dst_port} {self.size}B flow={self.flow}>"
+        )
+
+
+def reset_uid_counter(start: int = 1) -> None:
+    """Reset the global packet uid counter (test isolation helper).
+
+    Experiments never call this mid-flight; determinism within an
+    experiment does not depend on absolute uid values, only on their
+    relative order, which the kernel's total event order fixes.
+    """
+    global _packet_uid
+    _packet_uid = itertools.count(start)

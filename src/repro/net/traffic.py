@@ -1,0 +1,191 @@
+"""Constant-bit-rate background traffic between node pairs.
+
+This is the data-plane half of the paper's *traffic generator* environment
+manipulation (Sec. IV-D2): *"Creates network load between a given number
+of node pairs.  Each pair bidirectionally communicates at a given data
+rate."*  Pair selection, the switch-amount logic and factor plumbing live
+with the manipulations (:mod:`repro.faults.manipulations`); this module
+only knows how to push real packets through the medium at a rate.
+
+The packets are genuine datagrams routed hop-by-hop through the mesh, so
+they consume medium capacity exactly like experiment traffic — which is
+what makes the bandwidth factor of the case study actually move the
+responsiveness numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from repro.net.node import NetNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["TrafficFlow", "TrafficGenerator", "TRAFFIC_PORT", "TRAFFIC_FLOW_LABEL"]
+
+#: Destination port for generated load; nodes need no binding — unclaimed
+#: datagrams are dropped at the destination, having already loaded the path.
+TRAFFIC_PORT = 9
+
+#: The flow label carried by generated packets, so fault rules and analyses
+#: can separate load from the experiment process.
+TRAFFIC_FLOW_LABEL = "generated-load"
+
+
+class TrafficFlow:
+    """One unidirectional CBR stream ``src -> dst``.
+
+    Parameters
+    ----------
+    rate_kbps:
+        Application-level data rate in kilobits per second.
+    packet_size:
+        Bytes per datagram; the send interval follows from rate and size.
+    jitter_frac:
+        Uniform randomization of each inter-packet gap (fraction of the
+        nominal interval), breaking phase lock between flows.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: NetNode,
+        dst: NetNode,
+        rate_kbps: float,
+        rng: random.Random,
+        packet_size: int = 512,
+        jitter_frac: float = 0.1,
+    ) -> None:
+        if rate_kbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_kbps}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_kbps = float(rate_kbps)
+        self.packet_size = int(packet_size)
+        self.jitter_frac = float(jitter_frac)
+        self.rng = rng
+        self.interval = (self.packet_size * 8.0) / (self.rate_kbps * 1000.0)
+        self.sent_packets = 0
+        self._process = None
+
+    def start(self) -> None:
+        if self._process is not None and self._process.alive:
+            return
+        self._process = self.sim.process(self._run(), name=f"cbr:{self.src.name}->{self.dst.name}")
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.alive:
+            self._process.interrupt("traffic_stop")
+        self._process = None
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.alive
+
+    def _run(self):
+        seq = 0
+        while True:
+            gap = self.interval * (
+                1.0 + self.rng.uniform(-self.jitter_frac, self.jitter_frac)
+            )
+            yield self.sim.timeout(max(gap, 1e-6))
+            self.src.send_datagram(
+                payload={"seq": seq, "flow": TRAFFIC_FLOW_LABEL},
+                dst_addr=self.dst.address,
+                dst_port=TRAFFIC_PORT,
+                src_port=TRAFFIC_PORT,
+                size=self.packet_size,
+                flow=TRAFFIC_FLOW_LABEL,
+                tag=False,
+            )
+            seq += 1
+            self.sent_packets += 1
+
+
+class TrafficGenerator:
+    """Manages a set of bidirectional CBR pairs.
+
+    One generator instance lives per experiment; the environment
+    manipulation process starts and stops it and re-rolls the pairs each
+    run (the ``switch amount`` parameter of Sec. IV-D2).
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._flows: List[TrafficFlow] = []
+        self._pairs: List[Tuple[NetNode, NetNode]] = []
+
+    @property
+    def active_pairs(self) -> List[Tuple[str, str]]:
+        return [(a.name, b.name) for a, b in self._pairs]
+
+    @property
+    def running(self) -> bool:
+        return any(flow.running for flow in self._flows)
+
+    def configure(
+        self,
+        pairs: List[Tuple[NetNode, NetNode]],
+        rate_kbps: float,
+        rng: random.Random,
+        packet_size: int = 512,
+    ) -> None:
+        """Replace the pair set; stops any previously running flows."""
+        self.stop()
+        self._pairs = list(pairs)
+        self._flows = []
+        for a, b in self._pairs:
+            # "Each pair bidirectionally communicates at a given data rate".
+            self._flows.append(
+                TrafficFlow(self.sim, a, b, rate_kbps, rng, packet_size=packet_size)
+            )
+            self._flows.append(
+                TrafficFlow(self.sim, b, a, rate_kbps, rng, packet_size=packet_size)
+            )
+
+    def start(self) -> None:
+        for flow in self._flows:
+            flow.start()
+
+    def stop(self) -> None:
+        for flow in self._flows:
+            flow.stop()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pairs": len(self._pairs),
+            "flows": len(self._flows),
+            "sent_packets": sum(f.sent_packets for f in self._flows),
+        }
+
+
+def choose_pairs(
+    candidates: List[NetNode],
+    count: int,
+    rng: random.Random,
+) -> List[Tuple[NetNode, NetNode]]:
+    """Draw *count* distinct unordered pairs from *candidates*.
+
+    Deterministic given the rng state.  Raises ``ValueError`` when the
+    candidate set cannot supply that many distinct pairs.
+    """
+    n = len(candidates)
+    max_pairs = n * (n - 1) // 2
+    if count > max_pairs:
+        raise ValueError(
+            f"cannot pick {count} distinct pairs from {n} nodes (max {max_pairs})"
+        )
+    ordered = sorted(candidates, key=lambda node: node.name)
+    chosen: List[Tuple[NetNode, NetNode]] = []
+    seen = set()
+    while len(chosen) < count:
+        a, b = rng.sample(ordered, 2)
+        key = tuple(sorted((a.name, b.name)))
+        if key in seen:
+            continue
+        seen.add(key)
+        chosen.append((a, b))
+    return chosen

@@ -1,0 +1,26 @@
+"""Platform adapters (Sec. IV-A).
+
+A *platform* is the actual setting experiments run in.  ExCovery demands
+three capability groups from it — experiment management, connection
+control and measurement — codified in :class:`repro.platforms.base.Platform`.
+
+:mod:`repro.platforms.simulated`
+    The default: the discrete-event wireless-mesh emulator of
+    :mod:`repro.net` standing in for the DES testbed.
+:mod:`repro.platforms.localhost`
+    The same emulator synchronized to the wall clock (a "real-time
+    simulator" in the paper's platform taxonomy, Sec. II-C1), useful to
+    watch experiments live.
+"""
+
+from repro.platforms.base import Platform, PlatformCapabilities
+from repro.platforms.localhost import LocalhostPlatform
+from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+
+__all__ = [
+    "LocalhostPlatform",
+    "Platform",
+    "PlatformCapabilities",
+    "PlatformConfig",
+    "SimulatedPlatform",
+]

@@ -1,0 +1,40 @@
+"""Wall-clock-synchronized platform.
+
+The paper's platform taxonomy (Sec. II-C1) includes *real-time
+simulators*: *"mixed forms exist, for example, where an event-driven
+simulator is synchronized to a wall clock"*.  This platform is exactly
+that: the same emulated testbed as :class:`SimulatedPlatform`, but
+:meth:`ExperiMaster.execute` paces the kernel against real time, so an
+experimenter can watch runs unfold live (or demo the framework against
+dashboards expecting real-time event feeds).
+
+``realtime_factor`` scales the pace: ``1.0`` is real time, ``10.0`` runs
+ten times faster than the wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.description import ExperimentDescription
+from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+
+__all__ = ["LocalhostPlatform"]
+
+
+class LocalhostPlatform(SimulatedPlatform):
+    """The emulator paced against the wall clock."""
+
+    def __init__(
+        self,
+        description: ExperimentDescription,
+        config: Optional[PlatformConfig] = None,
+        realtime_factor: float = 1.0,
+    ) -> None:
+        if realtime_factor <= 0:
+            raise ValueError(f"realtime factor must be positive, got {realtime_factor}")
+        if config is None:
+            # Small local setups default to a single collision domain.
+            config = PlatformConfig(topology="full")
+        super().__init__(description, config)
+        self.realtime_factor = float(realtime_factor)

@@ -1,0 +1,224 @@
+"""The simulated wireless-mesh platform (stand-in for the DES testbed).
+
+Builds, from an experiment description, everything the execution needs:
+
+* the simulation kernel,
+* a mesh :class:`~repro.net.topology.Topology` whose node names are the
+  platform node ids of the description's platform spec (Fig. 8),
+* the shared :class:`~repro.net.medium.WirelessMedium`,
+* one :class:`~repro.net.node.NetNode` per platform node, with a skewed
+  local clock drawn from the platform seed,
+* one :class:`~repro.core.nodemanager.NodeManager` per node on the
+  XML-RPC control channel,
+* one SD protocol agent per node (``mdns`` / ``slp`` / ``hybrid``),
+  installed as the node's ``sd_*`` action implementation.
+
+Determinism: the platform derives every random stream from the
+description's seed, and :meth:`on_run_init` reseeds the shared medium and
+control-channel streams per run id, so any run's behaviour is independent
+of which runs executed before it (the resume guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.description import ExperimentDescription
+from repro.core.errors import PlatformError
+from repro.core.nodemanager import NodeManager
+from repro.core.params import SpecialParams
+from repro.core.rpc import ControlChannel
+from repro.net.clock import random_clock
+from repro.net.medium import CongestionModel, WirelessMedium
+from repro.net.node import NetNode
+from repro.net.packet import reset_uid_counter
+from repro.net.topology import (
+    Topology,
+    full_mesh_topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+)
+from repro.platforms.base import Platform
+from repro.sd.agent import install_sd_agent
+from repro.sd.hybrid import HybridAgent
+from repro.sd.mdns import MdnsAgent
+from repro.sd.slp import SlpAgent
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = ["PlatformConfig", "SimulatedPlatform"]
+
+_AGENT_CLASSES = {"mdns": MdnsAgent, "slp": SlpAgent, "hybrid": HybridAgent}
+
+
+@dataclass
+class PlatformConfig:
+    """Tuning of the emulated testbed.
+
+    Attributes
+    ----------
+    topology:
+        ``"mesh"`` (random geometric), ``"grid"``, ``"line"`` or
+        ``"full"`` — or a prebuilt :class:`Topology` whose node names
+        match the description's platform node ids.
+    mesh_radius:
+        Connectivity radius for the random geometric mesh.
+    protocol:
+        SD agent installed on every node: ``mdns`` / ``slp`` / ``hybrid``.
+    sd_config:
+        Extra agent config (see the agent classes).
+    congestion:
+        Medium congestion model; ``None`` = defaults.
+    clock_max_offset / clock_max_drift:
+        Bounds of the per-node clock desynchronization.
+    mac_retries:
+        Unicast MAC retransmission budget of the medium.
+    base_loss:
+        Per-link zero-load loss probability.
+    """
+
+    topology: Any = "mesh"
+    mesh_radius: float = 0.45
+    protocol: str = "mdns"
+    sd_config: Dict[str, Any] = field(default_factory=dict)
+    congestion: Optional[CongestionModel] = None
+    clock_max_offset: float = 0.5
+    clock_max_drift: float = 100e-6
+    mac_retries: int = 3
+    base_loss: float = 0.02
+
+
+class SimulatedPlatform(Platform):
+    """The emulated testbed bound to one experiment description."""
+
+    def __init__(
+        self,
+        description: ExperimentDescription,
+        config: Optional[PlatformConfig] = None,
+    ) -> None:
+        self.description = description
+        self.config = config or PlatformConfig()
+        if self.config.protocol not in _AGENT_CLASSES:
+            raise PlatformError(
+                f"unknown SD protocol {self.config.protocol!r}; "
+                f"choose from {sorted(_AGENT_CLASSES)}"
+            )
+        params = SpecialParams(description.special_params)
+
+        # Fresh global packet-uid space per platform so repeated
+        # executions in one Python process stay comparable byte for byte.
+        reset_uid_counter(1)
+
+        self.rngs = RngRegistry(derive_seed(description.seed, "platform"))
+        self.sim = Simulator()
+        self.channel = ControlChannel(
+            self.sim,
+            latency=params.get("rpc_latency"),
+            jitter=params.get("rpc_jitter"),
+            rng=self.rngs.fresh("channel", -1),
+        )
+
+        node_ids = [n.node_id for n in description.platform.nodes]
+        if not node_ids:
+            raise PlatformError("description has an empty platform spec")
+        self.topology = self._build_topology(node_ids)
+        self.medium = WirelessMedium(
+            self.sim,
+            self.topology,
+            rng=self.rngs.fresh("medium", -1),
+            congestion=self.config.congestion,
+            mac_retries=self.config.mac_retries,
+        )
+
+        self.node_managers: Dict[str, NodeManager] = {}
+        self.agents: Dict[str, Any] = {}
+        addr_by_id = {n.node_id: n.address for n in description.platform.nodes}
+        agent_cls = _AGENT_CLASSES[self.config.protocol]
+        sd_config = dict(self.config.sd_config)
+        sd_config.setdefault("service_type", params.get("service_type"))
+
+        for node_id in node_ids:
+            clock = random_clock(
+                self.sim,
+                self.rngs.fresh("clock", node_id),
+                max_offset=self.config.clock_max_offset,
+                max_drift=self.config.clock_max_drift,
+            )
+            net_node = NetNode(self.sim, node_id, addr_by_id[node_id], clock=clock)
+            self.medium.attach(net_node)
+            manager = NodeManager(
+                self.sim,
+                net_node,
+                self.channel,
+                self.rngs,
+                resolve_addr=lambda nid, _a=addr_by_id: _a.get(nid, nid),
+            )
+            agent = agent_cls(
+                self.sim, net_node, self.rngs, emit=manager.emit, config=sd_config
+            )
+            install_sd_agent(manager, agent)
+            self.node_managers[node_id] = manager
+            self.agents[node_id] = agent
+
+    # ------------------------------------------------------------------
+    def _build_topology(self, node_ids: List[str]) -> Topology:
+        spec = self.config.topology
+        if isinstance(spec, Topology):
+            missing = [nid for nid in node_ids if nid not in spec.graph]
+            if missing:
+                raise PlatformError(
+                    f"custom topology misses platform nodes {missing}"
+                )
+            return spec
+        n = len(node_ids)
+        if spec == "grid":
+            import math
+
+            cols = max(1, int(math.ceil(math.sqrt(n))))
+            rows = int(math.ceil(n / cols))
+            topo = grid_topology(rows, cols, base_loss=self.config.base_loss)
+            built = topo
+        elif spec == "line":
+            built = line_topology(n, base_loss=self.config.base_loss)
+        elif spec == "full":
+            built = full_mesh_topology(n, base_loss=self.config.base_loss)
+        elif spec == "mesh":
+            built = random_geometric_topology(
+                n,
+                radius=self.config.mesh_radius,
+                seed=derive_seed(self.description.seed, "topology"),
+                base_loss=self.config.base_loss,
+            )
+        else:
+            raise PlatformError(f"unknown topology spec {spec!r}")
+        # Relabel generated names onto the platform node ids: sorted
+        # generated names map to sorted platform ids, deterministically.
+        import networkx as nx
+
+        generated = sorted(built.graph.nodes, key=lambda s: int(s.lstrip("n")))
+        extra = built.graph.number_of_nodes() - n
+        if extra:
+            built.graph.remove_nodes_from(generated[n:])
+            generated = generated[:n]
+        mapping = dict(zip(generated, sorted(node_ids)))
+        graph = nx.relabel_nodes(built.graph, mapping)
+        if not nx.is_connected(graph):
+            raise PlatformError(
+                "topology became disconnected after sizing; pick another "
+                "shape or radius"
+            )
+        return Topology(graph)
+
+    # ------------------------------------------------------------------
+    # Per-run determinism hooks
+    # ------------------------------------------------------------------
+    def on_run_init(self, run_id: int) -> None:
+        self.medium.rng = self.rngs.fresh("medium", run_id)
+        self.medium._load_window.clear()
+        self.medium._load_bytes = 0
+        self.channel.rng = self.rngs.fresh("channel", run_id)
+
+    def on_run_exit(self, run_id: int) -> None:  # pragma: no cover - hook
+        pass

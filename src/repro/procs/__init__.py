@@ -1,0 +1,25 @@
+"""Additional experiment-process domains beyond service discovery.
+
+The paper positions ExCovery as an EE *"for dependability research of
+distributed processes"* in general — service discovery is the case study,
+not the scope.  This package demonstrates the extension path the paper
+prescribes (plugins registering new actions plus node-side handlers,
+Secs. IV-B/IV-D2) with a second, self-contained process domain:
+
+:mod:`repro.procs.echo`
+    A request/response availability process: a client node probes a
+    server at a fixed rate over the emulated network; responsiveness here
+    is P(reply within deadline), the same dependability metric shape as
+    the SD case study but over a trivially simple protocol — useful both
+    as a teaching example and as a calibration workload for the platform
+    itself.
+"""
+
+from repro.procs.echo import EchoAgent, EchoPlugin, build_echo_description, install_echo_agent
+
+__all__ = [
+    "EchoAgent",
+    "EchoPlugin",
+    "build_echo_description",
+    "install_echo_agent",
+]

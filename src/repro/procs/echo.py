@@ -1,0 +1,295 @@
+"""The echo process: request/response availability as an experiment.
+
+A minimal distributed process exercising the full ExCovery machinery
+without any SD logic:
+
+* the **server** role binds a UDP-like port and echoes every probe;
+* the **client** role sends sequenced probes at a fixed rate and matches
+  replies, emitting ``echo_reply`` events with the measured round-trip
+  time (and ``echo_timeout`` for probes that never return);
+* actions: ``echo_init`` (role=server|client, peer, rate, deadline),
+  ``echo_start``, ``echo_stop``, ``echo_exit`` — registered through an
+  :class:`~repro.core.plugins.ActionPlugin`, exactly the extension path
+  the paper prescribes for new process domains.
+
+The emitted events make probe availability analyzable with the same
+event-based tooling as the SD case study.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.actions import ActionKind, ActionSpec
+from repro.core.plugins import ActionPlugin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.nodemanager import NodeManager
+    from repro.net.node import NetNode
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "ECHO_PORT",
+    "EchoAgent",
+    "EchoPlugin",
+    "install_echo_agent",
+    "build_echo_description",
+]
+
+#: UDP-like port of the echo service.
+ECHO_PORT = 7
+
+EVENT_ECHO_INIT_DONE = "echo_init_done"
+EVENT_ECHO_START = "echo_start"
+EVENT_ECHO_STOP = "echo_stop"
+EVENT_ECHO_REPLY = "echo_reply"
+EVENT_ECHO_TIMEOUT = "echo_timeout"
+EVENT_ECHO_EXIT_DONE = "echo_exit_done"
+
+
+class EchoAgent:
+    """Node-side implementation of the echo process actions."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "NetNode",
+        rngs: "RngRegistry",
+        emit: Callable[..., Any],
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.rngs = rngs
+        self.emit = emit
+        self.role: Optional[str] = None
+        self._bound = False
+        self._probe_proc = None
+        self._peer_addr: Optional[str] = None
+        self._rate: float = 1.0
+        self._deadline: float = 1.0
+        self._seq = itertools.count(1)
+        self._outstanding: Dict[int, float] = {}
+        self._run_id = -1
+        self.rtts: List[float] = []
+
+    # ------------------------------------------------------------------
+    def reset(self, run_id: int) -> None:
+        """Per-run reset hook (NodeManager run hook)."""
+        self.action_exit({})
+        self._run_id = run_id
+        self._seq = itertools.count(1)
+        self.rtts = []
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def action_init(self, params: Dict[str, Any]):
+        role = str(params.get("role", "client")).lower()
+        if role not in ("client", "server"):
+            raise ValueError(f"echo role must be client or server, got {role!r}")
+        if self.role is not None:
+            raise RuntimeError(f"{self.node.name}: echo_init while initialized")
+        self.role = role
+        self.node.bind(ECHO_PORT, self._on_datagram)
+        self._bound = True
+        if role == "client":
+            peer = params.get("peer")
+            if not peer:
+                raise ValueError("echo client needs a 'peer' parameter")
+            self._peer_addr = str(peer)
+            self._rate = float(params.get("rate", 5.0))
+            self._deadline = float(params.get("deadline", 1.0))
+        self.emit(EVENT_ECHO_INIT_DONE, params=(role,))
+        return 0
+
+    def action_start(self, params: Dict[str, Any]):
+        if self.role != "client":
+            raise RuntimeError("echo_start is a client action")
+        if self._probe_proc is not None and self._probe_proc.alive:
+            return 0
+        self.emit(EVENT_ECHO_START, params=(self._peer_addr,))
+        self._probe_proc = self.sim.process(
+            self._prober(), name=f"echo:{self.node.name}"
+        )
+        return 0
+
+    def action_stop(self, params: Dict[str, Any]):
+        if self._probe_proc is not None and self._probe_proc.alive:
+            self._probe_proc.interrupt("echo_stop")
+        self._probe_proc = None
+        self.emit(EVENT_ECHO_STOP)
+        return 0
+
+    def action_exit(self, params: Dict[str, Any]):
+        if self._probe_proc is not None and self._probe_proc.alive:
+            self._probe_proc.interrupt("echo_exit")
+        self._probe_proc = None
+        if self._bound:
+            self.node.unbind(ECHO_PORT)
+            self._bound = False
+        if self.role is not None:
+            self.emit(EVENT_ECHO_EXIT_DONE)
+        self.role = None
+        self._outstanding.clear()
+        return 0
+
+    # ------------------------------------------------------------------
+    # Client internals
+    # ------------------------------------------------------------------
+    def _prober(self):
+        interval = 1.0 / self._rate
+        rng = self.rngs.fresh("echo", self.node.name, self._run_id)
+        while True:
+            seq = next(self._seq)
+            sent_at = self.sim.now
+            self._outstanding[seq] = sent_at
+            self.node.send_datagram(
+                {"kind": "probe", "seq": seq},
+                dst_addr=self._peer_addr,
+                dst_port=ECHO_PORT,
+                src_port=ECHO_PORT,
+                size=64,
+                flow="experiment",
+            )
+            self.sim.call_later(self._deadline, lambda s=seq: self._expire(s))
+            yield self.sim.timeout(interval * (1.0 + rng.uniform(-0.05, 0.05)))
+
+    def _expire(self, seq: int) -> None:
+        if self._outstanding.pop(seq, None) is not None:
+            self.emit(EVENT_ECHO_TIMEOUT, params=(seq,))
+
+    # ------------------------------------------------------------------
+    # Receive path (both roles)
+    # ------------------------------------------------------------------
+    def _on_datagram(self, payload: Any, packet, _node) -> None:
+        if not isinstance(payload, dict):
+            return
+        if payload.get("kind") == "probe" and self.role == "server":
+            self.node.send_datagram(
+                {"kind": "reply", "seq": payload["seq"]},
+                dst_addr=packet.src_addr,
+                dst_port=ECHO_PORT,
+                src_port=ECHO_PORT,
+                size=64,
+                flow="experiment",
+            )
+        elif payload.get("kind") == "reply" and self.role == "client":
+            sent_at = self._outstanding.pop(int(payload["seq"]), None)
+            if sent_at is not None:
+                rtt = self.sim.now - sent_at
+                self.rtts.append(rtt)
+                self.emit(EVENT_ECHO_REPLY, params=(int(payload["seq"]), rtt))
+
+
+class EchoPlugin(ActionPlugin):
+    """Registers the echo action vocabulary (the description-side half)."""
+
+    name = "echo"
+
+    def action_specs(self) -> List[ActionSpec]:
+        node = ActionKind.NODE
+        return [
+            ActionSpec("echo_init", node,
+                       doc="Initialize the echo process. Parameters: role "
+                           "(client|server), peer (client), rate, deadline.",
+                       emits=(EVENT_ECHO_INIT_DONE,)),
+            ActionSpec("echo_start", node, doc="Start probing (client).",
+                       emits=(EVENT_ECHO_START, EVENT_ECHO_REPLY,
+                              EVENT_ECHO_TIMEOUT)),
+            ActionSpec("echo_stop", node, doc="Stop probing.",
+                       emits=(EVENT_ECHO_STOP,)),
+            ActionSpec("echo_exit", node, doc="Tear the process down.",
+                       emits=(EVENT_ECHO_EXIT_DONE,)),
+        ]
+
+
+def install_echo_agent(node_manager: "NodeManager") -> EchoAgent:
+    """Wire an :class:`EchoAgent` into a NodeManager (the node-side half)."""
+    agent = EchoAgent(
+        node_manager.sim, node_manager.node, node_manager.rngs, node_manager.emit
+    )
+    node_manager.register_action_handler("echo_init", agent.action_init)
+    node_manager.register_action_handler("echo_start", agent.action_start)
+    node_manager.register_action_handler("echo_stop", agent.action_stop)
+    node_manager.register_action_handler("echo_exit", agent.action_exit)
+    node_manager.add_run_hook(agent.reset)
+    return agent
+
+
+def build_echo_description(
+    name: str = "echo-availability",
+    seed: int = 1,
+    replications: int = 3,
+    probe_rate: float = 10.0,
+    probe_deadline: float = 0.5,
+    measure_seconds: float = 5.0,
+    env_count: int = 2,
+):
+    """An echo availability experiment: client probes server for a fixed
+    window, then both exit.  Mirrors the SD description builders."""
+    from repro.core.description import (
+        ActorDescription,
+        EnvironmentProcess,
+        ExperimentDescription,
+        PlatformNode,
+        PlatformSpec,
+    )
+    from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+    from repro.core.processes import DomainAction, EventFlag, WaitForEvent, WaitForTime
+
+    desc = ExperimentDescription(
+        name=name,
+        seed=seed,
+        parameters={"process": "echo", "probe_rate": str(probe_rate)},
+        abstract_nodes=["SRV", "CLI"],
+    )
+    desc.factors = FactorList(
+        [
+            Factor(
+                id="fact_nodes", type="actor_node_map", usage=Usage.BLOCKING,
+                levels=[Level({"server": {"0": "SRV"}, "client": {"0": "CLI"}})],
+            )
+        ],
+        ReplicationFactor(count=replications),
+    )
+    desc.actors = [
+        ActorDescription(
+            "server", name="EchoServer",
+            actions=[
+                DomainAction(name="echo_init", params={"role": "server"}),
+                WaitForEvent(event="done"),
+                DomainAction(name="echo_exit"),
+            ],
+        ),
+        ActorDescription(
+            "client", name="EchoClient",
+            actions=[
+                WaitForEvent(event="echo_init_done",
+                             from_nodes=None),
+                WaitForEvent(event="ready_to_init"),
+                DomainAction(name="echo_init", params={
+                    "role": "client",
+                    "peer": "10.0.0.1",  # the server's address (first node)
+                    "rate": probe_rate,
+                    "deadline": probe_deadline,
+                }),
+                DomainAction(name="echo_start"),
+                WaitForTime(seconds=measure_seconds),
+                DomainAction(name="echo_stop"),
+                EventFlag(value="done"),
+                DomainAction(name="echo_exit"),
+            ],
+        ),
+    ]
+    desc.environment_processes = [
+        EnvironmentProcess(actions=[EventFlag(value="ready_to_init")])
+    ]
+    spec = PlatformSpec()
+    spec.add(PlatformNode("echo-srv", "10.0.0.1", abstract_id="SRV"))
+    spec.add(PlatformNode("echo-cli", "10.0.0.2", abstract_id="CLI"))
+    for i in range(env_count):
+        spec.add(PlatformNode(f"echo-env{i}", f"10.0.0.{i + 3}"))
+    desc.platform = spec
+    return desc

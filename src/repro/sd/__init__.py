@@ -1,0 +1,53 @@
+"""Service discovery protocols — the case-study substrate (Secs. III & V).
+
+The paper's prototype delegates SD actions to a patched Avahi (Zeroconf).
+This package provides from-scratch implementations with the same abstract
+action interface, so that *"multiple implementations which adhere to the
+same SD concepts can be compared in experiments"* (Sec. V):
+
+:mod:`repro.sd.mdns`
+    Two-party / decentralized, mDNS+DNS-SD-style: multicast announcements
+    and queries with exponential retransmission back-off, TTL caches,
+    known-answer suppression, randomized response delays, goodbye packets.
+    Request/response association (the paper's Avahi patch) is built in via
+    query identifiers echoed in responses.
+:mod:`repro.sd.slp`
+    Three-party / centralized, SLP-style: a directory role (the SCM of the
+    Dabrowski model), multicast SCM discovery, unicast registration with
+    acknowledgements and refresh, directed (unicast) queries.
+:mod:`repro.sd.hybrid`
+    Adaptive architecture: behaves two-party, upgrades to directed
+    discovery once an SCM is found (``scm_found``).
+
+Roles follow the taxonomy of the general SD model: service user (SU),
+service manager (SM), service cache manager (SCM).
+"""
+
+from repro.sd.agent import SDAgent, install_sd_agent
+from repro.sd.hybrid import HybridAgent
+from repro.sd.mdns import MdnsAgent
+from repro.sd.model import (
+    EVENT_SCM_FOUND,
+    EVENT_SD_INIT_DONE,
+    EVENT_SD_SERVICE_ADD,
+    EVENT_SD_START_PUBLISH,
+    EVENT_SD_START_SEARCH,
+    Role,
+    ServiceInstance,
+)
+from repro.sd.slp import SlpAgent
+
+__all__ = [
+    "EVENT_SCM_FOUND",
+    "EVENT_SD_INIT_DONE",
+    "EVENT_SD_SERVICE_ADD",
+    "EVENT_SD_START_PUBLISH",
+    "EVENT_SD_START_SEARCH",
+    "HybridAgent",
+    "MdnsAgent",
+    "Role",
+    "SDAgent",
+    "ServiceInstance",
+    "SlpAgent",
+    "install_sd_agent",
+]

@@ -1,0 +1,164 @@
+"""Adaptive (hybrid) discovery architecture.
+
+Sec. III-B: *"There exist mixed forms that can switch among two- and
+three-party, called adaptive or hybrid architectures."*  Sec. V adds that
+in a hybrid architecture *"SU and SM agents keep looking for SCMs and emit
+scm_found events when a SCM has been discovered"*.
+
+:class:`HybridAgent` extends the SLP agent with two-party behaviour so
+the system works with or without a directory:
+
+* an SM **announces over multicast** (mDNS-style burst + refresh) *and*
+  registers with the SCM once one is found;
+* an SU **multicasts queries** (with exponential back-off) *and*, once an
+  SCM is known, switches to directed unicast queries — which keep working
+  when multicast starts failing under load;
+* SMs answer multicast queries directly (with the randomized response
+  delay), so discovery works in SCM-less periods.
+
+All messages share the SLP port; the two-party message kinds are
+``mc_query`` / ``mc_response``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.net.packet import Packet
+from repro.sd.model import ServiceInstance
+from repro.sd.slp import SlpAgent
+
+__all__ = ["HybridAgent"]
+
+
+class HybridAgent(SlpAgent):
+    """Adaptive two/three-party SD agent.
+
+    Accepts all :class:`~repro.sd.slp.SlpAgent` config keys plus the
+    mDNS-style ones it reuses: ``announce_count``, ``announce_interval``,
+    ``query_backoff_base``, ``query_backoff_cap``, ``response_delay_min``,
+    ``response_delay_max``.
+    """
+
+    protocol = "hybrid"
+
+    # ------------------------------------------------------------------
+    # Publishing: multicast announcements + directory registration
+    # ------------------------------------------------------------------
+    def on_start_publish(self, instance: ServiceInstance, params: Dict[str, Any]) -> None:
+        super().on_start_publish(instance, params)  # SLP registrar
+        self.spawn(self._announcer(instance.service_type), f"announce:{instance.name}")
+
+    def _announcer(self, service_type: str):
+        count = int(self.config.get("announce_count", 3))
+        interval = float(self.config.get("announce_interval", 1.0))
+        yield self.sim.timeout(self.rng.uniform(0.0, 0.1))
+        for _ in range(count):
+            instance = self.published.get(service_type)
+            if instance is None:
+                return
+            self._send_mc(
+                {"kind": "mc_response", "qid": None, "records": [instance.as_wire()]},
+                size=120 + 80,
+            )
+            yield self.sim.timeout(interval)
+        while True:
+            instance = self.published.get(service_type)
+            if instance is None:
+                return
+            yield self.sim.timeout(0.8 * instance.ttl)
+            instance = self.published.get(service_type)
+            if instance is None:
+                return
+            self._send_mc(
+                {"kind": "mc_response", "qid": None, "records": [instance.as_wire()]},
+                size=120 + 80,
+            )
+
+    def on_stop_publish(self, instance: ServiceInstance, params: Dict[str, Any]) -> None:
+        super().on_stop_publish(instance, params)  # deregister at the SCM
+        wire = instance.as_wire()
+        wire["ttl"] = 0.0
+        self._send_mc({"kind": "mc_response", "qid": None, "records": [wire]})
+
+    # ------------------------------------------------------------------
+    # Searching: multicast until an SCM is known, directed afterwards
+    # ------------------------------------------------------------------
+    def on_start_search(self, service_type: str, params: Dict[str, Any]) -> None:
+        for entry in self.cache.entries_for_type(service_type):
+            self.discovered(entry.instance)
+        self.spawn(self._hybrid_searcher(service_type), f"search:{service_type}")
+
+    def _hybrid_searcher(self, service_type: str):
+        base = float(self.config.get("query_backoff_base", 1.0))
+        cap = float(self.config.get("query_backoff_cap", 60.0))
+        poll = float(self.config.get("poll_interval", 2.0))
+        yield self.sim.timeout(self.rng.uniform(0.02, 0.12))
+        interval = base
+        while service_type in self.searching:
+            if self._da_addr is not None:
+                # Directed mode: reliable unicast transaction to the SCM.
+                reply = yield from self._transact(
+                    self._da_addr, {"kind": "srv_rqst", "type": service_type}
+                )
+                for wire in reply.get("records", []):
+                    instance = ServiceInstance.from_wire(wire)
+                    if instance.provider_node != self.node.name:
+                        self.discovered(instance)
+                yield self.sim.timeout(poll)
+            else:
+                # Two-party mode: multicast query with back-off.
+                self._send_mc(
+                    {"kind": "mc_query", "qid": next(self._xid), "type": service_type},
+                    size=90,
+                )
+                yield self.sim.timeout(interval)
+                interval = min(interval * 2.0, cap)
+
+    # ------------------------------------------------------------------
+    # Receive path: SLP kinds + the two-party kinds
+    # ------------------------------------------------------------------
+    def _on_datagram(self, payload: Any, packet: Packet, _node) -> None:
+        if isinstance(payload, dict):
+            kind = payload.get("kind")
+            if kind == "mc_query":
+                self._handle_mc_query(payload)
+                return
+            if kind == "mc_response":
+                self._handle_mc_response(payload)
+                return
+        super()._on_datagram(payload, packet, _node)
+
+    def _handle_mc_query(self, payload: Dict[str, Any]) -> None:
+        if self.role is None or not self.role.is_manager:
+            return
+        instance = self.published.get(str(payload.get("type", "")))
+        if instance is None:
+            return
+        delay = self.rng.uniform(
+            float(self.config.get("response_delay_min", 0.02)),
+            float(self.config.get("response_delay_max", 0.12)),
+        )
+        qid = payload.get("qid")
+        self.spawn(self._delayed_mc_response(instance.service_type, qid, delay), "respond")
+
+    def _delayed_mc_response(self, service_type: str, qid, delay: float):
+        yield self.sim.timeout(delay)
+        instance = self.published.get(service_type)
+        if instance is not None:
+            self._send_mc(
+                {"kind": "mc_response", "qid": qid, "records": [instance.as_wire()]},
+                size=120 + 80,
+            )
+
+    def _handle_mc_response(self, payload: Dict[str, Any]) -> None:
+        for wire in payload.get("records", []):
+            instance = ServiceInstance.from_wire(wire)
+            if instance.provider_node == self.node.name:
+                continue
+            if instance.ttl <= 0:
+                gone = self.cache.remove(instance.service_type, instance.name)
+                if gone is not None:
+                    self.lost(gone)
+            else:
+                self.discovered(instance)

@@ -1,0 +1,307 @@
+"""Ready-made SD experiment process descriptions (Sec. V, Figs. 9–11).
+
+These builders produce :class:`~repro.core.description.ExperimentDescription`
+objects for the canonical case-study scenarios so examples, tests and
+benchmarks don't each re-assemble the Fig. 9/10 sequences by hand.
+
+``build_two_party_description``
+    The exact scenario of Figs. 9/10: one or more SMs publish, one or more
+    SUs search until every SM is discovered or a deadline expires, with an
+    optional traffic-generation environment process (Fig. 7) driven by the
+    factor list of Fig. 5.
+``build_three_party_description``
+    The same discovery task in the centralized architecture: an additional
+    SCM actor runs the directory; SUs/SMs use the SLP (or hybrid) agent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.description import (
+    ActorDescription,
+    EnvironmentProcess,
+    ExperimentDescription,
+    PlatformNode,
+    PlatformSpec,
+)
+from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+from repro.core.processes import (
+    DomainAction,
+    EventFlag,
+    FactorRef,
+    NodeSelector,
+    WaitForEvent,
+    WaitForTime,
+    WaitMarker,
+)
+
+__all__ = [
+    "sm_actions",
+    "su_actions",
+    "scm_actions",
+    "build_two_party_description",
+    "build_three_party_description",
+]
+
+#: Default service type of the case study.
+SERVICE_TYPE = "_exp._udp"
+
+
+def sm_actions(service_type: str = SERVICE_TYPE) -> list:
+    """The publisher role of Fig. 9: publish until ``done``."""
+    return [
+        DomainAction(name="sd_init", params={"role": "sm"}),
+        DomainAction(name="sd_start_publish", params={"type": service_type}),
+        WaitForEvent(event="done"),
+        DomainAction(name="sd_stop_publish", params={"type": service_type}),
+        DomainAction(name="sd_exit"),
+    ]
+
+
+def su_actions(
+    sm_actor: str = "actor0",
+    su_actor: str = "actor1",
+    service_type: str = SERVICE_TYPE,
+    deadline: float = 30.0,
+    settle_after_publish: float = 0.0,
+) -> list:
+    """The requester role of Fig. 10.
+
+    Waits for every SM instance to start publishing (and the environment's
+    ``ready_to_init``), initializes, searches until every SM's service was
+    added or *deadline* elapsed, then raises ``done`` and cleans up.
+
+    ``settle_after_publish`` inserts the fixed preparation delay Fig. 11
+    describes ("This phase ends a fixed time after the event
+    sd_start_publish ... to let unsolicited announcements pass").
+    """
+    actions: list = [
+        WaitForEvent(
+            event="sd_start_publish",
+            from_nodes=NodeSelector(actor=sm_actor, instance="all"),
+        ),
+        WaitForEvent(event="ready_to_init"),
+    ]
+    if settle_after_publish > 0:
+        actions.append(WaitForTime(seconds=settle_after_publish))
+    actions += [
+        DomainAction(name="sd_init", params={"role": "su"}),
+        WaitMarker(),
+        DomainAction(name="sd_start_search", params={"type": service_type}),
+        WaitForEvent(
+            event="sd_service_add",
+            from_nodes=NodeSelector(actor=su_actor, instance="all"),
+            param_nodes=NodeSelector(actor=sm_actor, instance="all"),
+            timeout=deadline,
+        ),
+        EventFlag(value="done"),
+        DomainAction(name="sd_stop_search", params={"type": service_type}),
+        DomainAction(name="sd_exit"),
+    ]
+    return actions
+
+
+def scm_actions() -> list:
+    """The directory role: run the SCM until the SUs are done."""
+    return [
+        DomainAction(name="sd_init", params={"role": "scm"}),
+        WaitForEvent(event="done"),
+        DomainAction(name="sd_exit"),
+    ]
+
+
+def _env_traffic_actions(switch_amount: int = 1) -> list:
+    """The environment process of Fig. 7 (traffic generation)."""
+    return [
+        EventFlag(value="ready_to_init"),
+        DomainAction(
+            name="env_traffic_start",
+            params={
+                "bw": FactorRef("fact_bw"),
+                "choice": 0,
+                "random_switch_amount": switch_amount,
+                "random_switch_seed": FactorRef("fact_replication_id"),
+                "random_pairs": FactorRef("fact_pairs"),
+                "random_seed": FactorRef("fact_pairs"),
+            },
+        ),
+        WaitForEvent(event="done"),
+        DomainAction(name="env_traffic_stop"),
+    ]
+
+
+def _env_ready_only() -> list:
+    """Minimal environment process: just raise ``ready_to_init``."""
+    return [EventFlag(value="ready_to_init")]
+
+
+def _abstract_names(count: int, prefix: str) -> List[str]:
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def _platform_spec(
+    abstract: Sequence[str], env_count: int, host_prefix: str = "t9-1"
+) -> PlatformSpec:
+    """Fig. 8-style platform spec: hostnames + addresses for all nodes."""
+    spec = PlatformSpec()
+    idx = 0
+    for abs_id in abstract:
+        spec.add(
+            PlatformNode(
+                node_id=f"{host_prefix}{idx:02d}",
+                address=f"10.0.0.{idx + 1}",
+                abstract_id=abs_id,
+            )
+        )
+        idx += 1
+    for _ in range(env_count):
+        spec.add(
+            PlatformNode(node_id=f"{host_prefix}{idx:02d}", address=f"10.0.0.{idx + 1}")
+        )
+        idx += 1
+    return spec
+
+
+def _factor_list(
+    actor_map: Dict[str, Dict[str, str]],
+    replications: int,
+    pairs_levels: Optional[Sequence[int]],
+    bw_levels: Optional[Sequence[int]],
+) -> FactorList:
+    factors = [
+        Factor(
+            id="fact_nodes",
+            type="actor_node_map",
+            usage=Usage.BLOCKING,
+            levels=[Level(actor_map)],
+        )
+    ]
+    if pairs_levels is not None:
+        factors.append(
+            Factor(
+                id="fact_pairs",
+                type="int",
+                usage=Usage.RANDOM,
+                levels=[Level(int(v)) for v in pairs_levels],
+            )
+        )
+    if bw_levels is not None:
+        factors.append(
+            Factor(
+                id="fact_bw",
+                type="int",
+                usage=Usage.CONSTANT,
+                levels=[Level(int(v)) for v in bw_levels],
+                description="datarate generated load",
+            )
+        )
+    return FactorList(
+        factors, ReplicationFactor(id="fact_replication_id", count=replications)
+    )
+
+
+def build_two_party_description(
+    name: str = "sd-two-party",
+    seed: int = 1,
+    sm_count: int = 1,
+    su_count: int = 1,
+    env_count: int = 4,
+    replications: int = 3,
+    deadline: float = 30.0,
+    traffic: bool = False,
+    pairs_levels: Optional[Sequence[int]] = None,
+    bw_levels: Optional[Sequence[int]] = None,
+    service_type: str = SERVICE_TYPE,
+    settle_after_publish: float = 0.0,
+    special_params: Optional[Dict] = None,
+) -> ExperimentDescription:
+    """The Figs. 4/5/7/9/10 scenario as one description.
+
+    With ``traffic=True`` the factor list carries ``fact_pairs`` and
+    ``fact_bw`` (defaults: the paper's {5, 20} pairs x {10, 50, 100}
+    kbit/s) and the Fig. 7 environment process drives the generator.
+    """
+    sm_abstract = _abstract_names(sm_count, "SM")
+    su_abstract = _abstract_names(su_count, "SU")
+    actor_map = {
+        "actor0": {str(i): node for i, node in enumerate(sm_abstract)},
+        "actor1": {str(i): node for i, node in enumerate(su_abstract)},
+    }
+    if traffic:
+        pairs_levels = pairs_levels if pairs_levels is not None else (5, 20)
+        bw_levels = bw_levels if bw_levels is not None else (10, 50, 100)
+        env_actions = _env_traffic_actions()
+    else:
+        pairs_levels = None
+        bw_levels = None
+        env_actions = _env_ready_only()
+
+    desc = ExperimentDescription(
+        name=name,
+        seed=seed,
+        parameters={
+            "sd_architecture": "two-party",
+            "sd_protocol": "zeroconf",
+            "sd_mode": "active",
+        },
+        abstract_nodes=sm_abstract + su_abstract,
+        factors=_factor_list(actor_map, replications, pairs_levels, bw_levels),
+        actors=[
+            ActorDescription("actor0", name="SM", actions=sm_actions(service_type)),
+            ActorDescription(
+                "actor1",
+                name="SU",
+                actions=su_actions(
+                    service_type=service_type,
+                    deadline=deadline,
+                    settle_after_publish=settle_after_publish,
+                ),
+            ),
+        ],
+        environment_processes=[EnvironmentProcess(actions=env_actions)],
+        platform=_platform_spec(sm_abstract + su_abstract, env_count),
+        special_params=dict(special_params or {}),
+    )
+    return desc
+
+
+def build_three_party_description(
+    name: str = "sd-three-party",
+    seed: int = 1,
+    sm_count: int = 1,
+    su_count: int = 1,
+    env_count: int = 4,
+    replications: int = 3,
+    deadline: float = 30.0,
+    traffic: bool = False,
+    pairs_levels: Optional[Sequence[int]] = None,
+    bw_levels: Optional[Sequence[int]] = None,
+    service_type: str = SERVICE_TYPE,
+    special_params: Optional[Dict] = None,
+) -> ExperimentDescription:
+    """The centralized variant: actor2 runs the SCM (directory)."""
+    desc = build_two_party_description(
+        name=name,
+        seed=seed,
+        sm_count=sm_count,
+        su_count=su_count,
+        env_count=env_count,
+        replications=replications,
+        deadline=deadline,
+        traffic=traffic,
+        pairs_levels=pairs_levels,
+        bw_levels=bw_levels,
+        service_type=service_type,
+        special_params=special_params,
+    )
+    desc.parameters["sd_architecture"] = "three-party"
+    desc.parameters["sd_protocol"] = "slp"
+    scm_abstract = "SCM0"
+    desc.abstract_nodes.append(scm_abstract)
+    map_factor = desc.factors.actor_map_factor()
+    map_factor.levels[0].value["actor2"] = {"0": scm_abstract}
+    desc.actors.append(ActorDescription("actor2", name="SCM", actions=scm_actions()))
+    # Rebuild the platform spec to cover the extra abstract node.
+    desc.platform = _platform_spec(desc.abstract_nodes, env_count)
+    return desc

@@ -1,0 +1,212 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns simulated time and a priority queue of scheduled
+callbacks.  Time advances only when the queue is drained at the current
+instant (classic event-driven operation, Sec. II-C1 of the paper).  The
+kernel also supports *wall-clock synchronized* execution (a "real-time
+simulator" in the paper's taxonomy) via ``run(realtime_factor=...)``, used
+by the ``localhost`` platform.
+
+Determinism contract
+--------------------
+The pending queue orders entries by ``(time, sequence)`` where ``sequence``
+is a global monotonic counter.  Two simulations performing the same
+schedule calls in the same order therefore execute callbacks in the same
+order — no dict ordering, id(), or wall clock leaks into scheduling
+decisions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _wallclock
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level failures (e.g. unobserved process crashes)."""
+
+
+class Simulator:
+    """Event-driven simulation core.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated time in seconds.  Defaults to ``0.0``; the
+        experiment master typically leaves this at zero and uses per-node
+        :class:`~repro.net.clock.LocalClock` offsets to model desynchronized
+        node clocks.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._crashed: List[Process] = []
+        #: Counts every callback executed; handy for overhead benchmarks.
+        self.executed_callbacks = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh one-shot triggerable event."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def any_of(self, *events: SimEvent) -> AnyOf:
+        """Composite event firing on the first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, *events: SimEvent) -> AllOf:
+        """Composite event firing when every one of ``events`` fired."""
+        return AllOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn *generator* as a simulation process at the current instant."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling (kernel-internal API used by events/processes)
+    # ------------------------------------------------------------------
+    def _push(self, at: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (at, next(self._sequence), fn))
+
+    def _schedule_callback(self, cb: Callable[[Any], None], arg: Any) -> None:
+        """Run ``cb(arg)`` at the current simulated instant, asynchronously."""
+        self._push(self._now, lambda: cb(arg))
+
+    def _schedule_trigger(self, event: SimEvent, delay: float, value: Any) -> None:
+        """Trigger *event* after *delay* simulated seconds."""
+        self._push(self._now + delay, lambda: event.trigger(value))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback at absolute simulated time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}"
+            )
+        self._push(when, fn)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._push(self._now + delay, fn)
+
+    def _report_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashed.append(process)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns ``False`` when the queue is empty.
+        """
+        if not self._queue:
+            return False
+        at, _seq, fn = heapq.heappop(self._queue)
+        self._now = at
+        self.executed_callbacks += 1
+        fn()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_event: Optional[SimEvent] = None,
+        realtime_factor: Optional[float] = None,
+        raise_on_crash: bool = True,
+    ) -> Any:
+        """Drive the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this value.  The clock is
+            advanced exactly to ``until``.
+        until_event:
+            Stop as soon as this event has fired; its value is returned.
+        realtime_factor:
+            When given, synchronize execution to the wall clock: one
+            simulated second takes ``1 / realtime_factor`` wall seconds.
+            ``realtime_factor=2.0`` runs at double speed.
+        raise_on_crash:
+            Raise :class:`SimulationError` if any process died from an
+            unhandled exception during this call (default).  The first
+            crash's traceback is chained.
+
+        Returns
+        -------
+        The value of ``until_event`` if given and fired, else ``None``.
+        """
+        wall_anchor = _wallclock.monotonic() if realtime_factor else None
+        sim_anchor = self._now
+
+        while self._queue:
+            if until_event is not None and until_event.triggered:
+                break
+            next_at = self._queue[0][0]
+            if until is not None and next_at > until:
+                self._now = until
+                break
+            if wall_anchor is not None:
+                lag = (next_at - sim_anchor) / realtime_factor - (
+                    _wallclock.monotonic() - wall_anchor
+                )
+                if lag > 0:
+                    _wallclock.sleep(lag)
+            self.step()
+            if raise_on_crash and self._crashed:
+                self._raise_crash()
+        else:
+            # Queue drained; still honour an explicit horizon.
+            if until is not None and self._now < until:
+                self._now = until
+
+        if raise_on_crash and self._crashed:
+            self._raise_crash()
+        if until_event is not None and until_event.triggered:
+            value = until_event.value
+            if isinstance(value, BaseException):
+                raise value
+            return value
+        return None
+
+    def _raise_crash(self) -> None:
+        crashed, self._crashed = self._crashed, []
+        first = crashed[0]
+        raise SimulationError(
+            f"process {first.name!r} crashed: {first.error!r}"
+            + (f" (+{len(crashed) - 1} more)" if len(crashed) > 1 else "")
+        ) from first.error
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unexecuted callbacks."""
+        return len(self._queue)
+
+    def drain_crashes(self) -> List[Process]:
+        """Return and clear the list of crashed processes (for tests)."""
+        crashed, self._crashed = self._crashed, []
+        return crashed

@@ -1,0 +1,158 @@
+"""Generator-backed simulation processes.
+
+A *process* wraps a Python generator.  Each ``yield`` hands a waitable (see
+:mod:`repro.sim.events`) to the kernel; the process is resumed when that
+waitable fires, receiving the waitable's value as the result of the yield
+expression.  A process is itself a :class:`~repro.sim.events.SimEvent` that
+fires when the generator returns, delivering the generator's return value —
+so processes can be joined simply by yielding them.
+
+Processes support *interruption*: :meth:`Process.interrupt` throws an
+:class:`Interrupt` exception into the generator at its current yield point.
+The ExCovery run lifecycle uses this to tear down actor / fault /
+environment processes during the clean-up phase (Sec. IV-C1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.events import SimEvent, ensure_waitable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Process", "Interrupt", "ProcessCrashed"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries an arbitrary, caller-supplied reason object.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessCrashed(RuntimeError):
+    """Raised by the kernel when a process died with an unhandled exception
+    and nothing joined it to observe the failure."""
+
+
+class Process(SimEvent):
+    """A running simulation process.
+
+    Do not instantiate directly — use :meth:`Simulator.process`.
+    """
+
+    __slots__ = ("generator", "_target", "_alive", "_error")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        #: The waitable this process is currently blocked on (None while
+        #: runnable or finished).
+        self._target: Optional[SimEvent] = None
+        self._alive = True
+        self._error: Optional[BaseException] = None
+        # Kick the generator off asynchronously at the current instant.
+        sim._schedule_callback(self._resume, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True until the generator has returned or raised."""
+        return self._alive
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The unhandled exception that killed the process, if any."""
+        return self._error
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is a no-op; interrupting a process that
+        has not started yet delivers the interrupt on its first step.
+        """
+        if not self._alive:
+            return
+        # Stop listening on whatever we were blocked on.
+        if self._target is not None:
+            self._target.discard_callback(self._resume)
+            self._target = None
+        self.sim._schedule_callback(self._throw, Interrupt(cause))
+
+    # ------------------------------------------------------------------
+    # Kernel plumbing
+    # ------------------------------------------------------------------
+    def _resume(self, fired: Optional[SimEvent]) -> None:
+        if not self._alive:
+            return
+        self._target = None
+        try:
+            value = None if fired is None else fired.value
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - report any crash
+            self._crash(exc)
+            return
+        self._block_on(target)
+
+    def _throw(self, interrupt_or_event: Any) -> None:
+        if not self._alive:
+            return
+        exc = interrupt_or_event
+        if isinstance(exc, SimEvent):  # callback signature adaptation
+            exc = exc.value
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # The generator did not catch the interrupt: treat as a clean,
+            # intentional termination rather than a crash.
+            self._finish(None)
+            return
+        except BaseException as err:  # noqa: BLE001
+            self._crash(err)
+            return
+        self._block_on(target)
+
+    def _block_on(self, target: Any) -> None:
+        try:
+            waitable = ensure_waitable(target)
+        except TypeError as exc:
+            self._crash(exc)
+            return
+        self._target = waitable
+        waitable.add_callback(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self.generator.close()
+        if not self.triggered:
+            self.trigger(value)
+
+    def _crash(self, exc: BaseException) -> None:
+        self._alive = False
+        self._error = exc
+        self.sim._report_crash(self, exc)
+        if not self.triggered:
+            # Joiners receive the exception object as the value; the kernel
+            # separately records the crash so unobserved failures surface.
+            self.trigger(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "dead"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,31 @@
+"""The four storage levels of ExCovery (Sec. IV-F).
+
+1. **Level 1** — the abstract experiment description, an XML document
+   (produced by :func:`repro.core.xmlio.description_to_xml`).
+2. **Level 2** — :class:`~repro.storage.level2.Level2Store`: the
+   intermediate filesystem hierarchy holding every raw measurement, log
+   and artefact of one execution, keyed by run and node.
+3. **Level 3** — :mod:`repro.storage.level3`: the conditioned,
+   single-experiment SQLite database with the schema of Table I.
+   Conditioning (:mod:`repro.storage.conditioning`) unifies all local
+   timestamps onto the common time base using the per-run clock-offset
+   measurements.
+4. **Level 4** — :mod:`repro.storage.level4`: the multi-experiment
+   repository.  The paper leaves this level unrealized ("To date,
+   ExCovery does not realize this level"); we implement it as the stated
+   future work.
+"""
+
+from repro.storage.conditioning import condition_experiment
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import TABLE_SCHEMAS, ExperimentDatabase, store_level3
+from repro.storage.level4 import ExperimentRepository
+
+__all__ = [
+    "ExperimentDatabase",
+    "ExperimentRepository",
+    "Level2Store",
+    "TABLE_SCHEMAS",
+    "condition_experiment",
+    "store_level3",
+]

@@ -1,0 +1,264 @@
+"""Storage level 2: the intermediate filesystem hierarchy.
+
+Sec. IV-F: *"The second level is the intermediate storage for all concrete
+experiment data: experiment results and the software artifacts used during
+execution.  Each log file and measurement is stored corresponding to a run
+identifier and associated to the node it originates from.  Currently,
+ExCovery uses a special hierarchy on a file system to store second level
+data."*
+
+Layout::
+
+    <root>/
+      experiment.xml              # level-1 description as executed
+      journal.jsonl               # recovery journal (append-only)
+      plan.json                   # exact treatment sequence
+      master/
+        topology_before.json
+        topology_after.json
+        timesync/run_<id>.json    # per-run offset measurements
+        measurements/<name>.json  # experiment-scope measurements
+      nodes/<node>/
+        log.txt
+        experiment_events.jsonl
+        runs/<run id>/
+          events.jsonl
+          packets.jsonl
+          extra/<plugin>.json     # plugins' separate storage location
+      eefiles/<name>              # executables/artefacts (EEFiles table)
+
+Everything is JSON-on-disk: human-inspectable, diff-able, and exactly what
+the conditioning stage consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import StorageError
+
+__all__ = ["Level2Store"]
+
+
+def _write_json(path: Path, data: Any) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=None, separators=(",", ":"), sort_keys=True)
+
+
+def _read_json(path: Path) -> Any:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _append_jsonl(path: Path, records: List[Dict[str, Any]]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+
+
+def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
+    if not path.exists():
+        return []
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+class Level2Store:
+    """One execution's intermediate storage rooted at a directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Level-1 artefacts
+    # ------------------------------------------------------------------
+    def write_description(self, xml_text: str) -> None:
+        (self.root / "experiment.xml").write_text(xml_text, encoding="utf-8")
+
+    def read_description(self) -> str:
+        path = self.root / "experiment.xml"
+        if not path.exists():
+            raise StorageError(f"no experiment.xml under {self.root}")
+        return path.read_text(encoding="utf-8")
+
+    def write_plan(self, plan_records: List[Dict[str, Any]]) -> None:
+        _write_json(self.root / "plan.json", plan_records)
+
+    def read_plan(self) -> List[Dict[str, Any]]:
+        return _read_json(self.root / "plan.json")
+
+    # ------------------------------------------------------------------
+    # Journal (recovery)
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    def append_journal(self, record: Dict[str, Any]) -> None:
+        _append_jsonl(self.journal_path, [record])
+
+    def read_journal(self) -> List[Dict[str, Any]]:
+        return _read_jsonl(self.journal_path)
+
+    # ------------------------------------------------------------------
+    # Master-side measurements
+    # ------------------------------------------------------------------
+    def write_topology(self, phase: str, snapshot: Dict[str, Any]) -> None:
+        if phase not in ("before", "after"):
+            raise StorageError(f"topology phase must be before/after, got {phase!r}")
+        _write_json(self.root / "master" / f"topology_{phase}.json", snapshot)
+
+    def read_topology(self, phase: str) -> Optional[Dict[str, Any]]:
+        path = self.root / "master" / f"topology_{phase}.json"
+        return _read_json(path) if path.exists() else None
+
+    def write_timesync(self, run_id: int, measurements: Dict[str, Dict[str, Any]]) -> None:
+        _write_json(self.root / "master" / "timesync" / f"run_{run_id}.json", measurements)
+
+    def read_timesync(self, run_id: int) -> Dict[str, Dict[str, Any]]:
+        path = self.root / "master" / "timesync" / f"run_{run_id}.json"
+        if not path.exists():
+            raise StorageError(f"no timesync data for run {run_id}")
+        return _read_json(path)
+
+    def write_experiment_measurement(self, name: str, content: Any) -> None:
+        _write_json(self.root / "master" / "measurements" / f"{name}.json", content)
+
+    def experiment_measurements(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        directory = self.root / "master" / "measurements"
+        if directory.exists():
+            for path in sorted(directory.glob("*.json")):
+                out[path.stem] = _read_json(path)
+        return out
+
+    # ------------------------------------------------------------------
+    # Per-node data
+    # ------------------------------------------------------------------
+    def _node_dir(self, node_id: str) -> Path:
+        return self.root / "nodes" / node_id
+
+    def write_node_log(self, node_id: str, log_text: str) -> None:
+        path = self._node_dir(node_id) / "log.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(log_text, encoding="utf-8")
+
+    def read_node_log(self, node_id: str) -> str:
+        path = self._node_dir(node_id) / "log.txt"
+        return path.read_text(encoding="utf-8") if path.exists() else ""
+
+    def write_node_experiment_events(self, node_id: str, events: List[Dict[str, Any]]) -> None:
+        _append_jsonl(self._node_dir(node_id) / "experiment_events.jsonl", events)
+
+    def write_run_data(
+        self,
+        node_id: str,
+        run_id: int,
+        events: List[Dict[str, Any]],
+        packets: List[Dict[str, Any]],
+    ) -> None:
+        run_dir = self._node_dir(node_id) / "runs" / str(run_id)
+        _append_jsonl(run_dir / "events.jsonl", events)
+        _append_jsonl(run_dir / "packets.jsonl", packets)
+
+    def write_extra_measurement(
+        self, node_id: str, run_id: int, plugin: str, content: Any
+    ) -> None:
+        """Plugins' 'separate storage location on the node' (Sec. IV-B5)."""
+        _write_json(
+            self._node_dir(node_id) / "runs" / str(run_id) / "extra" / f"{plugin}.json",
+            content,
+        )
+
+    def read_run_events(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
+        return _read_jsonl(self._node_dir(node_id) / "runs" / str(run_id) / "events.jsonl")
+
+    def read_run_packets(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
+        return _read_jsonl(self._node_dir(node_id) / "runs" / str(run_id) / "packets.jsonl")
+
+    def read_extra_measurements(self, node_id: str, run_id: int) -> Dict[str, Any]:
+        directory = self._node_dir(node_id) / "runs" / str(run_id) / "extra"
+        out: Dict[str, Any] = {}
+        if directory.exists():
+            for path in sorted(directory.glob("*.json")):
+                out[path.stem] = _read_json(path)
+        return out
+
+    # ------------------------------------------------------------------
+    # Run metadata (start times)
+    # ------------------------------------------------------------------
+    def write_run_info(self, run_id: int, info: Dict[str, Any]) -> None:
+        _write_json(self.root / "master" / "runinfo" / f"run_{run_id}.json", info)
+
+    def read_run_info(self, run_id: int) -> Dict[str, Any]:
+        path = self.root / "master" / "runinfo" / f"run_{run_id}.json"
+        if not path.exists():
+            raise StorageError(f"no run info for run {run_id}")
+        return _read_json(path)
+
+    # ------------------------------------------------------------------
+    # EE files (artefacts; feeds the EEFiles table)
+    # ------------------------------------------------------------------
+    def write_eefile(self, name: str, content: str) -> None:
+        path = self.root / "eefiles" / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+
+    def eefiles(self) -> Dict[str, str]:
+        directory = self.root / "eefiles"
+        out: Dict[str, str] = {}
+        if directory.exists():
+            for path in sorted(directory.rglob("*")):
+                if path.is_file():
+                    out[str(path.relative_to(directory))] = path.read_text(encoding="utf-8")
+        return out
+
+    # ------------------------------------------------------------------
+    # Enumeration (drives conditioning)
+    # ------------------------------------------------------------------
+    def node_ids(self) -> List[str]:
+        directory = self.root / "nodes"
+        if not directory.exists():
+            return []
+        return sorted(p.name for p in directory.iterdir() if p.is_dir())
+
+    def run_ids(self) -> List[int]:
+        ids = set()
+        for node_id in self.node_ids():
+            runs_dir = self._node_dir(node_id) / "runs"
+            if runs_dir.exists():
+                for p in runs_dir.iterdir():
+                    if p.is_dir() and p.name.isdigit():
+                        ids.add(int(p.name))
+        return sorted(ids)
+
+    def iter_run_node_pairs(self) -> Iterator[Tuple[int, str]]:
+        for run_id in self.run_ids():
+            for node_id in self.node_ids():
+                yield run_id, node_id
+
+    def purge_run(self, run_id: int) -> None:
+        """Delete one run's partial data everywhere (resume of an aborted
+        run starts from a clean slate)."""
+        import shutil
+
+        for node_id in self.node_ids():
+            run_dir = self._node_dir(node_id) / "runs" / str(run_id)
+            if run_dir.exists():
+                shutil.rmtree(run_dir)
+        for path in (
+            self.root / "master" / "timesync" / f"run_{run_id}.json",
+            self.root / "master" / "runinfo" / f"run_{run_id}.json",
+        ):
+            if path.exists():
+                path.unlink()

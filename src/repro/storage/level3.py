@@ -1,0 +1,405 @@
+"""Storage level 3: the single-experiment SQLite database (Table I).
+
+Sec. IV-F: *"Data from the second level plus the experiment description
+are then stored into a single package on the third level.  This package
+represents one complete experiment and is preferably stored as a database
+... ExCovery currently stores the third level in a file based relational
+SQLite database."*
+
+The schema reproduces Table I verbatim:
+
+======================  ==================================================
+Table                   Attributes
+======================  ==================================================
+ExperimentInfo          ExpXML, EEVersion, Name, Comment
+Logs                    NodeID, Log
+EEFiles                 ID, File
+ExperimentMeasurements  ID, NodeID, Name, Content
+RunInfos                RunID, NodeID, StartTime, TimeDiff
+ExtraRunMeasurements    RunID, NodeID, Name, Content
+Events                  RunID, NodeID, CommonTime, EventType, Parameter
+Packets                 RunID, NodeID, CommonTime, SrcNodeID, Data
+======================  ==================================================
+
+``Parameter`` and ``Content`` hold JSON; ``Data`` holds the serialized
+packet record (the raw-data blob of the paper).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.description import EE_VERSION
+from repro.core.errors import StorageError
+from repro.storage.conditioning import ConditionedExperiment, condition_experiment
+from repro.storage.level2 import Level2Store
+
+__all__ = ["TABLE_SCHEMAS", "store_level3", "ExperimentDatabase"]
+
+#: Table name -> ordered attribute list, exactly as printed in Table I.
+TABLE_SCHEMAS: Dict[str, List[str]] = {
+    "ExperimentInfo": ["ExpXML", "EEVersion", "Name", "Comment"],
+    "Logs": ["NodeID", "Log"],
+    "EEFiles": ["ID", "File"],
+    "ExperimentMeasurements": ["ID", "NodeID", "Name", "Content"],
+    "RunInfos": ["RunID", "NodeID", "StartTime", "TimeDiff"],
+    "ExtraRunMeasurements": ["RunID", "NodeID", "Name", "Content"],
+    "Events": ["RunID", "NodeID", "CommonTime", "EventType", "Parameter"],
+    "Packets": ["RunID", "NodeID", "CommonTime", "SrcNodeID", "Data"],
+}
+
+_DDL = """
+CREATE TABLE ExperimentInfo (
+    ExpXML    TEXT NOT NULL,
+    EEVersion TEXT NOT NULL,
+    Name      TEXT NOT NULL,
+    Comment   TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE Logs (
+    NodeID TEXT NOT NULL,
+    Log    TEXT NOT NULL
+);
+CREATE TABLE EEFiles (
+    ID   TEXT PRIMARY KEY,
+    File TEXT NOT NULL
+);
+CREATE TABLE ExperimentMeasurements (
+    ID      INTEGER PRIMARY KEY AUTOINCREMENT,
+    NodeID  TEXT NOT NULL,
+    Name    TEXT NOT NULL,
+    Content TEXT NOT NULL
+);
+CREATE TABLE RunInfos (
+    RunID     INTEGER NOT NULL,
+    NodeID    TEXT NOT NULL,
+    StartTime REAL NOT NULL,
+    TimeDiff  REAL NOT NULL,
+    PRIMARY KEY (RunID, NodeID)
+);
+CREATE TABLE ExtraRunMeasurements (
+    RunID   INTEGER NOT NULL,
+    NodeID  TEXT NOT NULL,
+    Name    TEXT NOT NULL,
+    Content TEXT NOT NULL
+);
+CREATE TABLE Events (
+    RunID      INTEGER,
+    NodeID     TEXT NOT NULL,
+    CommonTime REAL NOT NULL,
+    EventType  TEXT NOT NULL,
+    Parameter  TEXT NOT NULL
+);
+CREATE TABLE Packets (
+    RunID      INTEGER,
+    NodeID     TEXT NOT NULL,
+    CommonTime REAL NOT NULL,
+    SrcNodeID  TEXT NOT NULL,
+    Data       TEXT NOT NULL
+);
+CREATE INDEX idx_events_run ON Events (RunID, EventType);
+CREATE INDEX idx_packets_run ON Packets (RunID);
+"""
+
+
+def _addr_to_node_map(description_xml: str) -> Dict[str, str]:
+    """Address -> platform node id, from the stored description's platform
+    spec (used to fill the SrcNodeID attribute)."""
+    mapping: Dict[str, str] = {}
+    try:
+        root = ET.fromstring(description_xml)
+    except ET.ParseError:
+        return mapping
+    platform = root.find("platform")
+    if platform is None:
+        return mapping
+    for node in platform:
+        addr = node.get("address")
+        nid = node.get("id")
+        if addr and nid:
+            mapping[addr] = nid
+    return mapping
+
+
+def store_level3(source, db_path) -> Path:
+    """Condition *source* and write the level-3 SQLite package.
+
+    *source* is a :class:`Level2Store` or an already-conditioned
+    :class:`ConditionedExperiment`.  Returns the database path.
+    """
+    if isinstance(source, Level2Store):
+        data = condition_experiment(source)
+    elif isinstance(source, ConditionedExperiment):
+        data = source
+    else:
+        raise StorageError(f"cannot store {type(source).__name__} as level 3")
+
+    db_path = Path(db_path)
+    if db_path.exists():
+        raise StorageError(f"refusing to overwrite existing database {db_path}")
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+
+    conn = sqlite3.connect(str(db_path))
+    try:
+        conn.executescript(_DDL)
+        name, comment = _name_comment(data.description_xml)
+        conn.execute(
+            "INSERT INTO ExperimentInfo (ExpXML, EEVersion, Name, Comment) "
+            "VALUES (?, ?, ?, ?)",
+            (data.description_xml, EE_VERSION, name, comment),
+        )
+        for node_id, log in sorted(data.node_logs.items()):
+            conn.execute("INSERT INTO Logs (NodeID, Log) VALUES (?, ?)", (node_id, log))
+        for file_id, content in sorted(data.eefiles.items()):
+            conn.execute(
+                "INSERT INTO EEFiles (ID, File) VALUES (?, ?)", (file_id, content)
+            )
+        conn.execute(
+            "INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
+            ("plan.json", json.dumps(data.plan, sort_keys=True)),
+        )
+        for mname, content in sorted(data.experiment_measurements.items()):
+            conn.execute(
+                "INSERT INTO ExperimentMeasurements (NodeID, Name, Content) "
+                "VALUES (?, ?, ?)",
+                ("master", mname, json.dumps(content, sort_keys=True)),
+            )
+        src_map = _addr_to_node_map(data.description_xml)
+        for run in data.runs:
+            for node_id, offset in sorted(run.offsets.items()):
+                conn.execute(
+                    "INSERT INTO RunInfos (RunID, NodeID, StartTime, TimeDiff) "
+                    "VALUES (?, ?, ?, ?)",
+                    (run.run_id, node_id, run.start_time, offset),
+                )
+            for node_id, plugins in sorted(run.extra_measurements.items()):
+                for pname, content in sorted(plugins.items()):
+                    conn.execute(
+                        "INSERT INTO ExtraRunMeasurements "
+                        "(RunID, NodeID, Name, Content) VALUES (?, ?, ?, ?)",
+                        (run.run_id, node_id, pname, json.dumps(content, sort_keys=True)),
+                    )
+            conn.executemany(
+                "INSERT INTO Events (RunID, NodeID, CommonTime, EventType, Parameter) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    (
+                        rec.get("run_id"),
+                        rec["node"],
+                        rec["common_time"],
+                        rec["name"],
+                        json.dumps(rec.get("params", []), sort_keys=True),
+                    )
+                    for rec in run.events
+                ),
+            )
+            conn.executemany(
+                "INSERT INTO Packets (RunID, NodeID, CommonTime, SrcNodeID, Data) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    (
+                        rec.get("run_id"),
+                        rec["node"],
+                        rec["common_time"],
+                        src_map.get(rec.get("src", ""), rec.get("src", "")),
+                        json.dumps(rec, sort_keys=True),
+                    )
+                    for rec in run.packets
+                ),
+            )
+        conn.commit()
+    finally:
+        conn.close()
+    return db_path
+
+
+def _name_comment(description_xml: str) -> Tuple[str, str]:
+    try:
+        root = ET.fromstring(description_xml)
+        return root.get("name", "unnamed"), root.get("comment", "")
+    except ET.ParseError:
+        return "unnamed", ""
+
+
+class ExperimentDatabase:
+    """Read access to a level-3 package."""
+
+    def __init__(self, db_path) -> None:
+        self.db_path = Path(db_path)
+        if not self.db_path.exists():
+            raise StorageError(f"no database at {self.db_path}")
+        self.conn = sqlite3.connect(str(self.db_path))
+        self.conn.row_factory = sqlite3.Row
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ExperimentDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Schema introspection (the Table I reproduction)
+    # ------------------------------------------------------------------
+    def schema(self) -> Dict[str, List[str]]:
+        """``{table: [attribute, ...]}`` as stored, Table I order."""
+        out: Dict[str, List[str]] = {}
+        for (table,) in self.conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+        ):
+            cols = [row[1] for row in self.conn.execute(f"PRAGMA table_info({table})")]
+            out[table] = cols
+        return out
+
+    def row_counts(self) -> Dict[str, int]:
+        return {
+            table: self.conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in self.schema()
+        }
+
+    # ------------------------------------------------------------------
+    # Typed readers
+    # ------------------------------------------------------------------
+    def experiment_info(self) -> Dict[str, str]:
+        row = self.conn.execute(
+            "SELECT ExpXML, EEVersion, Name, Comment FROM ExperimentInfo"
+        ).fetchone()
+        if row is None:
+            raise StorageError("empty ExperimentInfo table")
+        return dict(row)
+
+    def run_ids(self) -> List[int]:
+        return [
+            r[0]
+            for r in self.conn.execute(
+                "SELECT DISTINCT RunID FROM RunInfos ORDER BY RunID"
+            )
+        ]
+
+    def node_ids(self) -> List[str]:
+        return [
+            r[0]
+            for r in self.conn.execute(
+                "SELECT DISTINCT NodeID FROM RunInfos ORDER BY NodeID"
+            )
+        ]
+
+    def events(
+        self,
+        run_id: Optional[int] = None,
+        event_type: Optional[str] = None,
+        node_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Event records (with parsed params), ordered by common time."""
+        query = (
+            "SELECT RunID, NodeID, CommonTime, EventType, Parameter FROM Events"
+        )
+        clauses, args = [], []
+        if run_id is not None:
+            clauses.append("RunID = ?")
+            args.append(run_id)
+        if event_type is not None:
+            clauses.append("EventType = ?")
+            args.append(event_type)
+        if node_id is not None:
+            clauses.append("NodeID = ?")
+            args.append(node_id)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY CommonTime, NodeID"
+        return [
+            {
+                "run_id": row["RunID"],
+                "node": row["NodeID"],
+                "common_time": row["CommonTime"],
+                "name": row["EventType"],
+                "params": json.loads(row["Parameter"]),
+            }
+            for row in self.conn.execute(query, args)
+        ]
+
+    def packets(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        query = "SELECT RunID, NodeID, CommonTime, SrcNodeID, Data FROM Packets"
+        args: List[Any] = []
+        if run_id is not None:
+            query += " WHERE RunID = ?"
+            args.append(run_id)
+        query += " ORDER BY CommonTime, NodeID"
+        out = []
+        for row in self.conn.execute(query, args):
+            rec = json.loads(row["Data"])
+            rec["src_node"] = row["SrcNodeID"]
+            out.append(rec)
+        return out
+
+    def run_infos(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        query = "SELECT RunID, NodeID, StartTime, TimeDiff FROM RunInfos"
+        args: List[Any] = []
+        if run_id is not None:
+            query += " WHERE RunID = ?"
+            args.append(run_id)
+        query += " ORDER BY RunID, NodeID"
+        return [dict(row) for row in self.conn.execute(query, args)]
+
+    def plan(self) -> List[Dict[str, Any]]:
+        row = self.conn.execute(
+            "SELECT File FROM EEFiles WHERE ID = 'plan.json'"
+        ).fetchone()
+        if row is None:
+            raise StorageError("no plan.json in EEFiles")
+        return json.loads(row[0])
+
+    def event_pair_latencies(
+        self,
+        start_type: str,
+        end_type: str,
+        node_id: Optional[str] = None,
+        per_run: bool = True,
+    ) -> List[Dict[str, Any]]:
+        """Latencies between the first *start_type* and the first
+        subsequent *end_type* event, per run (optionally per node).
+
+        The generic form of the t_R extraction — works for any
+        action/completion event pair a process domain defines
+        (``sd_start_search``/``sd_service_add``,
+        ``echo_start``/``echo_reply``, fault start/stop, ...).  Runs where
+        the end event never follows the start are reported with
+        ``latency = None``.
+        """
+        out: List[Dict[str, Any]] = []
+        for run_id in (self.run_ids() if per_run else [None]):
+            events = self.events(run_id=run_id, node_id=node_id)
+            start_t: Optional[float] = None
+            end_t: Optional[float] = None
+            for e in events:
+                if e["name"] == start_type and start_t is None:
+                    start_t = e["common_time"]
+                elif (
+                    e["name"] == end_type and start_t is not None
+                    and end_t is None and e["common_time"] >= start_t
+                ):
+                    end_t = e["common_time"]
+            if start_t is None:
+                continue
+            out.append({
+                "run_id": run_id,
+                "start": start_t,
+                "end": end_t,
+                "latency": (end_t - start_t) if end_t is not None else None,
+            })
+        return out
+
+    def extra_measurements(self, run_id: int) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for row in self.conn.execute(
+            "SELECT NodeID, Name, Content FROM ExtraRunMeasurements WHERE RunID = ?",
+            (run_id,),
+        ):
+            out.setdefault(row["NodeID"], {})[row["Name"]] = json.loads(row["Content"])
+        return out

@@ -1,0 +1,267 @@
+"""Storage level 4: the multi-experiment repository.
+
+Sec. IV-F: *"The fourth level describes the integration of multiple
+experiments into a single repository to facilitate comparison and
+analysis covering multiple experiments.  To date, ExCovery does not
+realize this level."*
+
+We realize it.  The repository is one SQLite database holding every table
+of the level-3 schema with an additional ``ExpID`` discriminator column
+plus an ``Experiments`` catalogue table.  Importing a level-3 package
+copies its rows under a fresh ``ExpID``; cross-experiment analyses then
+join on the catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import StorageError
+from repro.storage.level3 import ExperimentDatabase
+
+__all__ = ["ExperimentRepository"]
+
+_REPO_DDL = """
+CREATE TABLE IF NOT EXISTS Experiments (
+    ExpID       INTEGER PRIMARY KEY AUTOINCREMENT,
+    Name        TEXT NOT NULL,
+    Comment     TEXT NOT NULL DEFAULT '',
+    EEVersion   TEXT NOT NULL,
+    ExpXML      TEXT NOT NULL,
+    SourcePath  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS Logs (
+    ExpID INTEGER NOT NULL, NodeID TEXT NOT NULL, Log TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS EEFiles (
+    ExpID INTEGER NOT NULL, ID TEXT NOT NULL, File TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS ExperimentMeasurements (
+    ExpID INTEGER NOT NULL, NodeID TEXT NOT NULL, Name TEXT NOT NULL,
+    Content TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS RunInfos (
+    ExpID INTEGER NOT NULL, RunID INTEGER NOT NULL, NodeID TEXT NOT NULL,
+    StartTime REAL NOT NULL, TimeDiff REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS ExtraRunMeasurements (
+    ExpID INTEGER NOT NULL, RunID INTEGER NOT NULL, NodeID TEXT NOT NULL,
+    Name TEXT NOT NULL, Content TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS Events (
+    ExpID INTEGER NOT NULL, RunID INTEGER, NodeID TEXT NOT NULL,
+    CommonTime REAL NOT NULL, EventType TEXT NOT NULL, Parameter TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS Packets (
+    ExpID INTEGER NOT NULL, RunID INTEGER, NodeID TEXT NOT NULL,
+    CommonTime REAL NOT NULL, SrcNodeID TEXT NOT NULL, Data TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_repo_events ON Events (ExpID, RunID, EventType);
+"""
+
+
+class ExperimentRepository:
+    """A growing collection of imported experiments."""
+
+    def __init__(self, db_path) -> None:
+        self.db_path = Path(db_path)
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        self.conn = sqlite3.connect(str(self.db_path))
+        self.conn.row_factory = sqlite3.Row
+        self.conn.executescript(_REPO_DDL)
+        self.conn.commit()
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ExperimentRepository":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Import
+    # ------------------------------------------------------------------
+    def import_experiment(self, level3_path) -> int:
+        """Copy a level-3 package into the repository; returns its ExpID."""
+        with ExperimentDatabase(level3_path) as db:
+            info = db.experiment_info()
+            cur = self.conn.execute(
+                "INSERT INTO Experiments (Name, Comment, EEVersion, ExpXML, SourcePath) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    info["Name"],
+                    info["Comment"],
+                    info["EEVersion"],
+                    info["ExpXML"],
+                    str(level3_path),
+                ),
+            )
+            exp_id = cur.lastrowid
+            src = db.conn
+            copies = {
+                "Logs": "NodeID, Log",
+                "EEFiles": "ID, File",
+                "ExperimentMeasurements": "NodeID, Name, Content",
+                "RunInfos": "RunID, NodeID, StartTime, TimeDiff",
+                "ExtraRunMeasurements": "RunID, NodeID, Name, Content",
+                "Events": "RunID, NodeID, CommonTime, EventType, Parameter",
+                "Packets": "RunID, NodeID, CommonTime, SrcNodeID, Data",
+            }
+            for table, columns in copies.items():
+                rows = src.execute(f"SELECT {columns} FROM {table}").fetchall()
+                if not rows:
+                    continue
+                placeholders = ", ".join("?" for _ in rows[0])
+                self.conn.executemany(
+                    f"INSERT INTO {table} (ExpID, {columns}) "
+                    f"VALUES ({exp_id}, {placeholders})",
+                    [tuple(row) for row in rows],
+                )
+            self.conn.commit()
+            return exp_id
+
+    # ------------------------------------------------------------------
+    # Cross-experiment queries
+    # ------------------------------------------------------------------
+    def experiments(self) -> List[Dict[str, Any]]:
+        return [
+            dict(row)
+            for row in self.conn.execute(
+                "SELECT ExpID, Name, Comment, EEVersion, SourcePath "
+                "FROM Experiments ORDER BY ExpID"
+            )
+        ]
+
+    def experiment_id_by_name(self, name: str) -> int:
+        row = self.conn.execute(
+            "SELECT ExpID FROM Experiments WHERE Name = ? ORDER BY ExpID DESC",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no experiment named {name!r} in repository")
+        return row[0]
+
+    def events(
+        self,
+        exp_id: int,
+        run_id: Optional[int] = None,
+        event_type: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        query = (
+            "SELECT RunID, NodeID, CommonTime, EventType, Parameter "
+            "FROM Events WHERE ExpID = ?"
+        )
+        args: List[Any] = [exp_id]
+        if run_id is not None:
+            query += " AND RunID = ?"
+            args.append(run_id)
+        if event_type is not None:
+            query += " AND EventType = ?"
+            args.append(event_type)
+        query += " ORDER BY CommonTime, NodeID"
+        return [
+            {
+                "run_id": row["RunID"],
+                "node": row["NodeID"],
+                "common_time": row["CommonTime"],
+                "name": row["EventType"],
+                "params": json.loads(row["Parameter"]),
+            }
+            for row in self.conn.execute(query, args)
+        ]
+
+    def run_ids(self, exp_id: int) -> List[int]:
+        return [
+            r[0]
+            for r in self.conn.execute(
+                "SELECT DISTINCT RunID FROM RunInfos WHERE ExpID = ? ORDER BY RunID",
+                (exp_id,),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Dimensional (warehouse) model
+    # ------------------------------------------------------------------
+    def create_dimensional_views(self) -> None:
+        """Materialize the star-schema views of the paper's storage
+        outlook (Sec. IV-F: *"for example by using a dimensional database
+        model to store experiments in a data warehouse structure"*).
+
+        Dimensions: ``DimExperiment``, ``DimNode``, ``DimEventType``,
+        ``DimRun``.  Fact view: ``FactEvents`` — one row per event with
+        surrogate keys into the dimensions plus the common-time measure.
+        Views are recreated idempotently; they reflect later imports
+        automatically.
+        """
+        self.conn.executescript(
+            """
+            DROP VIEW IF EXISTS DimExperiment;
+            CREATE VIEW DimExperiment AS
+                SELECT ExpID, Name, Comment, EEVersion FROM Experiments;
+
+            DROP VIEW IF EXISTS DimNode;
+            CREATE VIEW DimNode AS
+                SELECT DISTINCT ExpID, NodeID,
+                       ExpID || ':' || NodeID AS NodeKey
+                FROM RunInfos;
+
+            DROP VIEW IF EXISTS DimEventType;
+            CREATE VIEW DimEventType AS
+                SELECT DISTINCT EventType FROM Events;
+
+            DROP VIEW IF EXISTS DimRun;
+            CREATE VIEW DimRun AS
+                SELECT DISTINCT r.ExpID, r.RunID,
+                       r.ExpID || ':' || r.RunID AS RunKey,
+                       MIN(r.StartTime) AS StartTime
+                FROM RunInfos r GROUP BY r.ExpID, r.RunID;
+
+            DROP VIEW IF EXISTS FactEvents;
+            CREATE VIEW FactEvents AS
+                SELECT e.ExpID,
+                       e.ExpID || ':' || e.RunID  AS RunKey,
+                       e.ExpID || ':' || e.NodeID AS NodeKey,
+                       e.EventType,
+                       e.CommonTime,
+                       e.Parameter
+                FROM Events e;
+            """
+        )
+        self.conn.commit()
+
+    def fact_event_counts(
+        self, by: str = "EventType"
+    ) -> List[Dict[str, Any]]:
+        """Aggregate the fact view along one dimension column.
+
+        ``by`` is one of ``EventType``, ``ExpID``, ``NodeKey``, ``RunKey``.
+        """
+        allowed = {"EventType", "ExpID", "NodeKey", "RunKey"}
+        if by not in allowed:
+            raise StorageError(f"cannot group FactEvents by {by!r}; pick from {sorted(allowed)}")
+        self.create_dimensional_views()
+        return [
+            dict(row)
+            for row in self.conn.execute(
+                f"SELECT {by} AS key, COUNT(*) AS events "
+                f"FROM FactEvents GROUP BY {by} ORDER BY events DESC, key"
+            )
+        ]
+
+    def compare_event_counts(self, event_type: str) -> Dict[str, int]:
+        """How often *event_type* occurred, per experiment — the simplest
+        cross-experiment comparison the paper motivates level 4 with."""
+        out: Dict[str, int] = {}
+        for row in self.conn.execute(
+            "SELECT e.Name AS name, COUNT(*) AS n FROM Events ev "
+            "JOIN Experiments e ON e.ExpID = ev.ExpID "
+            "WHERE ev.EventType = ? GROUP BY ev.ExpID ORDER BY e.ExpID",
+            (event_type,),
+        ):
+            out[row["name"]] = row["n"]
+        return out

@@ -1,0 +1,21 @@
+"""Visualization of experiments.
+
+Sec. I lists visualization among the features the formal description
+enables.  Terminal-friendly renderers:
+
+:mod:`repro.viz.timeline_art`
+    Fig. 11 as ASCII art: per-actor lanes, actions/events as marks,
+    phase boundaries, the measured ``t_R``.
+:mod:`repro.viz.describe`
+    Human-readable summaries of descriptions, plans and results.
+"""
+
+from repro.viz.describe import describe_description, describe_plan, describe_result
+from repro.viz.timeline_art import render_timeline
+
+__all__ = [
+    "describe_description",
+    "describe_plan",
+    "describe_result",
+    "render_timeline",
+]

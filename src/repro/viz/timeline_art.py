@@ -1,0 +1,127 @@
+"""ASCII rendering of run timelines (Fig. 11).
+
+The paper's Fig. 11 shows a one-shot discovery: a lane per actor, white
+circles for actions, black circles for events, the three phases and the
+response time ``t_R``.  :func:`render_timeline` draws the same picture in
+a terminal::
+
+    run 0  phases: preparation | execution | cleanup        t_R = 0.183 s
+    time   0.000s ................................................ 1.251s
+    master |R----------r-----------------------------------------X|
+    t9-100 |--i-p---------------------------------------------s-x-|
+    t9-101 |----i----.-q----a--D---------------------------s-x----|
+            ^ prep          ^ t_R                ^ cleanup
+
+Marks are single characters per event type (legend included in the
+output); simultaneous events on one lane keep the leftmost free cell to
+their right, so nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.timeline import RunTimeline
+
+__all__ = ["render_timeline", "MARKS"]
+
+#: Event type -> single-character mark.  Upper case = "black circle"
+#: events the paper highlights; lower case = supporting actions.
+MARKS: Dict[str, str] = {
+    "run_init": "R",
+    "run_exit": "X",
+    "ready_to_init": "r",
+    "sd_init_done": "i",
+    "sd_exit_done": "x",
+    "sd_start_publish": "p",
+    "sd_stop_publish": "q",
+    "sd_start_search": "s",
+    "sd_stop_search": "e",
+    "sd_service_add": "D",
+    "sd_service_del": "L",
+    "sd_service_upd": "U",
+    "scm_started": "C",
+    "scm_found": "F",
+    "scm_registration_add": "G",
+    "done": "d",
+    "env_traffic_started": "T",
+    "env_traffic_stopped": "t",
+    "wait_timeout": "W",
+    "run_timeout": "!",
+}
+
+DEFAULT_MARK = "*"
+
+
+def _place(lane: List[str], col: int, mark: str) -> None:
+    """Put *mark* at *col*, sliding right past occupied cells."""
+    n = len(lane)
+    col = max(0, min(col, n - 1))
+    while col < n and lane[col] != "-":
+        col += 1
+    if col < n:
+        lane[col] = mark
+
+
+def render_timeline(
+    timeline: RunTimeline,
+    width: int = 72,
+    include_nodes: Optional[Iterable[str]] = None,
+    legend: bool = True,
+) -> str:
+    """Render *timeline* as multi-lane ASCII art.
+
+    ``include_nodes`` restricts the lanes (default: every node with
+    events).  Returns the complete drawing as one string.
+    """
+    if not timeline.entries:
+        return f"run {timeline.run_id}: (no events)"
+
+    span = max(timeline.end - timeline.start, 1e-9)
+    nodes = list(include_nodes) if include_nodes else timeline.nodes()
+    label_w = max(len(n) for n in nodes) + 1
+
+    lines: List[str] = []
+    t_r = timeline.t_r
+    header = f"run {timeline.run_id}  phases: preparation | execution | cleanup"
+    if t_r is not None:
+        header += f"{'':8}t_R = {t_r:.3f} s"
+    lines.append(header)
+    ruler = (
+        f"{'time'.ljust(label_w)}|0.000s"
+        + "." * max(0, width - 14)
+        + f"{span:7.3f}s|"
+    )
+    lines.append(ruler)
+
+    used_marks: Dict[str, str] = {}
+    for node in nodes:
+        lane = ["-"] * width
+        for entry in timeline.events_on(node):
+            mark = MARKS.get(entry.name, DEFAULT_MARK)
+            used_marks[mark] = entry.name
+            col = int((entry.common_time - timeline.start) / span * (width - 1))
+            _place(lane, col, mark)
+        lines.append(f"{node.ljust(label_w)}|{''.join(lane)}|")
+
+    # Phase boundary ruler.
+    boundary = [" "] * width
+    if timeline.exec_begin is not None:
+        col = int((timeline.exec_begin - timeline.start) / span * (width - 1))
+        boundary[max(0, min(col, width - 1))] = "^"
+    if timeline.exec_end is not None:
+        col = int((timeline.exec_end - timeline.start) / span * (width - 1))
+        boundary[max(0, min(col, width - 1))] = "^"
+    lines.append(f"{'phase'.ljust(label_w)} {''.join(boundary)} ")
+
+    if legend and used_marks:
+        legend_items = ", ".join(
+            f"{mark}={name}" for mark, name in sorted(used_marks.items())
+        )
+        lines.append(f"legend: {legend_items}")
+    durations = timeline.durations()
+    lines.append(
+        "durations: prep={preparation:.3f}s exec={execution:.3f}s "
+        "cleanup={cleanup:.3f}s total={total:.3f}s".format(**durations)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Property tests: fault windows, RNG derivation, caches, tag unwrapping,
+event dependency matching."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import EventPattern, ExEvent, Watcher
+from repro.faults.model import FaultTiming
+from repro.net.tagger import TAG_MODULUS, unwrap_tags
+from repro.sd.model import ServiceInstance
+from repro.sd.records import ServiceCache
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+# ----------------------------------------------------------------------
+# Fault windows
+# ----------------------------------------------------------------------
+@given(
+    duration=st.floats(min_value=0.001, max_value=1e4),
+    rate=st.floats(min_value=0.001, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+    start=st.floats(min_value=0, max_value=1e6),
+)
+@settings(max_examples=200, deadline=None)
+def test_fault_window_inside_duration_with_exact_length(duration, rate, seed, start):
+    timing = FaultTiming(duration=duration, rate=rate, randomseed=seed)
+    w = timing.window(start)
+    assert start - 1e-9 <= w.active_from
+    assert w.active_until <= start + duration + 1e-6
+    assert abs(w.length - rate * duration) < 1e-6 * max(1.0, duration)
+
+
+@given(
+    duration=st.floats(min_value=0.1, max_value=100),
+    rate=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_fault_window_pure_function_of_seed(duration, rate, seed):
+    t = FaultTiming(duration=duration, rate=rate, randomseed=seed)
+    assert t.window(3.0) == t.window(3.0)
+
+
+# ----------------------------------------------------------------------
+# RNG derivation
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=2**63),
+    path_a=st.lists(st.one_of(st.integers(-100, 100), st.text(max_size=8)), max_size=4),
+    path_b=st.lists(st.one_of(st.integers(-100, 100), st.text(max_size=8)), max_size=4),
+)
+@settings(max_examples=150, deadline=None)
+def test_distinct_key_paths_give_distinct_seeds(seed, path_a, path_b):
+    assume(path_a != path_b)
+    assert derive_seed(seed, *path_a) != derive_seed(seed, *path_b)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**63), n=st.integers(1, 20))
+@settings(max_examples=50, deadline=None)
+def test_fresh_streams_reproducible(seed, n):
+    reg = RngRegistry(seed)
+    a = [reg.fresh("k", i).random() for i in range(n)]
+    b = [reg.fresh("k", i).random() for i in range(n)]
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# Service cache
+# ----------------------------------------------------------------------
+@st.composite
+def cache_ops(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    ops = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=5.0))
+        provider = f"p{draw(st.integers(0, 4))}"
+        ttl = draw(st.floats(min_value=0.5, max_value=20.0))
+        ops.append((t, provider, ttl))
+    return ops
+
+
+@given(ops=cache_ops())
+@settings(max_examples=100, deadline=None)
+def test_cache_never_holds_expired_entries_after_purge(ops):
+    cache = ServiceCache()
+    for now, provider, ttl in ops:
+        cache.add(
+            ServiceInstance(
+                name=f"{provider}._t", service_type="_t",
+                provider_node=provider, address="10.0.0.1", ttl=ttl,
+            ),
+            now=now,
+        )
+        cache.purge_expired(now)
+        for entry in cache.all_entries():
+            assert entry.expires_at > now
+            assert 0.0 <= entry.fresh_fraction(now) <= 1.0
+
+
+@given(ops=cache_ops())
+@settings(max_examples=50, deadline=None)
+def test_cache_len_equals_distinct_live_providers(ops):
+    cache = ServiceCache()
+    last_add = {}
+    for now, provider, ttl in ops:
+        cache.add(
+            ServiceInstance(
+                name=f"{provider}._t", service_type="_t",
+                provider_node=provider, address="10.0.0.1", ttl=ttl,
+            ),
+            now=now,
+        )
+        last_add[provider] = (now, ttl)
+    final = max(t for t, _p, _ttl in ops)
+    cache.purge_expired(final)
+    live = {p for p, (t, ttl) in last_add.items() if t + ttl > final}
+    assert len(cache) == len(live)
+
+
+# ----------------------------------------------------------------------
+# Tag unwrapping
+# ----------------------------------------------------------------------
+@given(
+    start=st.integers(min_value=0, max_value=TAG_MODULUS - 1),
+    steps=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200),
+)
+@settings(max_examples=150, deadline=None)
+def test_unwrap_recovers_monotonic_sequence(start, steps):
+    true_values = [start]
+    for step in steps:
+        true_values.append(true_values[-1] + step)
+    wrapped = [v % TAG_MODULUS for v in true_values]
+    unwrapped = unwrap_tags(wrapped)
+    diffs_true = [b - a for a, b in zip(true_values, true_values[1:])]
+    diffs_un = [b - a for a, b in zip(unwrapped, unwrapped[1:])]
+    assert diffs_true == diffs_un
+
+
+# ----------------------------------------------------------------------
+# Event dependency matching
+# ----------------------------------------------------------------------
+@given(
+    nodes=st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4),
+    params=st.sets(st.sampled_from(["p", "q", "r"]), min_size=1, max_size=3),
+    order_seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_all_nodes_all_params_completes_exactly_at_coverage(nodes, params, order_seed):
+    """The watcher fires exactly when the (node x param) grid is covered,
+    regardless of arrival order."""
+
+    class FakeSignal:
+        triggered = False
+
+        def trigger(self, value=None):
+            self.triggered = True
+
+    pattern = EventPattern(
+        name="e",
+        nodes=frozenset(nodes),
+        require_all_nodes=True,
+        params=frozenset(params),
+        require_all_params=True,
+        run_id=0,
+    )
+    watcher = Watcher(pattern, FakeSignal())
+    grid = [(n, p) for n in sorted(nodes) for p in sorted(params)]
+    order_seed.shuffle(grid)
+    for i, (node, param) in enumerate(grid):
+        event = ExEvent(
+            name="e", node=node, local_time=0.0, params=(param,), run_id=0
+        ).with_seq(i)
+        completed = watcher.offer(event)
+        if i < len(grid) - 1:
+            assert not completed
+        else:
+            assert completed

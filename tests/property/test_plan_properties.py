@@ -1,0 +1,100 @@
+"""Property tests: treatment plan invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+from repro.core.plan import generate_plan
+
+_usages = st.sampled_from([Usage.CONSTANT, Usage.RANDOM, Usage.BLOCKING])
+
+
+@st.composite
+def factor_lists(draw):
+    n_factors = draw(st.integers(min_value=1, max_value=4))
+    factors = []
+    for i in range(n_factors):
+        n_levels = draw(st.integers(min_value=1, max_value=4))
+        values = draw(
+            st.lists(
+                st.integers(min_value=-100, max_value=100),
+                min_size=n_levels, max_size=n_levels, unique=True,
+            )
+        )
+        factors.append(
+            Factor(
+                id=f"f{i}", type="int", usage=draw(_usages),
+                levels=[Level(v) for v in values],
+            )
+        )
+    reps = draw(st.integers(min_value=1, max_value=4))
+    return FactorList(factors, ReplicationFactor(count=reps))
+
+
+@given(fl=factor_lists(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=60, deadline=None)
+def test_plan_size_is_product_of_levels_times_replications(fl, seed):
+    plan = generate_plan(fl, seed)
+    assert len(plan) == fl.total_runs()
+
+
+@given(fl=factor_lists(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=60, deadline=None)
+def test_plan_covers_every_treatment_exactly_replication_times(fl, seed):
+    """Randomization must permute, never drop or duplicate, treatments."""
+    from collections import Counter
+
+    plan = generate_plan(fl, seed)
+    combos = Counter(
+        tuple(run.treatment[f.id] for f in fl) for run in plan
+    )
+    assert len(combos) == fl.treatment_count()
+    assert set(combos.values()) == {fl.replication.count}
+
+
+@given(fl=factor_lists(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=40, deadline=None)
+def test_plan_deterministic_in_seed(fl, seed):
+    a = generate_plan(fl, seed)
+    b = generate_plan(fl, seed)
+    assert [r.treatment for r in a] == [r.treatment for r in b]
+    assert [r.seed for r in a] == [r.seed for r in b]
+
+
+@given(fl=factor_lists(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=40, deadline=None)
+def test_plan_run_ids_and_replications_well_formed(fl, seed):
+    plan = generate_plan(fl, seed)
+    assert [r.run_id for r in plan] == list(range(len(plan)))
+    for run in plan:
+        assert 0 <= run.replication < fl.replication.count
+        assert run.treatment[fl.replication.id] == run.replication
+
+
+@given(fl=factor_lists(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=40, deadline=None)
+def test_replications_of_a_treatment_are_contiguous(fl, seed):
+    plan = generate_plan(fl, seed)
+    seen_done = set()
+    current = None
+    for run in plan:
+        if run.treatment_index != current:
+            assert run.treatment_index not in seen_done
+            if current is not None:
+                seen_done.add(current)
+            current = run.treatment_index
+            assert run.replication == 0
+    # Per-treatment replication counters increase by one.
+    by_treatment = {}
+    for run in plan:
+        expected = by_treatment.get(run.treatment_index, 0)
+        assert run.replication == expected
+        by_treatment[run.treatment_index] = expected + 1
+
+
+@given(fl=factor_lists(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=40, deadline=None)
+def test_run_seeds_unique(fl, seed):
+    plan = generate_plan(fl, seed)
+    seeds = [r.seed for r in plan]
+    assert len(set(seeds)) == len(seeds)

@@ -1,0 +1,164 @@
+"""Property tests: kernel scheduling and medium conservation invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.medium import CongestionModel, WirelessMedium
+from repro.net.node import NetNode
+from repro.net.packet import MULTICAST_SD_GROUP
+from repro.net.topology import full_mesh_topology, line_topology
+from repro.sim.kernel import Simulator
+
+
+# ----------------------------------------------------------------------
+# Kernel
+# ----------------------------------------------------------------------
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_callbacks_run_in_time_order_exactly_once(delays):
+    sim = Simulator()
+    fired = []
+    for i, delay in enumerate(delays):
+        sim.call_later(delay, lambda i=i, d=delay: fired.append((d, i)))
+    sim.run()
+    assert len(fired) == len(delays)
+    times = [d for d, _i in fired]
+    assert times == sorted(times)
+    # Equal times preserve scheduling order.
+    for (d1, i1), (d2, i2) in zip(fired, fired[1:]):
+        if d1 == d2:
+            assert i1 < i2
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_clock_is_monotone_under_any_schedule(delays):
+    sim = Simulator()
+    observed = []
+
+    def nested(remaining):
+        observed.append(sim.now)
+        if remaining:
+            head, *tail = remaining
+            sim.call_later(head, lambda: nested(tail))
+
+    nested(list(delays))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+@given(
+    n_procs=st.integers(min_value=1, max_value=10),
+    steps=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_processes_complete_regardless_of_interleaving(n_procs, steps, seed):
+    sim = Simulator()
+    rng = random.Random(seed)
+    finished = []
+
+    def worker(wid):
+        for _ in range(steps):
+            yield sim.timeout(rng.uniform(0.0, 1.0))
+        finished.append(wid)
+        return wid
+
+    procs = [sim.process(worker(i)) for i in range(n_procs)]
+    sim.run()
+    assert sorted(finished) == list(range(n_procs))
+    assert all(p.value == i for i, p in enumerate(procs))
+
+
+# ----------------------------------------------------------------------
+# Medium conservation
+# ----------------------------------------------------------------------
+@given(
+    n_packets=st.integers(min_value=1, max_value=60),
+    base_loss=st.floats(min_value=0.0, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_unicast_conservation_sent_equals_delivered_plus_lost(
+    n_packets, base_loss, seed
+):
+    sim = Simulator()
+    topo = line_topology(2, base_loss=base_loss, prefix="c")
+    medium = WirelessMedium(sim, topo, random.Random(seed), mac_retries=2)
+    a = NetNode(sim, "c0", "10.8.0.1")
+    b = NetNode(sim, "c1", "10.8.0.2")
+    medium.attach(a)
+    medium.attach(b)
+    received = []
+    b.bind(9, lambda pl, pkt, n: received.append(pl))
+    for i in range(n_packets):
+        a.send_datagram(i, b.address, 9)
+    sim.run(until=60.0)
+    # Every transmission is either delivered or counted lost.
+    assert medium.stats.deliveries + medium.stats.losses == n_packets
+    assert len(received) == medium.stats.deliveries
+    # No duplication ever.
+    assert len(set(received)) == len(received)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    n_packets=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_multicast_delivers_at_most_once_per_member(n, n_packets, seed):
+    sim = Simulator()
+    topo = full_mesh_topology(n, base_loss=0.3, prefix="m")
+    medium = WirelessMedium(sim, topo, random.Random(seed))
+    nodes = []
+    delivered = {}
+    for i in range(n):
+        node = NetNode(sim, f"m{i}", f"10.8.1.{i + 1}")
+        medium.attach(node)
+        nodes.append(node)
+    for node in nodes[1:]:
+        node.join_group(MULTICAST_SD_GROUP)
+        log = delivered.setdefault(node.name, [])
+        node.bind(9, lambda pl, pkt, node_, _log=log: _log.append(pl))
+    for i in range(n_packets):
+        nodes[0].send_datagram(i, MULTICAST_SD_GROUP, 9)
+    sim.run(until=60.0)
+    for name, payloads in delivered.items():
+        # Flooding may carry several copies, but dedup guarantees at most
+        # one delivery per uid per member.
+        assert len(payloads) == len(set(payloads)), name
+        assert len(payloads) <= n_packets
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_utilization_bounded_and_zero_after_window(sizes):
+    sim = Simulator()
+    topo = line_topology(2, base_loss=0.0, prefix="u")
+    medium = WirelessMedium(
+        sim, topo, random.Random(1),
+        congestion=CongestionModel(capacity_bps=1_000_000, window=1.0),
+    )
+    a = NetNode(sim, "u0", "10.8.2.1")
+    b = NetNode(sim, "u1", "10.8.2.2")
+    medium.attach(a)
+    medium.attach(b)
+    for size in sizes:
+        a.send_datagram("x", b.address, 9, size=size)
+        assert 0.0 <= medium.utilization() <= 1.5
+    sim.call_later(2.0, lambda: None)
+    sim.run()
+    assert medium.utilization() == 0.0

@@ -1,0 +1,140 @@
+"""Property tests: XML serialization round trips for arbitrary descriptions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.description import (
+    ActorDescription,
+    EnvironmentProcess,
+    ExperimentDescription,
+    ManipulationProcess,
+    PlatformNode,
+    PlatformSpec,
+)
+from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+from repro.core.processes import (
+    DomainAction,
+    EventFlag,
+    FactorRef,
+    NodeSelector,
+    WaitForEvent,
+    WaitForTime,
+    WaitMarker,
+)
+from repro.core.xmlio import description_from_xml, description_to_xml
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+_value = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(
+        lambda f: round(f, 4)
+    ),
+    st.from_regex(r"[a-zA-Z][a-zA-Z0-9_.-]{0,12}", fullmatch=True),
+)
+
+
+@st.composite
+def actions(draw):
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return WaitForTime(seconds=draw(st.floats(min_value=0, max_value=100).map(lambda f: round(f, 3))))
+    if kind == 1:
+        return WaitMarker()
+    if kind == 2:
+        return EventFlag(value=draw(_ident), params=tuple(draw(st.lists(_value, max_size=2))))
+    if kind == 3:
+        timeout = draw(st.one_of(st.none(), st.floats(min_value=0, max_value=60).map(lambda f: round(f, 2))))
+        sel = draw(st.one_of(
+            st.none(),
+            st.builds(NodeSelector, actor=st.just("actor0"),
+                      instance=st.sampled_from(["all", "0"])),
+        ))
+        return WaitForEvent(event=draw(_ident), from_nodes=sel, timeout=timeout)
+    params = draw(
+        st.dictionaries(_ident, st.one_of(_value, st.builds(FactorRef, factor_id=st.just("f0"))), max_size=3)
+    )
+    return DomainAction(name=draw(_ident), params=params)
+
+
+@st.composite
+def descriptions(draw):
+    desc = ExperimentDescription(
+        name=draw(_ident), seed=draw(st.integers(min_value=0, max_value=10**6))
+    )
+    desc.parameters = draw(st.dictionaries(_ident, _ident, max_size=3))
+    desc.abstract_nodes = ["A", "B"]
+    desc.factors = FactorList(
+        [
+            Factor(
+                id="fmap", type="actor_node_map", usage=Usage.BLOCKING,
+                levels=[Level({"actor0": {"0": "A"}, "actor1": {"0": "B"}})],
+            ),
+            Factor(
+                id="f0", type="int", usage=draw(st.sampled_from(list(Usage)[:3])),
+                levels=[Level(v) for v in draw(
+                    st.lists(st.integers(-50, 50), min_size=1, max_size=3, unique=True)
+                )],
+            ),
+        ],
+        ReplicationFactor(count=draw(st.integers(min_value=1, max_value=5))),
+    )
+    desc.actors = [
+        ActorDescription(
+            "actor0", name="SM",
+            actions=draw(st.lists(actions(), max_size=4)),
+        ),
+        ActorDescription("actor1", name="SU", actions=draw(st.lists(actions(), max_size=3))),
+    ]
+    if draw(st.booleans()):
+        desc.manipulations.append(
+            ManipulationProcess(actor_id="actor0", actions=draw(st.lists(actions(), max_size=2)))
+        )
+    if draw(st.booleans()):
+        desc.environment_processes.append(
+            EnvironmentProcess(actions=draw(st.lists(actions(), max_size=2)))
+        )
+    desc.platform = PlatformSpec(
+        [
+            PlatformNode("h0", "10.0.0.1", abstract_id="A"),
+            PlatformNode("h1", "10.0.0.2", abstract_id="B"),
+            PlatformNode("h2", "10.0.0.3"),
+        ]
+    )
+    desc.special_params = draw(
+        st.dictionaries(_ident, st.integers(min_value=0, max_value=100), max_size=2)
+    )
+    return desc
+
+
+@given(desc=descriptions())
+@settings(max_examples=60, deadline=None)
+def test_serialize_parse_serialize_is_identity(desc):
+    xml1 = description_to_xml(desc)
+    desc2 = description_from_xml(xml1)
+    xml2 = description_to_xml(desc2)
+    assert xml1 == xml2
+
+
+@given(desc=descriptions())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_run_count_and_seed(desc):
+    again = description_from_xml(description_to_xml(desc))
+    assert again.seed == desc.seed
+    assert again.name == desc.name
+    assert again.factors.total_runs() == desc.factors.total_runs()
+    assert again.parameters == desc.parameters
+    assert [a.actor_id for a in again.actors] == [a.actor_id for a in desc.actors]
+    assert len(again.platform) == len(desc.platform)
+
+
+@given(desc=descriptions())
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_preserves_action_structure(desc):
+    again = description_from_xml(description_to_xml(desc))
+    for orig_actor, new_actor in zip(desc.actors, again.actors):
+        assert len(orig_actor.actions) == len(new_actor.actions)
+        for a, b in zip(orig_actor.actions, new_actor.actions):
+            assert type(a) is type(b)
+            if isinstance(a, DomainAction):
+                assert a.name == b.name
+                assert set(a.params) == set(b.params)

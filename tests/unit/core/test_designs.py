@@ -1,0 +1,147 @@
+"""Unit tests for the classic experiment designs."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.designs import (
+    completely_randomized_design,
+    latin_square_design,
+    randomized_complete_block_design,
+)
+from repro.core.errors import PlanError
+from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+from repro.core.plan import generate_plan
+
+
+def _fl(*specs):
+    return FactorList(
+        [
+            Factor(id=name, type="int", usage=Usage.CONSTANT,
+                   levels=[Level(v) for v in values])
+            for name, values in specs
+        ],
+        ReplicationFactor(count=1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Completely randomized design
+# ----------------------------------------------------------------------
+def test_crd_covers_grid_times_replications():
+    fl = _fl(("a", (1, 2)), ("b", (1, 2, 3)))
+    plan = completely_randomized_design(fl, seed=5, replications=4)
+    assert len(plan) == 24
+    combos = Counter((t["a"], t["b"]) for t in plan)
+    assert set(combos.values()) == {4}
+
+
+def test_crd_actually_randomizes_order():
+    fl = _fl(("a", (1, 2)), ("b", (1, 2, 3)))
+    plan = completely_randomized_design(fl, seed=5, replications=4)
+    # Replications of one treatment must not all be contiguous (the whole
+    # point vs the default OFAT plan).
+    positions = [i for i, t in enumerate(plan) if (t["a"], t["b"]) == (1, 1)]
+    assert positions != list(range(positions[0], positions[0] + 4))
+
+
+def test_crd_deterministic():
+    fl = _fl(("a", (1, 2)), ("b", (1, 2)))
+    assert completely_randomized_design(fl, 9, 3) == completely_randomized_design(fl, 9, 3)
+    assert completely_randomized_design(fl, 9, 3) != completely_randomized_design(fl, 10, 3)
+
+
+def test_crd_feeds_generate_plan():
+    fl = _fl(("a", (1, 2)), ("b", (1, 2)))
+    custom = completely_randomized_design(fl, seed=1, replications=2)
+    plan = generate_plan(fl, 1, custom_treatments=custom)
+    assert len(plan) == 8
+
+
+def test_crd_validates_replications():
+    with pytest.raises(PlanError):
+        completely_randomized_design(_fl(("a", (1,))), 1, replications=0)
+
+
+# ----------------------------------------------------------------------
+# Randomized complete block design
+# ----------------------------------------------------------------------
+def test_rcbd_block_structure():
+    fl = _fl(("block", (10, 20, 30)), ("t", (1, 2)), ("u", (5, 6)))
+    plan = randomized_complete_block_design(fl, "block", seed=3)
+    assert len(plan) == 3 * 4
+    # Blocks appear in declared order, contiguously.
+    blocks = [t["block"] for t in plan]
+    assert blocks == [10] * 4 + [20] * 4 + [30] * 4
+    # Within each block every (t, u) combination appears exactly once.
+    for level in (10, 20, 30):
+        combos = Counter(
+            (t["t"], t["u"]) for t in plan if t["block"] == level
+        )
+        assert set(combos.values()) == {1}
+        assert len(combos) == 4
+
+
+def test_rcbd_within_block_orders_differ():
+    fl = _fl(("block", tuple(range(8))), ("t", (1, 2, 3, 4)))
+    plan = randomized_complete_block_design(fl, "block", seed=3)
+    orders = set()
+    for level in range(8):
+        orders.add(tuple(t["t"] for t in plan if t["block"] == level))
+    assert len(orders) > 1  # per-block shuffles are independent
+
+
+def test_rcbd_requires_treatment_factor():
+    with pytest.raises(PlanError):
+        randomized_complete_block_design(_fl(("block", (1, 2))), "block", 1)
+
+
+def test_rcbd_feeds_generate_plan():
+    fl = _fl(("block", (1, 2)), ("t", (1, 2)))
+    custom = randomized_complete_block_design(fl, "block", seed=1)
+    plan = generate_plan(fl, 1, custom_treatments=custom)
+    assert len(plan) == 4
+
+
+# ----------------------------------------------------------------------
+# Latin square
+# ----------------------------------------------------------------------
+def test_latin_square_properties():
+    fl = _fl(("row", (1, 2, 3)), ("col", (10, 20, 30)), ("t", (7, 8, 9)))
+    plan = latin_square_design(fl, "row", "col", "t", seed=4)
+    assert len(plan) == 9
+    # Each treatment level appears exactly once per row and per column.
+    for r in (1, 2, 3):
+        values = [t["t"] for t in plan if t["row"] == r]
+        assert sorted(values) == [7, 8, 9]
+    for c in (10, 20, 30):
+        values = [t["t"] for t in plan if t["col"] == c]
+        assert sorted(values) == [7, 8, 9]
+
+
+def test_latin_square_randomization_differs_by_seed():
+    fl = _fl(("row", (1, 2, 3)), ("col", (1, 2, 3)), ("t", (1, 2, 3)))
+    a = latin_square_design(fl, "row", "col", "t", seed=1)
+    b = latin_square_design(fl, "row", "col", "t", seed=2)
+    assert a != b
+    assert a == latin_square_design(fl, "row", "col", "t", seed=1)
+
+
+def test_latin_square_level_count_mismatch():
+    fl = _fl(("row", (1, 2)), ("col", (1, 2, 3)), ("t", (1, 2)))
+    with pytest.raises(PlanError, match="equal level counts"):
+        latin_square_design(fl, "row", "col", "t", seed=1)
+
+
+def test_latin_square_extra_factor_must_be_constant():
+    fl = _fl(("row", (1, 2)), ("col", (1, 2)), ("t", (1, 2)), ("x", (1, 2)))
+    with pytest.raises(PlanError, match="held constant"):
+        latin_square_design(fl, "row", "col", "t", seed=1)
+
+
+def test_latin_square_carries_constants():
+    fl = _fl(("row", (1, 2)), ("col", (1, 2)), ("t", (1, 2)), ("x", (42,)))
+    plan = latin_square_design(fl, "row", "col", "t", seed=1)
+    assert all(t["x"] == 42 for t in plan)
+    # And the result is a valid custom plan.
+    assert len(generate_plan(fl, 1, custom_treatments=plan)) == 4

@@ -1,0 +1,144 @@
+"""Unit tests for treatment plan generation."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.factors import Factor, FactorList, Level, ReplicationFactor, Usage
+from repro.core.plan import generate_plan
+
+
+def _fl(replications=1, usages=(Usage.CONSTANT, Usage.CONSTANT)):
+    return FactorList(
+        [
+            Factor(id="first", type="int", usage=usages[0],
+                   levels=[Level(1), Level(2)]),
+            Factor(id="last", type="str", usage=usages[1],
+                   levels=[Level("x"), Level("y"), Level("z")]),
+        ],
+        ReplicationFactor(id="rep", count=replications),
+    )
+
+
+def test_ofat_nesting_first_factor_varies_least():
+    plan = generate_plan(_fl(), 1)
+    firsts = [r.treatment["first"] for r in plan]
+    lasts = [r.treatment["last"] for r in plan]
+    assert firsts == [1, 1, 1, 2, 2, 2]
+    assert lasts == ["x", "y", "z", "x", "y", "z"]
+
+
+def test_replication_is_innermost():
+    plan = generate_plan(_fl(replications=2), 1)
+    assert len(plan) == 12
+    # Each treatment's replications are adjacent.
+    assert [r.replication for r in plan][:4] == [0, 1, 0, 1]
+    assert plan[0].treatment_index == plan[1].treatment_index
+    assert plan[0].treatment_index != plan[2].treatment_index
+
+
+def test_replication_id_exposed_as_factor():
+    plan = generate_plan(_fl(replications=3), 1)
+    assert plan[2].treatment["rep"] == 2
+
+
+def test_run_ids_sequential():
+    plan = generate_plan(_fl(replications=2), 1)
+    assert [r.run_id for r in plan] == list(range(12))
+
+
+def test_run_seeds_unique_and_deterministic():
+    p1 = generate_plan(_fl(), 42)
+    p2 = generate_plan(_fl(), 42)
+    assert [r.seed for r in p1] == [r.seed for r in p2]
+    assert len({r.seed for r in p1}) == len(p1)
+
+
+def test_random_usage_shuffles_deterministically():
+    fl = _fl(usages=(Usage.CONSTANT, Usage.RANDOM))
+    p1 = generate_plan(fl, 7)
+    p2 = generate_plan(fl, 7)
+    assert [r.treatment for r in p1] == [r.treatment for r in p2]
+    # A different seed gives a different order for the same factor set
+    # (with 3 levels and several cycles, collision odds are negligible).
+    p3 = generate_plan(fl, 8)
+    assert [r.treatment["last"] for r in p1] != [r.treatment["last"] for r in p3]
+
+
+def test_random_usage_covers_all_levels_per_cycle():
+    fl = _fl(usages=(Usage.CONSTANT, Usage.RANDOM))
+    plan = generate_plan(fl, 7)
+    # Within each block of the outer factor, the random factor applies
+    # every level exactly once.
+    first_cycle = [r.treatment["last"] for r in plan if r.treatment["first"] == 1]
+    second_cycle = [r.treatment["last"] for r in plan if r.treatment["first"] == 2]
+    assert sorted(first_cycle) == ["x", "y", "z"]
+    assert sorted(second_cycle) == ["x", "y", "z"]
+
+
+def test_random_cycles_reshuffle_independently():
+    # With enough cycles, at least one differs from the first (else the
+    # shuffle would be a fixed permutation, not per-cycle randomization).
+    outer = Factor(
+        id="outer", type="int", usage=Usage.CONSTANT,
+        levels=[Level(i) for i in range(10)],
+    )
+    inner = Factor(
+        id="inner", type="int", usage=Usage.RANDOM,
+        levels=[Level(i) for i in range(4)],
+    )
+    plan = generate_plan(FactorList([outer, inner]), 3)
+    cycles = [
+        tuple(r.treatment["inner"] for r in plan if r.treatment["outer"] == o)
+        for o in range(10)
+    ]
+    assert len(set(cycles)) > 1
+
+
+def test_custom_plan_replaces_expansion():
+    fl = _fl(replications=2)
+    custom = [{"first": 2, "last": "y"}, {"first": 1, "last": "x"}]
+    plan = generate_plan(fl, 1, custom_treatments=custom)
+    assert len(plan) == 4  # 2 treatments x 2 replications
+    assert plan[0].treatment["first"] == 2
+    assert plan[2].treatment["first"] == 1
+
+
+def test_custom_plan_missing_factor_rejected():
+    with pytest.raises(PlanError):
+        generate_plan(_fl(), 1, custom_treatments=[{"first": 1}])
+
+
+def test_custom_plan_unknown_factor_rejected():
+    with pytest.raises(PlanError):
+        generate_plan(
+            _fl(), 1,
+            custom_treatments=[{"first": 1, "last": "x", "ghost": 1}],
+        )
+
+
+def test_empty_custom_plan_rejected():
+    with pytest.raises(PlanError):
+        generate_plan(_fl(), 1, custom_treatments=[])
+
+
+def test_plan_treatments_listing():
+    plan = generate_plan(_fl(replications=2), 1)
+    treatments = plan.treatments()
+    assert len(treatments) == 6
+    assert plan.treatment_count == 6
+
+
+def test_plan_describe_roundtrips_to_json():
+    import json
+
+    plan = generate_plan(_fl(), 1)
+    dumped = json.dumps(plan.describe())
+    assert json.loads(dumped)[0]["run_id"] == 0
+
+
+def test_single_factor_single_level():
+    fl = FactorList(
+        [Factor(id="only", type="int", usage=Usage.CONSTANT, levels=[Level(9)])]
+    )
+    plan = generate_plan(fl, 1)
+    assert len(plan) == 1 and plan[0].treatment["only"] == 9

@@ -1,0 +1,63 @@
+"""Unit tests for run bindings and node-selector resolution."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.plan import Run
+from repro.core.processes import NodeSelector
+from repro.core.runner import ProcessScope, RunBinding
+
+
+@pytest.fixture
+def binding():
+    run = Run(
+        run_id=0, treatment_index=0, replication=0,
+        treatment={"fact_nodes": {}}, seed=1,
+    )
+    return RunBinding(
+        run=run,
+        actor_map={
+            "actor0": {"0": "A", "1": "B"},
+            "actor1": {"0": "C"},
+        },
+        abstract_to_platform={"A": "h0", "B": "h1", "C": "h2"},
+    )
+
+
+def test_platform_node_lookup(binding):
+    assert binding.platform_node("A") == "h0"
+    with pytest.raises(ExecutionError, match="no platform mapping"):
+        binding.platform_node("Z")
+
+
+def test_actor_instances(binding):
+    assert binding.actor_instances("actor0") == {"0": "h0", "1": "h1"}
+    with pytest.raises(ExecutionError, match="not in actor map"):
+        binding.actor_instances("ghost")
+
+
+def test_selector_all_instances(binding):
+    sel = NodeSelector(actor="actor0", instance="all")
+    assert binding.resolve_selector(sel) == ["h0", "h1"]
+
+
+def test_selector_single_instance(binding):
+    sel = NodeSelector(actor="actor0", instance="1")
+    assert binding.resolve_selector(sel) == ["h1"]
+    with pytest.raises(ExecutionError, match="no instance"):
+        binding.resolve_selector(NodeSelector(actor="actor0", instance="9"))
+
+
+def test_selector_abstract_node(binding):
+    sel = NodeSelector(node_id="C")
+    assert binding.resolve_selector(sel) == ["h2"]
+
+
+def test_acting_platform_nodes_sorted_unique(binding):
+    assert binding.acting_platform_nodes() == ["h0", "h1", "h2"]
+
+
+def test_scope_kinds():
+    node_scope = ProcessScope(kind="node", label="x", node_id="h0")
+    env_scope = ProcessScope(kind="env", label="env")
+    assert node_scope.is_node and not env_scope.is_node

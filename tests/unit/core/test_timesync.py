@@ -1,0 +1,110 @@
+"""Unit tests for clock-offset measurement."""
+
+import pytest
+
+from repro.core.rpc import ControlChannel, RpcServer
+from repro.core.timesync import measure_node_offset, measure_offsets
+from repro.net.clock import LocalClock
+
+
+def _node_server(sim, offset, drift=0.0):
+    clock = LocalClock(sim, offset=offset, drift=drift)
+    server = RpcServer("n")
+    server.register_function(lambda: clock.time(), "ping")
+    return server, clock
+
+
+def _measure(sim, channel, node_ids, probes=5):
+    box = {}
+
+    def proc():
+        box["out"] = yield from measure_offsets(sim, channel, node_ids, probes)
+
+    p = sim.process(proc())
+    sim.run(until_event=p)
+    return box["out"]
+
+
+def test_symmetric_latency_estimates_exactly(sim):
+    channel = ControlChannel(sim, latency=0.002)
+    server, _clock = _node_server(sim, offset=0.345)
+    channel.add_node("n", server)
+    out = _measure(sim, channel, ["n"])
+    m = out["n"]
+    assert m.offset == pytest.approx(0.345, abs=1e-9)
+    assert m.rtt == pytest.approx(0.004)
+    assert m.error_bound == pytest.approx(0.002)
+
+
+def test_negative_offset(sim):
+    channel = ControlChannel(sim, latency=0.001)
+    server, _ = _node_server(sim, offset=-1.5)
+    channel.add_node("n", server)
+    out = _measure(sim, channel, ["n"])
+    assert out["n"].offset == pytest.approx(-1.5, abs=1e-9)
+
+
+def test_jitter_error_within_bound(sim, rngs):
+    channel = ControlChannel(
+        sim, latency=0.001, jitter=0.004, rng=rngs.stream("sync")
+    )
+    true_offset = 0.123
+    server, _ = _node_server(sim, offset=true_offset)
+    channel.add_node("n", server)
+    out = _measure(sim, channel, ["n"], probes=7)
+    m = out["n"]
+    assert abs(m.offset - true_offset) <= m.error_bound + 1e-12
+
+
+def test_more_probes_tighten_bound(sim, rngs):
+    def bound_with(probes, key):
+        channel = ControlChannel(
+            sim, latency=0.001, jitter=0.01, rng=rngs.fresh("sync", key)
+        )
+        server, _ = _node_server(sim, offset=0.0)
+        channel.add_node("n", server)
+        return _measure(sim, channel, ["n"], probes=probes)["n"].error_bound
+
+    # Min-RTT selection: the 10-probe bound cannot exceed the 1-probe
+    # bound in expectation; verify over several trials.
+    wins = sum(
+        bound_with(10, i) <= bound_with(1, 100 + i) for i in range(5)
+    )
+    assert wins >= 4
+
+
+def test_probes_must_be_positive(sim):
+    channel = ControlChannel(sim)
+    with pytest.raises(ValueError):
+        next(measure_node_offset(sim, channel, "n", probes=0))
+
+
+def test_measure_many_nodes(sim):
+    channel = ControlChannel(sim, latency=0.001)
+    for i, offset in enumerate((0.1, -0.2, 0.0)):
+        server, _ = _node_server(sim, offset=offset)
+        channel.add_node(f"n{i}", server)
+    out = _measure(sim, channel, ["n0", "n1", "n2"])
+    assert out["n0"].offset == pytest.approx(0.1, abs=1e-9)
+    assert out["n1"].offset == pytest.approx(-0.2, abs=1e-9)
+    assert out["n2"].offset == pytest.approx(0.0, abs=1e-9)
+
+
+def test_measurement_record_shape(sim):
+    channel = ControlChannel(sim, latency=0.001)
+    server, _ = _node_server(sim, offset=0.5)
+    channel.add_node("n", server)
+    rec = _measure(sim, channel, ["n"])["n"].as_record()
+    assert set(rec) == {"node_id", "offset", "rtt", "error_bound", "probes"}
+
+
+def test_drifting_clock_measured_at_current_rate(sim):
+    # After 100 s of true time, a 100 ppm clock is 10 ms ahead; the
+    # sync estimate must reflect the *current* deviation.
+    channel = ControlChannel(sim, latency=0.001)
+    server, _clock = _node_server(sim, offset=0.0, drift=100e-6)
+    channel.add_node("n", server)
+    sim.call_later(100.0, lambda: None)
+    sim.run()
+    out = _measure(sim, channel, ["n"])
+    assert out["n"].offset == pytest.approx(0.01, abs=1e-4)

@@ -1,0 +1,213 @@
+"""Unit tests for the XML dialect — including the paper's verbatim figures."""
+
+import pytest
+
+from repro.core.description import ExperimentDescription
+from repro.core.errors import DescriptionError
+from repro.core.factors import Usage
+from repro.core.processes import (
+    DomainAction,
+    EventFlag,
+    FactorRef,
+    NodeSelector,
+    WaitForEvent,
+    WaitForTime,
+    WaitMarker,
+)
+from repro.core.xmlio import (
+    description_from_xml,
+    description_to_xml,
+    parse_action_sequence,
+    parse_factorlist,
+    parse_literal,
+)
+from repro.paper import (
+    FIG5_FACTORLIST,
+    FIG7_ENV_PROCESS,
+    FIG9_SM_ACTOR,
+    FIG10_SU_ACTOR,
+    full_paper_experiment_xml,
+)
+
+import xml.etree.ElementTree as ET
+
+
+# ----------------------------------------------------------------------
+# Literals
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "raw,expected",
+    [
+        ('"done"', "done"),
+        ('"30"', 30),
+        ("30", 30),
+        ("2.5", 2.5),
+        (" spaced ", "spaced"),
+        ("", ""),
+        (None, ""),
+        ('""', ""),
+    ],
+)
+def test_parse_literal(raw, expected):
+    assert parse_literal(raw) == expected
+
+
+# ----------------------------------------------------------------------
+# Paper figures parse verbatim
+# ----------------------------------------------------------------------
+def test_fig5_factorlist_parses():
+    fl = parse_factorlist(ET.fromstring(FIG5_FACTORLIST))
+    assert [f.id for f in fl] == ["fact_nodes", "fact_pairs", "fact_bw"]
+    nodes = fl.get("fact_nodes")
+    assert nodes.type == "actor_node_map" and nodes.usage is Usage.BLOCKING
+    assert nodes.levels[0].value == {
+        "actor0": {"0": "A"}, "actor1": {"0": "B"}
+    }
+    assert fl.get("fact_pairs").level_values == [5, 20]
+    assert fl.get("fact_pairs").usage is Usage.RANDOM
+    assert fl.get("fact_bw").level_values == [10, 50, 100]
+    assert fl.get("fact_bw").description == "datarate generated load"
+    assert fl.replication.count == 1000
+    assert fl.replication.id == "fact_replication_id"
+
+
+def test_fig9_sm_actor_parses():
+    actor = ET.fromstring(FIG9_SM_ACTOR)
+    actions = parse_action_sequence(actor.find("sd_actions"))
+    names = [type(a).__name__ for a in actions]
+    assert names == [
+        "DomainAction", "DomainAction", "WaitForEvent", "DomainAction",
+        "DomainAction",
+    ]
+    assert actions[0].name == "sd_init"
+    assert actions[2].event == "done"
+
+
+def test_fig10_su_actor_parses():
+    actor = ET.fromstring(FIG10_SU_ACTOR)
+    actions = parse_action_sequence(actor.find("sd_actions"))
+    wait_pub = actions[0]
+    assert isinstance(wait_pub, WaitForEvent)
+    assert wait_pub.from_nodes == NodeSelector(actor="actor0", instance="all")
+    assert isinstance(actions[3], WaitMarker)
+    final_wait = actions[5]
+    assert final_wait.event == "sd_service_add"
+    assert final_wait.param_nodes == NodeSelector(actor="actor0", instance="all")
+    assert final_wait.timeout == 30
+    assert isinstance(actions[6], EventFlag) and actions[6].value == "done"
+
+
+def test_fig7_env_process_parses():
+    env = ET.fromstring(FIG7_ENV_PROCESS)
+    actions = parse_action_sequence(env.find("env_actions"))
+    assert isinstance(actions[0], EventFlag)
+    traffic = actions[1]
+    assert isinstance(traffic, DomainAction) and traffic.name == "env_traffic_start"
+    assert traffic.params["bw"] == FactorRef("fact_bw")
+    assert traffic.params["random_switch_seed"] == FactorRef("fact_replication_id")
+    assert traffic.params["random_switch_amount"] == 1
+    assert actions[3].name == "env_traffic_stop"
+
+
+def test_full_paper_experiment_parses_and_counts():
+    desc = description_from_xml(full_paper_experiment_xml(replications=2))
+    assert desc.parameters["sd_architecture"] == "two-party"
+    assert desc.abstract_nodes == ["A", "B"]
+    assert len(desc.actors) == 2
+    assert len(desc.environment_processes) == 1
+    assert len(desc.platform) == 6
+    assert len(desc.platform.environment_nodes) == 4
+    assert desc.factors.total_runs() == 1 * 2 * 3 * 2
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+def test_roundtrip_is_stable():
+    desc = description_from_xml(full_paper_experiment_xml(replications=2))
+    xml1 = description_to_xml(desc)
+    xml2 = description_to_xml(description_from_xml(xml1))
+    assert xml1 == xml2
+
+
+def test_roundtrip_preserves_semantics():
+    desc = description_from_xml(full_paper_experiment_xml(replications=3))
+    again = description_from_xml(description_to_xml(desc))
+    assert again.seed == desc.seed
+    assert again.factors.total_runs() == desc.factors.total_runs()
+    assert [a.actor_id for a in again.actors] == [a.actor_id for a in desc.actors]
+    assert again.platform.for_abstract("A").node_id == "t9-105"
+    su = again.actor("actor1")
+    final_wait = [a for a in su.actions if isinstance(a, WaitForEvent)][-1]
+    assert final_wait.timeout == 30
+
+
+def test_roundtrip_wait_for_time_and_param_values():
+    desc = ExperimentDescription(name="t", seed=3)
+    from repro.core.description import ActorDescription
+    from repro.core.factors import Factor, Level
+
+    desc.abstract_nodes = ["A"]
+    desc.factors.add(
+        Factor(id="m", type="actor_node_map", usage=Usage.BLOCKING,
+               levels=[Level({"a0": {"0": "A"}})])
+    )
+    desc.actors.append(
+        ActorDescription(
+            "a0",
+            actions=[
+                WaitForTime(seconds=1.5),
+                WaitForTime(seconds=FactorRef("m")),
+                WaitForEvent(event="e", param_values=("x", 3)),
+                EventFlag(value="flag", params=("p1",)),
+            ],
+        )
+    )
+    again = description_from_xml(description_to_xml(desc))
+    acts = again.actor("a0").actions
+    assert acts[0].seconds == 1.5
+    assert acts[1].seconds == FactorRef("m")
+    assert set(acts[2].param_values) == {"x", 3}
+    assert acts[3].params == ("p1",)
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_malformed_xml_rejected():
+    with pytest.raises(DescriptionError):
+        description_from_xml("<experiment><unclosed>")
+
+
+def test_wrong_root_rejected():
+    with pytest.raises(DescriptionError):
+        description_from_xml("<notexperiment/>")
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(DescriptionError):
+        description_from_xml('<experiment name="x"><mystery/></experiment>')
+
+
+def test_factor_without_levels_rejected():
+    bad = '<factorlist><factor id="f" type="int" usage="constant"/></factorlist>'
+    with pytest.raises(DescriptionError):
+        parse_factorlist(ET.fromstring(bad))
+
+
+def test_factorref_without_id_rejected():
+    bad = "<actions><a><p><factorref/></p></a></actions>"
+    with pytest.raises(DescriptionError):
+        parse_action_sequence(ET.fromstring(bad))
+
+
+def test_event_flag_without_value_rejected():
+    bad = "<actions><event_flag/></actions>"
+    with pytest.raises(DescriptionError):
+        parse_action_sequence(ET.fromstring(bad))
+
+
+def test_wait_for_event_without_dependency_rejected():
+    bad = "<actions><wait_for_event><timeout>1</timeout></wait_for_event></actions>"
+    with pytest.raises(DescriptionError):
+        parse_action_sequence(ET.fromstring(bad))

@@ -1,0 +1,110 @@
+"""Unit tests for the communication fault injectors."""
+
+import random
+
+import pytest
+
+from repro.faults.injectors import (
+    DropExperimentFilter,
+    InterfaceFaultFilter,
+    MessageDelayFilter,
+    MessageLossFilter,
+    PathDelayFilter,
+    PathLossFilter,
+    resolve_direction,
+)
+from repro.faults.model import FaultWindow
+from repro.net.interface import Direction
+from repro.net.packet import Packet
+
+
+def _pkt(flow="experiment", src="10.0.0.1", dst="10.0.0.2"):
+    return Packet(
+        src_addr=src, dst_addr=dst, src_port=1, dst_port=2, payload=None, flow=flow
+    )
+
+
+def test_resolve_direction_values():
+    assert resolve_direction("rx") is Direction.RX
+    assert resolve_direction("receive") is Direction.RX
+    assert resolve_direction("tx") is Direction.TX
+    assert resolve_direction("transmit") is Direction.TX
+    assert resolve_direction("both") is Direction.BOTH
+    assert resolve_direction("") is Direction.BOTH
+
+
+def test_resolve_direction_random():
+    rng = random.Random(1)
+    picks = {resolve_direction("random", rng) for _ in range(20)}
+    assert picks == {Direction.RX, Direction.TX}
+    with pytest.raises(ValueError):
+        resolve_direction("random")
+    with pytest.raises(ValueError):
+        resolve_direction("sideways", rng)
+
+
+def test_interface_fault_drops_all_flows():
+    flt = InterfaceFaultFilter(Direction.BOTH)
+    assert flt.decide(_pkt(flow="experiment"), Direction.RX, 0.0).dropped
+    assert flt.decide(_pkt(flow="generated-load"), Direction.TX, 0.0).dropped
+    assert flt.hits == 2
+
+
+def test_message_loss_respects_flow_label():
+    flt = MessageLossFilter(1.0, random.Random(1))
+    assert flt.decide(_pkt(flow="experiment"), Direction.RX, 0.0).dropped
+    assert not flt.decide(_pkt(flow="generated-load"), Direction.RX, 0.0).dropped
+
+
+def test_message_loss_probability_statistics():
+    flt = MessageLossFilter(0.3, random.Random(42))
+    dropped = sum(
+        flt.decide(_pkt(), Direction.RX, 0.0).dropped for _ in range(2000)
+    )
+    assert 520 <= dropped <= 680  # 0.3 ± ~0.04
+
+
+def test_message_loss_bounds_checked():
+    with pytest.raises(ValueError):
+        MessageLossFilter(1.5, random.Random(1))
+
+
+def test_message_delay_constant():
+    flt = MessageDelayFilter(0.25)
+    verdict = flt.decide(_pkt(), Direction.TX, 0.0)
+    assert not verdict.dropped and verdict.extra_delay == 0.25
+    with pytest.raises(ValueError):
+        MessageDelayFilter(-0.1)
+
+
+def test_window_gates_activation():
+    window = FaultWindow(active_from=10.0, active_until=20.0)
+    flt = MessageDelayFilter(0.5, window=window)
+    assert flt.decide(_pkt(), Direction.RX, 5.0).extra_delay == 0.0
+    assert flt.decide(_pkt(), Direction.RX, 15.0).extra_delay == 0.5
+    assert flt.decide(_pkt(), Direction.RX, 25.0).extra_delay == 0.0
+
+
+def test_path_loss_matches_peer_either_end():
+    flt = PathLossFilter("10.0.0.9", 1.0, random.Random(1))
+    assert flt.decide(_pkt(dst="10.0.0.9"), Direction.TX, 0.0).dropped
+    assert flt.decide(_pkt(src="10.0.0.9", dst="10.0.0.1"), Direction.RX, 0.0).dropped
+    assert not flt.decide(_pkt(dst="10.0.0.2"), Direction.TX, 0.0).dropped
+
+
+def test_path_delay_matches_peer_only():
+    flt = PathDelayFilter("10.0.0.9", 0.1)
+    assert flt.decide(_pkt(dst="10.0.0.9"), Direction.TX, 0.0).extra_delay == 0.1
+    assert flt.decide(_pkt(dst="10.0.0.2"), Direction.TX, 0.0).extra_delay == 0.0
+
+
+def test_drop_experiment_filter():
+    flt = DropExperimentFilter()
+    assert flt.decide(_pkt(flow="experiment"), Direction.TX, 0.0).dropped
+    assert not flt.decide(_pkt(flow="generated-load"), Direction.RX, 0.0).dropped
+
+
+def test_direction_scoped_filters():
+    flt = MessageLossFilter(1.0, random.Random(1), direction=Direction.RX)
+    assert flt.matches_direction(Direction.RX)
+    assert not flt.matches_direction(Direction.TX)

@@ -1,0 +1,79 @@
+"""Unit tests for fault timing (duration / rate / randomseed windows)."""
+
+import pytest
+
+from repro.faults.model import FaultTiming, FaultWindow
+
+
+def test_unbounded_default():
+    t = FaultTiming()
+    assert t.unbounded
+    w = t.window(5.0)
+    assert w.active_from == 5.0 and w.active_until is None
+    assert w.is_active(5.0) and w.is_active(1e9)
+    assert not w.is_active(4.9)
+
+
+def test_full_rate_window_spans_duration():
+    w = FaultTiming(duration=10.0, rate=1.0).window(100.0)
+    assert w.active_from == 100.0
+    assert w.active_until == 110.0
+    assert w.length == 10.0
+
+
+def test_partial_rate_window_inside_duration():
+    t = FaultTiming(duration=10.0, rate=0.3, randomseed=5)
+    w = t.window(50.0)
+    assert w.length == pytest.approx(3.0)
+    assert 50.0 <= w.active_from
+    assert w.active_until <= 60.0 + 1e-9
+
+
+def test_window_deterministic_in_seed():
+    t = FaultTiming(duration=10.0, rate=0.5, randomseed=7)
+    assert t.window(0.0) == t.window(0.0)
+    other = FaultTiming(duration=10.0, rate=0.5, randomseed=8)
+    assert t.window(0.0) != other.window(0.0)
+
+
+def test_window_placement_varies_with_seed():
+    placements = {
+        FaultTiming(duration=100.0, rate=0.1, randomseed=s).window(0.0).active_from
+        for s in range(20)
+    }
+    assert len(placements) > 10  # actually uniform-ish, not constant
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        FaultTiming(duration=-1.0)
+    with pytest.raises(ValueError):
+        FaultTiming(rate=0.0)
+    with pytest.raises(ValueError):
+        FaultTiming(rate=1.5)
+
+
+def test_from_params_consumes_common_keys():
+    params = {"duration": "10", "rate": "0.5", "randomseed": "3", "probability": 0.2}
+    t = FaultTiming.from_params(params)
+    assert t.duration == 10.0 and t.rate == 0.5 and t.randomseed == 3
+    assert params == {"probability": 0.2}  # specific params remain
+
+
+def test_from_params_defaults():
+    t = FaultTiming.from_params({})
+    assert t.unbounded and t.rate == 1.0 and t.randomseed is None
+
+
+def test_window_is_active_boundaries():
+    w = FaultWindow(active_from=1.0, active_until=2.0)
+    assert not w.is_active(0.999)
+    assert w.is_active(1.0)
+    assert w.is_active(1.999)
+    assert not w.is_active(2.0)  # half-open interval
+
+
+def test_window_record():
+    w = FaultWindow(active_from=1.0, active_until=None)
+    assert w.as_record() == {"active_from": 1.0, "active_until": None}
+    assert w.length is None

@@ -1,0 +1,158 @@
+"""Unit tests for the shared wireless medium."""
+
+import random
+
+import pytest
+
+from repro.net.medium import CongestionModel, WirelessMedium
+from repro.net.node import NetNode
+from repro.net.packet import MULTICAST_SD_GROUP
+from repro.net.topology import from_edges, line_topology
+
+
+def _build(sim, base_loss=0.0, mac_retries=3, congestion=None, n=2, seed=1):
+    topo = line_topology(n, base_loss=base_loss, prefix="m")
+    medium = WirelessMedium(
+        sim, topo, random.Random(seed), congestion=congestion, mac_retries=mac_retries
+    )
+    nodes = []
+    for i in range(n):
+        node = NetNode(sim, f"m{i}", f"10.2.0.{i + 1}")
+        medium.attach(node)
+        nodes.append(node)
+    return medium, nodes
+
+
+def test_attach_requires_topology_membership(sim):
+    medium, _ = _build(sim)
+    stranger = NetNode(sim, "ghost", "10.2.0.99")
+    with pytest.raises(KeyError):
+        medium.attach(stranger)
+
+
+def test_double_attach_rejected(sim):
+    medium, nodes = _build(sim)
+    with pytest.raises(ValueError):
+        medium.attach(nodes[0])
+
+
+def test_lossless_unicast_delivery(sim):
+    medium, (a, b) = _build(sim)
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append((pl, sim.now)))
+    a.send_datagram("hello", b.address, 5)
+    sim.run(until=1.0)
+    assert len(got) == 1
+    assert got[0][1] > 0  # link delay applied
+
+
+def test_unknown_destination_dropped(sim):
+    medium, (a, _b) = _build(sim)
+    a.send_datagram("x", "10.99.99.99", 5)
+    sim.run(until=1.0)
+    assert medium.stats.losses == 1
+
+
+def test_total_loss_drops_unicast(sim):
+    medium, (a, b) = _build(sim, base_loss=1.0)
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append(pl))
+    a.send_datagram("x", b.address, 5)
+    sim.run(until=1.0)
+    assert got == []
+    assert medium.stats.losses == 1
+
+
+def test_mac_retries_rescue_unicast(sim):
+    # 60% per-attempt loss with 3 retries → 1 - 0.6^4 ≈ 87% delivery.
+    medium, (a, b) = _build(sim, base_loss=0.6, mac_retries=3, seed=7)
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append(pl))
+    for _ in range(200):
+        a.send_datagram("x", b.address, 5)
+    sim.run(until=10.0)
+    assert 150 < len(got) < 198
+    assert medium.stats.mac_retries > 0
+
+
+def test_multicast_has_no_mac_retries(sim):
+    medium, (a, b) = _build(sim, base_loss=0.6, mac_retries=3, seed=7)
+    b.join_group(MULTICAST_SD_GROUP)
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append(pl))
+    for _ in range(200):
+        a.send_datagram("x", MULTICAST_SD_GROUP, 5)
+    sim.run(until=10.0)
+    # Without retries delivery is ~(1-0.6) = 40%.
+    assert 40 < len(got) < 130
+
+
+def test_retry_adds_backoff_delay(sim):
+    cong = CongestionModel(jitter=0.0, queue_delay_at_capacity=0.0)
+    topo = from_edges([("m0", "m1")], base_loss=0.0, base_delay=0.001)
+    medium = WirelessMedium(sim, topo, random.Random(1), congestion=cong, retry_backoff=0.01)
+    a = NetNode(sim, "m0", "10.2.0.1")
+    b = NetNode(sim, "m1", "10.2.0.2")
+    medium.attach(a)
+    medium.attach(b)
+
+    # Force exactly one failed attempt by rigging the RNG sequence.
+    class Rigged:
+        def __init__(self):
+            self.calls = 0
+
+        def random(self):
+            self.calls += 1
+            return 0.0 if self.calls == 1 else 1.0
+
+        def uniform(self, lo, hi):
+            return 0.0
+
+    medium.rng = Rigged()
+    topo.graph.edges["m0", "m1"]["base_loss"] = 0.5
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append(sim.now))
+    a.send_datagram("x", b.address, 5)
+    sim.run(until=1.0)
+    assert got and got[0] == pytest.approx(0.001 + 0.01)
+
+
+def test_utilization_rises_with_traffic(sim):
+    medium, (a, b) = _build(sim)
+    assert medium.utilization() == 0.0
+    for _ in range(50):
+        a.send_datagram("x", b.address, 5, size=5000)
+    assert medium.utilization() > 0.5
+
+
+def test_utilization_window_expires(sim):
+    medium, (a, b) = _build(sim)
+    a.send_datagram("x", b.address, 5, size=50000)
+    assert medium.utilization() > 0.0
+    sim.call_later(2.0, lambda: None)
+    sim.run()
+    assert medium.utilization() == 0.0
+
+
+def test_congestion_increases_loss(sim):
+    # Saturate, then check the congestion model's effective loss.
+    cong = CongestionModel(capacity_bps=100_000, loss_coeff=0.8)
+    assert cong.extra_loss(1.0) == pytest.approx(0.8)
+    assert cong.extra_loss(0.5) == pytest.approx(0.2)
+    assert cong.queue_delay(1.0) == pytest.approx(cong.queue_delay_at_capacity)
+
+
+def test_detach_stops_delivery(sim):
+    medium, (a, b) = _build(sim)
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append(pl))
+    medium.detach(b)
+    a.send_datagram("x", b.address, 5)
+    sim.run(until=1.0)
+    assert got == []
+
+
+def test_node_by_address(sim):
+    medium, (a, b) = _build(sim)
+    assert medium.node_by_address(b.address) is b
+    assert medium.node_by_address("nope") is None

@@ -1,0 +1,105 @@
+"""Unit tests for mesh topology builders and queries."""
+
+import pytest
+
+from repro.net.topology import (
+    Topology,
+    from_edges,
+    full_mesh_topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    star_topology,
+)
+
+
+def test_grid_shape():
+    topo = grid_topology(3, 4)
+    assert len(topo.node_names) == 12
+    # interior node has 4 neighbours, corner has 2
+    degrees = sorted(len(topo.neighbors(n)) for n in topo.node_names)
+    assert degrees[0] == 2 and degrees[-1] == 4
+
+
+def test_line_hops():
+    topo = line_topology(5)
+    assert topo.hop_count("n0", "n4") == 4
+    assert topo.hop_count("n2", "n2") == 0
+
+
+def test_star_center():
+    topo = star_topology(6)
+    assert len(topo.neighbors("n0")) == 6
+    assert topo.hop_count("n1", "n2") == 2
+
+
+def test_full_mesh_single_hop():
+    topo = full_mesh_topology(5)
+    matrix = topo.hop_count_matrix()
+    assert set(matrix.values()) == {1}
+
+
+def test_shortest_path_endpoints():
+    topo = grid_topology(3, 3)
+    path = topo.shortest_path("n0", "n8")
+    assert path[0] == "n0" and path[-1] == "n8"
+    assert len(path) == 5  # 4 hops in a 3x3 grid corner-to-corner
+
+
+def test_next_hop_progresses():
+    topo = grid_topology(3, 3)
+    hop = topo.next_hop("n0", "n8")
+    assert hop in topo.neighbors("n0")
+    assert topo.next_hop("n0", "n0") is None
+
+
+def test_unreachable_pair():
+    topo = from_edges([("a", "b"), ("c", "d")])
+    assert topo.hop_count("a", "c") is None
+    assert topo.next_hop("a", "c") is None
+    with pytest.raises(KeyError):
+        topo.shortest_path("a", "c")
+
+
+def test_edge_attr_defaults():
+    topo = grid_topology(2, 2, base_loss=0.07, base_delay=0.003)
+    attrs = topo.edge_attrs("n0", "n1")
+    assert attrs["base_loss"] == 0.07
+    assert attrs["base_delay"] == 0.003
+
+
+def test_geometric_deterministic_and_connected():
+    a = random_geometric_topology(12, radius=0.4, seed=5)
+    b = random_geometric_topology(12, radius=0.4, seed=5)
+    assert sorted(a.graph.edges) == sorted(b.graph.edges)
+    import networkx as nx
+
+    assert nx.is_connected(a.graph)
+
+
+def test_geometric_fringe_links_are_worse():
+    topo = random_geometric_topology(20, radius=0.4, seed=3, base_loss=0.02)
+    losses = [attrs["base_loss"] for _a, _b, attrs in topo.graph.edges(data=True)]
+    assert min(losses) >= 0.02
+    assert max(losses) > min(losses)  # distance-dependent quality
+
+
+def test_hop_count_matrix_subset():
+    topo = grid_topology(3, 3)
+    matrix = topo.hop_count_matrix(["n0", "n8"])
+    assert matrix == {("n0", "n8"): 4, ("n8", "n0"): 4}
+
+
+def test_cache_invalidation():
+    topo = line_topology(3)
+    assert topo.hop_count("n0", "n2") == 2
+    topo.graph.add_edge("n0", "n2", base_loss=0.0, base_delay=0.001)
+    topo.invalidate_cache()
+    assert topo.hop_count("n0", "n2") == 1
+
+
+def test_empty_topology_rejected():
+    import networkx as nx
+
+    with pytest.raises(ValueError):
+        Topology(nx.Graph())

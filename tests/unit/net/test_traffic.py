@@ -1,0 +1,106 @@
+"""Unit tests for CBR traffic generation."""
+
+import random
+
+import pytest
+
+from repro.net.traffic import (
+    TRAFFIC_FLOW_LABEL,
+    TRAFFIC_PORT,
+    TrafficFlow,
+    TrafficGenerator,
+    choose_pairs,
+)
+
+
+def test_flow_rate_matches_nominal(pair_net):
+    sim, medium, a, b = pair_net
+    flow = TrafficFlow(
+        sim, a, b, rate_kbps=100.0, rng=random.Random(1), packet_size=500
+    )
+    flow.start()
+    sim.run(until=10.0)
+    flow.stop()
+    # 100 kbit/s at 500 B/packet = 25 pkt/s -> ~250 packets in 10 s.
+    assert 200 <= flow.sent_packets <= 300
+
+
+def test_flow_packets_carry_load_label(pair_net):
+    sim, medium, a, b = pair_net
+    flow = TrafficFlow(sim, a, b, rate_kbps=50.0, rng=random.Random(1))
+    flow.start()
+    sim.run(until=1.0)
+    flow.stop()
+    tx = a.capture.filter(flow=TRAFFIC_FLOW_LABEL)
+    assert tx and all(r["dport"] == TRAFFIC_PORT for r in tx)
+    # Load packets must not consume the experiment tagger sequence.
+    assert a.tagger.tagged_count == 0
+
+
+def test_flow_stop_halts_sending(pair_net):
+    sim, medium, a, b = pair_net
+    flow = TrafficFlow(sim, a, b, rate_kbps=100.0, rng=random.Random(1))
+    flow.start()
+    sim.run(until=1.0)
+    flow.stop()
+    sent = flow.sent_packets
+    sim.run(until=3.0)
+    assert flow.sent_packets == sent
+    assert not flow.running
+
+
+def test_flow_double_start_is_idempotent(pair_net):
+    sim, medium, a, b = pair_net
+    flow = TrafficFlow(sim, a, b, rate_kbps=100.0, rng=random.Random(1))
+    flow.start()
+    proc = flow._process
+    flow.start()
+    assert flow._process is proc
+
+
+def test_invalid_rate_rejected(pair_net):
+    sim, medium, a, b = pair_net
+    with pytest.raises(ValueError):
+        TrafficFlow(sim, a, b, rate_kbps=0.0, rng=random.Random(1))
+
+
+def test_generator_bidirectional_flows(grid_net):
+    sim, topo, medium, nodes = grid_net
+    gen = TrafficGenerator(sim)
+    pairs = [(nodes["n0"], nodes["n8"]), (nodes["n2"], nodes["n6"])]
+    gen.configure(pairs, rate_kbps=50.0, rng=random.Random(2))
+    assert gen.stats()["flows"] == 4  # two per pair, one per direction
+    gen.start()
+    assert gen.running
+    sim.run(until=2.0)
+    gen.stop()
+    assert not gen.running
+    assert gen.stats()["sent_packets"] > 0
+    assert gen.active_pairs == [("n0", "n8"), ("n2", "n6")]
+
+
+def test_generator_reconfigure_stops_old_flows(grid_net):
+    sim, topo, medium, nodes = grid_net
+    gen = TrafficGenerator(sim)
+    gen.configure([(nodes["n0"], nodes["n1"])], 50.0, random.Random(1))
+    gen.start()
+    sim.run(until=1.0)
+    gen.configure([(nodes["n2"], nodes["n3"])], 50.0, random.Random(1))
+    assert not gen.running  # reconfigure stops, caller restarts
+
+
+def test_choose_pairs_distinct_and_deterministic(grid_net):
+    _sim, _topo, _medium, nodes = grid_net
+    pool = list(nodes.values())
+    a = choose_pairs(pool, 5, random.Random(3))
+    b = choose_pairs(pool, 5, random.Random(3))
+    keys = [tuple(sorted((x.name, y.name))) for x, y in a]
+    assert len(set(keys)) == 5
+    assert [(x.name, y.name) for x, y in a] == [(x.name, y.name) for x, y in b]
+
+
+def test_choose_pairs_capacity_check(grid_net):
+    _sim, _topo, _medium, nodes = grid_net
+    pool = [nodes["n0"], nodes["n1"], nodes["n2"]]
+    with pytest.raises(ValueError):
+        choose_pairs(pool, 4, random.Random(1))  # max C(3,2)=3

@@ -1,0 +1,82 @@
+"""Fixtures for SD protocol tests: agents on a small emulated mesh."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.medium import WirelessMedium
+from repro.net.node import NetNode
+from repro.net.topology import full_mesh_topology, line_topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class AgentHarness:
+    """A set of nodes with SD agents and per-node event recorders."""
+
+    def __init__(self, agent_cls, n=3, topology="full", base_loss=0.0, config=None):
+        self.sim = Simulator()
+        self.rngs = RngRegistry(777)
+        if topology == "full":
+            topo = full_mesh_topology(n, base_loss=base_loss, prefix="s")
+        else:
+            topo = line_topology(n, base_loss=base_loss, prefix="s")
+        self.medium = WirelessMedium(self.sim, topo, self.rngs.stream("medium"))
+        self.nodes = {}
+        self.agents = {}
+        self.events = {}
+        for i, name in enumerate(topo.node_names):
+            node = NetNode(self.sim, name, f"10.3.0.{i + 1}")
+            self.medium.attach(node)
+            self.nodes[name] = node
+            log = []
+            self.events[name] = log
+
+            def emit(event_name, params=(), _log=log, _name=name, run_id=None):
+                _log.append((self.sim.now, event_name, tuple(params)))
+
+            agent = agent_cls(
+                self.sim, node, self.rngs, emit=emit, config=dict(config or {})
+            )
+            agent.reset(0)
+            self.agents[name] = agent
+
+    def names_on(self, node):
+        return [name for _t, name, _p in self.events[node]]
+
+    def first(self, node, event_name):
+        for t, name, params in self.events[node]:
+            if name == event_name:
+                return t, params
+        return None
+
+    def run(self, until):
+        self.sim.run(until=until)
+
+
+@pytest.fixture
+def mdns_pair():
+    from repro.sd.mdns import MdnsAgent
+
+    return AgentHarness(MdnsAgent, n=2)
+
+
+@pytest.fixture
+def mdns_trio():
+    from repro.sd.mdns import MdnsAgent
+
+    return AgentHarness(MdnsAgent, n=3)
+
+
+@pytest.fixture
+def slp_trio():
+    from repro.sd.slp import SlpAgent
+
+    return AgentHarness(SlpAgent, n=3)
+
+
+@pytest.fixture
+def hybrid_trio():
+    from repro.sd.hybrid import HybridAgent
+
+    return AgentHarness(HybridAgent, n=3)

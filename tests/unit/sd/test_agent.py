@@ -1,0 +1,172 @@
+"""Unit tests for the abstract SD agent contract."""
+
+import pytest
+
+from repro.sd import model as M
+
+
+def test_init_emits_done_and_sets_role(mdns_pair):
+    h = mdns_pair
+    h.agents["s0"].action_init({"role": "sm"})
+    assert h.names_on("s0") == [M.EVENT_SD_INIT_DONE]
+    assert h.agents["s0"].role is M.Role.SM
+    assert h.agents["s0"].initialized
+
+
+def test_double_init_rejected(mdns_pair):
+    h = mdns_pair
+    h.agents["s0"].action_init({"role": "su"})
+    with pytest.raises(RuntimeError):
+        h.agents["s0"].action_init({"role": "su"})
+
+
+def test_action_before_init_rejected(mdns_pair):
+    h = mdns_pair
+    with pytest.raises(RuntimeError, match="sd_init"):
+        h.agents["s0"].action_start_search({"type": "_t"})
+    with pytest.raises(RuntimeError):
+        h.agents["s0"].action_start_publish({"type": "_t"})
+
+
+def test_exit_emits_and_allows_reinit(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su"})
+    agent.action_exit({})
+    assert h.names_on("s0")[-1] == M.EVENT_SD_EXIT_DONE
+    assert not agent.initialized
+    agent.action_init({"role": "sm"})  # re-init after exit works
+
+
+def test_exit_without_init_is_noop(mdns_pair):
+    h = mdns_pair
+    h.agents["s0"].action_exit({})
+    assert h.names_on("s0") == []
+
+
+def test_publish_creates_instance_and_event(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "sm"})
+    agent.action_start_publish({"type": "_svc._udp"})
+    assert "_svc._udp" in agent.published
+    inst = agent.published["_svc._udp"]
+    assert inst.name == "s0._svc._udp"
+    assert inst.provider_node == "s0"
+    _t, params = h.first("s0", M.EVENT_SD_START_PUBLISH)
+    assert params == ("s0._svc._udp", "s0")
+
+
+def test_stop_publish_removes_instance(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "sm"})
+    agent.action_start_publish({"type": "_t"})
+    agent.action_stop_publish({"type": "_t"})
+    assert agent.published == {}
+    assert h.names_on("s0")[-1] == M.EVENT_SD_STOP_PUBLISH
+
+
+def test_update_publication_bumps_version_and_emits_first(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "sm"})
+    agent.action_start_publish({"type": "_t"})
+    agent.action_update_publication({"type": "_t"})
+    assert agent.published["_t"].version == 2
+    assert M.EVENT_SD_SERVICE_UPD in h.names_on("s0")
+
+
+def test_update_unpublished_rejected(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "sm"})
+    with pytest.raises(RuntimeError):
+        agent.action_update_publication({"type": "_ghost"})
+
+
+def test_search_start_stop_events(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su"})
+    agent.action_start_search({"type": "_t"})
+    agent.action_start_search({"type": "_t"})  # idempotent
+    assert h.names_on("s0").count(M.EVENT_SD_START_SEARCH) == 1
+    agent.action_stop_search({"type": "_t"})
+    assert agent.searching == []
+    assert h.names_on("s0")[-1] == M.EVENT_SD_STOP_SEARCH
+
+
+def test_reset_reseeds_rng_per_run(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.reset(1)
+    seq1 = [agent.rng.random() for _ in range(3)]
+    agent.reset(1)
+    seq1_again = [agent.rng.random() for _ in range(3)]
+    agent.reset(2)
+    seq2 = [agent.rng.random() for _ in range(3)]
+    assert seq1 == seq1_again
+    assert seq1 != seq2
+
+
+def test_reset_clears_all_state(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su+sm"})
+    agent.action_start_publish({"type": "_t"})
+    agent.action_start_search({"type": "_t"})
+    agent.reset(5)
+    assert not agent.initialized
+    assert agent.published == {} and agent.searching == []
+    assert len(agent.cache) == 0
+    # Port freed: a fresh init can bind again.
+    agent.action_init({"role": "su"})
+
+
+def test_add_event_fires_once_per_instance(mdns_pair):
+    from repro.sd.model import ServiceInstance
+
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su"})
+    agent.action_start_search({"type": "_t"})
+    inst = ServiceInstance(
+        name="x._t", service_type="_t", provider_node="x", address="10.3.0.9"
+    )
+    agent.discovered(inst)
+    agent.discovered(inst)
+    assert h.names_on("s0").count(M.EVENT_SD_SERVICE_ADD) == 1
+
+
+def test_lost_then_rediscovered_fires_add_again(mdns_pair):
+    from repro.sd.model import ServiceInstance
+
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su"})
+    agent.action_start_search({"type": "_t"})
+    inst = ServiceInstance(
+        name="x._t", service_type="_t", provider_node="x", address="10.3.0.9"
+    )
+    agent.discovered(inst)
+    agent.cache.remove("_t", "x._t")
+    agent.lost(inst)
+    agent.discovered(inst)
+    names = h.names_on("s0")
+    assert names.count(M.EVENT_SD_SERVICE_ADD) == 2
+    assert names.count(M.EVENT_SD_SERVICE_DEL) == 1
+
+
+def test_discovery_outside_search_is_silent(mdns_pair):
+    from repro.sd.model import ServiceInstance
+
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su"})
+    inst = ServiceInstance(
+        name="x._t", service_type="_t", provider_node="x", address="10.3.0.9"
+    )
+    agent.discovered(inst)  # caches passively, but no search -> no event
+    assert M.EVENT_SD_SERVICE_ADD not in h.names_on("s0")
+    assert len(agent.cache) == 1

@@ -1,0 +1,245 @@
+"""Unit tests for the two-party mDNS-style protocol."""
+
+import pytest
+
+from repro.sd import model as M
+
+
+def _publish(h, node, type_="_t"):
+    h.agents[node].action_init({"role": "sm"})
+    h.agents[node].action_start_publish({"type": type_})
+
+
+def _search(h, node, type_="_t", **params):
+    h.agents[node].action_init({"role": "su"})
+    h.agents[node].action_start_search({"type": type_, **params})
+
+
+def test_scm_role_rejected(mdns_pair):
+    with pytest.raises(RuntimeError, match="no SCM"):
+        mdns_pair.agents["s0"].action_init({"role": "scm"})
+
+
+def test_announcement_discovers_listening_su(mdns_pair):
+    h = mdns_pair
+    _search(h, "s1")
+    _publish(h, "s0")
+    h.run(until=2.0)
+    hit = h.first("s1", M.EVENT_SD_SERVICE_ADD)
+    assert hit is not None
+    _t, params = hit
+    assert params == ("s0._t", "s0")
+
+
+def test_query_discovers_late_joining_su(mdns_pair):
+    h = mdns_pair
+    _publish(h, "s0")
+    h.run(until=5.0)  # announcements long gone
+    _search(h, "s1")
+    h.run(until=8.0)
+    hit = h.first("s1", M.EVENT_SD_SERVICE_ADD)
+    assert hit is not None
+    t, _params = hit
+    assert t > 5.0  # found via query/response, not stale announcements
+
+
+def test_passive_mode_sends_no_queries(mdns_pair):
+    h = mdns_pair
+    h.agents["s1"].action_init({"role": "su"})
+    h.agents["s1"].action_start_search({"type": "_t", "mode": "passive"})
+    h.run(until=5.0)
+    queries = [
+        r for r in h.nodes["s1"].capture.records
+        if r["direction"] == "tx" and isinstance(r["payload"], dict)
+        and r["payload"].get("kind") == "query"
+    ]
+    assert queries == []
+    # But announcements still discover it.
+    _publish(h, "s0")
+    h.run(until=8.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+
+
+def test_query_backoff_doubles(mdns_pair):
+    h = mdns_pair
+    _search(h, "s1")  # nothing published: queries keep going
+    h.run(until=16.0)
+    agent = h.agents["s1"]
+    times = sorted(agent.query_sent_at.values())
+    assert len(times) >= 4
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    for earlier, later in zip(gaps, gaps[1:]):
+        assert later == pytest.approx(earlier * 2.0, rel=0.01)
+
+
+def test_known_answer_suppression(mdns_pair):
+    h = mdns_pair
+    _publish(h, "s0")
+    _search(h, "s1")
+    h.run(until=3.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+    responses_before = len([
+        r for r in h.nodes["s0"].capture.records
+        if r["direction"] == "tx" and r["payload"].get("kind") == "response"
+    ])
+    # Further queries carry the fresh known answer -> no more responses
+    # (and no announcements due: ttl 120 -> refresh at 96 s).
+    h.run(until=20.0)
+    responses_after = len([
+        r for r in h.nodes["s0"].capture.records
+        if r["direction"] == "tx" and r["payload"].get("kind") == "response"
+    ])
+    assert responses_after == responses_before
+
+
+def test_response_echoes_query_id(mdns_pair):
+    h = mdns_pair
+    _publish(h, "s0")
+    h.run(until=5.0)
+    _search(h, "s1")
+    h.run(until=8.0)
+    agent = h.agents["s1"]
+    assert agent.response_rtts, "request/response association must yield RTTs"
+    qid, rtt = agent.response_rtts[0]
+    assert qid in agent.query_sent_at
+    assert 0.0 < rtt < 1.0
+
+
+def test_goodbye_triggers_service_del(mdns_pair):
+    h = mdns_pair
+    _publish(h, "s0")
+    _search(h, "s1")
+    h.run(until=3.0)
+    h.agents["s0"].action_stop_publish({"type": "_t"})
+    h.run(until=5.0)
+    names = h.names_on("s1")
+    assert M.EVENT_SD_SERVICE_DEL in names
+
+
+def test_cache_expiry_triggers_service_del(mdns_pair):
+    h = mdns_pair
+    h.agents["s0"].config["record_ttl"] = 3.0
+    h.agents["s0"].config["refresh"] = False
+    _publish(h, "s0")
+    _search(h, "s1")
+    h.run(until=2.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+    # Suppress re-discovery: stop the publisher's responder by exiting.
+    h.agents["s0"].action_exit({})
+    h.run(until=10.0)
+    assert M.EVENT_SD_SERVICE_DEL in h.names_on("s1")
+
+
+def test_refresh_announcements_keep_service_alive(mdns_pair):
+    h = mdns_pair
+    h.agents["s0"].config["record_ttl"] = 3.0  # refresh every 2.4 s
+    _publish(h, "s0")
+    _search(h, "s1")
+    h.run(until=12.0)
+    assert M.EVENT_SD_SERVICE_DEL not in h.names_on("s1")
+
+
+def test_two_sms_both_discovered(mdns_trio):
+    h = mdns_trio
+    _publish(h, "s0")
+    _publish(h, "s1")
+    _search(h, "s2")
+    h.run(until=3.0)
+    adds = [p for t, n, p in h.events["s2"] if n == M.EVENT_SD_SERVICE_ADD]
+    providers = {params[1] for params in adds}
+    assert providers == {"s0", "s1"}
+
+
+def test_own_announcement_ignored(mdns_pair):
+    h = mdns_pair
+    agent = h.agents["s0"]
+    agent.action_init({"role": "su+sm"})
+    agent.action_start_publish({"type": "_t"})
+    agent.action_start_search({"type": "_t"})
+    h.run(until=3.0)
+    adds = [p for t, n, p in h.events["s0"] if n == M.EVENT_SD_SERVICE_ADD]
+    assert adds == []  # a node does not "discover" itself
+
+
+def test_stop_search_halts_querier(mdns_pair):
+    h = mdns_pair
+    _search(h, "s1")
+    h.run(until=2.0)
+    n_queries = len(h.agents["s1"].query_sent_at)
+    h.agents["s1"].action_stop_search({"type": "_t"})
+    h.run(until=20.0)
+    assert len(h.agents["s1"].query_sent_at) == n_queries
+
+
+def test_service_type_enumeration(mdns_trio):
+    """DNS-SD meta-query: browsing for types, not instances."""
+    from repro.sd.mdns import META_TYPE_ENUMERATION
+
+    h = mdns_trio
+    h.agents["s0"].action_init({"role": "sm"})
+    h.agents["s0"].action_start_publish({"type": "_http._tcp"})
+    h.agents["s1"].action_init({"role": "sm"})
+    h.agents["s1"].action_start_publish({"type": "_ipp._tcp"})
+    h.agents["s2"].action_init({"role": "su"})
+    h.agents["s2"].action_start_search({"type": META_TYPE_ENUMERATION})
+    h.run(until=3.0)
+    adds = [p for _t, n, p in h.events["s2"] if n == M.EVENT_SD_SERVICE_ADD]
+    discovered_types = {params[0] for params in adds}
+    assert discovered_types == {"_http._tcp", "_ipp._tcp"}
+
+
+def test_type_enumeration_known_answer_suppression(mdns_trio):
+    from repro.sd.mdns import META_TYPE_ENUMERATION
+
+    h = mdns_trio
+    h.agents["s0"].action_init({"role": "sm"})
+    h.agents["s0"].action_start_publish({"type": "_http._tcp"})
+    h.agents["s2"].action_init({"role": "su"})
+    h.agents["s2"].action_start_search({"type": META_TYPE_ENUMERATION})
+    h.run(until=2.0)
+    before = len([
+        r for r in h.nodes["s0"].capture.records
+        if r["direction"] == "tx" and r["payload"].get("kind") == "response"
+        and any(
+            rec["type"] == META_TYPE_ENUMERATION
+            for rec in r["payload"].get("records", [])
+        )
+    ])
+    assert before >= 1
+    # Further meta-queries carry the pointer as a known answer.
+    h.run(until=10.0)
+    after = len([
+        r for r in h.nodes["s0"].capture.records
+        if r["direction"] == "tx" and r["payload"].get("kind") == "response"
+        and any(
+            rec["type"] == META_TYPE_ENUMERATION
+            for rec in r["payload"].get("records", [])
+        )
+    ])
+    assert after == before
+
+
+def test_type_enumeration_without_publications_is_silent(mdns_pair):
+    from repro.sd.mdns import META_TYPE_ENUMERATION
+
+    h = mdns_pair
+    h.agents["s0"].action_init({"role": "sm"})  # initialized, publishes nothing
+    h.agents["s1"].action_init({"role": "su"})
+    h.agents["s1"].action_start_search({"type": META_TYPE_ENUMERATION})
+    h.run(until=3.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is None
+
+
+def test_multihop_discovery_over_line(mdns_trio):
+    # Line topology: s0 - s1 - s2; multicast flooding must carry queries
+    # and responses across the middle hop.
+    from repro.sd.mdns import MdnsAgent
+
+    from .conftest import AgentHarness
+
+    h = AgentHarness(MdnsAgent, n=3, topology="line")
+    _publish(h, "s0")
+    h.run(until=5.0)
+    _search(h, "s2")
+    h.run(until=10.0)
+    assert h.first("s2", M.EVENT_SD_SERVICE_ADD) is not None

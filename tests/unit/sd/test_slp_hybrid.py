@@ -1,0 +1,171 @@
+"""Unit tests for the three-party SLP-style and hybrid protocols."""
+
+import pytest
+
+from repro.sd import model as M
+
+
+def _scm(h, node="s2"):
+    h.agents[node].action_init({"role": "scm"})
+
+
+def _sm(h, node="s0", type_="_t"):
+    h.agents[node].action_init({"role": "sm"})
+    h.agents[node].action_start_publish({"type": type_})
+
+
+def _su(h, node="s1", type_="_t"):
+    h.agents[node].action_init({"role": "su"})
+    h.agents[node].action_start_search({"type": type_})
+
+
+# ----------------------------------------------------------------------
+# SLP
+# ----------------------------------------------------------------------
+def test_scm_started_event(slp_trio):
+    h = slp_trio
+    _scm(h)
+    assert h.names_on("s2")[0] == M.EVENT_SCM_STARTED
+
+
+def test_da_discovery_via_advert(slp_trio):
+    h = slp_trio
+    _scm(h)
+    _sm(h, "s0")
+    h.run(until=3.0)
+    hit = h.first("s0", M.EVENT_SCM_FOUND)
+    assert hit is not None and hit[1] == ("s2",)
+
+
+def test_da_discovery_via_active_request(slp_trio):
+    h = slp_trio
+    # SM comes up first; SCM appears later: the active DASrvRqst finds it.
+    _sm(h, "s0")
+    h.run(until=5.0)
+    assert h.first("s0", M.EVENT_SCM_FOUND) is None
+    _scm(h)
+    h.run(until=12.0)
+    assert h.first("s0", M.EVENT_SCM_FOUND) is not None
+
+
+def test_registration_reaches_scm(slp_trio):
+    h = slp_trio
+    _scm(h)
+    _sm(h, "s0")
+    h.run(until=5.0)
+    hit = h.first("s2", M.EVENT_SCM_REGISTRATION_ADD)
+    assert hit is not None
+    assert hit[1] == ("s0._t", "s0")
+    assert len(h.agents["s2"].registrations) == 1
+
+
+def test_directed_discovery_end_to_end(slp_trio):
+    h = slp_trio
+    _scm(h)
+    _sm(h, "s0")
+    _su(h, "s1")
+    h.run(until=8.0)
+    hit = h.first("s1", M.EVENT_SD_SERVICE_ADD)
+    assert hit is not None and hit[1] == ("s0._t", "s0")
+
+
+def test_su_polls_scm_for_late_registration(slp_trio):
+    h = slp_trio
+    _scm(h)
+    _su(h, "s1")
+    h.run(until=6.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is None
+    _sm(h, "s0")  # publisher appears later; SU's next poll finds it
+    h.run(until=14.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+
+
+def test_deregistration_removes_from_scm(slp_trio):
+    h = slp_trio
+    _scm(h)
+    _sm(h, "s0")
+    h.run(until=5.0)
+    h.agents["s0"].action_stop_publish({"type": "_t"})
+    h.run(until=8.0)
+    assert M.EVENT_SCM_REGISTRATION_DEL in h.names_on("s2")
+    assert len(h.agents["s2"].registrations) == 0
+
+
+def test_registration_lifetime_expires_without_refresh(slp_trio):
+    h = slp_trio
+    h.agents["s0"].config["registration_ttl"] = 3.0
+    _scm(h)
+    _sm(h, "s0")
+    h.run(until=4.0)
+    assert len(h.agents["s2"].registrations) == 1
+    # Kill the SM so it cannot refresh; lifetime lapses on the SCM.
+    h.agents["s0"].action_exit({})
+    h.run(until=12.0)
+    assert len(h.agents["s2"].registrations) == 0
+    assert M.EVENT_SCM_REGISTRATION_DEL in h.names_on("s2")
+
+
+def test_update_publication_updates_registration(slp_trio):
+    h = slp_trio
+    _scm(h)
+    _sm(h, "s0")
+    h.run(until=4.0)
+    h.agents["s0"].action_update_publication({"type": "_t"})
+    h.run(until=8.0)
+    assert M.EVENT_SCM_REGISTRATION_UPD in h.names_on("s2")
+
+
+def test_unicast_retry_survives_lossy_link():
+    from repro.sd.slp import SlpAgent
+
+    from .conftest import AgentHarness
+
+    h = AgentHarness(SlpAgent, n=3, base_loss=0.35)
+    _scm(h)
+    _sm(h, "s0")
+    _su(h, "s1")
+    h.run(until=40.0)
+    assert h.first("s2", M.EVENT_SCM_REGISTRATION_ADD) is not None
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+
+
+# ----------------------------------------------------------------------
+# Hybrid
+# ----------------------------------------------------------------------
+def test_hybrid_works_without_scm(hybrid_trio):
+    h = hybrid_trio
+    _sm(h, "s0")
+    _su(h, "s1")
+    h.run(until=6.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+    assert h.first("s1", M.EVENT_SCM_FOUND) is None
+
+
+def test_hybrid_upgrades_to_directed_with_scm(hybrid_trio):
+    h = hybrid_trio
+    _scm(h, "s2")
+    _sm(h, "s0")
+    _su(h, "s1")
+    h.run(until=10.0)
+    assert h.first("s1", M.EVENT_SCM_FOUND) is not None
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+    assert h.first("s2", M.EVENT_SCM_REGISTRATION_ADD) is not None
+
+
+def test_hybrid_announcements_discover_passively(hybrid_trio):
+    h = hybrid_trio
+    h.agents["s1"].action_init({"role": "su"})
+    h.agents["s1"].action_start_search({"type": "_t"})
+    _sm(h, "s0")
+    h.run(until=3.0)
+    assert h.first("s1", M.EVENT_SD_SERVICE_ADD) is not None
+
+
+def test_hybrid_goodbye(hybrid_trio):
+    h = hybrid_trio
+    _sm(h, "s0")
+    _su(h, "s1")
+    h.run(until=4.0)
+    h.agents["s0"].action_stop_publish({"type": "_t"})
+    h.run(until=6.0)
+    assert M.EVENT_SD_SERVICE_DEL in h.names_on("s1")

@@ -1,0 +1,87 @@
+"""Unit tests for hierarchical deterministic RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+
+def test_derive_seed_sensitive_to_every_component():
+    base = derive_seed(1, "a", 2)
+    assert derive_seed(2, "a", 2) != base
+    assert derive_seed(1, "b", 2) != base
+    assert derive_seed(1, "a", 3) != base
+    assert derive_seed(1, "a") != base
+
+
+def test_derive_seed_component_types():
+    # Every supported type participates without collisions among kinds.
+    seeds = {
+        derive_seed(1, "x"),
+        derive_seed(1, b"x"),
+        derive_seed(1, 120),  # ord('x') — must differ from "x" and b"x"
+        derive_seed(1, 1.5),
+        derive_seed(1, True),
+        derive_seed(1, None),
+    }
+    assert len(seeds) == 6
+
+
+def test_derive_seed_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        derive_seed(1, object())
+
+
+def test_derive_seed_known_value_stability():
+    # Pin one value: if the derivation scheme ever changes, stored
+    # experiments stop being reproducible — this must be a loud failure.
+    assert derive_seed(42, "run", 0) == derive_seed(42, "run", 0)
+    assert derive_seed(42) == int.from_bytes(
+        __import__("hashlib").sha256(b"i:42").digest()[:16], "big"
+    )
+
+
+def test_stream_caching_continues_sequence():
+    reg = RngRegistry(7)
+    first = reg.stream("s").random()
+    second = reg.stream("s").random()
+    assert first != second  # same generator advancing, not reseeded
+
+
+def test_fresh_restarts_sequence():
+    reg = RngRegistry(7)
+    assert reg.fresh("s").random() == reg.fresh("s").random()
+
+
+def test_streams_are_independent():
+    reg = RngRegistry(7)
+    a = [reg.fresh("a").random() for _ in range(3)]
+    b = [reg.fresh("b").random() for _ in range(3)]
+    assert a != b
+
+
+def test_interleaving_does_not_perturb_streams():
+    reg1 = RngRegistry(7)
+    sole = [reg1.stream("x").random() for _ in range(5)]
+
+    reg2 = RngRegistry(7)
+    mixed = []
+    for i in range(5):
+        reg2.stream("noise").random()  # a concurrent consumer
+        mixed.append(reg2.stream("x").random())
+    assert sole == mixed
+
+
+def test_child_registry_namespacing():
+    reg = RngRegistry(7)
+    child = reg.child("component")
+    assert child.root_seed == derive_seed(7, "component")
+    assert child.fresh("s").random() != reg.fresh("s").random()
+
+
+def test_registries_with_same_seed_agree():
+    a, b = RngRegistry(99), RngRegistry(99)
+    assert a.fresh("k", 1).getrandbits(64) == b.fresh("k", 1).getrandbits(64)

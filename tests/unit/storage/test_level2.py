@@ -1,0 +1,115 @@
+"""Unit tests for the level-2 filesystem store."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.level2 import Level2Store
+
+
+@pytest.fixture
+def store(tmp_path):
+    return Level2Store(tmp_path / "exp")
+
+
+def test_description_roundtrip(store):
+    store.write_description("<experiment name='x'/>")
+    assert store.read_description() == "<experiment name='x'/>"
+
+
+def test_missing_description_raises(store):
+    with pytest.raises(StorageError):
+        store.read_description()
+
+
+def test_plan_roundtrip(store):
+    plan = [{"run_id": 0, "treatment": {"f": 1}}]
+    store.write_plan(plan)
+    assert store.read_plan() == plan
+
+
+def test_journal_append_order(store):
+    store.append_journal({"type": "a"})
+    store.append_journal({"type": "b"})
+    assert [e["type"] for e in store.read_journal()] == ["a", "b"]
+    assert Level2Store(store.root).read_journal()  # persisted on disk
+
+
+def test_topology_phases(store):
+    store.write_topology("before", {"nodes": ["a"]})
+    assert store.read_topology("before") == {"nodes": ["a"]}
+    assert store.read_topology("after") is None
+    with pytest.raises(StorageError):
+        store.write_topology("middle", {})
+
+
+def test_timesync_roundtrip(store):
+    store.write_timesync(3, {"n1": {"offset": 0.5}})
+    assert store.read_timesync(3)["n1"]["offset"] == 0.5
+    with pytest.raises(StorageError):
+        store.read_timesync(99)
+
+
+def test_run_data_appends(store):
+    store.write_run_data("n1", 0, [{"name": "e1"}], [{"uid": 1}])
+    store.write_run_data("n1", 0, [{"name": "e2"}], [])
+    events = store.read_run_events("n1", 0)
+    assert [e["name"] for e in events] == ["e1", "e2"]
+    assert store.read_run_packets("n1", 0) == [{"uid": 1}]
+    assert store.read_run_events("n1", 5) == []
+
+
+def test_extra_measurements(store):
+    store.write_extra_measurement("n1", 0, "plugin_a", {"x": 1})
+    store.write_extra_measurement("n1", 0, "plugin_b", [1, 2])
+    out = store.read_extra_measurements("n1", 0)
+    assert out == {"plugin_a": {"x": 1}, "plugin_b": [1, 2]}
+    assert store.read_extra_measurements("n1", 9) == {}
+
+
+def test_run_info_roundtrip(store):
+    store.write_run_info(2, {"run_id": 2, "start_time": 1.5, "treatment": {}})
+    assert store.read_run_info(2)["start_time"] == 1.5
+    with pytest.raises(StorageError):
+        store.read_run_info(3)
+
+
+def test_node_logs_and_experiment_events(store):
+    store.write_node_log("n1", "line1\nline2")
+    assert store.read_node_log("n1") == "line1\nline2"
+    assert store.read_node_log("ghost") == ""
+    store.write_node_experiment_events("n1", [{"name": "init"}])
+
+
+def test_eefiles(store):
+    store.write_eefile("VERSION", "1.0")
+    store.write_eefile("sub/tool.py", "print()")
+    files = store.eefiles()
+    assert files["VERSION"] == "1.0"
+    assert files["sub/tool.py"] == "print()"
+
+
+def test_experiment_measurements(store):
+    store.write_experiment_measurement("medium", {"loss": 1})
+    assert store.experiment_measurements() == {"medium": {"loss": 1}}
+
+
+def test_enumeration(store):
+    store.write_run_data("n1", 0, [], [])
+    store.write_run_data("n2", 1, [], [])
+    assert store.node_ids() == ["n1", "n2"]
+    assert store.run_ids() == [0, 1]
+    assert list(store.iter_run_node_pairs()) == [
+        (0, "n1"), (0, "n2"), (1, "n1"), (1, "n2")
+    ]
+
+
+def test_purge_run(store):
+    store.write_run_data("n1", 0, [{"name": "keep"}], [])
+    store.write_run_data("n1", 1, [{"name": "drop"}], [])
+    store.write_timesync(1, {})
+    store.write_run_info(1, {"run_id": 1, "start_time": 0.0})
+    store.purge_run(1)
+    assert store.read_run_events("n1", 1) == []
+    assert store.read_run_events("n1", 0) != []
+    with pytest.raises(StorageError):
+        store.read_timesync(1)

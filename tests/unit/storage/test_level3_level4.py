@@ -1,0 +1,212 @@
+"""Unit tests for the level-3 database (Table I) and the level-4 repository."""
+
+import json
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import TABLE_SCHEMAS, ExperimentDatabase, store_level3
+from repro.storage.level4 import ExperimentRepository
+
+DESC_XML = """<experiment name="t3" seed="1" comment="c">
+  <platform>
+    <actornode id="h1" address="10.0.0.1" abstract="A" />
+    <envnode id="h2" address="10.0.0.2" />
+  </platform>
+</experiment>"""
+
+
+@pytest.fixture
+def filled_store(tmp_path):
+    s = Level2Store(tmp_path / "l2")
+    s.write_description(DESC_XML)
+    s.write_plan([{"run_id": 0, "treatment": {"f": 1}, "replication": 0,
+                   "treatment_index": 0, "seed": 7}])
+    s.write_eefile("VERSION", "1.0")
+    s.write_experiment_measurement("overall", {"k": 1})
+    s.write_node_log("h1", "the log")
+    s.write_timesync(0, {"h1": {"offset": 0.5, "rtt": 0.001,
+                                "error_bound": 0.0005, "probes": 5}})
+    s.write_run_info(0, {"run_id": 0, "start_time": 1.0, "treatment": {"f": 1}})
+    s.write_run_data(
+        "h1", 0,
+        [{"name": "ev", "node": "h1", "local_time": 2.0, "params": ["p"],
+          "run_id": 0}],
+        [{"node": "h1", "local_time": 2.5, "uid": 3, "src": "10.0.0.1",
+          "dst": "10.0.0.2", "direction": "tx", "payload": "'blob'"}],
+    )
+    s.write_extra_measurement("h1", 0, "plug", {"m": 9})
+    return s
+
+
+def test_schema_matches_table_one(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentDatabase(db_path) as db:
+        schema = db.schema()
+        assert set(schema) == set(TABLE_SCHEMAS)
+        for table, attrs in TABLE_SCHEMAS.items():
+            assert schema[table] == attrs, table
+
+
+def test_experiment_info_row(filled_store, tmp_path):
+    with ExperimentDatabase(store_level3(filled_store, tmp_path / "x.db")) as db:
+        info = db.experiment_info()
+        assert info["Name"] == "t3"
+        assert info["Comment"] == "c"
+        assert info["ExpXML"] == DESC_XML
+        assert "excovery" in info["EEVersion"]
+
+
+def test_events_conditioned_and_parsed(filled_store, tmp_path):
+    with ExperimentDatabase(store_level3(filled_store, tmp_path / "x.db")) as db:
+        events = db.events(run_id=0)
+        assert len(events) == 1
+        assert events[0]["name"] == "ev"
+        assert events[0]["params"] == ["p"]
+        assert events[0]["common_time"] == pytest.approx(1.5)  # 2.0 - 0.5
+
+
+def test_packets_src_resolved_to_node(filled_store, tmp_path):
+    with ExperimentDatabase(store_level3(filled_store, tmp_path / "x.db")) as db:
+        packets = db.packets(run_id=0)
+        assert packets[0]["src_node"] == "h1"  # 10.0.0.1 -> h1 via platform
+
+
+def test_run_infos_carry_timediff(filled_store, tmp_path):
+    with ExperimentDatabase(store_level3(filled_store, tmp_path / "x.db")) as db:
+        rows = db.run_infos(0)
+        by_node = {r["NodeID"]: r for r in rows}
+        assert by_node["h1"]["TimeDiff"] == 0.5
+        assert by_node["master"]["TimeDiff"] == 0.0
+        assert by_node["h1"]["StartTime"] == 1.0
+
+
+def test_plan_and_extras_stored(filled_store, tmp_path):
+    with ExperimentDatabase(store_level3(filled_store, tmp_path / "x.db")) as db:
+        assert db.plan()[0]["seed"] == 7
+        extras = db.extra_measurements(0)
+        assert extras["h1"]["plug"] == {"m": 9}
+        counts = db.row_counts()
+        assert counts["Logs"] == 1
+        assert counts["ExperimentMeasurements"] == 1
+
+
+def test_refuses_overwrite(filled_store, tmp_path):
+    store_level3(filled_store, tmp_path / "x.db")
+    with pytest.raises(StorageError):
+        store_level3(filled_store, tmp_path / "x.db")
+
+
+def test_rejects_wrong_source_type(tmp_path):
+    with pytest.raises(StorageError):
+        store_level3({"not": "a store"}, tmp_path / "y.db")
+
+
+def test_event_pair_latencies(tmp_path):
+    s = Level2Store(tmp_path / "l2x")
+    s.write_description(DESC_XML)
+    s.write_plan([])
+    for run_id, (t_start, t_end) in enumerate([(1.0, 1.4), (2.0, None)]):
+        s.write_timesync(run_id, {})
+        s.write_run_info(run_id, {"run_id": run_id, "start_time": 0.0,
+                                  "treatment": {}})
+        events = [{"name": "op_start", "node": "h1", "local_time": t_start,
+                   "params": [], "run_id": run_id}]
+        if t_end is not None:
+            events.append({"name": "op_done", "node": "h1",
+                           "local_time": t_end, "params": [], "run_id": run_id})
+        s.write_run_data("h1", run_id, events, [])
+    with ExperimentDatabase(store_level3(s, tmp_path / "pair.db")) as db:
+        rows = db.event_pair_latencies("op_start", "op_done")
+        assert len(rows) == 2
+        assert rows[0]["latency"] == pytest.approx(0.4)
+        assert rows[1]["latency"] is None
+        # End-before-start never matches.
+        assert db.event_pair_latencies("op_done", "op_start")[0]["latency"] is None
+        # Node filter applies.
+        assert db.event_pair_latencies("op_start", "op_done", node_id="ghost") == []
+
+
+def test_open_missing_database(tmp_path):
+    with pytest.raises(StorageError):
+        ExperimentDatabase(tmp_path / "missing.db")
+
+
+# ----------------------------------------------------------------------
+# Level 4
+# ----------------------------------------------------------------------
+def test_repository_import_and_catalogue(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        exp_id = repo.import_experiment(db_path)
+        assert exp_id == 1
+        exps = repo.experiments()
+        assert exps[0]["Name"] == "t3"
+        assert repo.experiment_id_by_name("t3") == 1
+
+
+def test_repository_events_scoped_by_experiment(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        e1 = repo.import_experiment(db_path)
+        e2 = repo.import_experiment(db_path)  # imported twice = two entries
+        assert repo.run_ids(e1) == [0]
+        assert len(repo.events(e1)) == 1
+        assert len(repo.events(e2)) == 1
+        assert repo.events(e1, event_type="ev")[0]["params"] == ["p"]
+        assert repo.events(e1, event_type="nope") == []
+
+
+def test_repository_cross_experiment_comparison(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        repo.import_experiment(db_path)
+        counts = repo.compare_event_counts("ev")
+        assert counts == {"t3": 1}
+
+
+def test_repository_dimensional_views(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        repo.import_experiment(db_path)
+        repo.create_dimensional_views()
+        dims = [r[0] for r in repo.conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='view' ORDER BY name"
+        )]
+        assert dims == [
+            "DimEventType", "DimExperiment", "DimNode", "DimRun", "FactEvents"
+        ]
+        facts = repo.conn.execute("SELECT COUNT(*) FROM FactEvents").fetchone()[0]
+        assert facts == 1
+        # Views track later imports without re-creation.
+        repo.import_experiment(db_path)
+        facts = repo.conn.execute("SELECT COUNT(*) FROM FactEvents").fetchone()[0]
+        assert facts == 2
+
+
+def test_repository_fact_aggregation(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        repo.import_experiment(db_path)
+        by_type = repo.fact_event_counts("EventType")
+        assert by_type == [{"key": "ev", "events": 1}]
+        by_exp = repo.fact_event_counts("ExpID")
+        assert by_exp[0]["events"] == 1
+        with pytest.raises(StorageError):
+            repo.fact_event_counts("Robert'); DROP TABLE Events;--")
+
+
+def test_repository_unknown_name(tmp_path):
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        with pytest.raises(StorageError):
+            repo.experiment_id_by_name("ghost")
+
+
+def test_repository_persists_across_reopen(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    repo = ExperimentRepository(tmp_path / "repo.db")
+    repo.import_experiment(db_path)
+    repo.close()
+    with ExperimentRepository(tmp_path / "repo.db") as again:
+        assert len(again.experiments()) == 1

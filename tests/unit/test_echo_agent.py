@@ -1,0 +1,93 @@
+"""Unit tests for the echo agent's action surface and edge paths."""
+
+import pytest
+
+from repro.procs.echo import ECHO_PORT, EchoAgent, EchoPlugin
+
+
+@pytest.fixture
+def echo_pair(pair_net, rngs):
+    sim, _medium, a, b = pair_net
+    agents = {}
+    events = {}
+    for node in (a, b):
+        log = []
+        events[node.name] = log
+
+        def emit(name, params=(), _log=log):
+            _log.append((sim.now, name, tuple(params)))
+
+        agent = EchoAgent(sim, node, rngs, emit)
+        agent.reset(0)
+        agents[node.name] = agent
+    return sim, agents, events, a, b
+
+
+def test_roundtrip(echo_pair):
+    sim, agents, events, a, b = echo_pair
+    agents["h0"].action_init({"role": "server"})
+    agents["h1"].action_init({"role": "client", "peer": a.address,
+                              "rate": 20.0, "deadline": 0.5})
+    agents["h1"].action_start({})
+    sim.run(until=1.0)
+    agents["h1"].action_stop({})
+    replies = [e for e in events["h1"] if e[1] == "echo_reply"]
+    assert len(replies) >= 15
+    assert agents["h1"].rtts and all(r > 0 for r in agents["h1"].rtts)
+
+
+def test_invalid_role_and_missing_peer(echo_pair):
+    _sim, agents, _events, _a, _b = echo_pair
+    with pytest.raises(ValueError, match="client or server"):
+        agents["h0"].action_init({"role": "queen"})
+    with pytest.raises(ValueError, match="peer"):
+        agents["h0"].action_init({"role": "client"})
+
+
+def test_double_init_rejected(echo_pair):
+    _sim, agents, _events, a, _b = echo_pair
+    agents["h0"].action_init({"role": "server"})
+    with pytest.raises(RuntimeError, match="while initialized"):
+        agents["h0"].action_init({"role": "server"})
+
+
+def test_start_requires_client_role(echo_pair):
+    _sim, agents, _events, _a, _b = echo_pair
+    agents["h0"].action_init({"role": "server"})
+    with pytest.raises(RuntimeError, match="client action"):
+        agents["h0"].action_start({})
+
+
+def test_timeout_when_server_absent(echo_pair):
+    sim, agents, events, a, _b = echo_pair
+    # Client probes an address nobody serves.
+    agents["h1"].action_init({"role": "client", "peer": a.address,
+                              "rate": 10.0, "deadline": 0.2})
+    agents["h1"].action_start({})
+    sim.run(until=1.5)
+    timeouts = [e for e in events["h1"] if e[1] == "echo_timeout"]
+    assert timeouts
+    assert not [e for e in events["h1"] if e[1] == "echo_reply"]
+
+
+def test_exit_frees_port_and_allows_reinit(echo_pair):
+    sim, agents, events, _a, _b = echo_pair
+    agents["h0"].action_init({"role": "server"})
+    agents["h0"].action_exit({})
+    assert events["h0"][-1][1] == "echo_exit_done"
+    agents["h0"].action_init({"role": "server"})  # port was released
+
+
+def test_reset_reseeds_and_clears(echo_pair):
+    sim, agents, _events, a, _b = echo_pair
+    agents["h1"].action_init({"role": "client", "peer": a.address})
+    agents["h1"].rtts.append(1.0)
+    agents["h1"].reset(3)
+    assert agents["h1"].role is None
+    assert agents["h1"].rtts == []
+    agents["h1"].action_init({"role": "client", "peer": a.address})
+
+
+def test_plugin_specs_cover_actions():
+    names = {spec.name for spec in EchoPlugin().action_specs()}
+    assert names == {"echo_init", "echo_start", "echo_stop", "echo_exit"}

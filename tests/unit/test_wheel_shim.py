@@ -1,0 +1,154 @@
+"""Unit tests for the offline wheel shim (tools/wheel_shim).
+
+The shim backs ``pip install -e .`` on machines without the real
+``wheel`` package; if it rots, installation breaks first — so it gets
+tests like everything else.  The modules are loaded from the tools tree
+directly, independent of whether a ``wheel`` package is installed.
+"""
+
+import importlib.util
+import os
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools" / "wheel_shim" / "wheel"
+
+
+def _load(name, path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+wheelfile_mod = _load("shim_wheelfile", TOOLS / "wheelfile.py")
+bdist_mod = _load("shim_bdist_wheel", TOOLS / "bdist_wheel.py")
+
+
+# ----------------------------------------------------------------------
+# WheelFile
+# ----------------------------------------------------------------------
+def test_wheelfile_parses_archive_name(tmp_path):
+    wf = wheelfile_mod.WheelFile(
+        tmp_path / "pkg-1.2.3-0.editable-py3-none-any.whl", "w"
+    )
+    assert wf.dist_info_path == "pkg-1.2.3.dist-info"
+    assert wf.record_path == "pkg-1.2.3.dist-info/RECORD"
+    wf.close()
+
+
+def test_wheelfile_rejects_bad_name(tmp_path):
+    with pytest.raises(ValueError):
+        wheelfile_mod.WheelFile(tmp_path / "nodashes.whl", "w")
+
+
+def test_wheelfile_record_contents(tmp_path):
+    path = tmp_path / "pkg-1.0-py3-none-any.whl"
+    with wheelfile_mod.WheelFile(path, "w") as wf:
+        wf.writestr("pkg/__init__.py", "x = 1\n")
+        wf.writestr("pkg-1.0.dist-info/METADATA", "Name: pkg\n")
+    with zipfile.ZipFile(path) as zf:
+        names = zf.namelist()
+        assert "pkg-1.0.dist-info/RECORD" in names
+        record = zf.read("pkg-1.0.dist-info/RECORD").decode()
+    lines = [l for l in record.splitlines() if l]
+    assert any(l.startswith("pkg/__init__.py,sha256=") for l in lines)
+    assert "pkg-1.0.dist-info/RECORD,," in lines
+    # Hash format: urlsafe base64 without padding.
+    entry = next(l for l in lines if l.startswith("pkg/__init__.py"))
+    _, digest, size = entry.split(",")
+    assert "=" not in digest.split("sha256=", 1)[1]
+    assert int(size) == len("x = 1\n")
+
+
+def test_wheelfile_write_files_walks_tree(tmp_path):
+    src = tmp_path / "unpacked"
+    (src / "pkg").mkdir(parents=True)
+    (src / "pkg" / "mod.py").write_text("pass\n")
+    (src / "pkg-2.0.dist-info").mkdir()
+    (src / "pkg-2.0.dist-info" / "METADATA").write_text("Name: pkg\n")
+    path = tmp_path / "pkg-2.0-py3-none-any.whl"
+    with wheelfile_mod.WheelFile(path, "w") as wf:
+        wf.write_files(src)
+    with zipfile.ZipFile(path) as zf:
+        assert "pkg/mod.py" in zf.namelist()
+        assert "pkg-2.0.dist-info/METADATA" in zf.namelist()
+        assert "pkg-2.0.dist-info/RECORD" in zf.namelist()
+
+
+# ----------------------------------------------------------------------
+# requires.txt conversion
+# ----------------------------------------------------------------------
+def test_requires_conversion_plain_and_extras():
+    lines = bdist_mod._requires_to_metadata(
+        "numpy\nnetworkx\n\n[dev]\npytest\nhypothesis\n"
+    )
+    assert "Requires-Dist: numpy" in lines
+    assert "Provides-Extra: dev" in lines
+    assert 'Requires-Dist: pytest ; extra == "dev"' in lines
+
+
+def test_requires_conversion_markers():
+    lines = bdist_mod._requires_to_metadata(
+        '[:python_version < "3.10"]\ntyping-extensions\n'
+    )
+    assert any(
+        "typing-extensions" in l and 'python_version < "3.10"' in l
+        for l in lines
+    )
+
+
+# ----------------------------------------------------------------------
+# egg2dist
+# ----------------------------------------------------------------------
+def test_egg2dist_produces_metadata(tmp_path):
+    egg = tmp_path / "pkg.egg-info"
+    egg.mkdir()
+    (egg / "PKG-INFO").write_text(
+        "Metadata-Version: 2.1\nName: pkg\nVersion: 1.0\n\nlong description\n"
+    )
+    (egg / "requires.txt").write_text("numpy\n")
+    (egg / "SOURCES.txt").write_text("setup.py\n")
+    (egg / "entry_points.txt").write_text("[console_scripts]\nx = y:z\n")
+
+    class FakeDist:
+        def has_ext_modules(self):
+            return False
+
+    cmd = bdist_mod.bdist_wheel.__new__(bdist_mod.bdist_wheel)
+    cmd.distribution = FakeDist()
+
+    dist_info = tmp_path / "pkg-1.0.dist-info"
+    cmd.egg2dist(egg, dist_info)
+
+    metadata = (dist_info / "METADATA").read_text()
+    assert "Name: pkg" in metadata
+    assert "Requires-Dist: numpy" in metadata
+    assert "long description" in metadata
+    assert not (dist_info / "PKG-INFO").exists()
+    assert not (dist_info / "SOURCES.txt").exists()
+    assert not (dist_info / "requires.txt").exists()
+    assert (dist_info / "entry_points.txt").exists()
+    wheel_meta = (dist_info / "WHEEL").read_text()
+    assert "Tag: py3-none-any" in wheel_meta
+    assert "Root-Is-Purelib: true" in wheel_meta
+
+
+def test_get_tag_pure_only():
+    class PureDist:
+        def has_ext_modules(self):
+            return False
+
+    class ExtDist:
+        def has_ext_modules(self):
+            return True
+
+    cmd = bdist_mod.bdist_wheel.__new__(bdist_mod.bdist_wheel)
+    cmd.distribution = PureDist()
+    assert cmd.get_tag() == ("py3", "none", "any")
+    cmd.distribution = ExtDist()
+    with pytest.raises(RuntimeError, match="pure-Python"):
+        cmd.get_tag()

@@ -1,0 +1,114 @@
+"""Unit tests for the ASCII timeline renderer and describers."""
+
+from repro.analysis.timeline import build_run_timeline
+from repro.core.plan import generate_plan
+from repro.core.xmlio import description_from_xml
+from repro.paper import full_paper_experiment_xml
+from repro.viz.describe import describe_action, describe_description, describe_plan, describe_result
+from repro.viz.timeline_art import MARKS, render_timeline
+
+
+def _events():
+    mk = lambda name, t, node="su": {  # noqa: E731
+        "name": name, "node": node, "common_time": t, "params": [], "run_id": 0,
+    }
+    return [
+        mk("run_init", 0.0, "master"),
+        mk("sd_start_search", 1.0),
+        mk("sd_service_add", 1.5),
+        mk("done", 1.6),
+        mk("run_exit", 2.0, "master"),
+    ]
+
+
+def test_render_contains_lanes_and_t_r():
+    art = render_timeline(build_run_timeline(_events(), 0))
+    assert "run 0" in art
+    assert "t_R = 0.500 s" in art
+    assert "master" in art and "su" in art
+    assert "legend:" in art
+    assert "durations:" in art
+
+
+def test_render_marks_present():
+    art = render_timeline(build_run_timeline(_events(), 0), legend=False)
+    lane_su = next(line for line in art.splitlines() if line.startswith("su"))
+    assert MARKS["sd_start_search"] in lane_su
+    assert MARKS["sd_service_add"] in lane_su
+    assert "legend" not in art
+
+
+def test_render_unknown_event_uses_default_mark():
+    events = _events() + [{
+        "name": "weird_event", "node": "su", "common_time": 1.7,
+        "params": [], "run_id": 0,
+    }]
+    art = render_timeline(build_run_timeline(events, 0))
+    assert "*" in art
+
+
+def test_render_empty_run():
+    art = render_timeline(build_run_timeline([], 3))
+    assert "no events" in art
+
+
+def test_render_node_filter():
+    art = render_timeline(
+        build_run_timeline(_events(), 0), include_nodes=["su"]
+    )
+    assert "master |" not in art.replace("master  |", "master |")
+
+
+def test_colliding_marks_slide_right():
+    events = [
+        {"name": "a1", "node": "n", "common_time": 1.0, "params": [], "run_id": 0},
+        {"name": "a2", "node": "n", "common_time": 1.0, "params": [], "run_id": 0},
+        {"name": "a3", "node": "n", "common_time": 5.0, "params": [], "run_id": 0},
+    ]
+    art = render_timeline(build_run_timeline(events, 0), width=40)
+    lane = next(line for line in art.splitlines() if line.startswith("n "))
+    assert lane.count("*") == 3  # none silently dropped
+
+
+def test_describe_description_mentions_everything():
+    desc = description_from_xml(full_paper_experiment_xml(replications=2))
+    text = describe_description(desc)
+    assert "fact_bw" in text
+    assert "actor0" in text and "actor1" in text
+    assert "t9-105" in text
+    assert "6 treatments x 2 replications" in text
+    assert "env_traffic_start" in text
+
+
+def test_describe_plan_table():
+    desc = description_from_xml(full_paper_experiment_xml(replications=2))
+    plan = generate_plan(desc.factors, desc.seed)
+    text = describe_plan(plan, max_rows=3)
+    assert "12 runs" in text
+    assert "more runs" in text
+    assert "<map>" in text  # actor map rendered compactly
+
+
+def test_describe_action_forms():
+    from repro.core.processes import (
+        DomainAction, EventFlag, FactorRef, NodeSelector, WaitForEvent,
+        WaitForTime, WaitMarker,
+    )
+
+    assert describe_action(WaitForTime(seconds=2)) == "wait_for_time(2)"
+    assert describe_action(WaitMarker()) == "wait_marker()"
+    assert "event_flag('x')" == describe_action(EventFlag(value="x"))
+    text = describe_action(WaitForEvent(
+        event="e", from_nodes=NodeSelector(actor="a0"), timeout=3,
+        param_values=("v",),
+    ))
+    assert "'e'" in text and "from=a0[all]" in text and "timeout=3" in text
+    assert describe_action(DomainAction(name="f", params={"k": FactorRef("g")}))
+
+
+def test_describe_result():
+    text = describe_result({
+        "experiment": "x", "total_runs": 10, "executed": 8, "skipped": 2,
+        "timed_out": 1, "duration": 12.5,
+    })
+    assert "8/10" in text and "2 resumed-skipped" in text

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Profile a representative experiment execution.
+
+"No optimization without measuring" — this script runs a mid-sized
+two-party experiment under cProfile and prints the hot spots, so
+performance work on the kernel/medium/agents starts from data rather
+than guesses.
+
+Run:  python tools/profile_experiment.py [replications]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import tempfile
+
+
+def workload(replications: int) -> None:
+    from repro import run_experiment, store_level3
+    from repro.sd.processlib import build_two_party_description
+
+    desc = build_two_party_description(
+        name="profile", seed=1, replications=replications, env_count=4,
+        traffic=True, pairs_levels=(4,), bw_levels=(100,),
+        special_params={"run_spacing": 0.05},
+    )
+    workdir = tempfile.mkdtemp(prefix="excovery-profile-")
+    result = run_experiment(desc, store_root=f"{workdir}/l2")
+    store_level3(result.store, f"{workdir}/profile.db")
+
+
+def main() -> int:
+    replications = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload(replications)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    print(f"\n=== top 25 by cumulative time ({replications} replications) ===")
+    stats.sort_stats("cumulative").print_stats(25)
+    print("\n=== top 25 by internal time ===")
+    stats.sort_stats("tottime").print_stats(25)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Install the wheel shim into the active environment's site-packages.
+
+Only needed on offline machines that have setuptools but not ``wheel``
+(symptom: ``pip install -e .`` fails with ``error: invalid command
+'bdist_wheel'``).  The shim registers the ``bdist_wheel`` distutils
+command via entry-point metadata, which is what setuptools' PEP 660
+editable-install path looks up.
+
+The installer is a no-op if a real ``wheel`` distribution is present.
+"""
+
+from __future__ import annotations
+
+import importlib.metadata
+import os
+import shutil
+import site
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+DIST_INFO_NAME = "wheel-0.0.1+excovery.shim".replace("+", ".").replace(".shim", "")
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: wheel
+Version: 0.0.1
+Summary: Minimal bdist_wheel shim for offline editable installs
+"""
+
+ENTRY_POINTS = """\
+[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+
+def main() -> int:
+    try:
+        version = importlib.metadata.version("wheel")
+        print(f"a 'wheel' distribution is already installed ({version}); nothing to do")
+        return 0
+    except importlib.metadata.PackageNotFoundError:
+        pass
+
+    target = site.getsitepackages()[0]
+    pkg_src = os.path.join(HERE, "wheel")
+    pkg_dst = os.path.join(target, "wheel")
+    if os.path.exists(pkg_dst):
+        shutil.rmtree(pkg_dst)
+    shutil.copytree(pkg_src, pkg_dst)
+
+    dist_info = os.path.join(target, "wheel-0.0.1.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w", encoding="utf-8") as fh:
+        fh.write(METADATA)
+    with open(os.path.join(dist_info, "entry_points.txt"), "w", encoding="utf-8") as fh:
+        fh.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info, "RECORD"), "w", encoding="utf-8") as fh:
+        fh.write("")  # installed by hand; pip uninstall not supported
+    with open(os.path.join(dist_info, "INSTALLER"), "w", encoding="utf-8") as fh:
+        fh.write("wheel-shim-installer\n")
+
+    print(f"wheel shim installed into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

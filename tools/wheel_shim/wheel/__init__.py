@@ -1,0 +1,20 @@
+"""Minimal stand-in for the PyPA ``wheel`` package.
+
+Offline environments that ship setuptools < 70.1 but not ``wheel`` cannot
+perform PEP 660 editable installs (``pip install -e .``): setuptools'
+``dist_info`` and ``editable_wheel`` commands delegate tag computation,
+egg-info conversion and wheel-archive writing to the ``wheel``
+distribution.  This shim implements exactly the surface those two
+commands use, for pure-Python projects:
+
+* :class:`wheel.bdist_wheel.bdist_wheel` with ``get_tag`` (always
+  ``py3-none-any``), ``write_wheelfile`` and ``egg2dist``;
+* :class:`wheel.wheelfile.WheelFile` — a ``ZipFile`` that records SHA-256
+  hashes and writes a PEP 376 RECORD on close.
+
+Install with ``python tools/wheel_shim/install.py`` (see README).  If the
+real ``wheel`` package is available, use that instead — this shim refuses
+to build non-editable binary distributions.
+"""
+
+__version__ = "0.0.1+excovery.shim"

@@ -1,0 +1,143 @@
+"""The ``bdist_wheel`` command surface setuptools' PEP 660 path needs."""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from setuptools import Command
+
+__all__ = ["bdist_wheel"]
+
+_WHEEL_TEMPLATE = """\
+Wheel-Version: 1.0
+Generator: wheel-shim ({version})
+Root-Is-Purelib: {purelib}
+Tag: {tag}
+"""
+
+#: egg-info files that have no dist-info counterpart.
+_DROP_FILES = {
+    "SOURCES.txt",
+    "requires.txt",
+    "not-zip-safe",
+    "zip-safe",
+    "dependency_links.txt",
+}
+
+
+def _requires_to_metadata(requires_txt: str) -> list[str]:
+    """Convert an egg-info ``requires.txt`` into core-metadata lines.
+
+    Plain requirements map to ``Requires-Dist``; ``[extra]`` sections map
+    to ``Provides-Extra`` plus environment-marked requirements;
+    ``[:marker]`` sections attach the marker directly.
+    """
+    lines: list[str] = []
+    extra = None
+    marker = None
+    for raw in requires_txt.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1]
+            if ":" in section:
+                extra_part, marker = section.split(":", 1)
+                extra = extra_part or None
+            else:
+                extra, marker = section, None
+            if extra:
+                lines.append(f"Provides-Extra: {extra}")
+            continue
+        req = line
+        conditions = []
+        if marker:
+            conditions.append(f"({marker})")
+        if extra:
+            conditions.append(f'extra == "{extra}"')
+        if conditions:
+            req = f"{req} ; {' and '.join(conditions)}"
+        lines.append(f"Requires-Dist: {req}")
+    return lines
+
+
+class bdist_wheel(Command):
+    """Just enough ``bdist_wheel`` for editable installs of pure projects."""
+
+    description = "minimal bdist_wheel (editable-install shim)"
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("plat-name=", "p", "platform name (ignored; always pure)"),
+        ("keep-temp", "k", "keep the build tree (ignored)"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.plat_name = None
+        self.keep_temp = False
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    # ------------------------------------------------------------------
+    def get_tag(self):
+        if self.distribution.has_ext_modules():
+            raise RuntimeError(
+                "the wheel shim only supports pure-Python projects; install "
+                "the real 'wheel' package to build extension wheels"
+            )
+        return ("py3", "none", "any")
+
+    def run(self):  # pragma: no cover - guarded entry
+        raise RuntimeError(
+            "the wheel shim cannot build full binary distributions; it only "
+            "backs 'pip install -e .' — install the real 'wheel' package "
+            "for 'pip wheel' / 'python -m build'"
+        )
+
+    # ------------------------------------------------------------------
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        from wheel import __version__
+
+        content = _WHEEL_TEMPLATE.format(
+            version=__version__,
+            purelib="true",
+            tag="-".join(self.get_tag()),
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an ``.egg-info`` directory into a ``.dist-info``."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        shutil.copytree(egginfo_path, distinfo_path)
+
+        pkg_info = os.path.join(distinfo_path, "PKG-INFO")
+        metadata = os.path.join(distinfo_path, "METADATA")
+        requires = os.path.join(distinfo_path, "requires.txt")
+
+        with open(pkg_info, "r", encoding="utf-8") as fh:
+            meta_text = fh.read().rstrip("\n")
+        extra_lines: list[str] = []
+        if os.path.exists(requires):
+            with open(requires, "r", encoding="utf-8") as fh:
+                extra_lines = _requires_to_metadata(fh.read())
+        if extra_lines:
+            head, _sep, body = meta_text.partition("\n\n")
+            meta_text = head + "\n" + "\n".join(extra_lines)
+            if body:
+                meta_text += "\n\n" + body
+        with open(metadata, "w", encoding="utf-8") as fh:
+            fh.write(meta_text + "\n")
+        os.remove(pkg_info)
+
+        for name in _DROP_FILES:
+            path = os.path.join(distinfo_path, name)
+            if os.path.exists(path):
+                os.remove(path)
+        self.write_wheelfile(distinfo_path)

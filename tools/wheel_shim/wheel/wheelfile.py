@@ -1,0 +1,86 @@
+"""A ZipFile subclass producing valid wheel archives (RECORD included)."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+__all__ = ["WheelFile"]
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive with automatic RECORD generation.
+
+    The archive name must follow PEP 427:
+    ``{distribution}-{version}(-{build})?-{tag}.whl``.
+    """
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        base = os.path.basename(str(file))
+        if base.endswith(".whl"):
+            base = base[:-4]
+        parts = base.split("-")
+        if len(parts) < 2:
+            raise ValueError(f"not a wheel archive name: {file!r}")
+        super().__init__(file, mode, compression=compression, allowZip64=True)
+        self.dist_info_path = f"{parts[0]}-{parts[1]}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._records: list[tuple[str, str, int]] = []
+        self._mode = mode
+
+    # ------------------------------------------------------------------
+    def _track(self, arcname: str, data: bytes) -> None:
+        if arcname == self.record_path:
+            return
+        digest = hashlib.sha256(data).digest()
+        self._records.append(
+            (arcname, f"sha256={_urlsafe_b64_nopad(digest)}", len(data))
+        )
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):  # noqa: D102
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else str(zinfo_or_arcname)
+        )
+        self._track(arcname, data)
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+
+    def write(self, filename, arcname=None, *args, **kwargs):  # noqa: D102
+        arcname = str(arcname) if arcname is not None else os.path.basename(filename)
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        self._track(arcname, data)
+        super().writestr(zipfile.ZipInfo(arcname), data)
+
+    def write_files(self, base_dir):
+        """Add every file under *base_dir*, arcnames relative to it."""
+        entries = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in files:
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                entries.append((arcname, path))
+        for arcname, path in sorted(entries):
+            if arcname != self.record_path:
+                self.write(path, arcname)
+
+    def close(self):  # noqa: D102
+        if not hasattr(self, "_records"):
+            return  # __init__ rejected the archive name; nothing was opened
+        if self._mode == "w" and self._records:
+            lines = [
+                f"{name},{digest},{size}" for name, digest, size in self._records
+            ]
+            lines.append(f"{self.record_path},,")
+            super().writestr(self.record_path, "\n".join(lines) + "\n")
+            self._records = []
+        super().close()
