@@ -1,0 +1,191 @@
+"""Write-ahead campaign journal: crash recovery under concurrency.
+
+Extends the serial recovery semantics of :mod:`repro.core.recovery` to
+parallel execution.  The serial journal lives inside the single level-2
+store; a campaign has *many* stores (one per run, grouped into per-worker
+staging directories), so the campaign journal is its own append-only
+JSONL file at the campaign root, and each entry names where a run's data
+physically lives:
+
+``campaign_start``
+    fingerprint, seed, total_runs, plan fingerprint, session index.
+    Appended once per execution session (a resume appends another).
+``run_start``
+    run id + worker label — diagnostic only; a crashed session leaves
+    dangling ``run_start`` entries whose runs are simply re-executed.
+``run_complete``
+    run id, worker, the run's level-2 staging directory and the worker's
+    level-3 shard database (both relative to the campaign root).  Written
+    *after* the shard transaction committed — the shard write is the
+    commit point, the journal entry the durable pointer to it.
+``run_failed``
+    run id, error text, attempt number (kept for post-mortems; a failed
+    run may later gain a ``run_complete`` from a retry or resume).
+``campaign_complete``
+    all runs staged; only merging can remain.
+
+Every append is flushed and fsynced: a crash never loses an acknowledged
+run, it only re-executes work in flight — and because runs are
+deterministic, re-execution converges to byte-identical data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import RecoveryError
+from repro.core.recovery import check_start_compatibility
+
+__all__ = ["CampaignJournal"]
+
+JOURNAL_NAME = "campaign.jsonl"
+
+
+class CampaignJournal:
+    """Typed access to one campaign directory's recovery journal."""
+
+    def __init__(self, campaign_dir) -> None:
+        self.root = Path(campaign_dir)
+        self.path = self.root / JOURNAL_NAME
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_start(
+        self, fingerprint: str, seed: int, total_runs: int, plan_fingerprint: str
+    ) -> int:
+        """Append a session-start entry; returns this session's index."""
+        session = self.session_count()
+        self._append(
+            {
+                "type": "campaign_start",
+                "fingerprint": fingerprint,
+                "seed": seed,
+                "total_runs": total_runs,
+                "plan_fingerprint": plan_fingerprint,
+                "session": session,
+            }
+        )
+        return session
+
+    def record_run_start(self, run_id: int, worker: str) -> None:
+        self._append({"type": "run_start", "run_id": run_id, "worker": worker})
+
+    def record_run_complete(
+        self, run_id: int, worker: str, store: str, shard: str
+    ) -> None:
+        self._append(
+            {
+                "type": "run_complete",
+                "run_id": run_id,
+                "worker": worker,
+                "store": store,
+                "shard": shard,
+            }
+        )
+
+    def record_run_failed(self, run_id: int, error: str, attempt: int) -> None:
+        self._append(
+            {
+                "type": "run_failed",
+                "run_id": run_id,
+                "error": error,
+                "attempt": attempt,
+            }
+        )
+
+    def record_complete(self) -> None:
+        self._append({"type": "campaign_complete"})
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        out = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def started(self) -> bool:
+        return any(e["type"] == "campaign_start" for e in self.entries())
+
+    def finished(self) -> bool:
+        return any(e["type"] == "campaign_complete" for e in self.entries())
+
+    def session_count(self) -> int:
+        return sum(1 for e in self.entries() if e["type"] == "campaign_start")
+
+    def start_entry(self) -> Optional[Dict[str, Any]]:
+        for e in self.entries():
+            if e["type"] == "campaign_start":
+                return e
+        return None
+
+    def completed(self) -> Dict[int, Dict[str, Any]]:
+        """``{run_id: latest run_complete entry}`` — the merge source map.
+
+        The *latest* entry wins: if a run was re-executed (journal lagged
+        a shard commit across a crash), its newest staging location is
+        authoritative and older copies are ignored by the merge.
+        """
+        out: Dict[int, Dict[str, Any]] = {}
+        for e in self.entries():
+            if e["type"] == "run_complete":
+                out[e["run_id"]] = e
+        return out
+
+    # ------------------------------------------------------------------
+    # Resume protocol
+    # ------------------------------------------------------------------
+    def prepare_resume(
+        self, description, total_runs: int, plan_fingerprint: str
+    ) -> Dict[int, Dict[str, Any]]:
+        """Validate compatibility; return the staged-run source map.
+
+        Mirrors :meth:`repro.core.recovery.Journal.prepare_resume`, plus
+        the plan-fingerprint check (a campaign may execute a programmatic
+        ``custom_treatments`` plan the description fingerprint does not
+        cover).  Entries whose staged level-2 data vanished are dropped so
+        the scheduler re-executes those runs.
+        """
+        start = self.start_entry()
+        if start is None:
+            raise RecoveryError(
+                "campaign journal has no campaign_start entry; nothing to resume"
+            )
+        if self.finished():
+            raise RecoveryError("campaign already completed; nothing to resume")
+        check_start_compatibility(start, description, total_runs)
+        if start.get("plan_fingerprint") != plan_fingerprint:
+            raise RecoveryError(
+                "treatment plan changed since the aborted campaign "
+                "(custom_treatments differ?)"
+            )
+        from repro.storage.level2 import Level2Store
+
+        staged = {}
+        for run_id, entry in self.completed().items():
+            store_root = self.root / entry["store"]
+            shard = self.root / entry["shard"]
+            if (
+                store_root.is_dir()
+                and shard.exists()
+                and Level2Store(store_root).has_complete_run(run_id)
+            ):
+                staged[run_id] = entry
+        return staged

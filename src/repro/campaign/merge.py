@@ -1,0 +1,181 @@
+"""Sharded level-3 writes and the deterministic campaign merge.
+
+Concurrent workers must never contend on one SQLite file, so each worker
+owns a **shard database** (same Table I schema, run tables only) and
+appends every run it completes in a single transaction.  The final
+experiment database is then assembled by :func:`merge_shards`:
+
+* experiment-scope tables (ExperimentInfo, Logs, EEFiles,
+  ExperimentMeasurements) come from one designated *scope* store — the
+  staging store of the plan's first run, which exists in every campaign
+  and is identical regardless of worker count;
+* run tables (RunInfos, ExtraRunMeasurements, Events, Packets) are pulled
+  run by run **in ascending run id order** from whichever shard the
+  journal names for that run.  Completion order, worker count and shard
+  layout therefore never influence the merged database: byte-for-byte the
+  same file as a single-worker campaign.
+
+Within one run, rows keep their shard insertion order (``ORDER BY
+rowid``), which is the conditioned order (common time, node, seq) — the
+same order :func:`repro.storage.level3.store_level3` produces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.errors import StorageError
+from repro.storage.conditioning import condition_experiment, condition_run
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import (
+    RUN_TABLES,
+    TABLE_SCHEMAS,
+    _addr_to_node_map,
+    create_schema,
+    insert_experiment_scope,
+    insert_run,
+)
+
+__all__ = ["ShardWriter", "merge_shards", "database_digest"]
+
+
+class ShardWriter:
+    """One worker's append-only level-3 shard.
+
+    ``stage_run`` is idempotent: it deletes any rows a previous (crashed
+    or retried) attempt left for the run before inserting, all inside one
+    transaction — a shard therefore never holds duplicate or partial run
+    data, no matter how the attempt ended.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self.conn = sqlite3.connect(str(self.path))
+        if fresh:
+            create_schema(self.conn)
+            self.conn.commit()
+
+    def stage_run(self, store: Level2Store, run_id: int) -> None:
+        """Condition *run_id* from its staging store and commit it here."""
+        run = condition_run(store, run_id)
+        src_map = _addr_to_node_map(store.read_description())
+        with self.conn:  # one transaction: the campaign's commit point
+            for table in RUN_TABLES:
+                self.conn.execute(f"DELETE FROM {table} WHERE RunID = ?", (run_id,))
+            insert_run(self.conn, run, src_map)
+
+    def run_ids(self) -> list:
+        return [
+            r[0]
+            for r in self.conn.execute(
+                "SELECT DISTINCT RunID FROM RunInfos ORDER BY RunID"
+            )
+        ]
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def merge_shards(
+    db_path,
+    scope_store: Level2Store,
+    run_sources: Mapping[int, Path],
+) -> Path:
+    """Assemble the single experiment database from campaign shards.
+
+    Parameters
+    ----------
+    db_path:
+        Output database (must not exist — same contract as
+        :func:`~repro.storage.level3.store_level3`).
+    scope_store:
+        Level-2 store providing the experiment-scope tables.
+    run_sources:
+        ``{run_id: shard database path}`` — typically
+        ``CampaignJournal.completed()`` mapped to absolute paths.  Merged
+        in ascending run id order regardless of mapping order.
+    """
+    db_path = Path(db_path)
+    if db_path.exists():
+        raise StorageError(f"refusing to overwrite existing database {db_path}")
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+
+    out = sqlite3.connect(str(db_path))
+    shards: Dict[Path, sqlite3.Connection] = {}
+    try:
+        create_schema(out)
+        scope = condition_experiment(scope_store)
+        scope.runs = []  # run rows come from the shards, never the scope store
+        insert_experiment_scope(out, scope)
+
+        for run_id in sorted(run_sources):
+            shard_path = Path(run_sources[run_id])
+            conn = shards.get(shard_path)
+            if conn is None:
+                if not shard_path.exists():
+                    raise StorageError(f"shard database missing: {shard_path}")
+                conn = shards[shard_path] = sqlite3.connect(str(shard_path))
+            copied = 0
+            for table in RUN_TABLES:
+                columns = ", ".join(TABLE_SCHEMAS[table])
+                rows = conn.execute(
+                    f"SELECT {columns} FROM {table} WHERE RunID = ? ORDER BY rowid",
+                    (run_id,),
+                ).fetchall()
+                if rows:
+                    placeholders = ", ".join("?" for _ in TABLE_SCHEMAS[table])
+                    out.executemany(
+                        f"INSERT INTO {table} ({columns}) VALUES ({placeholders})",
+                        rows,
+                    )
+                    copied += len(rows)
+            if copied == 0:
+                raise StorageError(
+                    f"run {run_id} has no rows in shard {shard_path}; "
+                    "journal and shard diverged"
+                )
+        out.commit()
+    finally:
+        for conn in shards.values():
+            conn.close()
+        out.close()
+    return db_path
+
+
+def database_digest(
+    db_path,
+    ignore_columns: Iterable[str] = (),
+    tables: Optional[Iterable[str]] = None,
+) -> str:
+    """Content hash of a level-3 database for equivalence checks.
+
+    Hashes every table's rows *in stored order* (row order is part of the
+    merge's determinism contract).  ``ignore_columns`` masks columns that
+    are legitimately execution-specific — e.g. wall-clock timestamps an
+    analysis pipeline may add — before hashing.
+    """
+    ignored = set(ignore_columns)
+    digest = hashlib.sha256()
+    conn = sqlite3.connect(str(db_path))
+    try:
+        for table in (tables if tables is not None else TABLE_SCHEMAS):
+            keep = [c for c in TABLE_SCHEMAS[table] if c not in ignored]
+            digest.update(f"--{table}({','.join(keep)})--".encode())
+            if not keep:
+                continue
+            for row in conn.execute(f"SELECT {', '.join(keep)} FROM {table}"):
+                digest.update(repr(row).encode())
+    finally:
+        conn.close()
+    return digest.hexdigest()

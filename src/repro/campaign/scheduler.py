@@ -1,0 +1,176 @@
+"""Run scheduling for parallel campaigns.
+
+The scheduler partitions a :class:`~repro.core.plan.TreatmentPlan` into
+:class:`RunTicket` work items and hands them to the engine's worker pool.
+Three policies live here:
+
+* **Ordering** — tickets are dispatched by ``(priority, run_id)``; the
+  default priority is uniform, so dispatch order equals plan order.  A
+  ``priority`` callable lets an experimenter front-load interesting
+  treatments (e.g. the longest-running levels first, minimizing the
+  tail).  Dispatch order is a *scheduling* concern only: results are
+  merged by run id, so any order yields the same database.
+* **Capacity** — the effective worker count is
+  ``min(jobs, max_parallel)`` where ``max_parallel`` comes from the
+  description's special parameters (Sec. IV-E): a description whose
+  platform cannot host many isolated instances declares its own bound,
+  and the engine never exceeds it regardless of ``--jobs``.
+* **Retry** — a failed run is requeued (at the front of its priority
+  class) until its attempt budget is exhausted, then reported failed.
+
+Per-run seeds are *not* derived here: they were fixed at plan-generation
+time (``derive_seed(experiment_seed, "run", run_id)``), which is what
+makes results bit-identical regardless of worker count or completion
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.core.errors import CampaignError
+from repro.core.plan import Run, TreatmentPlan
+
+__all__ = ["RunTicket", "CampaignScheduler"]
+
+
+@dataclass(order=True)
+class RunTicket:
+    """One schedulable unit of campaign work.
+
+    The sort order ``(priority, retry wave, run_id)`` *is* the dispatch
+    order: lower priority values first, retries ahead of their class so a
+    flaky run does not starve behind the whole plan, ties broken by plan
+    position.
+    """
+
+    priority: int
+    retry_wave: int
+    run_id: int
+    run: Run = field(compare=False)
+    attempts: int = field(default=0, compare=False)
+    max_attempts: int = field(default=1, compare=False)
+
+    @property
+    def attempts_left(self) -> int:
+        return self.max_attempts - self.attempts
+
+
+class CampaignScheduler:
+    """Dispatches run tickets and tracks their fates.
+
+    Parameters
+    ----------
+    plan:
+        The treatment plan (run ids and per-run seeds already fixed).
+    completed:
+        Run ids already staged by a previous session (campaign resume);
+        these are never scheduled.
+    jobs:
+        Requested worker count.
+    max_parallel:
+        Description-imposed concurrency bound (0 = unbounded).
+    max_attempts:
+        Attempt budget per run (1 = no retries).
+    priority:
+        Optional ``run -> int`` (lower dispatches earlier).
+    """
+
+    def __init__(
+        self,
+        plan: TreatmentPlan,
+        completed: Optional[Iterable[int]] = None,
+        jobs: int = 1,
+        max_parallel: int = 0,
+        max_attempts: int = 2,
+        priority: Optional[Callable[[Run], int]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        if max_attempts < 1:
+            raise CampaignError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.plan = plan
+        self.jobs = jobs
+        self.max_parallel = max_parallel
+        self.max_attempts = max_attempts
+        skip: Set[int] = set(completed or ())
+        self._queue: List[RunTicket] = [
+            RunTicket(
+                priority=priority(run) if priority else 0,
+                retry_wave=0,
+                run_id=run.run_id,
+                run=run,
+                max_attempts=max_attempts,
+            )
+            for run in plan
+            if run.run_id not in skip
+        ]
+        heapq.heapify(self._queue)
+        self.skipped: Set[int] = skip
+        self.in_flight: Dict[int, RunTicket] = {}
+        self.done: Set[int] = set()
+        self.failed: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_jobs(self) -> int:
+        """Worker count after the description's capacity constraint."""
+        jobs = self.jobs
+        if self.max_parallel > 0:
+            jobs = min(jobs, self.max_parallel)
+        return max(1, min(jobs, max(1, len(self._queue) + len(self.in_flight))))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def finished(self) -> bool:
+        return not self._queue and not self.in_flight
+
+    # ------------------------------------------------------------------
+    def next_ticket(self) -> Optional[RunTicket]:
+        """Pop the next dispatchable ticket (``None`` when queue empty)."""
+        if not self._queue:
+            return None
+        ticket = heapq.heappop(self._queue)
+        ticket.attempts += 1
+        self.in_flight[ticket.run_id] = ticket
+        return ticket
+
+    def mark_done(self, run_id: int) -> None:
+        self.in_flight.pop(run_id, None)
+        self.done.add(run_id)
+        self.failed.pop(run_id, None)
+
+    def mark_failed(self, run_id: int, error: str) -> bool:
+        """Record a failed attempt; returns True when the run was requeued."""
+        ticket = self.in_flight.pop(run_id, None)
+        if ticket is None:  # pragma: no cover - engine always dispatches first
+            raise CampaignError(f"run {run_id} failed but was never dispatched")
+        if ticket.attempts_left > 0:
+            requeued = RunTicket(
+                priority=ticket.priority,
+                retry_wave=ticket.retry_wave - 1,
+                run_id=ticket.run_id,
+                run=ticket.run,
+                attempts=ticket.attempts,
+                max_attempts=ticket.max_attempts,
+            )
+            heapq.heappush(self._queue, requeued)
+            return True
+        self.failed[run_id] = error
+        return False
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "total": len(self.plan),
+            "skipped": len(self.skipped),
+            "done": len(self.done),
+            "failed": len(self.failed),
+            "pending": self.pending,
+            "in_flight": len(self.in_flight),
+        }

@@ -1,0 +1,150 @@
+"""Live campaign progress: counts, throughput, ETA, per-worker status.
+
+The engine reports lifecycle transitions here from its dispatch loop (one
+thread — no locking subtleties for consumers); the telemetry object
+aggregates them and renders one-line progress updates for the CLI.  Pure
+observation: nothing in this module influences scheduling, journaling or
+merging, and a campaign runs identically with telemetry disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["CampaignTelemetry", "WorkerStatus"]
+
+
+@dataclass
+class WorkerStatus:
+    """What one pool worker is doing right now."""
+
+    worker: str
+    run_id: Optional[int] = None  # None = idle
+    since: float = 0.0
+    completed: int = 0
+    failed: int = 0
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregated campaign progress.
+
+    Parameters
+    ----------
+    total_runs:
+        Plan size (including runs already staged by earlier sessions).
+    emit:
+        Optional sink for rendered progress lines (e.g. ``print``); when
+        ``None`` the telemetry only aggregates.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    total_runs: int
+    emit: Optional[Callable[[str], None]] = None
+    clock: Callable[[], float] = time.monotonic
+
+    started_at: float = field(default=0.0, init=False)
+    completed: int = field(default=0, init=False)
+    failed: int = field(default=0, init=False)
+    retried: int = field(default=0, init=False)
+    skipped: int = field(default=0, init=False)
+    workers: Dict[str, WorkerStatus] = field(default_factory=dict, init=False)
+    run_durations: List[float] = field(default_factory=list, init=False)
+
+    # ------------------------------------------------------------------
+    # Lifecycle callbacks (called by the engine's dispatch loop)
+    # ------------------------------------------------------------------
+    def campaign_started(self, skipped: int = 0) -> None:
+        self.started_at = self.clock()
+        self.skipped = skipped
+        if skipped:
+            self._emit(f"resume: {skipped}/{self.total_runs} runs already staged")
+
+    def run_started(self, run_id: int, worker: str) -> None:
+        status = self.workers.setdefault(worker, WorkerStatus(worker=worker))
+        status.run_id = run_id
+        status.since = self.clock()
+
+    def run_completed(self, run_id: int, worker: str, duration: float) -> None:
+        self.completed += 1
+        self.run_durations.append(duration)
+        status = self.workers.setdefault(worker, WorkerStatus(worker=worker))
+        status.run_id = None
+        status.completed += 1
+        self._emit(self.progress_line(f"run {run_id} ok ({duration:.2f}s, {worker})"))
+
+    def run_failed(
+        self, run_id: int, worker: str, error: str, requeued: bool
+    ) -> None:
+        status = self.workers.setdefault(worker, WorkerStatus(worker=worker))
+        status.run_id = None
+        if requeued:
+            self.retried += 1
+            self._emit(self.progress_line(f"run {run_id} failed, retrying: {error}"))
+        else:
+            self.failed += 1
+            status.failed += 1
+            self._emit(self.progress_line(f"run {run_id} FAILED: {error}"))
+
+    def merge_started(self, run_count: int) -> None:
+        self._emit(f"merging {run_count} runs into the experiment database")
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for w in self.workers.values() if w.run_id is not None)
+
+    @property
+    def staged(self) -> int:
+        """Runs safely in shards (this session's completions + resumed)."""
+        return self.completed + self.skipped
+
+    def throughput(self) -> float:
+        """Completed runs per wall-clock second, this session."""
+        elapsed = self.clock() - self.started_at
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> Optional[float]:
+        rate = self.throughput()
+        if rate <= 0:
+            return None
+        remaining = self.total_runs - self.staged - self.failed
+        return remaining / rate if remaining > 0 else 0.0
+
+    def progress_line(self, suffix: str = "") -> str:
+        parts = [f"[{self.staged:>{len(str(self.total_runs))}}/{self.total_runs}]"]
+        rate = self.throughput()
+        if rate > 0:
+            parts.append(f"{rate:.2f} runs/s")
+        eta = self.eta_seconds()
+        if eta is not None and eta > 0:
+            parts.append(f"eta {eta:.0f}s")
+        if self.in_flight:
+            parts.append(f"{self.in_flight} in flight")
+        if suffix:
+            parts.append(suffix)
+        return "  ".join(parts)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "total": self.total_runs,
+            "completed": self.completed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "retried": self.retried,
+            "throughput": round(self.throughput(), 4),
+            "workers": {
+                w.worker: {"completed": w.completed, "failed": w.failed}
+                for w in sorted(self.workers.values(), key=lambda s: s.worker)
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        if self.emit is not None:
+            self.emit(line)

@@ -16,6 +16,10 @@ workflows:
     Summarize a stored experiment: schema, runs, discovery outcomes.
 ``repro timeline <experiment.db> --run N``
     Render the Fig. 11 ASCII timeline of one run.
+``repro campaign <description.xml> --jobs N``
+    Execute the plan's runs concurrently across a worker pool and merge
+    the per-worker shards into one level-3 database; ``--resume``
+    continues an aborted campaign from its journal.
 ``repro condition <level2-dir> <experiment.db>``
     Condition an existing level-2 store into a level-3 package.
 ``repro import <repository.db> <experiment.db> [...]``
@@ -58,6 +62,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--realtime", type=float, default=None, metavar="FACTOR",
                        help="pace against the wall clock at this speed factor")
     p_run.add_argument("--quiet", action="store_true")
+
+    p_camp = sub.add_parser(
+        "campaign", help="execute an experiment's runs in parallel"
+    )
+    p_camp.add_argument("description", type=Path, help="experiment XML file")
+    p_camp.add_argument("--dir", type=Path, default=None, dest="campaign_dir",
+                        help="campaign directory: journal, staging stores and "
+                             "shards (default: ./<name>.campaign)")
+    p_camp.add_argument("--db", type=Path, default=None,
+                        help="merged level-3 SQLite database "
+                             "(default: <campaign dir>/<name>.db)")
+    p_camp.add_argument("--jobs", "-j", type=int, default=2,
+                        help="worker count; capped by the description's "
+                             "max_parallel special parameter (default 2)")
+    p_camp.add_argument("--pool", choices=("thread", "process", "auto"),
+                        default="auto",
+                        help="worker pool kind (auto: processes for pure DES "
+                             "on multi-core hosts, threads otherwise)")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="resume an aborted campaign found in --dir")
+    p_camp.add_argument("--merge-only", action="store_true",
+                        help="only merge an already completed campaign's "
+                             "shards into --db")
+    p_camp.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per failed run (default 1)")
+    p_camp.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
+                        default="mdns", help="SD protocol agents (default mdns)")
+    p_camp.add_argument("--topology", default="mesh",
+                        choices=("mesh", "grid", "line", "full"),
+                        help="emulated mesh shape (default mesh)")
+    p_camp.add_argument("--realtime", type=float, default=None, metavar="FACTOR",
+                        help="pace runs against the wall clock at this speed "
+                             "factor")
+    p_camp.add_argument("--quiet", action="store_true")
 
     p_val = sub.add_parser("validate", help="check a description")
     p_val.add_argument("description", type=Path)
@@ -137,6 +175,42 @@ def _cmd_run(args) -> int:
         db_path = store_level3(result.store, args.db)
         if not args.quiet:
             print(f"level-3 database: {db_path}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.campaign import CampaignEngine, merge_campaign
+    from repro.platforms.simulated import PlatformConfig
+
+    desc = _load_description(args.description)
+    campaign_dir = args.campaign_dir or Path(f"{desc.name}.campaign")
+    db_path = args.db or campaign_dir / f"{desc.name}.db"
+
+    if args.merge_only:
+        print(f"level-3 database: {merge_campaign(campaign_dir, db_path)}")
+        return 0
+
+    engine = CampaignEngine(
+        desc,
+        campaign_dir,
+        jobs=args.jobs,
+        pool=args.pool,
+        config=PlatformConfig(protocol=args.protocol, topology=args.topology),
+        realtime_factor=args.realtime,
+        max_attempts=1 + args.retries,
+        resume=args.resume,
+        progress=None if args.quiet else print,
+    )
+    result = engine.execute(db_path=db_path)
+    if not args.quiet:
+        s = result.summary()
+        print(
+            f"campaign {s['experiment']!r}: {s['executed']} executed, "
+            f"{s['skipped']} resumed, {s['timed_out']} timed out "
+            f"({s['jobs']} {result.pool} workers, {s['duration']:.1f}s)"
+        )
+        print(f"campaign directory: {campaign_dir}")
+        print(f"level-3 database: {result.db_path}")
     return 0
 
 
@@ -256,6 +330,7 @@ def _cmd_paper_xml(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "campaign": _cmd_campaign,
     "validate": _cmd_validate,
     "describe": _cmd_describe,
     "inspect": _cmd_inspect,

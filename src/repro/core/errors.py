@@ -13,6 +13,7 @@ __all__ = [
     "StorageError",
     "RecoveryError",
     "PlatformError",
+    "CampaignError",
 ]
 
 
@@ -70,3 +71,7 @@ class RecoveryError(ExCoveryError):
 
 class PlatformError(ExCoveryError):
     """The target platform misses a required capability (Sec. IV-A)."""
+
+
+class CampaignError(ExCoveryError):
+    """The parallel campaign engine could not complete the plan."""

@@ -100,6 +100,12 @@ class ExperiMaster:
         Optional explicit treatment sequence replacing the default OFAT
         expansion — the paper's "custom factor level variation plan"
         (Sec. IV-C1).  Build one with :mod:`repro.core.designs`.
+    only_runs:
+        Optional set of run ids; when given, only those runs of the plan
+        are executed (the rest are neither run nor journaled).  This is
+        how the campaign engine (:mod:`repro.campaign`) executes a single
+        run inside its own isolated platform while keeping the exact same
+        experiment lifecycle as a serial execution.
     """
 
     def __init__(
@@ -112,6 +118,7 @@ class ExperiMaster:
         registry: Optional[ActionRegistry] = None,
         abort_after_runs: Optional[int] = None,
         custom_treatments: Optional[List[Dict[str, Any]]] = None,
+        only_runs: Optional[Set[int]] = None,
     ) -> None:
         self.platform = platform
         self.description = description
@@ -122,6 +129,7 @@ class ExperiMaster:
         self.plugins.extend_registry(self.registry)
         self.abort_after_runs = abort_after_runs
         self.custom_treatments = custom_treatments
+        self.only_runs = set(only_runs) if only_runs is not None else None
 
         self.sim = platform.sim
         self.channel = platform.channel
@@ -272,7 +280,9 @@ class ExperiMaster:
         for run in plan:
             if run.run_id in completed:
                 continue
-            timed_out = yield from self._execute_run(run, node_ids)
+            if self.only_runs is not None and run.run_id not in self.only_runs:
+                continue
+            timed_out = yield from self._execute_run(run)
             journal.record_run_complete(run.run_id)
             result.executed_runs.append(run.run_id)
             if timed_out:
@@ -334,8 +344,25 @@ class ExperiMaster:
     # ------------------------------------------------------------------
     # One run
     # ------------------------------------------------------------------
-    def _execute_run(self, run: Run, node_ids: List[str]):
+    def _execute_run(self, run: Run):
+        binding = self._make_binding(run)
+        timed_out = yield from self.execute_single_run(binding)
+        return timed_out
+
+    def execute_single_run(self, binding: RunBinding):
+        """The full single-run lifecycle (preparation → execution →
+        clean-up) as one reentrant generator.
+
+        Both execution paths share this code: the serial series in
+        :meth:`_main` and the campaign engine's one-run-per-master workers
+        (:mod:`repro.campaign.engine`).  The generator must be spun inside
+        this master's simulation kernel (``experiment_init`` already
+        done); it returns whether the run hit the ``max_run_duration``
+        backstop.
+        """
         desc = self.description
+        run = binding.run
+        node_ids = [n.node_id for n in desc.platform.nodes]
         self._current_run_id = run.run_id
         start_time = self.sim.now
         self.emit_master("run_init", params=(run.run_id,), run_id=run.run_id)
@@ -365,7 +392,6 @@ class ExperiMaster:
                 "seed": run.seed,
             },
         )
-        binding = self._make_binding(run)
         self._current_binding = binding
         self.plugins.run_init(self, run)
 

@@ -69,6 +69,14 @@ SPECIAL_PARAM_DEFS: Dict[str, ParamDef] = {
             "collect_packets", bool, True,
             "Whether packet captures are collected into storage (large).",
         ),
+        ParamDef(
+            "max_parallel", int, 0,
+            "Upper bound on concurrently executing runs when the campaign "
+            "engine drives the experiment (0 = no description-imposed "
+            "bound; the effective worker count is min(--jobs, this)).  "
+            "Descriptions whose platform cannot host isolated concurrent "
+            "instances declare 1 here.",
+        ),
     ]
 }
 

@@ -106,6 +106,28 @@ class TreatmentPlan:
         Sec. IV)."""
         return [run.describe() for run in self.runs]
 
+    def run_by_id(self, run_id: int) -> Run:
+        """The run with *run_id* (which equals its plan position)."""
+        if 0 <= run_id < len(self.runs) and self.runs[run_id].run_id == run_id:
+            return self.runs[run_id]
+        for run in self.runs:  # pragma: no cover - defensive fallback
+            if run.run_id == run_id:
+                return run
+        raise PlanError(f"plan has no run {run_id}")
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the exact run sequence.
+
+        Guards campaign resumes: the description fingerprint does not
+        cover a programmatic ``custom_treatments`` plan, so the campaign
+        journal stores this hash to refuse mixing two run sequences.
+        """
+        import hashlib
+        import json
+
+        blob = json.dumps(self.describe(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
 
 def _level_order(
     factor: Factor,

@@ -30,7 +30,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.description import ExperimentDescription
     from repro.storage.level2 import Level2Store
 
-__all__ = ["Journal"]
+__all__ = ["Journal", "check_start_compatibility"]
+
+
+def check_start_compatibility(
+    start: Dict[str, Any], description: "ExperimentDescription", total_runs: int
+) -> None:
+    """Refuse resuming against a changed experiment.
+
+    Shared by the serial journal below and the campaign journal
+    (:mod:`repro.campaign.journal`): both write an identically shaped
+    start entry (fingerprint, seed, total_runs) and both must reject a
+    resume that would silently mix two different experiments.
+    """
+    fingerprint = description.fingerprint()
+    if start["fingerprint"] != fingerprint:
+        raise RecoveryError(
+            "description changed since the aborted execution "
+            f"(journal {start['fingerprint'][:12]}..., now {fingerprint[:12]}...)"
+        )
+    if start["seed"] != description.seed:
+        raise RecoveryError(
+            f"seed changed since the aborted execution "
+            f"({start['seed']} -> {description.seed})"
+        )
+    if start["total_runs"] != total_runs:
+        raise RecoveryError(
+            f"plan size changed ({start['total_runs']} -> {total_runs})"
+        )
 
 
 class Journal:
@@ -97,21 +124,7 @@ class Journal:
             raise RecoveryError("journal has no experiment_start entry; nothing to resume")
         if self.finished():
             raise RecoveryError("experiment already completed; nothing to resume")
-        fingerprint = description.fingerprint()
-        if start["fingerprint"] != fingerprint:
-            raise RecoveryError(
-                "description changed since the aborted execution "
-                f"(journal {start['fingerprint'][:12]}..., now {fingerprint[:12]}...)"
-            )
-        if start["seed"] != description.seed:
-            raise RecoveryError(
-                f"seed changed since the aborted execution "
-                f"({start['seed']} -> {description.seed})"
-            )
-        if start["total_runs"] != total_runs:
-            raise RecoveryError(
-                f"plan size changed ({start['total_runs']} -> {total_runs})"
-            )
+        check_start_compatibility(start, description, total_runs)
         completed = self.completed_runs()
         for run_id in self.store.run_ids():
             if run_id not in completed:

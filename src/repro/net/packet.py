@@ -11,6 +11,7 @@ location changes as they traverse the network".
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
@@ -37,7 +38,21 @@ MULTICAST_PREFIX = "224."
 #: Default hop limit, matching a typical mesh-local TTL.
 DEFAULT_TTL = 16
 
-_packet_uid = itertools.count(1)
+# Packet uids are allocated per *thread*: one experiment execution (one
+# platform + kernel) is always driven by a single thread, but the campaign
+# engine (repro.campaign) drives several isolated executions concurrently
+# from a thread pool.  A process-global counter would interleave uids
+# across concurrent runs — and platform construction resets the counter,
+# which would corrupt a neighbouring run mid-flight.  Thread-local streams
+# keep every execution's uid sequence a pure function of its own history.
+_uid_state = threading.local()
+
+
+def _next_packet_uid() -> int:
+    counter = getattr(_uid_state, "counter", None)
+    if counter is None:
+        counter = _uid_state.counter = itertools.count(1)
+    return next(counter)
 
 
 def is_multicast(addr: str) -> bool:
@@ -91,7 +106,7 @@ class Packet:
     size: int = 128
     ttl: int = DEFAULT_TTL
     options: Dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_packet_uid))
+    uid: int = field(default_factory=_next_packet_uid)
     flow: str = "experiment"
 
     def copy(self, **overrides: Any) -> "Packet":
@@ -137,11 +152,10 @@ class Packet:
 
 
 def reset_uid_counter(start: int = 1) -> None:
-    """Reset the global packet uid counter (test isolation helper).
+    """Reset the calling thread's packet uid counter.
 
-    Experiments never call this mid-flight; determinism within an
-    experiment does not depend on absolute uid values, only on their
-    relative order, which the kernel's total event order fixes.
+    Platform construction calls this so every execution starts its uid
+    space at 1 — the stored uids are then identical between a serial
+    series and a campaign worker re-executing the same run.
     """
-    global _packet_uid
-    _packet_uid = itertools.count(start)
+    _uid_state.counter = itertools.count(start)

@@ -160,6 +160,9 @@ class Level2Store:
     def write_node_experiment_events(self, node_id: str, events: List[Dict[str, Any]]) -> None:
         _append_jsonl(self._node_dir(node_id) / "experiment_events.jsonl", events)
 
+    def read_node_experiment_events(self, node_id: str) -> List[Dict[str, Any]]:
+        return _read_jsonl(self._node_dir(node_id) / "experiment_events.jsonl")
+
     def write_run_data(
         self,
         node_id: str,
@@ -246,6 +249,20 @@ class Level2Store:
         for run_id in self.run_ids():
             for node_id in self.node_ids():
                 yield run_id, node_id
+
+    def has_complete_run(self, run_id: int) -> bool:
+        """Whether this store holds a fully collected *run_id*.
+
+        A run is complete once its master-side run info and time-sync
+        measurements exist — the master writes both during preparation and
+        journals completion only after collection.  The campaign resume
+        path uses this as a defense against journal/data divergence: a
+        journaled run whose staged data vanished is simply re-executed.
+        """
+        return (
+            (self.root / "master" / "runinfo" / f"run_{run_id}.json").exists()
+            and (self.root / "master" / "timesync" / f"run_{run_id}.json").exists()
+        )
 
     def purge_run(self, run_id: int) -> None:
         """Delete one run's partial data everywhere (resume of an aborted

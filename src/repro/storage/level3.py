@@ -38,7 +38,15 @@ from repro.core.errors import StorageError
 from repro.storage.conditioning import ConditionedExperiment, condition_experiment
 from repro.storage.level2 import Level2Store
 
-__all__ = ["TABLE_SCHEMAS", "store_level3", "ExperimentDatabase"]
+__all__ = [
+    "TABLE_SCHEMAS",
+    "RUN_TABLES",
+    "create_schema",
+    "insert_experiment_scope",
+    "insert_run",
+    "store_level3",
+    "ExperimentDatabase",
+]
 
 #: Table name -> ordered attribute list, exactly as printed in Table I.
 TABLE_SCHEMAS: Dict[str, List[str]] = {
@@ -124,6 +132,87 @@ def _addr_to_node_map(description_xml: str) -> Dict[str, str]:
     return mapping
 
 
+#: Tables keyed by run id — the campaign merge shards and reorders exactly
+#: these; everything else is experiment scope and stored once.
+RUN_TABLES = ("RunInfos", "ExtraRunMeasurements", "Events", "Packets")
+
+
+def create_schema(conn: sqlite3.Connection) -> None:
+    """Create the Table I schema on an empty database connection."""
+    conn.executescript(_DDL)
+
+
+def insert_experiment_scope(conn: sqlite3.Connection, data: ConditionedExperiment) -> None:
+    """Insert the experiment-scope tables (everything but the run data)."""
+    name, comment = _name_comment(data.description_xml)
+    conn.execute(
+        "INSERT INTO ExperimentInfo (ExpXML, EEVersion, Name, Comment) "
+        "VALUES (?, ?, ?, ?)",
+        (data.description_xml, EE_VERSION, name, comment),
+    )
+    for node_id, log in sorted(data.node_logs.items()):
+        conn.execute("INSERT INTO Logs (NodeID, Log) VALUES (?, ?)", (node_id, log))
+    for file_id, content in sorted(data.eefiles.items()):
+        conn.execute(
+            "INSERT INTO EEFiles (ID, File) VALUES (?, ?)", (file_id, content)
+        )
+    conn.execute(
+        "INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
+        ("plan.json", json.dumps(data.plan, sort_keys=True)),
+    )
+    for mname, content in sorted(data.experiment_measurements.items()):
+        conn.execute(
+            "INSERT INTO ExperimentMeasurements (NodeID, Name, Content) "
+            "VALUES (?, ?, ?)",
+            ("master", mname, json.dumps(content, sort_keys=True)),
+        )
+
+
+def insert_run(conn: sqlite3.Connection, run, src_map: Dict[str, str]) -> None:
+    """Insert one :class:`ConditionedRun`'s rows into the run tables."""
+    for node_id, offset in sorted(run.offsets.items()):
+        conn.execute(
+            "INSERT INTO RunInfos (RunID, NodeID, StartTime, TimeDiff) "
+            "VALUES (?, ?, ?, ?)",
+            (run.run_id, node_id, run.start_time, offset),
+        )
+    for node_id, plugins in sorted(run.extra_measurements.items()):
+        for pname, content in sorted(plugins.items()):
+            conn.execute(
+                "INSERT INTO ExtraRunMeasurements "
+                "(RunID, NodeID, Name, Content) VALUES (?, ?, ?, ?)",
+                (run.run_id, node_id, pname, json.dumps(content, sort_keys=True)),
+            )
+    conn.executemany(
+        "INSERT INTO Events (RunID, NodeID, CommonTime, EventType, Parameter) "
+        "VALUES (?, ?, ?, ?, ?)",
+        (
+            (
+                rec.get("run_id"),
+                rec["node"],
+                rec["common_time"],
+                rec["name"],
+                json.dumps(rec.get("params", []), sort_keys=True),
+            )
+            for rec in run.events
+        ),
+    )
+    conn.executemany(
+        "INSERT INTO Packets (RunID, NodeID, CommonTime, SrcNodeID, Data) "
+        "VALUES (?, ?, ?, ?, ?)",
+        (
+            (
+                rec.get("run_id"),
+                rec["node"],
+                rec["common_time"],
+                src_map.get(rec.get("src", ""), rec.get("src", "")),
+                json.dumps(rec, sort_keys=True),
+            )
+            for rec in run.packets
+        ),
+    )
+
+
 def store_level3(source, db_path) -> Path:
     """Condition *source* and write the level-3 SQLite package.
 
@@ -144,72 +233,11 @@ def store_level3(source, db_path) -> Path:
 
     conn = sqlite3.connect(str(db_path))
     try:
-        conn.executescript(_DDL)
-        name, comment = _name_comment(data.description_xml)
-        conn.execute(
-            "INSERT INTO ExperimentInfo (ExpXML, EEVersion, Name, Comment) "
-            "VALUES (?, ?, ?, ?)",
-            (data.description_xml, EE_VERSION, name, comment),
-        )
-        for node_id, log in sorted(data.node_logs.items()):
-            conn.execute("INSERT INTO Logs (NodeID, Log) VALUES (?, ?)", (node_id, log))
-        for file_id, content in sorted(data.eefiles.items()):
-            conn.execute(
-                "INSERT INTO EEFiles (ID, File) VALUES (?, ?)", (file_id, content)
-            )
-        conn.execute(
-            "INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
-            ("plan.json", json.dumps(data.plan, sort_keys=True)),
-        )
-        for mname, content in sorted(data.experiment_measurements.items()):
-            conn.execute(
-                "INSERT INTO ExperimentMeasurements (NodeID, Name, Content) "
-                "VALUES (?, ?, ?)",
-                ("master", mname, json.dumps(content, sort_keys=True)),
-            )
+        create_schema(conn)
+        insert_experiment_scope(conn, data)
         src_map = _addr_to_node_map(data.description_xml)
         for run in data.runs:
-            for node_id, offset in sorted(run.offsets.items()):
-                conn.execute(
-                    "INSERT INTO RunInfos (RunID, NodeID, StartTime, TimeDiff) "
-                    "VALUES (?, ?, ?, ?)",
-                    (run.run_id, node_id, run.start_time, offset),
-                )
-            for node_id, plugins in sorted(run.extra_measurements.items()):
-                for pname, content in sorted(plugins.items()):
-                    conn.execute(
-                        "INSERT INTO ExtraRunMeasurements "
-                        "(RunID, NodeID, Name, Content) VALUES (?, ?, ?, ?)",
-                        (run.run_id, node_id, pname, json.dumps(content, sort_keys=True)),
-                    )
-            conn.executemany(
-                "INSERT INTO Events (RunID, NodeID, CommonTime, EventType, Parameter) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    (
-                        rec.get("run_id"),
-                        rec["node"],
-                        rec["common_time"],
-                        rec["name"],
-                        json.dumps(rec.get("params", []), sort_keys=True),
-                    )
-                    for rec in run.events
-                ),
-            )
-            conn.executemany(
-                "INSERT INTO Packets (RunID, NodeID, CommonTime, SrcNodeID, Data) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    (
-                        rec.get("run_id"),
-                        rec["node"],
-                        rec["common_time"],
-                        src_map.get(rec.get("src", ""), rec.get("src", "")),
-                        json.dumps(rec, sort_keys=True),
-                    )
-                    for rec in run.packets
-                ),
-            )
+            insert_run(conn, run, src_map)
         conn.commit()
     finally:
         conn.close()

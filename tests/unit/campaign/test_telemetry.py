@@ -1,0 +1,81 @@
+"""Unit tests for campaign telemetry aggregation."""
+
+from repro.campaign.telemetry import CampaignTelemetry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def _telemetry(total=10, emit=None):
+    clock = FakeClock()
+    t = CampaignTelemetry(total_runs=total, emit=emit, clock=clock)
+    return t, clock
+
+
+def test_counters_and_in_flight():
+    t, clock = _telemetry()
+    t.campaign_started()
+    t.run_started(0, "w0")
+    t.run_started(1, "w1")
+    assert t.in_flight == 2
+    clock.now += 2.0
+    t.run_completed(0, "w0", duration=2.0)
+    assert t.in_flight == 1
+    assert t.completed == 1 and t.staged == 1
+    t.run_failed(1, "w1", "boom", requeued=True)
+    assert t.in_flight == 0
+    assert t.retried == 1 and t.failed == 0
+    t.run_started(1, "w1")
+    t.run_failed(1, "w1", "boom again", requeued=False)
+    assert t.failed == 1
+
+
+def test_resume_counts_staged_runs():
+    t, _ = _telemetry(total=10)
+    t.campaign_started(skipped=4)
+    assert t.staged == 4
+    t.run_started(4, "w0")
+    t.run_completed(4, "w0", duration=0.5)
+    assert t.staged == 5
+
+
+def test_throughput_and_eta_use_injected_clock():
+    t, clock = _telemetry(total=10)
+    t.campaign_started()
+    clock.now += 5.0
+    for run_id in range(2):
+        t.run_started(run_id, "w0")
+        t.run_completed(run_id, "w0", duration=1.0)
+    assert t.throughput() == 2 / 5.0
+    assert t.eta_seconds() == (10 - 2) / (2 / 5.0)
+
+
+def test_progress_lines_reach_the_sink():
+    lines = []
+    t, clock = _telemetry(total=3, emit=lines.append)
+    t.campaign_started(skipped=1)
+    t.run_started(1, "w0")
+    clock.now += 1.0
+    t.run_completed(1, "w0", duration=1.0)
+    t.merge_started(3)
+    assert any("resume" in line for line in lines)
+    assert any("run 1 ok" in line for line in lines)
+    assert any("merging 3 runs" in line for line in lines)
+    assert lines and all(isinstance(line, str) for line in lines)
+
+
+def test_worker_summary_is_sorted_and_complete():
+    t, _ = _telemetry()
+    t.campaign_started()
+    for run_id, worker in ((0, "w1"), (1, "w0"), (2, "w1")):
+        t.run_started(run_id, worker)
+        t.run_completed(run_id, worker, duration=0.1)
+    summary = t.summary()
+    assert list(summary["workers"]) == ["w0", "w1"]
+    assert summary["workers"]["w1"]["completed"] == 2
+    assert summary["completed"] == 3

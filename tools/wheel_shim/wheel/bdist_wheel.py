@@ -16,6 +16,10 @@ Root-Is-Purelib: {purelib}
 Tag: {tag}
 """
 
+#: Mirrors ``__init__.__version__``; duplicated so this module works when
+#: loaded standalone from the tools tree (no package import available).
+_SHIM_VERSION = "0.0.1+excovery.shim"
+
 #: egg-info files that have no dist-info counterpart.
 _DROP_FILES = {
     "SOURCES.txt",
@@ -100,10 +104,17 @@ class bdist_wheel(Command):
 
     # ------------------------------------------------------------------
     def write_wheelfile(self, wheelfile_base, generator=None):
-        from wheel import __version__
+        # The shim must stay self-contained: when installed it *is* the
+        # ``wheel`` package, but it is also loaded straight from the tools
+        # tree (tests, vendored checkouts) where no ``wheel`` module is
+        # importable at all.
+        try:
+            from wheel import __version__ as version
+        except ImportError:
+            version = _SHIM_VERSION
 
         content = _WHEEL_TEMPLATE.format(
-            version=__version__,
+            version=version,
             purelib="true",
             tag="-".join(self.get_tag()),
         )
