@@ -67,6 +67,27 @@ def test_kernel_callback_throughput(benchmark):
     assert sim.executed_callbacks == 5000
 
 
+def test_kernel_trigger_throughput(benchmark):
+    """The (fn, args) heap-entry fast path: scheduling a trigger and its
+    waiter resumption allocates no per-event lambdas.  ``executed_callbacks``
+    counts both the trigger and the callback delivery per event."""
+
+    def trigger_and_deliver():
+        sim = Simulator()
+        sink = []
+        for i in range(5000):
+            ev = sim.event(name="bench")
+            ev.add_callback(sink.append)
+            sim._schedule_trigger(ev, i * 0.001, i)
+        sim.run()
+        assert len(sink) == 5000
+        return sim
+
+    sim = benchmark(trigger_and_deliver)
+    # One heap pop for each trigger and one for each callback delivery.
+    assert sim.executed_callbacks == 10_000
+
+
 def test_conditioning_throughput(benchmark):
     records = [
         {"name": f"e{i}", "node": f"n{i % 8}", "local_time": i * 0.01,

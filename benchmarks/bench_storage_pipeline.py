@@ -1,0 +1,386 @@
+"""End-to-end measurement pipeline throughput: L2 ingest → conditioning →
+L3 store → analysis queries.
+
+Regenerates: the perf numbers behind the "Storage fast path" section of
+DESIGN.md.  Measures the optimized pipeline against an inline copy of the
+pre-optimization path (per-record file opens on ingest, full in-memory
+conditioning with one global sort, default-pragma SQLite writes, N+1
+per-run latency queries) over a synthetic campaign-scale workload at 10k
+and 100k events, and emits ``BENCH_storage.json`` so the trajectory is
+tracked from PR 2 on.
+
+Run standalone (CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_storage_pipeline.py --quick \
+        --out BENCH_storage.json \
+        --check-baseline benchmarks/BENCH_storage.baseline.json
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_storage_pipeline.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sqlite3
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.storage.conditioning import condition_experiment, iter_conditioned_runs
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import ExperimentDatabase, create_schema, store_level3
+
+DESC_XML = """<experiment name="bench-storage" seed="1">
+  <platform>
+    <actornode id="h1" address="10.0.0.1" abstract="A" />
+    <actornode id="h2" address="10.0.0.2" abstract="B" />
+    <envnode id="h3" address="10.0.0.3" />
+    <envnode id="h4" address="10.0.0.4" />
+  </platform>
+</experiment>"""
+
+NODES = ("h1", "h2", "h3", "h4")
+
+#: scale label -> total events across the experiment (packets add 50% more)
+SCALES = {"10k": 10_000, "100k": 100_000}
+RUNS_PER_SCALE = {"10k": 20, "100k": 50}
+
+
+# ----------------------------------------------------------------------
+# Synthetic workload
+# ----------------------------------------------------------------------
+def _run_records(run_id, node, count, offset):
+    """One (run, node) collection batch: events plus ~half as many packets,
+    logged in local chronological order like a real node does."""
+    base = run_id * 100.0
+    events = [
+        {"name": "op_start" if i % 2 == 0 else "op_done", "node": node,
+         "local_time": base + i * 0.001 + offset, "params": [i],
+         "run_id": run_id, "seq": i}
+        for i in range(count)
+    ]
+    packets = [
+        {"node": node, "local_time": base + i * 0.002 + offset, "uid": i,
+         "src": "10.0.0.1", "dst": "10.0.0.2", "direction": "tx",
+         "payload": f"pkt{i}", "run_id": run_id, "seq": i}
+        for i in range(count // 2)
+    ]
+    return events, packets
+
+
+def _offsets():
+    return {node: (i - 2) * 0.123 for i, node in enumerate(NODES)}
+
+
+def _write_scaffolding(store, runs):
+    store.write_description(DESC_XML)
+    store.write_plan([{"run_id": r, "treatment": {}} for r in range(runs)])
+    offsets = _offsets()
+    for run_id in range(runs):
+        store.write_timesync(run_id, {
+            node: {"offset": off, "rtt": 0.001, "error_bound": 0.0005,
+                   "probes": 5}
+            for node, off in offsets.items()
+        })
+        store.write_run_info(run_id, {"run_id": run_id,
+                                      "start_time": run_id * 100.0,
+                                      "treatment": {}})
+
+
+# ----------------------------------------------------------------------
+# Ingest: fast (RunWriter) vs legacy (per-record open/append/close)
+# ----------------------------------------------------------------------
+def ingest_fast(root, runs, events_per_run_node):
+    store = Level2Store(root)
+    _write_scaffolding(store, runs)
+    offsets = _offsets()
+    for run_id in range(runs):
+        with store.run_writer(run_id) as writer:
+            for node in NODES:
+                events, packets = _run_records(
+                    run_id, node, events_per_run_node, offsets[node]
+                )
+                # Records arrive one at a time during collection; the
+                # writer buffers them on open handles.
+                for ev in events:
+                    writer.add_events(node, [ev])
+                for pk in packets:
+                    writer.add_packets(node, [pk])
+    return store
+
+
+def ingest_legacy(root, runs, events_per_run_node):
+    """The pre-optimization ingest: every appended record pays a file
+    open/append/close through write_run_data."""
+    store = Level2Store(root)
+    _write_scaffolding(store, runs)
+    offsets = _offsets()
+    for run_id in range(runs):
+        for node in NODES:
+            events, packets = _run_records(
+                run_id, node, events_per_run_node, offsets[node]
+            )
+            for ev in events:
+                store.write_run_data(node, run_id, [ev], [])
+            for pk in packets:
+                store.write_run_data(node, run_id, [], [pk])
+    return store
+
+
+# ----------------------------------------------------------------------
+# Condition + store: fast (streaming + tuned pragmas) vs legacy
+# ----------------------------------------------------------------------
+def condition_and_store_fast(store, db_path):
+    return store_level3(store, db_path)
+
+
+def condition_and_store_legacy(store, db_path):
+    """The pre-optimization path: materialize the whole conditioned
+    experiment, then write with default pragmas (rollback journal on,
+    synchronous=FULL) and per-row scope inserts."""
+    from repro.core.description import EE_VERSION
+    from repro.storage.level3 import _addr_to_node_map, _name_comment
+
+    data = condition_experiment(store)
+    conn = sqlite3.connect(str(db_path))
+    try:
+        create_schema(conn)
+        name, comment = _name_comment(data.description_xml)
+        conn.execute(
+            "INSERT INTO ExperimentInfo (ExpXML, EEVersion, Name, Comment) "
+            "VALUES (?, ?, ?, ?)",
+            (data.description_xml, EE_VERSION, name, comment),
+        )
+        for node_id, log in sorted(data.node_logs.items()):
+            conn.execute("INSERT INTO Logs (NodeID, Log) VALUES (?, ?)",
+                         (node_id, log))
+        for file_id, content in sorted(data.eefiles.items()):
+            conn.execute("INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
+                         (file_id, content))
+        conn.execute("INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
+                     ("plan.json", json.dumps(data.plan, sort_keys=True)))
+        for mname, content in sorted(data.experiment_measurements.items()):
+            conn.execute(
+                "INSERT INTO ExperimentMeasurements (NodeID, Name, Content) "
+                "VALUES (?, ?, ?)",
+                ("master", mname, json.dumps(content, sort_keys=True)),
+            )
+        src_map = _addr_to_node_map(data.description_xml)
+        for run in data.runs:
+            for node_id, offset in sorted(run.offsets.items()):
+                conn.execute(
+                    "INSERT INTO RunInfos (RunID, NodeID, StartTime, TimeDiff)"
+                    " VALUES (?, ?, ?, ?)",
+                    (run.run_id, node_id, run.start_time, offset),
+                )
+            conn.executemany(
+                "INSERT INTO Events (RunID, NodeID, CommonTime, EventType, "
+                "Parameter) VALUES (?, ?, ?, ?, ?)",
+                ((rec.get("run_id"), rec["node"], rec["common_time"],
+                  rec["name"], json.dumps(rec.get("params", []),
+                                          sort_keys=True))
+                 for rec in run.events),
+            )
+            conn.executemany(
+                "INSERT INTO Packets (RunID, NodeID, CommonTime, SrcNodeID, "
+                "Data) VALUES (?, ?, ?, ?, ?)",
+                ((rec.get("run_id"), rec["node"], rec["common_time"],
+                  src_map.get(rec.get("src", ""), rec.get("src", "")),
+                  json.dumps(rec, sort_keys=True))
+                 for rec in run.packets),
+            )
+            # The pre-optimization ShardWriter-era pattern: one commit
+            # (and its synchronous=FULL fsync) per staged run.
+            conn.commit()
+        conn.commit()
+    finally:
+        conn.close()
+    return db_path
+
+
+# ----------------------------------------------------------------------
+# Queries: single-pass latencies + streaming scan vs the N+1 loop
+# ----------------------------------------------------------------------
+def query_fast(db_path):
+    with ExperimentDatabase(db_path) as db:
+        rows = db.event_pair_latencies("op_start", "op_done")
+        scanned = sum(1 for _ in db.iter_events())
+    return len(rows), scanned
+
+
+def query_legacy(db_path):
+    with ExperimentDatabase(db_path) as db:
+        out = []
+        for run_id in db.run_ids():  # N+1: one query per run
+            events = db.events(run_id=run_id)
+            start_t = end_t = None
+            for e in events:
+                if e["name"] == "op_start" and start_t is None:
+                    start_t = e["common_time"]
+                elif (e["name"] == "op_done" and start_t is not None
+                      and end_t is None and e["common_time"] >= start_t):
+                    end_t = e["common_time"]
+            if start_t is not None:
+                out.append((run_id, start_t, end_t))
+        scanned = len(db.events())
+    return len(out), scanned
+
+
+# ----------------------------------------------------------------------
+# The measured pipeline
+# ----------------------------------------------------------------------
+def _timed(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - started
+
+
+def run_pipeline(workdir, scale, flavor):
+    """Execute one full pipeline flavor; returns per-stage seconds."""
+    total_events = SCALES[scale]
+    runs = RUNS_PER_SCALE[scale]
+    events_per_run_node = total_events // (runs * len(NODES))
+    root = workdir / f"{scale}-{flavor}"
+    db_path = workdir / f"{scale}-{flavor}.db"
+    ingest = ingest_fast if flavor == "fast" else ingest_legacy
+    stor = condition_and_store_fast if flavor == "fast" \
+        else condition_and_store_legacy
+    query = query_fast if flavor == "fast" else query_legacy
+
+    timings = {}
+    store, timings["ingest"] = _timed(ingest, root, runs, events_per_run_node)
+    _, timings["condition_store"] = _timed(stor, store, db_path)
+    (pairs, scanned), timings["query"] = _timed(query, db_path)
+    assert pairs == runs, f"expected {runs} latency rows, got {pairs}"
+    assert scanned > 0
+    timings["end_to_end"] = timings["ingest"] + timings["condition_store"]
+    timings["events"] = total_events
+    timings["runs"] = runs
+    return timings, db_path
+
+
+def run_scale(workdir, scale):
+    fast, fast_db = run_pipeline(workdir, scale, "fast")
+    legacy, legacy_db = run_pipeline(workdir, scale, "legacy")
+
+    # The optimizations must be invisible in the data: identical table
+    # contents from both flavors.
+    from repro.campaign.merge import database_digest
+    assert database_digest(fast_db) == database_digest(legacy_db), \
+        "fast and legacy pipelines diverged"
+
+    return {
+        "events": SCALES[scale],
+        "runs": RUNS_PER_SCALE[scale],
+        "fast_s": {k: round(fast[k], 4)
+                   for k in ("ingest", "condition_store", "query", "end_to_end")},
+        "legacy_s": {k: round(legacy[k], 4)
+                     for k in ("ingest", "condition_store", "query", "end_to_end")},
+        "speedup": {
+            k: round(legacy[k] / fast[k], 2) if fast[k] > 0 else None
+            for k in ("ingest", "condition_store", "query", "end_to_end")
+        },
+        "fast_events_per_s": round(SCALES[scale] / fast["end_to_end"]),
+    }
+
+
+def print_report(results):
+    print("\n=== Storage pipeline: L2 ingest -> condition -> L3 store -> query ===")
+    header = (f"{'scale':>6} | {'stage':<15} | {'legacy (s)':>10} | "
+              f"{'fast (s)':>9} | {'speedup':>7}")
+    print(header)
+    print("-" * len(header))
+    for scale, res in results.items():
+        for stage in ("ingest", "condition_store", "query", "end_to_end"):
+            print(f"{scale:>6} | {stage:<15} | {res['legacy_s'][stage]:>10.3f} | "
+                  f"{res['fast_s'][stage]:>9.3f} | "
+                  f"{res['speedup'][stage]:>6.2f}x")
+
+
+def check_baseline(results, baseline_path, tolerance=2.0):
+    """Fail (return False) if any fast-path stage regressed by more than
+    *tolerance*x against the committed baseline's throughput."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    ok = True
+    for scale, res in results.items():
+        base = baseline.get("scales", {}).get(scale)
+        if base is None:
+            continue
+        for stage, base_s in base["fast_s"].items():
+            now_s = res["fast_s"][stage]
+            if base_s > 0 and now_s > base_s * tolerance:
+                print(f"REGRESSION {scale}/{stage}: {now_s:.3f}s vs "
+                      f"baseline {base_s:.3f}s (> {tolerance}x)", file=sys.stderr)
+                ok = False
+    return ok
+
+
+def measure(scales, workdir=None):
+    owned = workdir is None
+    workdir = Path(workdir or tempfile.mkdtemp(prefix="excovery-bench-storage-"))
+    try:
+        results = {scale: run_scale(workdir, scale) for scale in scales}
+    finally:
+        if owned:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_storage_pipeline_speedup(benchmark, workdir):
+    from conftest import run_once
+
+    results = run_once(benchmark, measure, ["10k"], workdir)
+    print_report(results)
+    res = results["10k"]
+    benchmark.extra_info["results"] = results
+    # The tentpole claim, scaled down for CI: the fast path clearly beats
+    # the pre-optimization pipeline end to end even at 10k events.
+    assert res["speedup"]["end_to_end"] >= 1.5, res
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI (CI smoke job)
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="10k-event scale only (CI smoke)")
+    parser.add_argument("--out", default="BENCH_storage.json",
+                        help="result JSON path (default: BENCH_storage.json)")
+    parser.add_argument("--check-baseline", metavar="PATH",
+                        help="fail on >2x regression vs this baseline JSON")
+    parser.add_argument("--workdir", help="scratch directory (default: temp)")
+    args = parser.parse_args(argv)
+
+    scales = ["10k"] if args.quick else list(SCALES)
+    results = measure(scales, args.workdir)
+    print_report(results)
+
+    payload = {"benchmark": "storage_pipeline", "scales": results}
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check_baseline:
+        if not check_baseline(results, args.check_baseline):
+            return 1
+        print(f"within 2x of baseline {args.check_baseline}")
+    if not args.quick:
+        e2e = results["100k"]["speedup"]["end_to_end"]
+        if e2e < 3.0:
+            print(f"FAIL: end-to-end speedup {e2e:.2f}x < 3x at 100k events",
+                  file=sys.stderr)
+            return 1
+        print(f"end-to-end speedup at 100k events: {e2e:.2f}x (>= 3x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

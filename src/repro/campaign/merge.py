@@ -28,15 +28,17 @@ from pathlib import Path
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.core.errors import StorageError
-from repro.storage.conditioning import condition_experiment, condition_run
+from repro.storage.conditioning import condition_run, condition_scope
 from repro.storage.level2 import Level2Store
 from repro.storage.level3 import (
     RUN_TABLES,
     TABLE_SCHEMAS,
     _addr_to_node_map,
     create_schema,
+    fsync_database,
     insert_experiment_scope,
     insert_run,
+    open_fast_connection,
 )
 
 __all__ = ["ShardWriter", "merge_shards", "database_digest"]
@@ -55,7 +57,11 @@ class ShardWriter:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not self.path.exists()
-        self.conn = sqlite3.connect(str(self.path))
+        # fresh=False tuning: per-write syncs off, but the rollback
+        # journal stays on — stage_run's transaction is this shard's
+        # crash-recovery commit point and must remain atomic.
+        self.conn = open_fast_connection(self.path, fresh=False)
+        self.conn.isolation_level = ""  # back to implicit transactions
         if fresh:
             create_schema(self.conn)
             self.conn.commit()
@@ -111,13 +117,17 @@ def merge_shards(
         raise StorageError(f"refusing to overwrite existing database {db_path}")
     db_path.parent.mkdir(parents=True, exist_ok=True)
 
-    out = sqlite3.connect(str(db_path))
+    # The merged database is freshly created and rebuildable from the
+    # shards at any time, so it gets the full fast-write treatment: no
+    # journal, no per-statement syncs, one transaction, one final fsync.
+    out = open_fast_connection(db_path, fresh=True)
     shards: Dict[Path, sqlite3.Connection] = {}
     try:
         create_schema(out)
-        scope = condition_experiment(scope_store)
-        scope.runs = []  # run rows come from the shards, never the scope store
-        insert_experiment_scope(out, scope)
+        out.execute("BEGIN")
+        # condition_scope skips the scope store's run records entirely —
+        # run rows come from the shards, never the scope store.
+        insert_experiment_scope(out, condition_scope(scope_store))
 
         for run_id in sorted(run_sources):
             shard_path = Path(run_sources[run_id])
@@ -145,11 +155,12 @@ def merge_shards(
                     f"run {run_id} has no rows in shard {shard_path}; "
                     "journal and shard diverged"
                 )
-        out.commit()
+        out.execute("COMMIT")
     finally:
         for conn in shards.values():
             conn.close()
         out.close()
+    fsync_database(db_path)
     return db_path
 
 

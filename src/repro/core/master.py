@@ -458,18 +458,21 @@ class ExperiMaster:
         collect_packets = self.params.get("collect_packets")
         for node_id in node_ids:
             yield from self.channel.call(node_id, "run_exit", run.run_id)
-        for node_id in node_ids:
-            data = yield from self.channel.call(node_id, "collect_run", run.run_id)
-            self.store.write_run_data(
-                node_id,
-                run.run_id,
-                data.get("events", []),
-                data.get("packets", []) if collect_packets else [],
-            )
-        self.emit_master("run_exit", params=(run.run_id,), run_id=run.run_id)
-        self.store.write_run_data(
-            MASTER_NODE_ID, run.run_id, self._run_events.get(run.run_id, []), []
-        )
+        # One buffered writer covers the whole collection: file handles
+        # stay open across nodes and batches are flushed together instead
+        # of paying an open/append/close per (node, stream) call.
+        with self.store.run_writer(run.run_id) as writer:
+            for node_id in node_ids:
+                data = yield from self.channel.call(node_id, "collect_run", run.run_id)
+                writer.add_events(node_id, data.get("events", []))
+                writer.add_packets(
+                    node_id, data.get("packets", []) if collect_packets else []
+                )
+            self.emit_master("run_exit", params=(run.run_id,), run_id=run.run_id)
+            # pop, not get: a long serial series must not accumulate every
+            # run's event records in memory after they are on disk.
+            writer.add_events(MASTER_NODE_ID, self._run_events.pop(run.run_id, []))
+            writer.add_packets(MASTER_NODE_ID, [])
         for plugin_name, content in self.plugins.run_exit(self, run).items():
             self.store.write_extra_measurement(
                 MASTER_NODE_ID, run.run_id, plugin_name, content

@@ -47,7 +47,11 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        # Entries are (time, sequence, fn, args): storing the argument
+        # tuple beside the callable avoids allocating a closure per
+        # scheduled event on the two hottest paths (callback resumption
+        # and event triggering).
+        self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._sequence = itertools.count()
         self._crashed: List[Process] = []
         #: Counts every callback executed; handy for overhead benchmarks.
@@ -87,16 +91,16 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling (kernel-internal API used by events/processes)
     # ------------------------------------------------------------------
-    def _push(self, at: float, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._queue, (at, next(self._sequence), fn))
+    def _push(self, at: float, fn: Callable[..., None], args: tuple = ()) -> None:
+        heapq.heappush(self._queue, (at, next(self._sequence), fn, args))
 
     def _schedule_callback(self, cb: Callable[[Any], None], arg: Any) -> None:
         """Run ``cb(arg)`` at the current simulated instant, asynchronously."""
-        self._push(self._now, lambda: cb(arg))
+        self._push(self._now, cb, (arg,))
 
     def _schedule_trigger(self, event: SimEvent, delay: float, value: Any) -> None:
         """Trigger *event* after *delay* simulated seconds."""
-        self._push(self._now + delay, lambda: event.trigger(value))
+        self._push(self._now + delay, event.trigger, (value,))
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Schedule a bare callback at absolute simulated time *when*."""
@@ -125,10 +129,10 @@ class Simulator:
         """
         if not self._queue:
             return False
-        at, _seq, fn = heapq.heappop(self._queue)
+        at, _seq, fn, args = heapq.heappop(self._queue)
         self._now = at
         self.executed_callbacks += 1
-        fn()
+        fn(*args)
         return True
 
     def run(

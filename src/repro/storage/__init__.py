@@ -16,8 +16,12 @@
    future work.
 """
 
-from repro.storage.conditioning import condition_experiment
-from repro.storage.level2 import Level2Store
+from repro.storage.conditioning import (
+    condition_experiment,
+    condition_scope,
+    iter_conditioned_runs,
+)
+from repro.storage.level2 import Level2Store, RunWriter
 from repro.storage.level3 import TABLE_SCHEMAS, ExperimentDatabase, store_level3
 from repro.storage.level4 import ExperimentRepository
 
@@ -25,7 +29,10 @@ __all__ = [
     "ExperimentDatabase",
     "ExperimentRepository",
     "Level2Store",
+    "RunWriter",
     "TABLE_SCHEMAS",
     "condition_experiment",
+    "condition_scope",
+    "iter_conditioned_runs",
     "store_level3",
 ]

@@ -19,13 +19,20 @@ timestamps; their offset is zero by construction.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.core.errors import StorageError
 from repro.storage.level2 import Level2Store
 
-__all__ = ["ConditionedRun", "ConditionedExperiment", "condition_experiment"]
+__all__ = [
+    "ConditionedRun",
+    "ConditionedExperiment",
+    "condition_experiment",
+    "condition_scope",
+    "iter_conditioned_runs",
+]
 
 MASTER_NODE_ID = "master"
 
@@ -56,21 +63,66 @@ class ConditionedExperiment:
     plan: List[Dict[str, Any]]
 
 
-def _condition_records(
+def _sort_key(rec: Dict[str, Any]) -> Tuple[float, str, int]:
+    # A total order on the common time base; ties broken by node for
+    # stability (causal conflicts below sync error are unavoidable and
+    # documented, not hidden).
+    return (rec["common_time"], rec.get("node", ""), rec.get("seq", -1))
+
+
+def _condition_stream(
     records: List[Dict[str, Any]], offsets: Dict[str, float], run_id: int
-) -> List[Dict[str, Any]]:
-    out = []
+) -> Tuple[List[Dict[str, Any]], bool]:
+    """Condition one node's records in place-order; report sortedness.
+
+    Returns ``(conditioned, already_sorted)`` where *already_sorted* is
+    whether the output is non-decreasing under :func:`_sort_key` — true
+    for every normally collected stream (nodes log chronologically and a
+    constant per-node offset preserves order), which lets the caller
+    k-way-merge streams instead of sorting the concatenation.
+    """
+    out: List[Dict[str, Any]] = []
+    already_sorted = True
+    prev_key: Any = None
     for rec in records:
         node = rec.get("node", MASTER_NODE_ID)
         offset = offsets.get(node, 0.0)
         conditioned = dict(rec)
         conditioned["common_time"] = float(rec["local_time"]) - offset
         conditioned.setdefault("run_id", run_id)
+        key = _sort_key(conditioned)
+        if prev_key is not None and key < prev_key:
+            already_sorted = False
+        prev_key = key
         out.append(conditioned)
-    # A total order on the common time base; ties broken by node for
-    # stability (causal conflicts below sync error are unavoidable and
-    # documented, not hidden).
-    out.sort(key=lambda r: (r["common_time"], r.get("node", ""), r.get("seq", -1)))
+    return out, already_sorted
+
+
+def _merge_streams(
+    streams: List[Tuple[List[Dict[str, Any]], bool]]
+) -> List[Dict[str, Any]]:
+    """Merge per-node conditioned streams into one totally ordered list.
+
+    When every stream is already sorted (the normal case) this is a
+    k-way merge — O(n log k) with no second copy of the data.  Any
+    unsorted stream falls back to the stable full sort; both paths
+    produce identical output because ``heapq.merge`` is stable across
+    input streams exactly like ``list.sort`` over their concatenation.
+    """
+    if all(ok for _, ok in streams):
+        return list(heapq.merge(*(recs for recs, _ in streams), key=_sort_key))
+    merged = [rec for recs, _ in streams for rec in recs]
+    merged.sort(key=_sort_key)
+    return merged
+
+
+def _condition_records(
+    records: List[Dict[str, Any]], offsets: Dict[str, float], run_id: int
+) -> List[Dict[str, Any]]:
+    """Condition one flat record list (compat shim over the stream path)."""
+    out, already_sorted = _condition_stream(records, offsets, run_id)
+    if not already_sorted:
+        out.sort(key=_sort_key)
     return out
 
 
@@ -84,12 +136,16 @@ def condition_run(store: Level2Store, run_id: int) -> ConditionedRun:
     offsets = {node: float(m["offset"]) for node, m in sync.items()}
     offsets[MASTER_NODE_ID] = 0.0
 
-    events: List[Dict[str, Any]] = []
-    packets: List[Dict[str, Any]] = []
+    event_streams: List[Tuple[List[Dict[str, Any]], bool]] = []
+    packet_streams: List[Tuple[List[Dict[str, Any]], bool]] = []
     extra: Dict[str, Dict[str, Any]] = {}
     for node_id in store.node_ids():
-        events.extend(store.read_run_events(node_id, run_id))
-        packets.extend(store.read_run_packets(node_id, run_id))
+        event_streams.append(
+            _condition_stream(store.read_run_events(node_id, run_id), offsets, run_id)
+        )
+        packet_streams.append(
+            _condition_stream(store.read_run_packets(node_id, run_id), offsets, run_id)
+        )
         node_extra = store.read_extra_measurements(node_id, run_id)
         if node_extra:
             extra[node_id] = node_extra
@@ -98,23 +154,50 @@ def condition_run(store: Level2Store, run_id: int) -> ConditionedRun:
         start_time=float(info["start_time"]),
         treatment=info.get("treatment", {}),
         offsets=offsets,
-        events=_condition_records(events, offsets, run_id),
-        packets=_condition_records(packets, offsets, run_id),
+        events=_merge_streams(event_streams),
+        packets=_merge_streams(packet_streams),
         extra_measurements=extra,
     )
 
 
-def condition_experiment(store: Level2Store) -> ConditionedExperiment:
-    """Condition a complete level-2 store."""
-    runs = [condition_run(store, run_id) for run_id in store.run_ids()]
+def iter_conditioned_runs(store: Level2Store) -> Iterator[ConditionedRun]:
+    """Condition a store's runs one at a time, in run id order.
+
+    The streaming counterpart of :func:`condition_experiment`: peak
+    memory is one run's records, so arbitrarily large experiments can be
+    conditioned and fed straight into the level-3 writer.
+    """
+    for run_id in store.run_ids():
+        yield condition_run(store, run_id)
+
+
+def condition_scope(store: Level2Store) -> ConditionedExperiment:
+    """Condition only the experiment-scope data (no run records).
+
+    Pair with :func:`iter_conditioned_runs` for a streaming pipeline; the
+    campaign merge also uses this to avoid conditioning the scope store's
+    runs it is about to discard.
+    """
     node_logs = {
         node_id: store.read_node_log(node_id) for node_id in store.node_ids()
     }
     return ConditionedExperiment(
         description_xml=store.read_description(),
-        runs=runs,
+        runs=[],
         node_logs=node_logs,
         experiment_measurements=store.experiment_measurements(),
         eefiles=store.eefiles(),
         plan=store.read_plan(),
     )
+
+
+def condition_experiment(store: Level2Store) -> ConditionedExperiment:
+    """Condition a complete level-2 store into memory.
+
+    Convenience for small experiments and API compatibility; the storage
+    fast path (:func:`repro.storage.level3.store_level3`) streams runs
+    via :func:`iter_conditioned_runs` instead of materializing them all.
+    """
+    data = condition_scope(store)
+    data.runs = list(iter_conditioned_runs(store))
+    return data

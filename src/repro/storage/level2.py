@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple
 
 from repro.core.errors import StorageError
 
-__all__ = ["Level2Store"]
+__all__ = ["Level2Store", "RunWriter"]
 
 
 def _write_json(path: Path, data: Any) -> None:
@@ -72,12 +72,115 @@ def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
     return out
 
 
+class RunWriter:
+    """Buffered ingest for one run's collection phase.
+
+    The master collects a run's events and packets node by node; writing
+    each batch through :meth:`Level2Store.write_run_data` pays a file
+    open/close per call.  A ``RunWriter`` instead keeps one append handle
+    per ``(node, stream)`` open for the duration of the run's collection
+    and writes serialized records in batches, so per-record cost is one
+    ``json.dumps`` plus an amortized buffered write.
+
+    Use as a context manager (or call :meth:`close`); records are only
+    guaranteed on disk after the writer is closed or flushed.  Appending
+    an empty batch still creates the stream file, preserving the
+    enumeration semantics of :meth:`Level2Store.write_run_data`.
+    """
+
+    #: Buffered lines per stream before an actual file write.
+    FLUSH_RECORDS = 1024
+
+    def __init__(self, store: "Level2Store", run_id: int,
+                 flush_records: Optional[int] = None) -> None:
+        self.store = store
+        self.run_id = int(run_id)
+        self._flush_records = flush_records or self.FLUSH_RECORDS
+        self._handles: Dict[Tuple[str, str], IO[str]] = {}
+        self._buffers: Dict[Tuple[str, str], List[str]] = {}
+        self._closed = False
+        #: Total records accepted (handy for ingest benchmarks).
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+    def _stream(self, node_id: str, stream: str) -> Tuple[str, str]:
+        if self._closed:
+            raise StorageError(f"RunWriter for run {self.run_id} is closed")
+        key = (node_id, stream)
+        if key not in self._handles:
+            path = (
+                self.store._node_dir(node_id) / "runs" / str(self.run_id) / stream
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._handles[key] = open(path, "a", encoding="utf-8")
+            self._buffers[key] = []
+            self.store._invalidate_enumeration()
+        return key
+
+    def append(self, node_id: str, stream: str, records: List[Dict[str, Any]]) -> None:
+        key = self._stream(node_id, stream)
+        buffer = self._buffers[key]
+        for rec in records:
+            buffer.append(json.dumps(rec, sort_keys=True))
+        self.records_written += len(records)
+        if len(buffer) >= self._flush_records:
+            self._flush_stream(key)
+
+    def add_events(self, node_id: str, records: List[Dict[str, Any]]) -> None:
+        self.append(node_id, "events.jsonl", records)
+
+    def add_packets(self, node_id: str, records: List[Dict[str, Any]]) -> None:
+        self.append(node_id, "packets.jsonl", records)
+
+    # ------------------------------------------------------------------
+    def _flush_stream(self, key: Tuple[str, str]) -> None:
+        buffer = self._buffers[key]
+        if buffer:
+            self._handles[key].write("\n".join(buffer) + "\n")
+            buffer.clear()
+
+    def flush(self) -> None:
+        """Write out every buffered record (handles stay open)."""
+        for key in self._handles:
+            self._flush_stream(key)
+            self._handles[key].flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            for key, fh in self._handles.items():
+                self._flush_stream(key)
+                fh.close()
+        finally:
+            self._handles.clear()
+            self._buffers.clear()
+            self._closed = True
+
+    def __enter__(self) -> "RunWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class Level2Store:
     """One execution's intermediate storage rooted at a directory."""
 
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Enumeration caches (node_ids / run_ids): every write path that
+        # can add or remove nodes or runs goes through this instance and
+        # calls _invalidate_enumeration, so a cached listing is never
+        # stale for the writer that produced it.  Conditioning and merge
+        # construct fresh stores, so cross-process staleness cannot occur.
+        self._node_ids_cache: Optional[List[str]] = None
+        self._run_ids_cache: Optional[List[int]] = None
+
+    def _invalidate_enumeration(self) -> None:
+        self._node_ids_cache = None
+        self._run_ids_cache = None
 
     # ------------------------------------------------------------------
     # Level-1 artefacts
@@ -152,6 +255,7 @@ class Level2Store:
         path = self._node_dir(node_id) / "log.txt"
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(log_text, encoding="utf-8")
+        self._invalidate_enumeration()
 
     def read_node_log(self, node_id: str) -> str:
         path = self._node_dir(node_id) / "log.txt"
@@ -159,6 +263,7 @@ class Level2Store:
 
     def write_node_experiment_events(self, node_id: str, events: List[Dict[str, Any]]) -> None:
         _append_jsonl(self._node_dir(node_id) / "experiment_events.jsonl", events)
+        self._invalidate_enumeration()
 
     def read_node_experiment_events(self, node_id: str) -> List[Dict[str, Any]]:
         return _read_jsonl(self._node_dir(node_id) / "experiment_events.jsonl")
@@ -173,6 +278,11 @@ class Level2Store:
         run_dir = self._node_dir(node_id) / "runs" / str(run_id)
         _append_jsonl(run_dir / "events.jsonl", events)
         _append_jsonl(run_dir / "packets.jsonl", packets)
+        self._invalidate_enumeration()
+
+    def run_writer(self, run_id: int, flush_records: Optional[int] = None) -> RunWriter:
+        """Open a buffered :class:`RunWriter` for *run_id*'s collection."""
+        return RunWriter(self, run_id, flush_records=flush_records)
 
     def write_extra_measurement(
         self, node_id: str, run_id: int, plugin: str, content: Any
@@ -182,6 +292,7 @@ class Level2Store:
             self._node_dir(node_id) / "runs" / str(run_id) / "extra" / f"{plugin}.json",
             content,
         )
+        self._invalidate_enumeration()
 
     def read_run_events(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
         return _read_jsonl(self._node_dir(node_id) / "runs" / str(run_id) / "events.jsonl")
@@ -230,24 +341,34 @@ class Level2Store:
     # Enumeration (drives conditioning)
     # ------------------------------------------------------------------
     def node_ids(self) -> List[str]:
-        directory = self.root / "nodes"
-        if not directory.exists():
-            return []
-        return sorted(p.name for p in directory.iterdir() if p.is_dir())
+        if self._node_ids_cache is None:
+            directory = self.root / "nodes"
+            if not directory.exists():
+                return []
+            self._node_ids_cache = sorted(
+                p.name for p in directory.iterdir() if p.is_dir()
+            )
+        return list(self._node_ids_cache)
 
     def run_ids(self) -> List[int]:
-        ids = set()
-        for node_id in self.node_ids():
-            runs_dir = self._node_dir(node_id) / "runs"
-            if runs_dir.exists():
-                for p in runs_dir.iterdir():
-                    if p.is_dir() and p.name.isdigit():
-                        ids.add(int(p.name))
-        return sorted(ids)
+        if self._run_ids_cache is None:
+            ids = set()
+            for node_id in self.node_ids():
+                runs_dir = self._node_dir(node_id) / "runs"
+                if runs_dir.exists():
+                    for p in runs_dir.iterdir():
+                        if p.is_dir() and p.name.isdigit():
+                            ids.add(int(p.name))
+            self._run_ids_cache = sorted(ids)
+        return list(self._run_ids_cache)
 
     def iter_run_node_pairs(self) -> Iterator[Tuple[int, str]]:
+        # Both listings are computed once for the whole product — the
+        # naive nested form re-walked the node tree for every run id,
+        # an O(nodes x runs) stat storm on large stores.
+        node_ids = self.node_ids()
         for run_id in self.run_ids():
-            for node_id in self.node_ids():
+            for node_id in node_ids:
                 yield run_id, node_id
 
     def has_complete_run(self, run_id: int) -> bool:
@@ -279,3 +400,4 @@ class Level2Store:
         ):
             if path.exists():
                 path.unlink()
+        self._invalidate_enumeration()

@@ -28,20 +28,27 @@ packet record (the raw-data blob of the paper).
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import xml.etree.ElementTree as ET
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.description import EE_VERSION
 from repro.core.errors import StorageError
-from repro.storage.conditioning import ConditionedExperiment, condition_experiment
+from repro.storage.conditioning import (
+    ConditionedExperiment,
+    condition_scope,
+    iter_conditioned_runs,
+)
 from repro.storage.level2 import Level2Store
 
 __all__ = [
     "TABLE_SCHEMAS",
     "RUN_TABLES",
     "create_schema",
+    "open_fast_connection",
+    "fsync_database",
     "insert_experiment_scope",
     "insert_run",
     "store_level3",
@@ -142,6 +149,52 @@ def create_schema(conn: sqlite3.Connection) -> None:
     conn.executescript(_DDL)
 
 
+def open_fast_connection(path, fresh: bool = True) -> sqlite3.Connection:
+    """Open a write connection tuned for bulk-loading a level-3 package.
+
+    With ``fresh=True`` (a database nobody reads until we finish, whose
+    partial state is worthless on a crash — it is simply rebuilt from
+    level 2) the rollback journal and per-statement syncs are disabled
+    entirely; durability comes from one :func:`fsync_database` after the
+    connection is closed.  With ``fresh=False`` (a campaign shard that a
+    crashed campaign must be able to resume from) the rollback journal
+    stays on so transactions remain atomic across process crashes; only
+    the per-write fsyncs are skipped.
+
+    The connection is in autocommit mode (``isolation_level=None``); the
+    caller brackets its inserts with explicit BEGIN/COMMIT.
+    """
+    conn = sqlite3.connect(str(path), isolation_level=None)
+    if fresh:
+        conn.execute("PRAGMA journal_mode=OFF")
+        conn.execute("PRAGMA synchronous=OFF")
+    else:
+        conn.execute("PRAGMA synchronous=OFF")
+    conn.execute("PRAGMA cache_size=-16384")  # 16 MiB page cache
+    return conn
+
+
+def fsync_database(path) -> None:
+    """Flush a finished database (and its directory entry) to stable
+    storage — the single sync point of the fast write path."""
+    path = Path(path)
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    try:
+        dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    except OSError:  # platform without directory fds (e.g. Windows)
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def insert_experiment_scope(conn: sqlite3.Connection, data: ConditionedExperiment) -> None:
     """Insert the experiment-scope tables (everything but the run data)."""
     name, comment = _name_comment(data.description_xml)
@@ -150,39 +203,47 @@ def insert_experiment_scope(conn: sqlite3.Connection, data: ConditionedExperimen
         "VALUES (?, ?, ?, ?)",
         (data.description_xml, EE_VERSION, name, comment),
     )
-    for node_id, log in sorted(data.node_logs.items()):
-        conn.execute("INSERT INTO Logs (NodeID, Log) VALUES (?, ?)", (node_id, log))
-    for file_id, content in sorted(data.eefiles.items()):
-        conn.execute(
-            "INSERT INTO EEFiles (ID, File) VALUES (?, ?)", (file_id, content)
-        )
+    conn.executemany(
+        "INSERT INTO Logs (NodeID, Log) VALUES (?, ?)",
+        sorted(data.node_logs.items()),
+    )
+    conn.executemany(
+        "INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
+        sorted(data.eefiles.items()),
+    )
     conn.execute(
         "INSERT INTO EEFiles (ID, File) VALUES (?, ?)",
         ("plan.json", json.dumps(data.plan, sort_keys=True)),
     )
-    for mname, content in sorted(data.experiment_measurements.items()):
-        conn.execute(
-            "INSERT INTO ExperimentMeasurements (NodeID, Name, Content) "
-            "VALUES (?, ?, ?)",
-            ("master", mname, json.dumps(content, sort_keys=True)),
-        )
+    conn.executemany(
+        "INSERT INTO ExperimentMeasurements (NodeID, Name, Content) "
+        "VALUES (?, ?, ?)",
+        (
+            ("master", mname, json.dumps(content, sort_keys=True))
+            for mname, content in sorted(data.experiment_measurements.items())
+        ),
+    )
 
 
 def insert_run(conn: sqlite3.Connection, run, src_map: Dict[str, str]) -> None:
     """Insert one :class:`ConditionedRun`'s rows into the run tables."""
-    for node_id, offset in sorted(run.offsets.items()):
-        conn.execute(
-            "INSERT INTO RunInfos (RunID, NodeID, StartTime, TimeDiff) "
-            "VALUES (?, ?, ?, ?)",
-            (run.run_id, node_id, run.start_time, offset),
-        )
-    for node_id, plugins in sorted(run.extra_measurements.items()):
-        for pname, content in sorted(plugins.items()):
-            conn.execute(
-                "INSERT INTO ExtraRunMeasurements "
-                "(RunID, NodeID, Name, Content) VALUES (?, ?, ?, ?)",
-                (run.run_id, node_id, pname, json.dumps(content, sort_keys=True)),
-            )
+    conn.executemany(
+        "INSERT INTO RunInfos (RunID, NodeID, StartTime, TimeDiff) "
+        "VALUES (?, ?, ?, ?)",
+        (
+            (run.run_id, node_id, run.start_time, offset)
+            for node_id, offset in sorted(run.offsets.items())
+        ),
+    )
+    conn.executemany(
+        "INSERT INTO ExtraRunMeasurements "
+        "(RunID, NodeID, Name, Content) VALUES (?, ?, ?, ?)",
+        (
+            (run.run_id, node_id, pname, json.dumps(content, sort_keys=True))
+            for node_id, plugins in sorted(run.extra_measurements.items())
+            for pname, content in sorted(plugins.items())
+        ),
+    )
     conn.executemany(
         "INSERT INTO Events (RunID, NodeID, CommonTime, EventType, Parameter) "
         "VALUES (?, ?, ?, ?, ?)",
@@ -218,11 +279,21 @@ def store_level3(source, db_path) -> Path:
 
     *source* is a :class:`Level2Store` or an already-conditioned
     :class:`ConditionedExperiment`.  Returns the database path.
+
+    This is the storage fast path: the database is written with the
+    rollback journal and per-statement syncs off (it is freshly created
+    and fsync'd once at the end), all inserts run inside one explicit
+    transaction, and — when *source* is a :class:`Level2Store` — runs
+    are conditioned and inserted one at a time, so peak memory is one
+    run's records regardless of experiment size.  The produced table
+    contents are identical to the pre-optimization writer's.
     """
     if isinstance(source, Level2Store):
-        data = condition_experiment(source)
+        scope: ConditionedExperiment = condition_scope(source)
+        runs: Iterator = iter_conditioned_runs(source)
     elif isinstance(source, ConditionedExperiment):
-        data = source
+        scope = source
+        runs = iter(source.runs)
     else:
         raise StorageError(f"cannot store {type(source).__name__} as level 3")
 
@@ -231,16 +302,18 @@ def store_level3(source, db_path) -> Path:
         raise StorageError(f"refusing to overwrite existing database {db_path}")
     db_path.parent.mkdir(parents=True, exist_ok=True)
 
-    conn = sqlite3.connect(str(db_path))
+    conn = open_fast_connection(db_path, fresh=True)
     try:
         create_schema(conn)
-        insert_experiment_scope(conn, data)
-        src_map = _addr_to_node_map(data.description_xml)
-        for run in data.runs:
+        conn.execute("BEGIN")
+        insert_experiment_scope(conn, scope)
+        src_map = _addr_to_node_map(scope.description_xml)
+        for run in runs:
             insert_run(conn, run, src_map)
-        conn.commit()
+        conn.execute("COMMIT")
     finally:
         conn.close()
+    fsync_database(db_path)
     return db_path
 
 
@@ -352,19 +425,79 @@ class ExperimentDatabase:
             for row in self.conn.execute(query, args)
         ]
 
+    def iter_events(
+        self,
+        run_id: Optional[int] = None,
+        event_type: Optional[str] = None,
+        node_id: Optional[str] = None,
+        chunk_size: int = 4096,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream event records without materializing the result set.
+
+        Same filters and record shape as :meth:`events`, but rows arrive
+        through a dedicated cursor in ``chunk_size`` batches — analysis
+        over multi-gigabyte packages runs in constant memory.
+        """
+        query = (
+            "SELECT RunID, NodeID, CommonTime, EventType, Parameter FROM Events"
+        )
+        clauses, args = [], []
+        if run_id is not None:
+            clauses.append("RunID = ?")
+            args.append(run_id)
+        if event_type is not None:
+            clauses.append("EventType = ?")
+            args.append(event_type)
+        if node_id is not None:
+            clauses.append("NodeID = ?")
+            args.append(node_id)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY CommonTime, NodeID"
+        cursor = self.conn.cursor()
+        try:
+            cursor.execute(query, args)
+            while True:
+                rows = cursor.fetchmany(chunk_size)
+                if not rows:
+                    return
+                for row in rows:
+                    yield {
+                        "run_id": row["RunID"],
+                        "node": row["NodeID"],
+                        "common_time": row["CommonTime"],
+                        "name": row["EventType"],
+                        "params": json.loads(row["Parameter"]),
+                    }
+        finally:
+            cursor.close()
+
     def packets(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        return list(self.iter_packets(run_id=run_id))
+
+    def iter_packets(
+        self, run_id: Optional[int] = None, chunk_size: int = 4096
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream packet records (see :meth:`iter_events`)."""
         query = "SELECT RunID, NodeID, CommonTime, SrcNodeID, Data FROM Packets"
         args: List[Any] = []
         if run_id is not None:
             query += " WHERE RunID = ?"
             args.append(run_id)
         query += " ORDER BY CommonTime, NodeID"
-        out = []
-        for row in self.conn.execute(query, args):
-            rec = json.loads(row["Data"])
-            rec["src_node"] = row["SrcNodeID"]
-            out.append(rec)
-        return out
+        cursor = self.conn.cursor()
+        try:
+            cursor.execute(query, args)
+            while True:
+                rows = cursor.fetchmany(chunk_size)
+                if not rows:
+                    return
+                for row in rows:
+                    rec = json.loads(row["Data"])
+                    rec["src_node"] = row["SrcNodeID"]
+                    yield rec
+        finally:
+            cursor.close()
 
     def run_infos(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
         query = "SELECT RunID, NodeID, StartTime, TimeDiff FROM RunInfos"
@@ -399,28 +532,56 @@ class ExperimentDatabase:
         ``echo_start``/``echo_reply``, fault start/stop, ...).  Runs where
         the end event never follows the start are reported with
         ``latency = None``.
+
+        One SQL pass over the two event types serves every run — the
+        former per-run query loop was N+1 and dominated analysis time on
+        large campaign databases.
         """
+        query = (
+            "SELECT RunID, CommonTime, EventType FROM Events "
+            "WHERE EventType IN (?, ?)"
+        )
+        args: List[Any] = [start_type, end_type]
+        if node_id is not None:
+            query += " AND NodeID = ?"
+            args.append(node_id)
+        if per_run:
+            # Restrict to runs the RunInfos table knows, as the per-run
+            # loop over run_ids() did.
+            query += " AND RunID IN (SELECT DISTINCT RunID FROM RunInfos)"
+            query += " ORDER BY RunID, CommonTime, NodeID"
+        else:
+            query += " ORDER BY CommonTime, NodeID"
+
         out: List[Dict[str, Any]] = []
-        for run_id in (self.run_ids() if per_run else [None]):
-            events = self.events(run_id=run_id, node_id=node_id)
-            start_t: Optional[float] = None
-            end_t: Optional[float] = None
-            for e in events:
-                if e["name"] == start_type and start_t is None:
-                    start_t = e["common_time"]
-                elif (
-                    e["name"] == end_type and start_t is not None
-                    and end_t is None and e["common_time"] >= start_t
-                ):
-                    end_t = e["common_time"]
-            if start_t is None:
-                continue
-            out.append({
-                "run_id": run_id,
-                "start": start_t,
-                "end": end_t,
-                "latency": (end_t - start_t) if end_t is not None else None,
-            })
+        current: Any = object()  # sentinel != any run id
+        start_t: Optional[float] = None
+        end_t: Optional[float] = None
+
+        def close_group(run_key) -> None:
+            if start_t is not None:
+                out.append({
+                    "run_id": run_key,
+                    "start": start_t,
+                    "end": end_t,
+                    "latency": (end_t - start_t) if end_t is not None else None,
+                })
+
+        for row in self.conn.execute(query, args):
+            run_key = row["RunID"] if per_run else None
+            if per_run and run_key != current:
+                close_group(current)
+                current = run_key
+                start_t = end_t = None
+            name, t = row["EventType"], row["CommonTime"]
+            if name == start_type and start_t is None:
+                start_t = t
+            elif (
+                name == end_type and start_t is not None
+                and end_t is None and t >= start_t
+            ):
+                end_t = t
+        close_group(current if per_run else None)
         return out
 
     def extra_measurements(self, run_id: int) -> Dict[str, Dict[str, Any]]:

@@ -103,6 +103,63 @@ def test_enumeration(store):
     ]
 
 
+def test_run_writer_buffers_and_appends(store):
+    with store.run_writer(0, flush_records=4) as w:
+        w.add_events("n1", [{"name": "e1"}, {"name": "e2"}])
+        w.add_packets("n1", [{"uid": 1}])
+        w.add_events("n2", [{"name": "e3"}])
+        # Below the flush threshold: nothing guaranteed on disk yet, but
+        # the files exist (enumeration sees the run immediately).
+        assert store.run_ids() == [0]
+        w.add_events("n1", [{"name": "e4"}, {"name": "e5"}])  # crosses 4
+        assert w.records_written == 6
+    assert [e["name"] for e in store.read_run_events("n1", 0)] == \
+        ["e1", "e2", "e4", "e5"]
+    assert store.read_run_packets("n1", 0) == [{"uid": 1}]
+    assert [e["name"] for e in store.read_run_events("n2", 0)] == ["e3"]
+
+
+def test_run_writer_empty_batches_create_streams(store):
+    # write_run_data with empty lists still creates both stream files;
+    # the buffered writer must preserve that enumeration contract.
+    with store.run_writer(3) as w:
+        w.add_events("n1", [])
+        w.add_packets("n1", [])
+    assert store.run_ids() == [3]
+    assert store.read_run_events("n1", 3) == []
+
+
+def test_run_writer_interleaves_with_plain_appends(store):
+    store.write_run_data("n1", 0, [{"name": "before"}], [])
+    with store.run_writer(0) as w:
+        w.add_events("n1", [{"name": "during"}])
+    store.write_run_data("n1", 0, [{"name": "after"}], [])
+    assert [e["name"] for e in store.read_run_events("n1", 0)] == \
+        ["before", "during", "after"]
+
+
+def test_run_writer_closed_rejects_appends(store):
+    w = store.run_writer(0)
+    w.close()
+    with pytest.raises(StorageError):
+        w.add_events("n1", [{"name": "late"}])
+    w.close()  # idempotent
+
+
+def test_enumeration_cache_tracks_writes(store):
+    assert store.run_ids() == []
+    store.write_run_data("n1", 0, [], [])
+    assert store.node_ids() == ["n1"]
+    assert store.run_ids() == [0]
+    store.write_run_data("n2", 4, [], [])
+    assert store.node_ids() == ["n1", "n2"]
+    assert store.run_ids() == [0, 4]
+    store.purge_run(4)
+    assert store.run_ids() == [0]
+    store.write_node_log("n3", "log")
+    assert store.node_ids() == ["n1", "n2", "n3"]
+
+
 def test_purge_run(store):
     store.write_run_data("n1", 0, [{"name": "keep"}], [])
     store.write_run_data("n1", 1, [{"name": "drop"}], [])

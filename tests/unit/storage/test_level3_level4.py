@@ -128,6 +128,57 @@ def test_event_pair_latencies(tmp_path):
         assert db.event_pair_latencies("op_start", "op_done", node_id="ghost") == []
 
 
+def test_event_pair_latencies_single_pass_per_run_false(tmp_path):
+    s = Level2Store(tmp_path / "l2y")
+    s.write_description(DESC_XML)
+    s.write_plan([])
+    for run_id in (0, 1):
+        s.write_timesync(run_id, {})
+        s.write_run_info(run_id, {"run_id": run_id, "start_time": 0.0,
+                                  "treatment": {}})
+        s.write_run_data("h1", run_id, [
+            {"name": "op_start", "node": "h1", "local_time": 1.0 + run_id,
+             "params": [], "run_id": run_id},
+            {"name": "op_done", "node": "h1", "local_time": 1.5 + run_id,
+             "params": [], "run_id": run_id},
+        ], [])
+    with ExperimentDatabase(store_level3(s, tmp_path / "flat.db")) as db:
+        rows = db.event_pair_latencies("op_start", "op_done", per_run=False)
+        # One global scan: first start (run 0) to first subsequent done.
+        assert rows == [{"run_id": None, "start": 1.0, "end": 1.5,
+                         "latency": pytest.approx(0.5)}]
+
+
+def test_iter_events_and_iter_packets_stream(filled_store, tmp_path):
+    with ExperimentDatabase(store_level3(filled_store, tmp_path / "x.db")) as db:
+        it = db.iter_events(run_id=0, chunk_size=1)
+        assert next(it)["name"] == "ev"
+        assert list(it) == []
+        assert list(db.iter_events(event_type="ghost")) == []
+        # Streaming readers return the same records as the list APIs.
+        assert list(db.iter_events()) == db.events()
+        assert list(db.iter_packets(chunk_size=1)) == db.packets()
+
+
+def test_store_level3_streams_runs_lazily(filled_store, tmp_path, monkeypatch):
+    """The Level2Store path must not materialize every run at once."""
+    import repro.storage.level3 as level3
+
+    seen = []
+
+    def tracking_iter(store):
+        from repro.storage.conditioning import condition_run
+        for run_id in store.run_ids():
+            seen.append(run_id)
+            yield condition_run(store, run_id)
+
+    monkeypatch.setattr(level3, "iter_conditioned_runs", tracking_iter)
+    db_path = level3.store_level3(filled_store, tmp_path / "lazy.db")
+    assert seen == [0]
+    with ExperimentDatabase(db_path) as db:
+        assert db.row_counts()["Events"] == 1
+
+
 def test_open_missing_database(tmp_path):
     with pytest.raises(StorageError):
         ExperimentDatabase(tmp_path / "missing.db")
