@@ -15,7 +15,7 @@ from conftest import print_table, run_once
 
 from repro import run_experiment
 from repro.analysis.convergence import replications_to_converge
-from repro.core.processes import DomainAction, WaitForTime
+from repro.core.processes import DomainAction
 from repro.platforms.simulated import PlatformConfig
 from repro.sd.processlib import build_two_party_description
 from repro.storage.conditioning import condition_run

@@ -31,6 +31,7 @@ def test_fig05_plan_generation(benchmark):
         run for prev, run in zip(plan, list(plan)[1:])
         if prev.treatment_index != run.treatment_index
     ]
+    assert len(boundaries) == plan.treatment_count - 1
     rows = []
     seen = []
     for run in plan:

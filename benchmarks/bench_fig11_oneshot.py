@@ -6,7 +6,6 @@ preparation/execution/clean-up phases, the response time t_R between
 Measures: timeline extraction + rendering from a stored experiment.
 """
 
-from conftest import print_table, run_once
 
 from repro import run_experiment, store_level3
 from repro.analysis.timeline import build_run_timeline

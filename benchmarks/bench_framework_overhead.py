@@ -9,7 +9,6 @@ Measures the machinery the prototype section describes, in isolation:
 * packet tagger throughput.
 """
 
-import pytest
 
 from repro.core.events import EventBus, EventPattern, ExEvent
 from repro.core.rpc import ControlChannel, RpcServer

@@ -31,7 +31,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.storage.conditioning import condition_experiment, iter_conditioned_runs
+from repro.storage.conditioning import condition_experiment
 from repro.storage.level2 import Level2Store
 from repro.storage.level3 import ExperimentDatabase, create_schema, store_level3
 

@@ -45,11 +45,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.campaign.journal import CampaignJournal
-from repro.campaign.merge import ShardWriter, merge_shards
+from repro.campaign.merge import ShardWriter, apply_abort_reasons, merge_shards
 from repro.campaign.scheduler import CampaignScheduler
 from repro.campaign.telemetry import CampaignTelemetry
 from repro.core.description import ExperimentDescription
-from repro.core.errors import CampaignError, RecoveryError
+from repro.core.errors import CampaignError, RecoveryError, extract_node_id
+from repro.faults.control import select_control_faults
 from repro.core.params import SpecialParams
 from repro.core.plan import TreatmentPlan, generate_plan
 from repro.core.xmlio import description_to_xml
@@ -79,12 +80,27 @@ def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
     run_id = spec["run_id"]
 
     desc = description_from_xml(spec["description_xml"])
+    config = spec["config"]
+    control_faults = spec.get("control_faults") or []
+    if control_faults:
+        # The dispatch loop already filtered the chaos plan down to this
+        # attempt and session; bind what remains to this worker's private
+        # platform config.
+        from dataclasses import replace
+
+        from repro.platforms.simulated import PlatformConfig
+
+        config = (
+            replace(config, control_faults=control_faults)
+            if config is not None
+            else PlatformConfig(control_faults=control_faults)
+        )
     if spec["realtime_factor"] is not None:
         platform = LocalhostPlatform(
-            desc, spec["config"], realtime_factor=spec["realtime_factor"]
+            desc, config, realtime_factor=spec["realtime_factor"]
         )
     else:
-        platform = SimulatedPlatform(desc, spec["config"])
+        platform = SimulatedPlatform(desc, config)
 
     store_dir = root / spec["store"]
     if store_dir.exists():
@@ -105,6 +121,7 @@ def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
     with ShardWriter(root / spec["shard"]) as shard:
         shard.stage_run(store, run_id)
 
+    channel = getattr(platform, "channel", None)
     return {
         "run_id": run_id,
         "store": spec["store"],
@@ -112,6 +129,8 @@ def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
         "timed_out": run_id in result.timed_out_runs,
         "duration": time.monotonic() - started,
         "pid": os.getpid(),
+        "rpc_retries": getattr(channel, "retried_calls", 0),
+        "rpc_timeouts": getattr(channel, "timed_out_calls", 0),
     }
 
 
@@ -190,6 +209,13 @@ class CampaignEngine:
     abort_after_runs:
         Test/demo hook mirroring :class:`ExperiMaster`'s: simulate a
         crash after this many completions in this session.
+    control_faults:
+        Chaos plan for the control plane (see
+        :mod:`repro.faults.control`); entries are filtered per attempt
+        and session before reaching a worker's platform config.
+    quarantine_after:
+        Node-attributed failures before a node is quarantined
+        (0 disables).
     """
 
     def __init__(
@@ -205,6 +231,8 @@ class CampaignEngine:
         custom_treatments: Optional[List[Dict[str, Any]]] = None,
         progress=None,
         abort_after_runs: Optional[int] = None,
+        control_faults: Optional[List[Dict[str, Any]]] = None,
+        quarantine_after: int = 3,
     ) -> None:
         if pool not in ("thread", "process", "auto"):
             raise CampaignError(f"unknown pool kind {pool!r}")
@@ -219,6 +247,8 @@ class CampaignEngine:
         self.custom_treatments = custom_treatments
         self.progress = progress
         self.abort_after_runs = abort_after_runs
+        self.control_faults = list(control_faults or [])
+        self.quarantine_after = quarantine_after
         self.journal = CampaignJournal(self.campaign_dir)
 
     @staticmethod
@@ -260,6 +290,7 @@ class CampaignEngine:
             jobs=self.jobs,
             max_parallel=SpecialParams(desc.special_params).get("max_parallel"),
             max_attempts=self.max_attempts,
+            quarantine_after=self.quarantine_after,
         )
         telemetry = CampaignTelemetry(total_runs=len(plan), emit=self.progress)
         telemetry.campaign_started(skipped=len(staged))
@@ -303,6 +334,14 @@ class CampaignEngine:
                             "run_id": ticket.run_id,
                             "store": f"staging/{label}/run_{ticket.run_id:06d}",
                             "shard": f"shards/{label}.db",
+                            # Chaos entries surviving the attempt/session
+                            # filter: a retry past an entry's max_attempt
+                            # (or a resume past its sessions) runs clean.
+                            "control_faults": select_control_faults(
+                                self.control_faults,
+                                attempt=ticket.attempts,
+                                session=session,
+                            ),
                         }
                         self.journal.record_run_start(ticket.run_id, label)
                         telemetry.run_started(ticket.run_id, label)
@@ -321,13 +360,29 @@ class CampaignEngine:
                             res = future.result()
                         except Exception as exc:  # noqa: BLE001 - worker boundary
                             error = f"{type(exc).__name__}: {exc}"
-                            requeued = scheduler.mark_failed(ticket.run_id, error)
+                            node_id = extract_node_id(error)
+                            terminal = (
+                                node_id is not None
+                                and node_id in scheduler.quarantined_nodes
+                            )
+                            requeued = scheduler.mark_failed(
+                                ticket.run_id, error, terminal=terminal
+                            )
                             self.journal.record_run_failed(
                                 ticket.run_id, error, ticket.attempts
                             )
                             telemetry.run_failed(
                                 ticket.run_id, label, error, requeued
                             )
+                            if node_id is not None and scheduler.record_node_failure(
+                                node_id
+                            ):
+                                self.journal.record_node_quarantined(
+                                    node_id, scheduler.node_failures[node_id]
+                                )
+                                telemetry.node_quarantined(
+                                    node_id, scheduler.node_failures[node_id]
+                                )
                         else:
                             scheduler.mark_done(ticket.run_id)
                             self.journal.record_run_complete(
@@ -335,6 +390,10 @@ class CampaignEngine:
                             )
                             telemetry.run_completed(
                                 ticket.run_id, label, res["duration"]
+                            )
+                            telemetry.rpc_stats(
+                                res.get("rpc_retries", 0),
+                                res.get("rpc_timeouts", 0),
                             )
                             sources[ticket.run_id] = res
                             result.executed_runs.append(ticket.run_id)
@@ -384,7 +443,9 @@ class CampaignEngine:
             run_id: self.campaign_dir / entry["shard"]
             for run_id, entry in sources.items()
         }
-        return merge_shards(db_path, scope_store, run_sources)
+        merged = merge_shards(db_path, scope_store, run_sources)
+        _annotate_abort_reasons(self.journal, merged, sources)
+        return merged
 
 
 # ----------------------------------------------------------------------
@@ -416,4 +477,21 @@ def merge_campaign(campaign_dir, db_path) -> Path:
     run_sources = {
         run_id: campaign_dir / entry["shard"] for run_id, entry in sources.items()
     }
-    return merge_shards(db_path, scope_store, run_sources)
+    merged = merge_shards(db_path, scope_store, run_sources)
+    _annotate_abort_reasons(journal, merged, sources)
+    return merged
+
+
+def _annotate_abort_reasons(journal: CampaignJournal, db_path, sources) -> None:
+    """Write earlier attempts' failures into the merged RunInfos rows.
+
+    Only runs that *did* complete are annotated — a run present in the
+    database with a non-NULL ``AbortReason`` is a retry survivor, not a
+    missing run.
+    """
+    reasons = {
+        run_id: entry["error"]
+        for run_id, entry in journal.failure_reasons().items()
+        if run_id in sources
+    }
+    apply_abort_reasons(db_path, reasons)

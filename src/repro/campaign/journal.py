@@ -20,7 +20,12 @@ physically lives:
     commit point, the journal entry the durable pointer to it.
 ``run_failed``
     run id, error text, attempt number (kept for post-mortems; a failed
-    run may later gain a ``run_complete`` from a retry or resume).
+    run may later gain a ``run_complete`` from a retry or resume).  The
+    latest entry of a run that *did* complete later feeds the merged
+    database's ``RunInfos.AbortReason`` annotation.
+``node_quarantined``
+    node id + failure count — the scheduler stopped charging this node's
+    failures against run retry budgets.
 ``campaign_complete``
     all runs staged; only merging can remain.
 
@@ -104,6 +109,15 @@ class CampaignJournal:
             }
         )
 
+    def record_node_quarantined(self, node_id: str, failures: int) -> None:
+        self._append(
+            {
+                "type": "node_quarantined",
+                "node_id": node_id,
+                "failures": failures,
+            }
+        )
+
     def record_complete(self) -> None:
         self._append({"type": "campaign_complete"})
 
@@ -148,6 +162,24 @@ class CampaignJournal:
             if e["type"] == "run_complete":
                 out[e["run_id"]] = e
         return out
+
+    def failure_reasons(self) -> Dict[int, Dict[str, Any]]:
+        """``{run_id: latest run_failed entry}`` — abort-reason source.
+
+        Includes runs that later completed (their earlier attempt's
+        failure is exactly what ``AbortReason`` documents); callers
+        intersect with :meth:`completed` as needed.
+        """
+        out: Dict[int, Dict[str, Any]] = {}
+        for e in self.entries():
+            if e["type"] == "run_failed":
+                out[e["run_id"]] = e
+        return out
+
+    def quarantined_nodes(self) -> List[str]:
+        return sorted(
+            {e["node_id"] for e in self.entries() if e["type"] == "node_quarantined"}
+        )
 
     # ------------------------------------------------------------------
     # Resume protocol

@@ -41,7 +41,7 @@ from repro.storage.level3 import (
     open_fast_connection,
 )
 
-__all__ = ["ShardWriter", "merge_shards", "database_digest"]
+__all__ = ["ShardWriter", "merge_shards", "apply_abort_reasons", "database_digest"]
 
 
 class ShardWriter:
@@ -162,6 +162,34 @@ def merge_shards(
         out.close()
     fsync_database(db_path)
     return db_path
+
+
+def apply_abort_reasons(db_path, reasons: Mapping[int, str]) -> int:
+    """Annotate merged ``RunInfos`` rows with earlier attempts' failures.
+
+    *reasons* maps run id → reason string (from the campaign journal's
+    ``run_failed`` entries).  Applied after the merge so shard contents —
+    and therefore every digest over the actual measurement data — stay
+    identical to a fault-free campaign's; callers comparing annotated
+    databases pass ``ignore_columns=("AbortReason",)`` to
+    :func:`database_digest`.  Returns the number of updated rows.
+    """
+    if not reasons:
+        return 0
+    conn = sqlite3.connect(str(db_path))
+    try:
+        updated = 0
+        with conn:
+            for run_id in sorted(reasons):
+                cur = conn.execute(
+                    "UPDATE RunInfos SET AbortReason = ? WHERE RunID = ?",
+                    (str(reasons[run_id])[:500], run_id),
+                )
+                updated += cur.rowcount
+    finally:
+        conn.close()
+    fsync_database(db_path)
+    return updated
 
 
 def database_digest(

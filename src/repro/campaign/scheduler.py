@@ -17,6 +17,12 @@ Three policies live here:
   and the engine never exceeds it regardless of ``--jobs``.
 * **Retry** — a failed run is requeued (at the front of its priority
   class) until its attempt budget is exhausted, then reported failed.
+* **Quarantine** — failures attributable to one platform node (the
+  error carries a ``[node=...]`` token, see
+  :func:`repro.core.errors.extract_node_id`) are counted per node; a
+  node crossing ``quarantine_after`` is quarantined and subsequent
+  failures implicating it become terminal immediately — a dead testbed
+  node must not burn the whole campaign's retry budget.
 
 Per-run seeds are *not* derived here: they were fixed at plan-generation
 time (``derive_seed(experiment_seed, "run", run_id)``), which is what
@@ -76,6 +82,9 @@ class CampaignScheduler:
         Attempt budget per run (1 = no retries).
     priority:
         Optional ``run -> int`` (lower dispatches earlier).
+    quarantine_after:
+        Node-attributed failures a single node may cause before it is
+        quarantined (0 disables quarantine).
     """
 
     def __init__(
@@ -86,6 +95,7 @@ class CampaignScheduler:
         max_parallel: int = 0,
         max_attempts: int = 2,
         priority: Optional[Callable[[Run], int]] = None,
+        quarantine_after: int = 3,
     ) -> None:
         if jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -112,6 +122,9 @@ class CampaignScheduler:
         self.in_flight: Dict[int, RunTicket] = {}
         self.done: Set[int] = set()
         self.failed: Dict[int, str] = {}
+        self.quarantine_after = quarantine_after
+        self.node_failures: Dict[str, int] = {}
+        self.quarantined_nodes: Set[str] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -145,12 +158,28 @@ class CampaignScheduler:
         self.done.add(run_id)
         self.failed.pop(run_id, None)
 
-    def mark_failed(self, run_id: int, error: str) -> bool:
-        """Record a failed attempt; returns True when the run was requeued."""
+    def record_node_failure(self, node_id: str) -> bool:
+        """Count one node-attributed failure; True when *newly* quarantined."""
+        self.node_failures[node_id] = self.node_failures.get(node_id, 0) + 1
+        if (
+            self.quarantine_after > 0
+            and self.node_failures[node_id] >= self.quarantine_after
+            and node_id not in self.quarantined_nodes
+        ):
+            self.quarantined_nodes.add(node_id)
+            return True
+        return False
+
+    def mark_failed(self, run_id: int, error: str, terminal: bool = False) -> bool:
+        """Record a failed attempt; returns True when the run was requeued.
+
+        ``terminal=True`` (e.g. the implicated node is quarantined)
+        skips the remaining attempt budget and fails the run outright.
+        """
         ticket = self.in_flight.pop(run_id, None)
         if ticket is None:  # pragma: no cover - engine always dispatches first
             raise CampaignError(f"run {run_id} failed but was never dispatched")
-        if ticket.attempts_left > 0:
+        if not terminal and ticket.attempts_left > 0:
             requeued = RunTicket(
                 priority=ticket.priority,
                 retry_wave=ticket.retry_wave - 1,
@@ -173,4 +202,5 @@ class CampaignScheduler:
             "failed": len(self.failed),
             "pending": self.pending,
             "in_flight": len(self.in_flight),
+            "quarantined_nodes": sorted(self.quarantined_nodes),
         }

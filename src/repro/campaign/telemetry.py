@@ -53,6 +53,9 @@ class CampaignTelemetry:
     skipped: int = field(default=0, init=False)
     workers: Dict[str, WorkerStatus] = field(default_factory=dict, init=False)
     run_durations: List[float] = field(default_factory=list, init=False)
+    rpc_retries: int = field(default=0, init=False)
+    rpc_timeouts: int = field(default=0, init=False)
+    quarantined: List[str] = field(default_factory=list, init=False)
 
     # ------------------------------------------------------------------
     # Lifecycle callbacks (called by the engine's dispatch loop)
@@ -88,6 +91,19 @@ class CampaignTelemetry:
             self.failed += 1
             status.failed += 1
             self._emit(self.progress_line(f"run {run_id} FAILED: {error}"))
+
+    def rpc_stats(self, retries: int, timeouts: int) -> None:
+        """Aggregate one finished run's control-channel retry counters."""
+        self.rpc_retries += int(retries)
+        self.rpc_timeouts += int(timeouts)
+
+    def node_quarantined(self, node_id: str, failures: int) -> None:
+        self.quarantined.append(node_id)
+        self._emit(
+            self.progress_line(
+                f"node {node_id} QUARANTINED after {failures} failures"
+            )
+        )
 
     def merge_started(self, run_count: int) -> None:
         self._emit(f"merging {run_count} runs into the experiment database")
@@ -137,6 +153,9 @@ class CampaignTelemetry:
             "skipped": self.skipped,
             "failed": self.failed,
             "retried": self.retried,
+            "rpc_retries": self.rpc_retries,
+            "rpc_timeouts": self.rpc_timeouts,
+            "quarantined_nodes": sorted(self.quarantined),
             "throughput": round(self.throughput(), 4),
             "workers": {
                 w.worker: {"completed": w.completed, "failed": w.failed}

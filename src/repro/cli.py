@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emulated mesh shape (default mesh)")
     p_run.add_argument("--realtime", type=float, default=None, metavar="FACTOR",
                        help="pace against the wall clock at this speed factor")
+    p_run.add_argument("--rpc-timeout", type=float, default=None, metavar="SECS",
+                       help="per-call control-channel deadline (overrides the "
+                            "description's rpc_timeout; 0 disables)")
+    p_run.add_argument("--run-deadline", type=float, default=None, metavar="SECS",
+                       help="watchdog budget applied to each run phase "
+                            "(preparation, execution, clean-up); 0 disables")
     p_run.add_argument("--quiet", action="store_true")
 
     p_camp = sub.add_parser(
@@ -85,8 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--merge-only", action="store_true",
                         help="only merge an already completed campaign's "
                              "shards into --db")
-    p_camp.add_argument("--retries", type=int, default=1,
-                        help="extra attempts per failed run (default 1)")
+    p_camp.add_argument("--max-retries", "--retries", type=int, default=1,
+                        dest="max_retries", metavar="N",
+                        help="extra attempts per failed run (default 1); a run "
+                             "failing on a dead node is re-queued this often "
+                             "before the campaign reports it failed")
+    p_camp.add_argument("--rpc-timeout", type=float, default=None, metavar="SECS",
+                        help="per-call control-channel deadline (overrides the "
+                             "description's rpc_timeout; 0 disables)")
+    p_camp.add_argument("--run-deadline", type=float, default=None, metavar="SECS",
+                        help="watchdog budget applied to each run phase; "
+                             "0 disables")
+    p_camp.add_argument("--chaos-json", type=Path, default=None, metavar="FILE",
+                        help="JSON list of control-plane fault entries to "
+                             "inject (see repro.faults.control) — CI gauntlet "
+                             "and resilience testing")
+    p_camp.add_argument("--abort-after", type=int, default=None, metavar="N",
+                        help="simulate a campaign crash after N completed runs "
+                             "(testing --resume)")
     p_camp.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
                         default="mdns", help="SD protocol agents (default mdns)")
     p_camp.add_argument("--topology", default="mesh",
@@ -149,6 +171,23 @@ def _load_description(path: Path):
     return description_from_xml(path.read_text(encoding="utf-8"))
 
 
+def _apply_resilience_flags(desc, args) -> None:
+    """Fold --rpc-timeout / --run-deadline into the special parameters.
+
+    The overrides become part of the description (and therefore its
+    fingerprint): a resumed execution must repeat the same flags, which
+    keeps resumed runs byte-identical to uninterrupted ones.
+    """
+    overrides = {}
+    if getattr(args, "rpc_timeout", None) is not None:
+        overrides["rpc_timeout"] = args.rpc_timeout
+    if getattr(args, "run_deadline", None) is not None:
+        overrides["prep_deadline"] = args.run_deadline
+        overrides["exec_deadline"] = args.run_deadline
+        overrides["cleanup_deadline"] = args.run_deadline
+    desc.special_params.update(overrides)
+
+
 def _cmd_run(args) -> int:
     from repro.core.master import ExperiMaster
     from repro.platforms.localhost import LocalhostPlatform
@@ -158,6 +197,7 @@ def _cmd_run(args) -> int:
     from repro.viz.describe import describe_result
 
     desc = _load_description(args.description)
+    _apply_resilience_flags(desc, args)
     store_root = args.store or Path(f"{desc.name}.l2")
     config = PlatformConfig(protocol=args.protocol, topology=args.topology)
     if args.realtime is not None:
@@ -179,16 +219,23 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    import json
+
     from repro.campaign import CampaignEngine, merge_campaign
     from repro.platforms.simulated import PlatformConfig
 
     desc = _load_description(args.description)
+    _apply_resilience_flags(desc, args)
     campaign_dir = args.campaign_dir or Path(f"{desc.name}.campaign")
     db_path = args.db or campaign_dir / f"{desc.name}.db"
 
     if args.merge_only:
         print(f"level-3 database: {merge_campaign(campaign_dir, db_path)}")
         return 0
+
+    control_faults = None
+    if args.chaos_json is not None:
+        control_faults = json.loads(args.chaos_json.read_text(encoding="utf-8"))
 
     engine = CampaignEngine(
         desc,
@@ -197,9 +244,11 @@ def _cmd_campaign(args) -> int:
         pool=args.pool,
         config=PlatformConfig(protocol=args.protocol, topology=args.topology),
         realtime_factor=args.realtime,
-        max_attempts=1 + args.retries,
+        max_attempts=1 + args.max_retries,
         resume=args.resume,
         progress=None if args.quiet else print,
+        abort_after_runs=args.abort_after,
+        control_faults=control_faults,
     )
     result = engine.execute(db_path=db_path)
     if not args.quiet:
@@ -257,6 +306,12 @@ def _cmd_inspect(args) -> int:
         print("rows: " + ", ".join(f"{t}={n}" for t, n in sorted(counts.items())))
         run_ids = db.run_ids()
         print(f"runs: {len(run_ids)}  nodes: {', '.join(db.node_ids())}")
+        aborted = db.abort_reasons()
+        if aborted:
+            print(f"retried runs: {len(aborted)} "
+                  "(completed after an aborted earlier attempt)")
+            for run_id, reason in sorted(aborted.items()):
+                print(f"  run {run_id}: {reason}")
         outcomes = run_outcomes(db)
         if outcomes:
             summary = summarize_runs(outcomes)

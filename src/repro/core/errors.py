@@ -2,19 +2,42 @@
 
 from __future__ import annotations
 
+import re
+from typing import Optional
+
 __all__ = [
     "ExCoveryError",
     "DescriptionError",
     "ValidationError",
     "PlanError",
     "ExecutionError",
+    "RunAbortedError",
     "RpcError",
     "RpcFault",
+    "RpcTimeout",
     "StorageError",
     "RecoveryError",
     "PlatformError",
     "CampaignError",
+    "node_token",
+    "extract_node_id",
 ]
+
+#: Errors that implicate one node carry this token in their message so the
+#: node identity survives stringification across process-pool boundaries
+#: (worker exceptions reach the campaign engine as text).
+_NODE_TOKEN_RE = re.compile(r"\[node=([^\]\s]+)\]")
+
+
+def node_token(node_id: str) -> str:
+    """Render *node_id* as the message token ``[node=<id>]``."""
+    return f"[node={node_id}]"
+
+
+def extract_node_id(text: str) -> Optional[str]:
+    """Recover a node id embedded via :func:`node_token`, or ``None``."""
+    match = _NODE_TOKEN_RE.search(text or "")
+    return match.group(1) if match else None
 
 
 class ExCoveryError(Exception):
@@ -48,6 +71,20 @@ class ExecutionError(ExCoveryError):
     """An experiment run failed in a way the master cannot compensate."""
 
 
+class RunAbortedError(ExecutionError):
+    """The run watchdog killed a run phase that overran its deadline.
+
+    The abort is journaled before this propagates, so a subsequent
+    ``resume=True`` execution replays the run.
+    """
+
+    def __init__(self, message: str, run_id: Optional[int] = None,
+                 phase: Optional[str] = None):
+        self.run_id = run_id
+        self.phase = phase
+        super().__init__(message)
+
+
 class RpcError(ExCoveryError):
     """Transport-level control channel failure."""
 
@@ -59,6 +96,16 @@ class RpcFault(RpcError):
         self.fault_code = fault_code
         self.fault_string = fault_string
         super().__init__(f"RPC fault {fault_code}: {fault_string}")
+
+
+class RpcTimeout(RpcError):
+    """A synchronous RPC missed its deadline (after any retries)."""
+
+    def __init__(self, message: str, node_id: Optional[str] = None,
+                 method: Optional[str] = None):
+        self.node_id = node_id
+        self.method = method
+        super().__init__(message)
 
 
 class StorageError(ExCoveryError):

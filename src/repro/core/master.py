@@ -29,8 +29,9 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.core.actions import ActionRegistry, default_registry
 from repro.core.description import EE_VERSION, ExperimentDescription
-from repro.core.errors import ExecutionError, RecoveryError
+from repro.core.errors import ExecutionError, RecoveryError, RunAbortedError
 from repro.core.events import EventBus, ExEvent
+from repro.core.heartbeat import HeartbeatConfig, HeartbeatMonitor
 from repro.core.params import SpecialParams
 from repro.core.plan import Run, TreatmentPlan, generate_plan
 from repro.core.recovery import Journal
@@ -144,6 +145,10 @@ class ExperiMaster:
         self._exp_events: List[Dict[str, Any]] = []
         self._current_binding: Optional[RunBinding] = None
         self._current_run_id: Optional[int] = None
+        self._current_phase: Optional[str] = None
+        #: Liveness monitor (DESIGN.md §10); armed in :meth:`_main` when
+        #: the description sets ``heartbeat_interval`` > 0.
+        self.monitor: Optional[HeartbeatMonitor] = None
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -218,13 +223,35 @@ class ExperiMaster:
             from repro.core.errors import ExCoveryError
             from repro.sim.kernel import SimulationError
 
+            err = exc
             if isinstance(exc, SimulationError) and isinstance(
                 exc.__cause__, ExCoveryError
             ):
-                raise exc.__cause__ from exc
+                err = exc.__cause__
+            self._journal_run_abort(err)
+            if err is not exc:
+                raise err from exc
             raise
         result.duration = self.sim.now - started_at
         return result
+
+    def _journal_run_abort(self, err: BaseException) -> None:
+        """Record which run and phase a mid-run failure killed.
+
+        The ``run_aborted`` journal entry does not mark the run complete —
+        a ``resume=True`` execution re-runs it — but it preserves the
+        failure reason for post-mortems and the campaign engine's L3
+        ``RunInfos.AbortReason`` column.
+        """
+        run_id = self._current_run_id
+        if run_id is None:
+            return
+        try:
+            Journal(self.store).record_run_aborted(
+                run_id, self._current_phase or "", f"{type(err).__name__}: {err}"
+            )
+        except Exception:  # noqa: BLE001 - must never mask the real failure
+            pass
 
     # ------------------------------------------------------------------
     # Main experiment process
@@ -274,6 +301,7 @@ class ExperiMaster:
             yield from self.channel.call(node_id, "experiment_init", desc.name)
         self.store.write_topology("before", self._topology_measurement(node_ids))
         self.plugins.experiment_init(self)
+        self._start_heartbeat(node_ids)
 
         # --- the run series --------------------------------------------
         executed_this_session = 0
@@ -301,6 +329,8 @@ class ExperiMaster:
                 yield self.sim.timeout(spacing)
 
         # --- experiment teardown ---------------------------------------
+        if self.monitor is not None:
+            self.monitor.stop()
         self.store.write_topology("after", self._topology_measurement(node_ids))
         for name, content in self.plugins.experiment_exit(self).items():
             self.store.write_experiment_measurement(name, content)
@@ -313,6 +343,37 @@ class ExperiMaster:
         self.store.write_node_experiment_events(MASTER_NODE_ID, self._exp_events)
         journal.record_experiment_complete()
         done.trigger(True)
+
+    def _start_heartbeat(self, node_ids: List[str]) -> None:
+        """Arm the liveness monitor when the description opts in.
+
+        Off by default (``heartbeat_interval=0``): probes travel the real
+        control channel and therefore consume its jitter RNG draws, so
+        they must be part of the description to keep runs reproducible.
+        """
+        interval = self.params.get("heartbeat_interval")
+        if interval <= 0:
+            return
+        config = HeartbeatConfig(
+            interval=interval,
+            timeout=self.params.get("heartbeat_timeout"),
+            suspect_after=self.params.get("heartbeat_suspect_after"),
+            dead_after=self.params.get("heartbeat_dead_after"),
+        )
+        self.monitor = HeartbeatMonitor(
+            self.sim, self.channel, node_ids, config,
+            on_transition=self._on_liveness_transition,
+        )
+        self.monitor.start()
+
+    def _on_liveness_transition(self, node_id: str, old: str, new: str) -> None:
+        self.emit_master(
+            f"node_{new}", params=(node_id, old), run_id=self._current_run_id
+        )
+
+    def heartbeat_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node liveness statistics (empty when heartbeats are off)."""
+        return self.monitor.summary() if self.monitor is not None else {}
 
     def _install_plugin_handlers(self, node_ids: List[str]) -> None:
         """Install action plugins' node-side handlers on every participating
@@ -359,15 +420,71 @@ class ExperiMaster:
         this master's simulation kernel (``experiment_init`` already
         done); it returns whether the run hit the ``max_run_duration``
         backstop.
+
+        Each phase can carry a watchdog deadline (``prep_deadline`` /
+        ``exec_deadline`` / ``cleanup_deadline`` special parameters); an
+        overrun aborts the run into the journal as ``run_aborted`` so a
+        ``resume=True`` execution replays it (DESIGN.md §10).
         """
-        desc = self.description
         run = binding.run
-        node_ids = [n.node_id for n in desc.platform.nodes]
+        node_ids = [n.node_id for n in self.description.platform.nodes]
         self._current_run_id = run.run_id
         start_time = self.sim.now
         self.emit_master("run_init", params=(run.run_id,), run_id=run.run_id)
 
-        # ---- preparation phase ----------------------------------------
+        yield from self._guard_phase(
+            run.run_id, "preparation",
+            self._preparation_phase(binding, node_ids, start_time),
+            self.params.get("prep_deadline"),
+        )
+        timed_out, other_procs = yield from self._guard_phase(
+            run.run_id, "execution",
+            self._execution_phase(binding),
+            self.params.get("exec_deadline"),
+        )
+        yield from self._guard_phase(
+            run.run_id, "cleanup",
+            self._cleanup_phase(binding, node_ids, other_procs),
+            self.params.get("cleanup_deadline"),
+        )
+        self._current_phase = None
+        self._current_binding = None
+        self._current_run_id = None
+        return timed_out
+
+    def _guard_phase(self, run_id: int, phase: str, gen, deadline: float):
+        """Drive one phase sub-generator, optionally under a watchdog.
+
+        With no deadline the generator is inlined (``yield from``) —
+        byte-identical scheduling to the pre-watchdog master.  With a
+        deadline the phase runs as a child process raced against a
+        timeout; an overrun interrupts the phase cleanly and raises
+        :class:`RunAbortedError` (journaled by :meth:`execute`).
+        """
+        self._current_phase = phase
+        if deadline is None or deadline <= 0:
+            result = yield from gen
+            return result
+        proc = self.sim.process(gen, name=f"phase:{phase}:run{run_id}")
+        expiry = self.sim.timeout(deadline, name=f"phase-deadline:{phase}")
+        fired, _value = yield self.sim.any_of(proc, expiry)
+        if fired is expiry and not proc.triggered:
+            self.emit_master(
+                "run_phase_deadline", params=(run_id, phase, deadline), run_id=run_id
+            )
+            if proc.alive:
+                proc.interrupt("phase_deadline")
+            raise RunAbortedError(
+                f"run {run_id} {phase} phase exceeded its {deadline}s deadline",
+                run_id=run_id,
+                phase=phase,
+            )
+        return proc.value
+
+    # ---- preparation phase -------------------------------------------
+    def _preparation_phase(self, binding: RunBinding, node_ids: List[str],
+                           start_time: float):
+        run = binding.run
         # Platform-level per-run reset first (reseeds shared-medium and
         # control-channel RNG streams so every run's randomness is a pure
         # function of (experiment seed, run id) — resume-safe).
@@ -395,7 +512,10 @@ class ExperiMaster:
         self._current_binding = binding
         self.plugins.run_init(self, run)
 
-        # ---- execution phase ------------------------------------------
+    # ---- execution phase ---------------------------------------------
+    def _execution_phase(self, binding: RunBinding):
+        desc = self.description
+        run = binding.run
         actor_procs = []
         other_procs = []
         for actor in desc.actors:
@@ -442,8 +562,12 @@ class ExperiMaster:
                 for proc in actor_procs:
                     if proc.alive:
                         proc.interrupt("run_timeout")
+        return timed_out, other_procs
 
-        # ---- clean-up phase -------------------------------------------
+    # ---- clean-up phase ----------------------------------------------
+    def _cleanup_phase(self, binding: RunBinding, node_ids: List[str],
+                       other_procs):
+        run = binding.run
         # Give manipulation/environment processes a grace period to wind
         # down on their own (they typically wait for the 'done' flag).
         alive = [p for p in other_procs if p.alive]
@@ -478,9 +602,6 @@ class ExperiMaster:
                 MASTER_NODE_ID, run.run_id, plugin_name, content
             )
         self.platform.on_run_exit(run.run_id)
-        self._current_binding = None
-        self._current_run_id = None
-        return timed_out
 
     # ------------------------------------------------------------------
     def _make_binding(self, run: Run) -> RunBinding:

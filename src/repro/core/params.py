@@ -57,6 +57,50 @@ SPECIAL_PARAM_DEFS: Dict[str, ParamDef] = {
             "Uniform extra control-channel latency in seconds.",
         ),
         ParamDef(
+            "rpc_timeout", float, 30.0,
+            "Per-call control-channel deadline in seconds; 0 disables "
+            "deadlines (and retries) entirely.",
+        ),
+        ParamDef(
+            "rpc_max_attempts", int, 3,
+            "Attempt budget per idempotent RPC (1 = no retries); timed "
+            "out attempts back off exponentially with seeded jitter.",
+        ),
+        ParamDef(
+            "heartbeat_interval", float, 0.0,
+            "Seconds between node liveness probe rounds; 0 disables the "
+            "heartbeat monitor (the default: probes consume control-"
+            "channel jitter draws, so they are opt-in per description).",
+        ),
+        ParamDef(
+            "heartbeat_timeout", float, 0.25,
+            "Deadline of one heartbeat probe, seconds (never retried).",
+        ),
+        ParamDef(
+            "heartbeat_suspect_after", int, 2,
+            "Consecutive missed probes before a node is marked suspect.",
+        ),
+        ParamDef(
+            "heartbeat_dead_after", int, 4,
+            "Consecutive missed probes before a suspect node is declared "
+            "dead.",
+        ),
+        ParamDef(
+            "prep_deadline", float, 0.0,
+            "Watchdog wall-clock (kernel time) budget for a run's "
+            "preparation phase, seconds; 0 disables.",
+        ),
+        ParamDef(
+            "exec_deadline", float, 0.0,
+            "Watchdog budget for a run's execution phase, seconds; 0 "
+            "disables (max_run_duration still backstops actors).",
+        ),
+        ParamDef(
+            "cleanup_deadline", float, 0.0,
+            "Watchdog budget for a run's clean-up phase, seconds; 0 "
+            "disables.",
+        ),
+        ParamDef(
             "service_type", str, "_exp._udp",
             "Service type used by the SD case-study actions when an "
             "action does not name one explicitly.",

@@ -82,6 +82,23 @@ class Journal:
     def record_run_complete(self, run_id: int) -> None:
         self.store.append_journal({"type": "run_complete", "run_id": run_id})
 
+    def record_run_aborted(self, run_id: int, phase: str, reason: str) -> None:
+        """A watchdog or control-plane failure killed a run mid-flight.
+
+        Diagnostic only: readers filter by type, so an aborted run is
+        simply not in :meth:`completed_runs` and a resume re-executes it;
+        the entry preserves *why* for post-mortems and the L3
+        ``RunInfos.AbortReason`` column.
+        """
+        self.store.append_journal(
+            {
+                "type": "run_aborted",
+                "run_id": run_id,
+                "phase": phase or "",
+                "reason": str(reason)[:500],
+            }
+        )
+
     def record_experiment_complete(self) -> None:
         self.store.append_journal({"type": "experiment_complete"})
 
@@ -101,6 +118,14 @@ class Journal:
         return {
             e["run_id"] for e in self.entries() if e["type"] == "run_complete"
         }
+
+    def abort_reasons(self) -> Dict[int, Dict[str, Any]]:
+        """``{run_id: latest run_aborted entry}`` for post-mortems."""
+        out: Dict[int, Dict[str, Any]] = {}
+        for e in self.entries():
+            if e["type"] == "run_aborted":
+                out[e["run_id"]] = e
+        return out
 
     def start_entry(self) -> Optional[Dict[str, Any]]:
         for e in self.entries():

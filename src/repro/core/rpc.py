@@ -26,22 +26,93 @@ Two interaction styles exist, both used by the paper's prototype:
   ``result = yield from channel.call(node, method, *args)``.
 * :meth:`ControlChannel.cast_to_master` — one-way upcall used by the
   node-side event generators to forward events to the master's bus.
+
+Resilience (DESIGN.md §10): every synchronous call can carry a deadline,
+and calls to methods in :data:`IDEMPOTENT_METHODS` are retried under a
+:class:`RetryPolicy` (exponential backoff with seeded jitter, so retry
+timings are reproducible).  The channel also exposes a fault-injection
+surface (:meth:`ControlChannel.set_node_down`,
+:meth:`ControlChannel.add_call_fault`) used by the chaos integration
+tests to hang nodes, refuse connections, and drop requests or replies.
 """
 
 from __future__ import annotations
 
+import random as _random
 import xmlrpc.client
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Tuple, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.errors import RpcError, RpcFault
+from repro.core.errors import RpcError, RpcFault, RpcTimeout, node_token
 
 if TYPE_CHECKING:  # pragma: no cover
     import random
 
     from repro.sim.kernel import Simulator
 
-__all__ = ["RpcServer", "ControlChannel"]
+__all__ = ["RpcServer", "ControlChannel", "RetryPolicy", "IDEMPOTENT_METHODS"]
+
+#: RPC methods whose remote effect is safe to repeat (at-least-once
+#: semantics): state resets, liveness probes and read-only collection.
+#: Methods with per-call side effects (``execute_action``,
+#: ``traffic_start``) are deliberately absent — a timed-out call to one of
+#: those fails immediately instead of risking a double execution.
+IDEMPOTENT_METHODS = frozenset({
+    "ping",
+    "heartbeat",
+    "hostinfo",
+    "experiment_init",
+    "experiment_exit",
+    "run_init",
+    "run_exit",
+    "reset_environment",
+    "collect_run",
+    "collect_experiment",
+    "traffic_stop",
+    "drop_all_start",
+    "drop_all_stop",
+})
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for idempotent RPC retries.
+
+    ``delay(attempt)`` returns the backoff before retry number *attempt*
+    (1-based): ``min(base_delay * multiplier**(attempt-1), max_delay)``
+    stretched by a jitter factor drawn from a dedicated seeded RNG.  Two
+    policies constructed with the same seed produce identical delay
+    sequences — retry timing never breaks run determinism.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter_fraction: float = 0.5
+    seed: int = 0
+    rng: _random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        self.rng = _random.Random(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Rebase the jitter stream (per-run, for resume determinism)."""
+        self.rng.seed(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff in seconds before retry *attempt* (1-based)."""
+        base = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter_fraction > 0:
+            base *= 1.0 + self.jitter_fraction * self.rng.random()
+        return base
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (consumes jitter draws; tests)."""
+        return [self.delay(i) for i in range(1, self.max_attempts)]
 
 
 class RpcServer:
@@ -111,6 +182,13 @@ class ControlChannel:
         clock-offset estimation a real, quantifiable error.
     rng:
         Dedicated random stream for jitter draws.
+    call_timeout:
+        Default per-call deadline in seconds; ``0`` disables deadlines
+        (and with them retries), which is the historical behaviour.
+    retry:
+        :class:`RetryPolicy` applied to timed-out calls of idempotent
+        methods; ``None`` means a deadline miss fails on the first
+        attempt.
     """
 
     def __init__(
@@ -119,6 +197,8 @@ class ControlChannel:
         latency: float = 0.0005,
         jitter: float = 0.0,
         rng: Optional["random.Random"] = None,
+        call_timeout: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if jitter > 0 and rng is None:
             raise ValueError("jitter requires an rng stream")
@@ -126,12 +206,22 @@ class ControlChannel:
         self.latency = float(latency)
         self.jitter = float(jitter)
         self.rng = rng
+        self.call_timeout = float(call_timeout)
+        self.retry = retry
         self._servers: Dict[str, RpcServer] = {}
         self._busy: Dict[str, bool] = {}
         self._queues: Dict[str, Deque[Tuple[str, Any]]] = {}
         self._master_handler: Optional[Callable[[Any], None]] = None
+        # Fault injection state (chaos tests): node id -> "hang"/"refuse",
+        # plus a list of one-shot per-call faults.
+        self._down: Dict[str, str] = {}
+        self._call_faults: List[Dict[str, Any]] = []
         #: Total completed synchronous calls (overhead benchmarks).
         self.completed_calls = 0
+        #: Calls that missed their deadline (including retried attempts).
+        self.timed_out_calls = 0
+        #: Retry attempts performed after a timeout or transport fault.
+        self.retried_calls = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -156,6 +246,62 @@ class ControlChannel:
         return sorted(self._servers)
 
     # ------------------------------------------------------------------
+    # Fault injection (chaos tests; DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def set_node_down(self, node_id: str, mode: str = "hang") -> None:
+        """Simulate a node failure on the control channel.
+
+        ``mode="hang"`` silently swallows requests (the classic wedged
+        NodeManager: the caller only recovers via its deadline);
+        ``mode="refuse"`` answers every request with a 503 transport
+        fault (process died, port closed).
+        """
+        if mode not in ("hang", "refuse"):
+            raise RpcError(f"unknown node-down mode {mode!r}")
+        self._down[node_id] = mode
+
+    def restore_node(self, node_id: str) -> None:
+        """Lift a :meth:`set_node_down` failure."""
+        self._down.pop(node_id, None)
+
+    def restore_all(self) -> None:
+        """Clear every injected fault (node-down modes and call faults)."""
+        self._down.clear()
+        self._call_faults.clear()
+
+    def add_call_fault(
+        self,
+        node_id: str,
+        kind: str,
+        method: Optional[str] = None,
+        count: int = 1,
+    ) -> None:
+        """Arm a one-shot (or *count*-shot) per-call fault.
+
+        ``kind="drop_request"`` loses matching requests on the way to the
+        node; ``kind="drop_reply"`` executes the request but loses the
+        response.  ``method=None`` matches any method.
+        """
+        if kind not in ("drop_request", "drop_reply"):
+            raise RpcError(f"unknown call fault kind {kind!r}")
+        self._call_faults.append(
+            {"node": node_id, "kind": kind, "method": method, "count": int(count)}
+        )
+
+    def _take_call_fault(self, node_id: str, method: str, kind: str) -> bool:
+        """Consume one matching armed call fault, if any."""
+        for fault in self._call_faults:
+            if (
+                fault["kind"] == kind
+                and fault["node"] == node_id
+                and fault["method"] in (None, method)
+                and fault["count"] > 0
+            ):
+                fault["count"] -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     # Latency model
     # ------------------------------------------------------------------
     def _one_way(self) -> float:
@@ -167,40 +313,94 @@ class ControlChannel:
     # ------------------------------------------------------------------
     # Synchronous call (generator style)
     # ------------------------------------------------------------------
-    def call(self, node_id: str, method: str, *args: Any):
+    def call(
+        self,
+        node_id: str,
+        method: str,
+        *args: Any,
+        timeout: Optional[float] = None,
+        retry: bool = True,
+    ):
         """Sub-generator performing one synchronous RPC.
 
         Usage from a master process::
 
             result = yield from channel.call("t9-105", "ping", t0)
 
-        Raises :class:`RpcFault` when the remote method raised, and
-        :class:`RpcError` for transport problems (unknown node).
+        ``timeout`` overrides the channel's default deadline (``0``
+        disables it for this call); ``retry=False`` forbids retries even
+        for idempotent methods (liveness probes must observe misses).
+
+        Raises :class:`RpcFault` when the remote method raised,
+        :class:`RpcTimeout` when the deadline passed (after any retries),
+        and :class:`RpcError` for transport problems (unknown node).
         """
         if node_id not in self._servers:
-            raise RpcError(f"no node {node_id!r} on the control channel")
+            raise RpcError(
+                f"no node {node_id!r} {node_token(node_id)} on the control channel"
+            )
+        deadline = self.call_timeout if timeout is None else float(timeout)
+        attempts = 1
+        if retry and deadline > 0 and self.retry is not None and method in IDEMPOTENT_METHODS:
+            attempts = self.retry.max_attempts
         request_xml = xmlrpc.client.dumps(tuple(args), method, allow_none=True)
-        done = self.sim.event(name=f"rpc:{node_id}.{method}")
-        # Request propagation to the node...
-        self.sim.call_later(self._one_way(), lambda: self._enqueue(node_id, request_xml, done))
-        response_xml = yield done
-        try:
-            (result,), _ = xmlrpc.client.loads(response_xml)
-        except xmlrpc.client.Fault as fault:
-            raise RpcFault(fault.faultCode, fault.faultString) from None
-        self.completed_calls += 1
-        return result
 
-    def _enqueue(self, node_id: str, request_xml: str, done) -> None:
-        queue = self._queues.get(node_id)
-        if queue is None:  # node vanished in flight
+        for attempt in range(1, attempts + 1):
+            done = self.sim.event(name=f"rpc:{node_id}.{method}")
+            # Request propagation to the node...
+            self.sim.call_later(
+                self._one_way(),
+                lambda _d=done: self._enqueue(node_id, method, request_xml, _d),
+            )
+            if deadline > 0:
+                expiry = self.sim.timeout(deadline, name=f"rpc-deadline:{method}")
+                fired, value = yield self.sim.any_of(done, expiry)
+                if fired is expiry and not done.triggered:
+                    # The in-flight request is abandoned: a late response
+                    # triggers the orphaned event, which nobody awaits.
+                    self.timed_out_calls += 1
+                    if attempt < attempts:
+                        self.retried_calls += 1
+                        yield self.sim.timeout(self.retry.delay(attempt))
+                        continue
+                    raise RpcTimeout(
+                        f"rpc {method} to {node_token(node_id)} timed out after "
+                        f"{deadline}s ({attempt} attempt(s))",
+                        node_id=node_id,
+                        method=method,
+                    )
+                response_xml = done.value
+            else:
+                response_xml = yield done
+            try:
+                (result,), _ = xmlrpc.client.loads(response_xml)
+            except xmlrpc.client.Fault as fault:
+                if fault.faultCode == 503 and attempt < attempts:
+                    # Transport-level refusal: the remote never executed,
+                    # so retrying is safe regardless of idempotence.
+                    self.retried_calls += 1
+                    yield self.sim.timeout(self.retry.delay(attempt))
+                    continue
+                raise RpcFault(fault.faultCode, fault.faultString) from None
+            self.completed_calls += 1
+            return result
+
+    def _enqueue(self, node_id: str, method: str, request_xml: str, done) -> None:
+        down = self._down.get(node_id)
+        if down == "hang" or self._take_call_fault(node_id, method, "drop_request"):
+            return  # request lost; only a caller deadline recovers
+        if down == "refuse" or node_id not in self._queues:
+            # Node refused the connection or vanished in flight.
             done.trigger(
                 xmlrpc.client.dumps(
-                    xmlrpc.client.Fault(503, f"node {node_id} gone"), methodresponse=True
+                    xmlrpc.client.Fault(
+                        503, f"node {node_id} gone {node_token(node_id)}"
+                    ),
+                    methodresponse=True,
                 )
             )
             return
-        queue.append((request_xml, done))
+        self._queues[node_id].append((request_xml, done, method))
         self._drain(node_id)
 
     def _drain(self, node_id: str) -> None:
@@ -211,8 +411,9 @@ class ControlChannel:
         if not queue:
             return
         self._busy[node_id] = True
-        request_xml, done = queue.popleft()
+        request_xml, done, method = queue.popleft()
         response_xml = self._servers[node_id].handle_request(request_xml)
+        dropped = self._take_call_fault(node_id, method, "drop_reply")
 
         def respond() -> None:
             done.trigger(response_xml)
@@ -224,7 +425,8 @@ class ControlChannel:
         # Response travels back; the node lock is released immediately
         # after local handling, so the next queued call proceeds while the
         # previous response is still in flight.
-        self.sim.call_later(self._one_way(), respond)
+        if not dropped:
+            self.sim.call_later(self._one_way(), respond)
         self.sim.call_later(0.0, unlock)
 
     # ------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 __all__ = [
     "Packet",

@@ -21,7 +21,6 @@ come straight from shortest path lengths of this graph.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx

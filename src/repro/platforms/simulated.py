@@ -28,7 +28,8 @@ from repro.core.description import ExperimentDescription
 from repro.core.errors import PlatformError
 from repro.core.nodemanager import NodeManager
 from repro.core.params import SpecialParams
-from repro.core.rpc import ControlChannel
+from repro.core.rpc import ControlChannel, RetryPolicy
+from repro.faults.control import ControlFaultPlan
 from repro.net.clock import random_clock
 from repro.net.medium import CongestionModel, WirelessMedium
 from repro.net.node import NetNode
@@ -77,6 +78,10 @@ class PlatformConfig:
         Unicast MAC retransmission budget of the medium.
     base_loss:
         Per-link zero-load loss probability.
+    control_faults:
+        Chaos plan for the control plane itself (see
+        :mod:`repro.faults.control`): a list of JSON-able fault entries
+        armed per run against the XML-RPC channel.
     """
 
     topology: Any = "mesh"
@@ -88,6 +93,7 @@ class PlatformConfig:
     clock_max_drift: float = 100e-6
     mac_retries: int = 3
     base_loss: float = 0.02
+    control_faults: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class SimulatedPlatform(Platform):
@@ -118,7 +124,13 @@ class SimulatedPlatform(Platform):
             latency=params.get("rpc_latency"),
             jitter=params.get("rpc_jitter"),
             rng=self.rngs.fresh("channel", -1),
+            call_timeout=params.get("rpc_timeout"),
+            retry=RetryPolicy(
+                max_attempts=params.get("rpc_max_attempts"),
+                seed=derive_seed(description.seed, "rpc-retry", -1),
+            ),
         )
+        self.control_faults = ControlFaultPlan(self.config.control_faults)
 
         node_ids = [n.node_id for n in description.platform.nodes]
         if not node_ids:
@@ -219,6 +231,15 @@ class SimulatedPlatform(Platform):
         self.medium._load_window.clear()
         self.medium._load_bytes = 0
         self.channel.rng = self.rngs.fresh("channel", run_id)
+        # Resilience state resets with the data-plane streams: the retry
+        # jitter stream is per-run (the resume guarantee), and any chaos
+        # faults of the *previous* run are lifted before this run's are
+        # armed.
+        self.channel.retry.reseed(
+            derive_seed(self.description.seed, "rpc-retry", run_id)
+        )
+        self.channel.restore_all()
+        self.control_faults.arm(self.sim, self.channel, run_id)
 
     def on_run_exit(self, run_id: int) -> None:  # pragma: no cover - hook
         pass

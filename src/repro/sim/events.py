@@ -20,7 +20,7 @@ result of the ``yield`` expression.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Iterable, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.kernel import Simulator

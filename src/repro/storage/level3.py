@@ -15,14 +15,18 @@ ExperimentInfo          ExpXML, EEVersion, Name, Comment
 Logs                    NodeID, Log
 EEFiles                 ID, File
 ExperimentMeasurements  ID, NodeID, Name, Content
-RunInfos                RunID, NodeID, StartTime, TimeDiff
+RunInfos                RunID, NodeID, StartTime, TimeDiff, AbortReason
 ExtraRunMeasurements    RunID, NodeID, Name, Content
 Events                  RunID, NodeID, CommonTime, EventType, Parameter
 Packets                 RunID, NodeID, CommonTime, SrcNodeID, Data
 ======================  ==================================================
 
 ``Parameter`` and ``Content`` hold JSON; ``Data`` holds the serialized
-packet record (the raw-data blob of the paper).
+packet record (the raw-data blob of the paper).  ``AbortReason`` is the
+reproduction's one extension beyond Table I: NULL for a run that
+completed on its first attempt, else the recorded failure of the last
+aborted attempt (DESIGN.md §10) — the surviving data itself is identical
+to a fault-free execution's.
 """
 
 from __future__ import annotations
@@ -61,7 +65,7 @@ TABLE_SCHEMAS: Dict[str, List[str]] = {
     "Logs": ["NodeID", "Log"],
     "EEFiles": ["ID", "File"],
     "ExperimentMeasurements": ["ID", "NodeID", "Name", "Content"],
-    "RunInfos": ["RunID", "NodeID", "StartTime", "TimeDiff"],
+    "RunInfos": ["RunID", "NodeID", "StartTime", "TimeDiff", "AbortReason"],
     "ExtraRunMeasurements": ["RunID", "NodeID", "Name", "Content"],
     "Events": ["RunID", "NodeID", "CommonTime", "EventType", "Parameter"],
     "Packets": ["RunID", "NodeID", "CommonTime", "SrcNodeID", "Data"],
@@ -89,10 +93,11 @@ CREATE TABLE ExperimentMeasurements (
     Content TEXT NOT NULL
 );
 CREATE TABLE RunInfos (
-    RunID     INTEGER NOT NULL,
-    NodeID    TEXT NOT NULL,
-    StartTime REAL NOT NULL,
-    TimeDiff  REAL NOT NULL,
+    RunID       INTEGER NOT NULL,
+    NodeID      TEXT NOT NULL,
+    StartTime   REAL NOT NULL,
+    TimeDiff    REAL NOT NULL,
+    AbortReason TEXT,
     PRIMARY KEY (RunID, NodeID)
 );
 CREATE TABLE ExtraRunMeasurements (
@@ -507,6 +512,21 @@ class ExperimentDatabase:
             args.append(run_id)
         query += " ORDER BY RunID, NodeID"
         return [dict(row) for row in self.conn.execute(query, args)]
+
+    def abort_reasons(self) -> Dict[int, str]:
+        """``{run_id: reason}`` for runs whose earlier attempt aborted.
+
+        Empty for fault-free executions; also empty (not an error) when
+        reading a pre-AbortReason database.
+        """
+        try:
+            rows = self.conn.execute(
+                "SELECT DISTINCT RunID, AbortReason FROM RunInfos "
+                "WHERE AbortReason IS NOT NULL ORDER BY RunID"
+            ).fetchall()
+        except sqlite3.OperationalError:  # old schema without the column
+            return {}
+        return {row["RunID"]: row["AbortReason"] for row in rows}
 
     def plan(self) -> List[Dict[str, Any]]:
         row = self.conn.execute(

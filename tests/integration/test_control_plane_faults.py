@@ -1,0 +1,293 @@
+"""Integration: the control plane under injected faults (DESIGN.md §10).
+
+The dfuntest argument, turned on ExCovery itself: the experiment harness
+must tolerate its own infrastructure misbehaving.  These tests inject
+RPC hangs, dropped replies and node crashes into the master↔node control
+channel and assert that
+
+* a hung NodeManager aborts the run cleanly into the journal and a
+  ``--resume`` replays it to a byte-identical database,
+* the campaign engine re-queues runs that failed on a dead node and the
+  merged database records every run exactly once — with the earlier
+  attempt's failure in ``RunInfos.AbortReason`` — while the surviving
+  measurement data digests equal to a fault-free reference,
+* a node failing repeatedly is quarantined instead of burning the whole
+  campaign's retry budget.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    CampaignJournal,
+    database_digest,
+    run_campaign,
+)
+from repro.cli import build_parser, main as cli_main
+from repro.core.errors import (
+    CampaignError,
+    ExecutionError,
+    RpcTimeout,
+    RunAbortedError,
+)
+from repro.core.master import ExperiMaster
+from repro.core.recovery import Journal
+from repro.core.xmlio import description_to_xml
+from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+from repro.sd.processlib import build_two_party_description
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import ExperimentDatabase, store_level3
+
+SM_NODE = "t9-100"  # actor node hosting the SM role
+SU_NODE = "t9-101"
+
+
+def _desc(seed=77, replications=3, **kwargs):
+    kwargs.setdefault("env_count", 1)
+    return build_two_party_description(
+        name="chaos-it", seed=seed, replications=replications, **kwargs
+    )
+
+
+def _fresh_master(store, **kwargs):
+    desc = _desc()
+    return ExperiMaster(SimulatedPlatform(desc), desc, store, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def fault_free_reference(tmp_path_factory):
+    """Fault-free digests shaped like the chaos tests' recovery paths.
+
+    Campaigns execute every run in its own kernel, so a fault-free
+    campaign digest is directly comparable to a chaotic one.  The serial
+    master shares one kernel across the series, which makes absolute
+    times depend on where the series was interrupted — so the serial
+    reference is a *controlled* fault-free abort after run 0 plus a
+    resume, the same shape the hung-node test recovers through.
+    """
+    root = tmp_path_factory.mktemp("reference")
+    # Serial reference over the 3-run plan: abort cleanly after run 0,
+    # then resume on a pristine platform.
+    serial_store = Level2Store(root / "serial.l2")
+    with pytest.raises(ExecutionError):
+        _fresh_master(serial_store, abort_after_runs=1).execute()
+    result = _fresh_master(serial_store, resume=True).execute()
+    serial_db = store_level3(result.store, root / "serial.db")
+    # Campaign reference over the 4-run plan.
+    run_campaign(
+        _desc(replications=4),
+        root / "campaign",
+        db_path=root / "campaign.db",
+        jobs=2,
+        pool="thread",
+    )
+    ignore = ("AbortReason",)
+    return {
+        "serial": database_digest(serial_db, ignore_columns=ignore),
+        "campaign": database_digest(root / "campaign.db", ignore_columns=ignore),
+    }
+
+
+# ----------------------------------------------------------------------
+# Serial execution: watchdog abort + resume replay
+# ----------------------------------------------------------------------
+def test_hung_node_aborts_into_journal_and_resume_replays(fault_free_reference, tmp_path):
+    desc = _desc()
+    store = Level2Store(tmp_path / "exp.l2")
+    faulty = SimulatedPlatform(
+        desc,
+        PlatformConfig(control_faults=[{"node": SU_NODE, "action": "hang", "run_id": 1}]),
+    )
+    with pytest.raises(RpcTimeout) as info:
+        ExperiMaster(faulty, desc, store).execute()
+    assert f"[node={SU_NODE}]" in str(info.value)
+
+    journal = Journal(store)
+    assert journal.completed_runs() == {0}
+    aborted = journal.abort_reasons()
+    assert set(aborted) == {1}
+    assert aborted[1]["phase"] == "preparation"
+    assert "RpcTimeout" in aborted[1]["reason"]
+
+    # Resume on a pristine platform: the aborted run replays cleanly and
+    # the final package is byte-identical to the fault-free reference
+    # (a controlled abort at the same point, resumed the same way).
+    result = _fresh_master(store, resume=True).execute()
+    assert sorted(result.executed_runs) == [1, 2]
+    db = store_level3(result.store, tmp_path / "resumed.db")
+    assert database_digest(db, ignore_columns=("AbortReason",)) == fault_free_reference["serial"]
+
+
+def test_phase_deadline_watchdog_aborts_run(tmp_path):
+    desc = _desc(
+        replications=1,
+        special_params={"exec_deadline": 0.01},  # execution needs seconds
+    )
+    store = Level2Store(tmp_path / "exp.l2")
+    with pytest.raises(RunAbortedError) as info:
+        ExperiMaster(SimulatedPlatform(desc), desc, store).execute()
+    assert info.value.phase == "execution"
+    assert info.value.run_id == 0
+    aborted = Journal(store).abort_reasons()
+    assert aborted[0]["phase"] == "execution"
+    assert "deadline" in aborted[0]["reason"]
+
+
+# ----------------------------------------------------------------------
+# Campaign: re-queue after a node crash, abort reasons, digest equality
+# ----------------------------------------------------------------------
+def test_campaign_requeues_crashed_run_and_digest_matches(fault_free_reference, tmp_path):
+    result = run_campaign(
+        _desc(replications=4),
+        tmp_path / "campaign",
+        db_path=tmp_path / "chaos.db",
+        jobs=2,
+        pool="thread",
+        max_attempts=2,
+        control_faults=[
+            {"node": SM_NODE, "action": "hang", "run_id": 2, "max_attempt": 1},
+        ],
+    )
+    # Every run present exactly once, despite run 2's first attempt dying.
+    assert result.executed_runs == [0, 1, 2, 3]
+    assert result.failed_runs == {}
+    assert result.telemetry["retried"] == 1
+
+    with ExperimentDatabase(tmp_path / "chaos.db") as db:
+        assert db.run_ids() == [0, 1, 2, 3]
+        reasons = db.abort_reasons()
+        assert set(reasons) == {2}
+        assert "RpcTimeout" in reasons[2] and SM_NODE in reasons[2]
+
+    journal = CampaignJournal(tmp_path / "campaign")
+    assert set(journal.failure_reasons()) == {2}
+    # Masking the annotation, the surviving data is identical to the
+    # fault-free campaign's.
+    digest = database_digest(tmp_path / "chaos.db", ignore_columns=("AbortReason",))
+    assert digest == fault_free_reference["campaign"]
+
+
+def test_campaign_in_run_retry_recovers_dropped_reply(tmp_path):
+    fault = {"node": SU_NODE, "action": "drop_reply", "method": "run_init", "run_id": 1}
+    result = run_campaign(
+        _desc(replications=2),
+        tmp_path / "campaign",
+        db_path=tmp_path / "out.db",
+        jobs=1,
+        pool="thread",
+        control_faults=[fault],
+    )
+    # The in-run RPC retry absorbed the fault: no run-level failure.
+    assert result.executed_runs == [0, 1]
+    assert result.failed_runs == {}
+    assert result.telemetry["retried"] == 0
+    assert result.telemetry["rpc_retries"] >= 1
+    assert result.telemetry["rpc_timeouts"] >= 1
+
+
+def test_campaign_quarantines_repeatedly_failing_node(tmp_path):
+    with pytest.raises(CampaignError, match="failed"):
+        run_campaign(
+            _desc(replications=3),
+            tmp_path / "campaign",
+            jobs=1,
+            pool="thread",
+            max_attempts=3,
+            quarantine_after=2,
+            control_faults=[{"node": SM_NODE, "action": "hang"}],
+        )
+    journal = CampaignJournal(tmp_path / "campaign")
+    assert journal.quarantined_nodes() == [SM_NODE]
+    # Once quarantined, later runs fail terminally on their first attempt
+    # instead of exhausting the retry budget: strictly fewer run_failed
+    # entries than 3 runs x 3 attempts.
+    failed_entries = [e for e in journal.entries() if e["type"] == "run_failed"]
+    assert len(failed_entries) < 9
+
+
+def test_campaign_crash_plus_session_faults_resume_to_reference(fault_free_reference, tmp_path):
+    desc = _desc(replications=4)
+    faults = [
+        {"node": SU_NODE, "action": "hang", "run_id": 1, "max_attempt": 1, "sessions": [0]},
+    ]
+    with pytest.raises(CampaignError, match="abort"):
+        run_campaign(
+            desc,
+            tmp_path / "campaign",
+            jobs=2,
+            pool="thread",
+            max_attempts=2,
+            control_faults=faults,
+            abort_after_runs=2,
+        )
+    journal = CampaignJournal(tmp_path / "campaign")
+    assert 0 < len(journal.completed()) < 4
+
+    result = CampaignEngine(
+        desc,
+        tmp_path / "campaign",
+        jobs=2,
+        pool="thread",
+        max_attempts=2,
+        control_faults=faults,
+        resume=True,
+    ).execute(db_path=tmp_path / "resumed.db")
+    assert len(result.skipped_runs) + len(result.executed_runs) == 4
+    digest = database_digest(tmp_path / "resumed.db", ignore_columns=("AbortReason",))
+    assert digest == fault_free_reference["campaign"]
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_campaign_chaos_and_inspect(tmp_path, capsys):
+    xml = tmp_path / "exp.xml"
+    xml.write_text(description_to_xml(_desc(replications=4)), encoding="utf-8")
+    chaos = tmp_path / "chaos.json"
+    fault = {"node": SM_NODE, "action": "hang", "run_id": 1, "max_attempt": 1}
+    chaos.write_text(json.dumps([fault]), encoding="utf-8")
+
+    rc = cli_main(
+        [
+            "campaign",
+            str(xml),
+            "--dir",
+            str(tmp_path / "campaign"),
+            "--db",
+            str(tmp_path / "cli.db"),
+            "--jobs",
+            "2",
+            "--pool",
+            "thread",
+            "--max-retries",
+            "1",
+            "--chaos-json",
+            str(chaos),
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+
+    rc = cli_main(["inspect", str(tmp_path / "cli.db")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "runs: 4" in out
+    assert "retried runs: 1" in out
+    assert "RpcTimeout" in out
+
+
+def test_cli_retries_alias_and_resilience_flags():
+    parser = build_parser()
+    args = parser.parse_args(["campaign", "x.xml", "--retries", "3"])
+    assert args.max_retries == 3
+    args = parser.parse_args(["campaign", "x.xml", "--max-retries", "2", "--abort-after", "2"])
+    assert args.max_retries == 2
+    assert args.abort_after == 2
+    args = parser.parse_args(["campaign", "x.xml", "--rpc-timeout", "5", "--run-deadline", "120"])
+    assert args.rpc_timeout == 5.0
+    assert args.run_deadline == 120.0
+    args = parser.parse_args(["run", "x.xml", "--rpc-timeout", "5", "--run-deadline", "60"])
+    assert args.rpc_timeout == 5.0 and args.run_deadline == 60.0

@@ -5,14 +5,13 @@ process domain registered purely through the plugin/handler machinery,
 executing through the unchanged master, storage and analysis layers.
 """
 
-import pytest
 
 from repro import ExperiMaster, Level2Store, store_level3
 from repro.core.description import ManipulationProcess
 from repro.core.plugins import PluginManager
 from repro.core.processes import DomainAction
 from repro.core.validation import validate_description
-from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+from repro.platforms.simulated import SimulatedPlatform
 from repro.procs.echo import EchoPlugin, build_echo_description, install_echo_agent
 from repro.storage.level3 import ExperimentDatabase
 

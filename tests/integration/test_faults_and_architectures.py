@@ -6,7 +6,6 @@ fault during the deadline window makes discovery fail; the three-party
 and hybrid architectures complete the same task.
 """
 
-import pytest
 
 from repro import run_experiment, store_level3
 from repro.analysis.responsiveness import run_outcomes

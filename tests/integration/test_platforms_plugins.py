@@ -110,7 +110,6 @@ def test_medium_stats_plugin_records_per_run(tmp_path):
 
 def test_custom_measurement_and_action_plugin(tmp_path):
     from repro.core.actions import ActionKind, ActionSpec
-    from repro.core.description import ActorDescription
     from repro.core.plugins import ActionPlugin, MeasurementPlugin
     from repro.core.processes import DomainAction
 

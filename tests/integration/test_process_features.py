@@ -5,7 +5,6 @@ manipulation processes, drop-all environments, windowed (duration x rate)
 faults, path faults with node selectors, and publication updates.
 """
 
-import pytest
 
 from repro import run_experiment, store_level3
 from repro.analysis.responsiveness import run_outcomes

@@ -5,7 +5,6 @@ discover (liveness) — the retry machinery's whole job.  These run the
 agents directly on a two-node medium for speed.
 """
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

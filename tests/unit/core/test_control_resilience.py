@@ -1,0 +1,327 @@
+"""Unit tests for the control-plane resilience layer (DESIGN.md §10):
+retry policy determinism, per-call deadlines, and heartbeat liveness.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    RpcError,
+    RpcFault,
+    RpcTimeout,
+    extract_node_id,
+    node_token,
+)
+from repro.core.heartbeat import (
+    ALIVE,
+    DEAD,
+    QUARANTINED,
+    SUSPECT,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    NodeHealth,
+)
+from repro.core.rpc import (
+    IDEMPOTENT_METHODS,
+    ControlChannel,
+    RetryPolicy,
+    RpcServer,
+)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_backoff_deterministic_across_constructions():
+    a = RetryPolicy(max_attempts=6, seed=42)
+    b = RetryPolicy(max_attempts=6, seed=42)
+    assert a.delays() == b.delays()
+
+
+def test_backoff_differs_across_seeds():
+    a = RetryPolicy(max_attempts=6, seed=1)
+    b = RetryPolicy(max_attempts=6, seed=2)
+    assert a.delays() != b.delays()
+
+
+def test_reseed_replays_the_jitter_stream():
+    policy = RetryPolicy(max_attempts=5, seed=7)
+    first = policy.delays()
+    policy.reseed(7)
+    assert policy.delays() == first
+
+
+def test_backoff_grows_and_caps():
+    policy = RetryPolicy(
+        max_attempts=10,
+        base_delay=0.1,
+        multiplier=2.0,
+        max_delay=0.5,
+        jitter_fraction=0.0,
+        seed=0,
+    )
+    delays = policy.delays()
+    assert delays[0] == pytest.approx(0.1)
+    assert delays[1] == pytest.approx(0.2)
+    assert max(delays) == pytest.approx(0.5)  # capped, not 0.1 * 2**8
+
+
+def test_jitter_bounded_by_fraction():
+    policy = RetryPolicy(
+        max_attempts=50,
+        base_delay=1.0,
+        multiplier=1.0,
+        max_delay=1.0,
+        jitter_fraction=0.5,
+        seed=3,
+    )
+    for d in policy.delays():
+        assert 1.0 <= d <= 1.5
+
+
+def test_zero_attempts_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Node tokens
+# ----------------------------------------------------------------------
+def test_node_token_roundtrip():
+    assert extract_node_id(f"boom: {node_token('t9-105')} gone") == "t9-105"
+    assert extract_node_id("no token here") is None
+    assert extract_node_id("") is None
+
+
+# ----------------------------------------------------------------------
+# Deadlines and retries on the channel
+# ----------------------------------------------------------------------
+def _node(name="n"):
+    server = RpcServer(name)
+    server.register_function(lambda: 1, "ping")
+    server.register_function(lambda seq: {"seq": seq, "node_id": name}, "heartbeat")
+    server.register_function(lambda name, params: 0, "execute_action")
+    return server
+
+
+def _drive(sim, gen):
+    """Run one channel call to completion; returns (result, error)."""
+    box = {}
+
+    def proc():
+        try:
+            box["result"] = yield from gen
+        except RpcError as exc:
+            box["error"] = exc
+
+    p = sim.process(proc())
+    sim.run(until_event=p)
+    return box.get("result"), box.get("error")
+
+
+def test_hung_node_times_out_with_node_token(sim):
+    channel = ControlChannel(
+        sim, latency=0.001, call_timeout=0.05, retry=RetryPolicy(max_attempts=3, seed=0)
+    )
+    channel.add_node("n", _node())
+    channel.set_node_down("n", "hang")
+    _, error = _drive(sim, channel.call("n", "ping"))
+    assert isinstance(error, RpcTimeout)
+    assert extract_node_id(str(error)) == "n"
+    assert channel.timed_out_calls == 3
+    assert channel.retried_calls == 2
+
+
+def test_dropped_reply_recovered_by_retry(sim):
+    channel = ControlChannel(
+        sim, latency=0.001, call_timeout=0.05, retry=RetryPolicy(max_attempts=3, seed=0)
+    )
+    channel.add_node("n", _node())
+    channel.add_call_fault("n", "drop_reply", method="ping", count=1)
+    result, error = _drive(sim, channel.call("n", "ping"))
+    assert error is None and result == 1
+    assert channel.timed_out_calls == 1
+    assert channel.retried_calls == 1
+    assert channel.completed_calls == 1
+
+
+def test_non_idempotent_method_never_retried(sim):
+    assert "execute_action" not in IDEMPOTENT_METHODS
+    channel = ControlChannel(
+        sim, latency=0.001, call_timeout=0.05, retry=RetryPolicy(max_attempts=3, seed=0)
+    )
+    channel.add_node("n", _node())
+    channel.add_call_fault("n", "drop_reply", method="execute_action", count=1)
+    _, error = _drive(sim, channel.call("n", "execute_action", "x", {}))
+    assert isinstance(error, RpcTimeout)
+    assert channel.retried_calls == 0
+
+
+def test_refused_node_fails_with_transport_fault_after_retries(sim):
+    channel = ControlChannel(
+        sim, latency=0.001, call_timeout=0.05, retry=RetryPolicy(max_attempts=2, seed=0)
+    )
+    channel.add_node("n", _node())
+    channel.set_node_down("n", "refuse")
+    _, error = _drive(sim, channel.call("n", "ping"))
+    assert isinstance(error, RpcFault)
+    assert error.fault_code == 503
+    assert extract_node_id(str(error)) == "n"
+    assert channel.retried_calls == 1
+
+
+def test_restore_node_lifts_the_fault(sim):
+    channel = ControlChannel(
+        sim, latency=0.001, call_timeout=0.05, retry=RetryPolicy(max_attempts=2, seed=0)
+    )
+    channel.add_node("n", _node())
+    channel.set_node_down("n", "hang")
+    channel.restore_node("n")
+    result, error = _drive(sim, channel.call("n", "ping"))
+    assert error is None and result == 1
+
+
+def test_zero_timeout_keeps_historical_behavior(sim):
+    """Deadline 0 = the pre-resilience channel: no extra events, no
+    retries, identical completion time."""
+    channel = ControlChannel(sim, latency=0.001)
+    channel.add_node("n", _node())
+    result, error = _drive(sim, channel.call("n", "ping", timeout=0))
+    assert error is None and result == 1
+    assert sim.now == pytest.approx(0.002)
+    assert channel.timed_out_calls == 0
+
+
+def test_bad_down_mode_rejected(sim):
+    channel = ControlChannel(sim)
+    with pytest.raises(RpcError):
+        channel.set_node_down("n", "explode")
+    with pytest.raises(RpcError):
+        channel.add_call_fault("n", "drop_everything")
+
+
+# ----------------------------------------------------------------------
+# NodeHealth state machine
+# ----------------------------------------------------------------------
+def _health(**kwargs):
+    config = HeartbeatConfig(
+        suspect_after=kwargs.pop("suspect_after", 2),
+        dead_after=kwargs.pop("dead_after", 4),
+        quarantine_after=kwargs.pop("quarantine_after", 2),
+    )
+    return NodeHealth("n", config)
+
+
+def test_health_alive_to_suspect_to_dead():
+    h = _health()
+    assert h.state == ALIVE
+    h.record_miss()
+    assert h.state == ALIVE
+    h.record_miss()
+    assert h.state == SUSPECT
+    h.record_miss()
+    h.record_miss()
+    assert h.state == DEAD
+    assert (ALIVE, SUSPECT) in h.transitions
+    assert (SUSPECT, DEAD) in h.transitions
+
+
+def test_health_success_resets_to_alive():
+    h = _health()
+    h.record_miss()
+    h.record_miss()
+    assert h.state == SUSPECT
+    h.record_success()
+    assert h.state == ALIVE
+    assert h.consecutive_misses == 0
+    # The miss streak starts over: one new miss is not enough.
+    h.record_miss()
+    assert h.state == ALIVE
+
+
+def test_health_repeated_death_quarantines():
+    h = _health(quarantine_after=2)
+    for _ in range(4):
+        h.record_miss()
+    assert h.state == DEAD and h.deaths == 1
+    h.record_success()
+    for _ in range(4):
+        h.record_miss()
+    assert h.state == QUARANTINED and h.deaths == 2
+    # Terminal: nothing revives a quarantined node.
+    h.record_success()
+    assert h.state == QUARANTINED
+
+
+def test_health_record():
+    h = _health()
+    h.record_miss()
+    h.record_success()
+    rec = h.as_record()
+    assert rec["state"] == ALIVE
+    assert rec["probes"] == 2 and rec["misses"] == 1
+
+
+# ----------------------------------------------------------------------
+# HeartbeatMonitor over the channel
+# ----------------------------------------------------------------------
+def test_monitor_marks_hung_node_and_spares_healthy_one(sim):
+    channel = ControlChannel(sim, latency=0.0001)
+    channel.add_node("good", _node("good"))
+    channel.add_node("bad", _node("bad"))
+    channel.set_node_down("bad", "hang")
+
+    transitions = []
+    monitor = HeartbeatMonitor(
+        sim,
+        channel,
+        ["good", "bad"],
+        config=HeartbeatConfig(interval=0.1, timeout=0.05, suspect_after=2, dead_after=4),
+        on_transition=lambda node, old, new: transitions.append((node, new)),
+    )
+    monitor.start()
+    sim.run(until=2.0)
+    monitor.stop()
+
+    states = monitor.states()
+    assert states["good"] == ALIVE
+    assert states["bad"] == DEAD
+    assert ("bad", SUSPECT) in transitions
+    assert ("bad", DEAD) in transitions
+    assert all(node != "good" for node, _ in transitions)
+
+
+def test_monitor_recovery_transitions_back_to_alive(sim):
+    channel = ControlChannel(sim, latency=0.0001)
+    channel.add_node("n", _node("n"))
+    channel.set_node_down("n", "hang")
+
+    monitor = HeartbeatMonitor(
+        sim,
+        channel,
+        ["n"],
+        config=HeartbeatConfig(interval=0.1, timeout=0.05, suspect_after=2, dead_after=50),
+    )
+    monitor.start()
+    sim.call_later(1.0, lambda: channel.restore_node("n"))
+    sim.run(until=2.0)
+    monitor.stop()
+
+    health = monitor.health["n"]
+    assert (ALIVE, SUSPECT) in health.transitions
+    assert (SUSPECT, ALIVE) in health.transitions
+    assert monitor.states()["n"] == ALIVE
+
+
+def test_monitor_summary_counts(sim):
+    channel = ControlChannel(sim, latency=0.0001)
+    channel.add_node("n", _node("n"))
+    monitor = HeartbeatMonitor(
+        sim, channel, ["n"], config=HeartbeatConfig(interval=0.1, timeout=0.05)
+    )
+    monitor.start()
+    sim.run(until=1.0)
+    monitor.stop()
+    summary = monitor.summary()
+    assert summary["n"]["state"] == ALIVE
+    assert summary["n"]["probes"] >= 5
+    assert summary["n"]["misses"] == 0

@@ -1,6 +1,5 @@
 """Unit tests for the three-party SLP-style and hybrid protocols."""
 
-import pytest
 
 from repro.sd import model as M
 

@@ -1,6 +1,5 @@
 """Unit tests for the level-3 database (Table I) and the level-4 repository."""
 
-import json
 
 import pytest
 

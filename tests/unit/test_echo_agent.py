@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.procs.echo import ECHO_PORT, EchoAgent, EchoPlugin
+from repro.procs.echo import EchoAgent, EchoPlugin
 
 
 @pytest.fixture

@@ -7,8 +7,6 @@ directly, independent of whether a ``wheel`` package is installed.
 """
 
 import importlib.util
-import os
-import sys
 import zipfile
 from pathlib import Path
 
@@ -54,11 +52,11 @@ def test_wheelfile_record_contents(tmp_path):
         names = zf.namelist()
         assert "pkg-1.0.dist-info/RECORD" in names
         record = zf.read("pkg-1.0.dist-info/RECORD").decode()
-    lines = [l for l in record.splitlines() if l]
-    assert any(l.startswith("pkg/__init__.py,sha256=") for l in lines)
+    lines = [ln for ln in record.splitlines() if ln]
+    assert any(ln.startswith("pkg/__init__.py,sha256=") for ln in lines)
     assert "pkg-1.0.dist-info/RECORD,," in lines
     # Hash format: urlsafe base64 without padding.
-    entry = next(l for l in lines if l.startswith("pkg/__init__.py"))
+    entry = next(ln for ln in lines if ln.startswith("pkg/__init__.py"))
     _, digest, size = entry.split(",")
     assert "=" not in digest.split("sha256=", 1)[1]
     assert int(size) == len("x = 1\n")
@@ -96,8 +94,8 @@ def test_requires_conversion_markers():
         '[:python_version < "3.10"]\ntyping-extensions\n'
     )
     assert any(
-        "typing-extensions" in l and 'python_version < "3.10"' in l
-        for l in lines
+        "typing-extensions" in ln and 'python_version < "3.10"' in ln
+        for ln in lines
     )
 
 

@@ -2,7 +2,6 @@
 
 import xml.etree.ElementTree as ET
 
-import pytest
 
 from repro.analysis.timeline import build_run_timeline
 from repro.sd.metrics import RunDiscovery
