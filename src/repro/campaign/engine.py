@@ -113,6 +113,11 @@ def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
         store,
         only_runs={run_id},
         custom_treatments=spec["custom_treatments"],
+        # Fault leases must survive the staging rmtree above — a retried
+        # attempt's reconciliation sweep is what reverts the faults the
+        # crashed attempt leaked, so the lease root lives at campaign
+        # level, keyed by run id.
+        lease_root=root / spec["lease_root"],
     )
     result = master.execute()
     if run_id not in result.executed_runs:
@@ -216,6 +221,12 @@ class CampaignEngine:
     quarantine_after:
         Node-attributed failures before a node is quarantined
         (0 disables).
+    salvage_requeue_loss:
+        When resuming, probe each journaled run's staged level-2 data for
+        corruption and re-queue runs whose dropped-record fraction
+        exceeds this threshold (e.g. ``0.0`` re-queues on any loss,
+        ``0.1`` tolerates up to 10%).  ``None`` (default) trusts the
+        journal without probing.
     """
 
     def __init__(
@@ -233,6 +244,7 @@ class CampaignEngine:
         abort_after_runs: Optional[int] = None,
         control_faults: Optional[List[Dict[str, Any]]] = None,
         quarantine_after: int = 3,
+        salvage_requeue_loss: Optional[float] = None,
     ) -> None:
         if pool not in ("thread", "process", "auto"):
             raise CampaignError(f"unknown pool kind {pool!r}")
@@ -249,6 +261,7 @@ class CampaignEngine:
         self.abort_after_runs = abort_after_runs
         self.control_faults = list(control_faults or [])
         self.quarantine_after = quarantine_after
+        self.salvage_requeue_loss = salvage_requeue_loss
         self.journal = CampaignJournal(self.campaign_dir)
 
     @staticmethod
@@ -273,6 +286,7 @@ class CampaignEngine:
 
         if self.resume:
             staged = self.journal.prepare_resume(desc, len(plan), plan_fp)
+            staged = self._filter_salvage_requeue(staged)
         else:
             if self.journal.started():
                 raise RecoveryError(
@@ -334,6 +348,7 @@ class CampaignEngine:
                             "run_id": ticket.run_id,
                             "store": f"staging/{label}/run_{ticket.run_id:06d}",
                             "shard": f"shards/{label}.db",
+                            "lease_root": f"leases/run_{ticket.run_id:06d}",
                             # Chaos entries surviving the attempt/session
                             # filter: a retry past an entry's max_attempt
                             # (or a resume past its sessions) runs clean.
@@ -434,6 +449,33 @@ class CampaignEngine:
         return result
 
     # ------------------------------------------------------------------
+    def _filter_salvage_requeue(
+        self, staged: Dict[int, Dict[str, Any]]
+    ) -> Dict[int, Dict[str, Any]]:
+        """Drop journaled runs whose staged data lost too much to salvage.
+
+        A dropped run goes back through the scheduler exactly like a run
+        that never completed; re-execution is deterministic, so the
+        re-staged copy is byte-identical to what the lost records would
+        have conditioned into.
+        """
+        threshold = self.salvage_requeue_loss
+        if threshold is None:
+            return staged
+        kept_map: Dict[int, Dict[str, Any]] = {}
+        for run_id, entry in sorted(staged.items()):
+            probe = Level2Store(self.campaign_dir / entry["store"]).salvage_probe(
+                run_id
+            )
+            total = probe["kept"] + probe["dropped"]
+            if probe["dropped"] and total and probe["dropped"] / total > threshold:
+                self.journal.record_run_salvage_requeued(
+                    run_id, probe["kept"], probe["dropped"]
+                )
+            else:
+                kept_map[run_id] = entry
+        return kept_map
+
     def _merge(self, sources: Dict[int, Dict[str, Any]], db_path) -> Path:
         if not sources:
             raise CampaignError("no staged runs to merge")

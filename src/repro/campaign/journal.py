@@ -26,6 +26,11 @@ physically lives:
 ``node_quarantined``
     node id + failure count — the scheduler stopped charging this node's
     failures against run retry budgets.
+``run_salvage_requeued``
+    a resume probed a journaled run's staged level-2 data, found its
+    salvage loss above the configured threshold and re-queued the run
+    instead of trusting the staged copy (kept/dropped record counts are
+    preserved for post-mortems).
 ``campaign_complete``
     all runs staged; only merging can remain.
 
@@ -118,6 +123,16 @@ class CampaignJournal:
             }
         )
 
+    def record_run_salvage_requeued(self, run_id: int, kept: int, dropped: int) -> None:
+        self._append(
+            {
+                "type": "run_salvage_requeued",
+                "run_id": run_id,
+                "kept": kept,
+                "dropped": dropped,
+            }
+        )
+
     def record_complete(self) -> None:
         self._append({"type": "campaign_complete"})
 
@@ -173,6 +188,14 @@ class CampaignJournal:
         out: Dict[int, Dict[str, Any]] = {}
         for e in self.entries():
             if e["type"] == "run_failed":
+                out[e["run_id"]] = e
+        return out
+
+    def salvage_requeued(self) -> Dict[int, Dict[str, Any]]:
+        """``{run_id: latest run_salvage_requeued entry}`` (diagnostic)."""
+        out: Dict[int, Dict[str, Any]] = {}
+        for e in self.entries():
+            if e["type"] == "run_salvage_requeued":
                 out[e["run_id"]] = e
         return out
 

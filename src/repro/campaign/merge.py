@@ -31,15 +31,22 @@ from repro.core.errors import StorageError
 from repro.storage.conditioning import condition_run, condition_scope
 from repro.storage.level2 import Level2Store
 from repro.storage.level3 import (
+    EXTENSION_RUN_TABLES,
+    EXTENSION_TABLES,
     RUN_TABLES,
     TABLE_SCHEMAS,
     _addr_to_node_map,
     create_schema,
     fsync_database,
     insert_experiment_scope,
+    insert_fault_leases,
     insert_run,
+    insert_salvage_info,
     open_fast_connection,
 )
+
+#: Column lookup across Table I and the integrity side tables.
+_ALL_SCHEMAS: Dict[str, list] = {**TABLE_SCHEMAS, **EXTENSION_TABLES}
 
 __all__ = ["ShardWriter", "merge_shards", "apply_abort_reasons", "database_digest"]
 
@@ -67,13 +74,28 @@ class ShardWriter:
             self.conn.commit()
 
     def stage_run(self, store: Level2Store, run_id: int) -> None:
-        """Condition *run_id* from its staging store and commit it here."""
+        """Condition *run_id* from its staging store and commit it here.
+
+        Integrity side rows ride along in the same transaction: leases the
+        master's sweeps reconciled for this run (recorded in the staging
+        store's ``master/fault_leases.jsonl``) and any salvage records the
+        conditioning pass just produced.
+        """
         run = condition_run(store, run_id)
         src_map = _addr_to_node_map(store.read_description())
+        leases = [
+            rec for rec in store.read_reconciled_leases()
+            if rec.get("run_id") == run_id
+        ]
+        salvaged = [
+            rec for rec in store.salvage_records() if rec.get("run_id") == run_id
+        ]
         with self.conn:  # one transaction: the campaign's commit point
-            for table in RUN_TABLES:
+            for table in RUN_TABLES + EXTENSION_RUN_TABLES:
                 self.conn.execute(f"DELETE FROM {table} WHERE RunID = ?", (run_id,))
             insert_run(self.conn, run, src_map)
+            insert_fault_leases(self.conn, leases)
+            insert_salvage_info(self.conn, salvaged)
 
     def run_ids(self) -> list:
         return [
@@ -155,6 +177,21 @@ def merge_shards(
                     f"run {run_id} has no rows in shard {shard_path}; "
                     "journal and shard diverged"
                 )
+            # Integrity side tables: copied per run like the run tables,
+            # but excluded from the divergence check above — a run with
+            # neither leaked leases nor salvage loss legitimately has none.
+            for table in EXTENSION_RUN_TABLES:
+                columns = ", ".join(EXTENSION_TABLES[table])
+                rows = conn.execute(
+                    f"SELECT {columns} FROM {table} WHERE RunID = ? ORDER BY rowid",
+                    (run_id,),
+                ).fetchall()
+                if rows:
+                    placeholders = ", ".join("?" for _ in EXTENSION_TABLES[table])
+                    out.executemany(
+                        f"INSERT INTO {table} ({columns}) VALUES ({placeholders})",
+                        rows,
+                    )
         out.execute("COMMIT")
     finally:
         for conn in shards.values():
@@ -203,13 +240,19 @@ def database_digest(
     merge's determinism contract).  ``ignore_columns`` masks columns that
     are legitimately execution-specific — e.g. wall-clock timestamps an
     analysis pipeline may add — before hashing.
+
+    The default table set is Table I only (:data:`TABLE_SCHEMAS`): the
+    integrity side tables record *what went wrong and was repaired*, which
+    is execution-specific by nature, so they must not perturb equivalence
+    checks between a recovered execution and a clean one.  Pass ``tables``
+    explicitly (e.g. ``("FaultLeases",)``) to digest them too.
     """
     ignored = set(ignore_columns)
     digest = hashlib.sha256()
     conn = sqlite3.connect(str(db_path))
     try:
         for table in (tables if tables is not None else TABLE_SCHEMAS):
-            keep = [c for c in TABLE_SCHEMAS[table] if c not in ignored]
+            keep = [c for c in _ALL_SCHEMAS[table] if c not in ignored]
             digest.update(f"--{table}({','.join(keep)})--".encode())
             if not keep:
                 continue

@@ -20,8 +20,10 @@ workflows:
     Execute the plan's runs concurrently across a worker pool and merge
     the per-worker shards into one level-3 database; ``--resume``
     continues an aborted campaign from its journal.
-``repro condition <level2-dir> <experiment.db>``
-    Condition an existing level-2 store into a level-3 package.
+``repro condition <level2-dir> <experiment.db> [--salvage]``
+    Condition an existing level-2 store into a level-3 package.  With
+    ``--salvage``, corrupt run records are quarantined instead of
+    aborting the conditioning (DESIGN.md §11).
 ``repro import <repository.db> <experiment.db> [...]``
     Import level-3 packages into a level-4 repository.
 
@@ -109,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--abort-after", type=int, default=None, metavar="N",
                         help="simulate a campaign crash after N completed runs "
                              "(testing --resume)")
+    p_camp.add_argument("--requeue-salvage-loss", type=float, default=None,
+                        metavar="FRACTION", dest="requeue_salvage_loss",
+                        help="with --resume: probe each journaled run's staged "
+                             "level-2 data and re-execute runs whose dropped-"
+                             "record fraction exceeds FRACTION (0 re-queues on "
+                             "any loss)")
     p_camp.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
                         default="mdns", help="SD protocol agents (default mdns)")
     p_camp.add_argument("--topology", default="mesh",
@@ -127,8 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_desc.add_argument("--plan", action="store_true",
                         help="also print the head of the treatment plan")
 
-    p_ins = sub.add_parser("inspect", help="summarize a level-3 database")
-    p_ins.add_argument("database", type=Path)
+    p_ins = sub.add_parser(
+        "inspect",
+        help="summarize a level-3 database (or, with --leases/--salvage, "
+             "an experiment/campaign directory)",
+    )
+    p_ins.add_argument("database", type=Path,
+                       help="level-3 database, or a level-2/campaign "
+                            "directory with --leases/--salvage")
+    p_ins.add_argument("--leases", action="store_true",
+                       help="show fault leases: active (leaked, not yet "
+                            "reconciled) and reconciled ones")
+    p_ins.add_argument("--salvage", action="store_true",
+                       help="show salvage-conditioning records "
+                            "(quarantined corrupt level-2 data)")
 
     p_tl = sub.add_parser("timeline", help="render one run's timeline")
     p_tl.add_argument("database", type=Path)
@@ -147,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cond = sub.add_parser("condition", help="level-2 dir -> level-3 DB")
     p_cond.add_argument("store", type=Path)
     p_cond.add_argument("database", type=Path)
+    p_cond.add_argument("--salvage", action="store_true",
+                        help="quarantine corrupt level-2 records instead of "
+                             "aborting; what was dropped is recorded in the "
+                             "database's SalvageInfo table and in "
+                             "<store>/quarantine/salvage_report.json")
 
     p_imp = sub.add_parser("import", help="import level-3 DBs into a repository")
     p_imp.add_argument("repository", type=Path)
@@ -249,6 +274,7 @@ def _cmd_campaign(args) -> int:
         progress=None if args.quiet else print,
         abort_after_runs=args.abort_after,
         control_faults=control_faults,
+        salvage_requeue_loss=args.requeue_salvage_loss,
     )
     result = engine.execute(db_path=db_path)
     if not args.quiet:
@@ -297,7 +323,24 @@ def _cmd_inspect(args) -> int:
     from repro.sd.metrics import summarize_runs
     from repro.storage.level3 import ExperimentDatabase
 
+    if args.database.is_dir():
+        if not (args.leases or args.salvage):
+            print("error: inspecting a directory needs --leases or --salvage",
+                  file=sys.stderr)
+            return 2
+        if args.leases:
+            _inspect_directory_leases(args.database)
+        if args.salvage:
+            _inspect_directory_salvage(args.database)
+        return 0
+
     with ExperimentDatabase(args.database) as db:
+        if args.leases or args.salvage:
+            if args.leases:
+                _inspect_db_leases(db)
+            if args.salvage:
+                _inspect_db_salvage(db)
+            return 0
         info = db.experiment_info()
         counts = db.row_counts()
         print(f"experiment: {info['Name']}  ({info['EEVersion']})")
@@ -319,6 +362,77 @@ def _cmd_inspect(args) -> int:
                   + (f", median t_R = {summary['t_r_median']:.3f} s"
                      if summary["t_r_median"] is not None else ""))
     return 0
+
+
+def _inspect_directory_leases(directory: Path) -> None:
+    """Lease view over a level-2 store or campaign directory."""
+    import json
+
+    from repro.faults.leases import FaultLeaseStore, iter_lease_files
+
+    active_total = 0
+    for path, node in sorted(iter_lease_files(directory)):
+        leases = FaultLeaseStore(path.parent).active(node)
+        for lease in leases:
+            active_total += 1
+            print(f"active lease: {lease['lease_id']}  kind={lease['kind']}  "
+                  f"acquired_at={lease['acquired_at']}")
+    print(f"active leases: {active_total}")
+
+    reconciled = []
+    for log in sorted(directory.rglob("fault_leases.jsonl")):
+        with open(log, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    reconciled.append(json.loads(line))
+                except ValueError:
+                    continue
+    for rec in reconciled:
+        print(f"reconciled lease: {rec.get('lease_id')}  "
+              f"kind={rec.get('kind')}  run={rec.get('run_id')}  "
+              f"reconciled_at={rec.get('reconciled_at')}")
+    print(f"reconciled leases: {len(reconciled)}")
+
+
+def _inspect_directory_salvage(directory: Path) -> None:
+    """Salvage view over a level-2 store or campaign directory."""
+    import json
+
+    reports = sorted(directory.rglob("quarantine/salvage_report.json"))
+    if not reports:
+        print("salvage reports: 0")
+        return
+    for report_path in reports:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        print(f"salvage report: {report_path}")
+        print(f"  total kept: {report.get('total_kept', 0)}  "
+              f"total dropped: {report.get('total_dropped', 0)}")
+        for rec in report.get("records", []):
+            print(f"  run {rec['run_id']} node {rec['node']} {rec['stream']}: "
+                  f"kept {rec['kept']}, dropped {rec['dropped']} "
+                  f"({rec['reason']})")
+    print(f"salvage reports: {len(reports)}")
+
+
+def _inspect_db_leases(db) -> None:
+    rows = db.fault_leases()
+    for row in rows:
+        print(f"lease {row['LeaseID']}  kind={row['Kind']}  "
+              f"run={row['RunID']}  event={row['Event']}  "
+              f"reconciled_at={row['ReconciledAt']}")
+    print(f"fault leases: {len(rows)}")
+
+
+def _inspect_db_salvage(db) -> None:
+    rows = db.salvage_info()
+    for row in rows:
+        print(f"salvage run {row['RunID']} node {row['NodeID']} "
+              f"{row['Stream']}: kept {row['RecordsKept']}, "
+              f"dropped {row['RecordsDropped']} ({row['Reason']})")
+    print(f"salvage records: {len(rows)}")
 
 
 def _cmd_timeline(args) -> int:
@@ -360,7 +474,15 @@ def _cmd_condition(args) -> int:
     from repro.storage.level2 import Level2Store
     from repro.storage.level3 import store_level3
 
-    db_path = store_level3(Level2Store(args.store), args.database)
+    store = Level2Store(args.store, salvage=args.salvage)
+    db_path = store_level3(store, args.database)
+    salvaged = store.salvage_records()
+    if salvaged:
+        dropped = sum(r["dropped"] for r in salvaged)
+        kept = sum(r["kept"] for r in salvaged)
+        print(f"salvage: dropped {dropped} corrupt record(s) across "
+              f"{len(salvaged)} stream(s), kept {kept}; see "
+              f"{store.root / 'quarantine' / 'salvage_report.json'}")
     print(f"level-3 database: {db_path}")
     return 0
 

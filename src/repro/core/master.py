@@ -107,6 +107,12 @@ class ExperiMaster:
         how the campaign engine (:mod:`repro.campaign`) executes a single
         run inside its own isolated platform while keeping the exact same
         experiment lifecycle as a serial execution.
+    lease_root:
+        Directory for the nodes' on-disk fault-lease files (DESIGN.md
+        §11); defaults to ``<store>/leases``.  The campaign engine points
+        this *outside* a run's staging store, which is deleted wholesale
+        on retry — the lease must survive exactly the crashes that delete
+        the staging data.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class ExperiMaster:
         abort_after_runs: Optional[int] = None,
         custom_treatments: Optional[List[Dict[str, Any]]] = None,
         only_runs: Optional[Set[int]] = None,
+        lease_root=None,
     ) -> None:
         self.platform = platform
         self.description = description
@@ -131,6 +138,9 @@ class ExperiMaster:
         self.abort_after_runs = abort_after_runs
         self.custom_treatments = custom_treatments
         self.only_runs = set(only_runs) if only_runs is not None else None
+        self.lease_root = lease_root
+        #: Shared fault-lease store; built in :meth:`_attach_lease_stores`.
+        self.lease_store = None
 
         self.sim = platform.sim
         self.channel = platform.channel
@@ -294,6 +304,7 @@ class ExperiMaster:
         node_ids = [n.node_id for n in desc.platform.nodes]
         self.platform.check_nodes(node_ids)
         self._install_plugin_handlers(node_ids)
+        self._attach_lease_stores(node_ids)
 
         # --- experiment initialization --------------------------------
         self.emit_master("experiment_init", params=(desc.name,))
@@ -394,6 +405,51 @@ class ExperiMaster:
                         (lambda params, _h=handler, _nm=manager: _h(_nm, params)),
                     )
 
+    def _attach_lease_stores(self, node_ids: List[str]) -> None:
+        """Wire every NodeManager to the shared on-disk fault-lease store.
+
+        Runs before ``experiment_init``: the attach performs each node's
+        *startup* reconciliation sweep, so leases leaked by a crashed
+        earlier execution are force-reverted before any run of this one
+        starts.  The TTL margin folded into every lease is the worst-case
+        run length (``max_run_duration``, or the execution watchdog
+        deadline when that is longer).
+        """
+        from pathlib import Path
+
+        from repro.faults.leases import FaultLeaseStore
+
+        root = Path(self.lease_root) if self.lease_root else self.store.root / "leases"
+        self.lease_store = FaultLeaseStore(root)
+        margin = max(
+            self.params.get("max_run_duration"),
+            self.params.get("exec_deadline") or 0.0,
+        )
+        reconciled: List[Dict[str, Any]] = []
+        for node_id in node_ids:
+            manager = self.platform.node_managers.get(node_id)
+            if manager is None:
+                continue
+            reconciled.extend(
+                manager.attach_lease_store(self.lease_store, ttl_margin=margin)
+            )
+        self._record_reconciled_leases(reconciled)
+
+    def _record_reconciled_leases(self, records: List[Dict[str, Any]]) -> None:
+        """Persist reconciled-leak records: L2 master log + journal.
+
+        ``master/fault_leases.jsonl`` is what the level-3 writer turns
+        into ``FaultLeases`` rows (an extension table outside Table I, so
+        resume digests over the paper's schema stay byte-identical).
+        """
+        if not records:
+            return
+        self.store.append_reconciled_leases(records)
+        try:
+            Journal(self.store).record_fault_leases_reconciled(records)
+        except Exception:  # noqa: BLE001 - diagnostics only
+            pass
+
     def _topology_measurement(self, node_ids: List[str]) -> Dict[str, Any]:
         topology = self.platform.topology
         names = [self.platform.topology_name(nid) for nid in node_ids]
@@ -489,8 +545,12 @@ class ExperiMaster:
         # control-channel RNG streams so every run's randomness is a pure
         # function of (experiment seed, run id) — resume-safe).
         self.platform.on_run_init(run.run_id)
+        reconciled: List[Dict[str, Any]] = []
         for node_id in node_ids:
-            yield from self.channel.call(node_id, "run_init", run.run_id)
+            ack = yield from self.channel.call(node_id, "run_init", run.run_id)
+            if isinstance(ack, dict):
+                reconciled.extend(ack.get("reconciled") or [])
+        self._record_reconciled_leases(reconciled)
         settle = self.params.get("run_settle_time")
         if settle > 0:
             yield self.sim.timeout(settle)

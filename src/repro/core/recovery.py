@@ -99,6 +99,30 @@ class Journal:
             }
         )
 
+    def record_fault_leases_reconciled(self, records: List[Dict[str, Any]]) -> None:
+        """A reconciliation sweep force-reverted leaked faults.
+
+        Diagnostic, like ``run_aborted``: readers filter by type, so the
+        entry influences neither :meth:`completed_runs` nor the resume
+        protocol — it documents *that* a crash leaked a fault window and
+        that the sweep closed it (DESIGN.md §11).
+        """
+        self.store.append_journal(
+            {
+                "type": "fault_leases_reconciled",
+                "count": len(records),
+                "leases": [
+                    {
+                        "lease_id": r.get("lease_id"),
+                        "node": r.get("node"),
+                        "run_id": r.get("run_id"),
+                        "kind": r.get("kind"),
+                    }
+                    for r in records
+                ],
+            }
+        )
+
     def record_experiment_complete(self) -> None:
         self.store.append_journal({"type": "experiment_complete"})
 
@@ -125,6 +149,14 @@ class Journal:
         for e in self.entries():
             if e["type"] == "run_aborted":
                 out[e["run_id"]] = e
+        return out
+
+    def fault_leases_reconciled(self) -> List[Dict[str, Any]]:
+        """Flat list of the lease summaries every sweep entry recorded."""
+        out: List[Dict[str, Any]] = []
+        for e in self.entries():
+            if e["type"] == "fault_leases_reconciled":
+                out.extend(e.get("leases", []))
         return out
 
     def start_entry(self) -> Optional[Dict[str, Any]]:

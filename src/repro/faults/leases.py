@@ -1,0 +1,186 @@
+"""Fault leases: crash-safe bookkeeping for injected faults.
+
+The paper bounds every fault with the *duration* parameter (Sec. IV-D)
+and promises that a crashed series can be resumed without invalidating
+results (Sec. VII).  Those two promises meet badly when a run aborts in
+the middle of a fault window: the in-memory
+:class:`~repro.faults.controller.FaultController` dies with the run, and
+whatever filter it had installed would silently survive into the next
+run — the dfuntest failure mode of a harness that does not own its own
+clean-up.
+
+A **fault lease** closes that hole.  Starting a fault first appends an
+``acquire`` record to a small per-node JSONL file (flushed and fsynced,
+so it survives any crash that happens after the filter is live);
+reverting the fault appends the matching ``release``.  A lease that has
+an ``acquire`` but no ``release`` is *active*; any active lease found at
+a safe point (NodeManager startup, ``run_init``) was necessarily leaked
+by a crashed or watchdog-aborted run and is force-reverted by the
+reconciliation sweep.
+
+The lease's TTL (``expires_at``) is advisory metadata: it records until
+when the fault was *supposed* to live (acquisition time plus the fault's
+``duration`` plus the run-deadline margin), which operators can compare
+against the reconciliation time.  Reconciliation does not wait for
+expiry — a lease still on disk at a safe point is leaked by definition,
+because every orderly path (auto-stop, ``stop_all`` at run exit,
+explicit stop) releases it.
+
+File format (``<root>/<node>.jsonl``, append-only between sweeps)::
+
+    {"op": "acquire", "lease": {"lease_id": ..., "node": ..., ...}}
+    {"op": "release", "lease_id": ..., "released_at": ...}
+
+A reconciliation sweep compacts the file: the leaked leases are returned
+to the caller and the file is atomically rewritten without them, so the
+lease file stays bounded by the number of concurrently active faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FaultLeaseStore", "make_lease", "iter_lease_files"]
+
+
+def make_lease(
+    node: str,
+    run_id: Optional[int],
+    kind: str,
+    fault_id: int,
+    acquired_at: float,
+    duration: Optional[float],
+    ttl_margin: float = 0.0,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one lease record; ``expires_at`` is the advisory TTL."""
+    ttl = (duration if duration is not None else 0.0) + max(ttl_margin, 0.0)
+    return {
+        "lease_id": f"{node}/{run_id if run_id is not None else '-'}/{fault_id}",
+        "node": node,
+        "run_id": run_id,
+        "kind": kind,
+        "fault_id": fault_id,
+        "acquired_at": acquired_at,
+        "expires_at": (acquired_at + ttl) if ttl > 0 else None,
+        "params": {str(k): v for k, v in (params or {}).items()},
+    }
+
+
+class FaultLeaseStore:
+    """Fsynced per-node lease files under one root directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, node: str) -> Path:
+        return self.root / f"{node}.jsonl"
+
+    # ------------------------------------------------------------------
+    # Writing (both appends are the crash-safety points: flush + fsync)
+    # ------------------------------------------------------------------
+    def _append(self, node: str, record: Dict[str, Any]) -> None:
+        with open(self._path(node), "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def acquire(self, lease: Dict[str, Any]) -> None:
+        self._append(lease["node"], {"op": "acquire", "lease": lease})
+
+    def release(self, node: str, lease_id: str, released_at: float) -> None:
+        self._append(
+            node,
+            {"op": "release", "lease_id": lease_id, "released_at": released_at},
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read(self, node: str) -> List[Dict[str, Any]]:
+        path = self._path(node)
+        if not path.exists():
+            return []
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    # A crash mid-append leaves at most one truncated
+                    # trailing line; the acquire it belonged to never
+                    # installed its filter (append happens first), so
+                    # dropping it is safe.
+                    continue
+        return records
+
+    def active(self, node: str) -> List[Dict[str, Any]]:
+        """Leases with an ``acquire`` but no ``release``, in acquire order."""
+        leases: Dict[str, Dict[str, Any]] = {}
+        for rec in self._read(node):
+            if rec.get("op") == "acquire":
+                lease = rec.get("lease") or {}
+                if lease.get("lease_id"):
+                    leases[lease["lease_id"]] = lease
+            elif rec.get("op") == "release":
+                leases.pop(rec.get("lease_id"), None)
+        return list(leases.values())
+
+    def nodes(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    # ------------------------------------------------------------------
+    # Reconciliation
+    # ------------------------------------------------------------------
+    def reconcile(self, node: str) -> List[Dict[str, Any]]:
+        """Pop every active lease of *node* and compact its file.
+
+        Returns the leaked leases (empty after every orderly shutdown).
+        The compaction is atomic (write-to-temp + rename + dir fsync), so
+        a crash during the sweep either keeps the old file — the next
+        sweep reconciles again, idempotently — or the new, empty one.
+        """
+        leaked = self.active(node)
+        path = self._path(node)
+        if path.exists():
+            tmp = path.with_suffix(".jsonl.tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            self._fsync_dir()
+        return leaked
+
+    def _fsync_dir(self) -> None:
+        try:
+            dir_fd = os.open(str(self.root), os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. Windows
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(dir_fd)
+
+
+def iter_lease_files(directory) -> Iterator[Tuple[Path, str]]:
+    """Yield ``(lease_file, node)`` under *directory*'s lease roots.
+
+    Understands both layouts: a serial store (``<dir>/leases/<node>.jsonl``)
+    and a campaign root (``<dir>/leases/run_XXXXXX/<node>.jsonl``).  Used
+    by ``repro inspect --leases``.
+    """
+    directory = Path(directory)
+    root = directory / "leases"
+    if not root.is_dir():
+        return
+    for path in sorted(root.rglob("*.jsonl")):
+        yield path, path.stem

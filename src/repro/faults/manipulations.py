@@ -128,6 +128,8 @@ class EnvironmentController:
         self._traffic_nodes: List[str] = []
         self._drop_all_nodes: List[str] = []
         self.last_pairs: List[Tuple[str, str]] = []
+        #: Per-node errors swallowed by the last :meth:`cleanup` sweep.
+        self.last_cleanup_errors: List[str] = []
 
     # ------------------------------------------------------------------
     def execute(self, name: str, params: Dict[str, Any], ctx: EnvContext):
@@ -222,8 +224,30 @@ class EnvironmentController:
 
     # ------------------------------------------------------------------
     def cleanup(self, ctx: Optional[EnvContext] = None):
-        """Run clean-up: stop anything still active."""
-        if self._traffic_nodes:
-            yield from self._traffic_stop()
-        if self._drop_all_nodes:
-            yield from self._drop_all_stop()
+        """Run clean-up: stop anything still active.
+
+        Idempotent by construction: the pending-node lists are detached
+        *before* any RPC goes out, so a second ``cleanup()`` — e.g. a
+        reconciliation sweep racing the normal run-exit clean-up — finds
+        nothing to do and yields no RPCs.  Per-node failures are swallowed
+        and collected into :attr:`last_cleanup_errors` instead of aborting
+        the sweep: one unreachable node must not leave the others'
+        manipulations running.
+        """
+        self.last_cleanup_errors = []
+        traffic_nodes, self._traffic_nodes = self._traffic_nodes, []
+        drop_all_nodes, self._drop_all_nodes = self._drop_all_nodes, []
+        for node_id in traffic_nodes:
+            try:
+                yield from self.channel.call(node_id, "traffic_stop")
+            except Exception as exc:  # noqa: BLE001 - sweep must continue
+                self.last_cleanup_errors.append(f"{node_id}/traffic_stop: {exc}")
+        if traffic_nodes:
+            self.emit("env_traffic_stopped", params=())
+        for node_id in drop_all_nodes:
+            try:
+                yield from self.channel.call(node_id, "drop_all_stop")
+            except Exception as exc:  # noqa: BLE001 - sweep must continue
+                self.last_cleanup_errors.append(f"{node_id}/drop_all_stop: {exc}")
+        if drop_all_nodes:
+            self.emit("env_drop_all_stopped", params=())

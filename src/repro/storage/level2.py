@@ -26,20 +26,67 @@ Layout::
           packets.jsonl
           extra/<plugin>.json     # plugins' separate storage location
       eefiles/<name>              # executables/artefacts (EEFiles table)
+      leases/<node>.jsonl         # fault leases (repro.faults.leases)
+      master/fault_leases.jsonl   # reconciled-leak log -> L3 FaultLeases
+      quarantine/...              # salvage mode's bad-record sidecar
 
 Everything is JSON-on-disk: human-inspectable, diff-able, and exactly what
 the conditioning stage consumes.
+
+Run streams (``events.jsonl`` / ``packets.jsonl``) are **CRC-framed**:
+each line is ``<json>\\t<crc32 as 8 hex digits>``.  ``json.dumps`` escapes
+control characters, so the tab delimiter can never occur inside the JSON
+text; unframed (legacy) lines still parse.  The frame is what lets salvage
+mode (DESIGN.md §11) tell an intact record from a truncated or bit-flipped
+one: readers either hard-fail on the first corrupt record (the default —
+corruption must never pass silently) or, with ``salvage=True``, quarantine
+the bad lines into the ``quarantine/`` sidecar and keep conditioning the
+intact rest.
 """
 
 from __future__ import annotations
 
 import json
+import re
+import zlib
 from pathlib import Path
 from typing import Any, Dict, IO, Iterator, List, Optional, Tuple
 
 from repro.core.errors import StorageError
 
 __all__ = ["Level2Store", "RunWriter"]
+
+_CRC_SUFFIX = re.compile(r"^[0-9a-f]{8}$")
+
+
+def _crc(text: str) -> str:
+    return f"{zlib.crc32(text.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _frame_line(json_text: str) -> str:
+    """Append the CRC32 frame to one serialized record."""
+    return f"{json_text}\t{_crc(json_text)}"
+
+
+def _parse_record_line(line: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Parse one run-stream line; returns ``(record, None)`` or
+    ``(None, reason)`` with reason in {crc_mismatch, truncated, bad_json}."""
+    if "\t" in line:
+        body, suffix = line.rsplit("\t", 1)
+        if _CRC_SUFFIX.match(suffix):
+            if _crc(body) != suffix:
+                return None, "crc_mismatch"
+            try:
+                return json.loads(body), None
+            except ValueError:
+                return None, "bad_json"
+        # A framed line whose frame itself was cut off mid-write: the
+        # tab is present but the suffix is not 8 hex digits.
+        return None, "truncated"
+    try:
+        return json.loads(line), None
+    except ValueError:
+        return None, "truncated"
 
 
 def _write_json(path: Path, data: Any) -> None:
@@ -53,22 +100,31 @@ def _read_json(path: Path) -> Any:
         return json.load(fh)
 
 
-def _append_jsonl(path: Path, records: List[Dict[str, Any]]) -> None:
+def _append_jsonl(path: Path, records: List[Dict[str, Any]], framed: bool = False) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "a", encoding="utf-8") as fh:
         for rec in records:
-            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            text = json.dumps(rec, sort_keys=True)
+            fh.write((_frame_line(text) if framed else text) + "\n")
 
 
-def _read_jsonl(path: Path) -> List[Dict[str, Any]]:
+def _read_jsonl(path: Path, drop_corrupt_tail: bool = False) -> List[Dict[str, Any]]:
     if not path.exists():
         return []
     out = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                out.append(json.loads(line))
+        lines = [line.strip() for line in fh]
+    lines = [line for line in lines if line]
+    for i, line in enumerate(lines):
+        try:
+            out.append(json.loads(line))
+        except ValueError:
+            # A crash mid-append can truncate at most the final line;
+            # journal readers drop it (the entry it belonged to was never
+            # acknowledged).  Corruption anywhere else is a real error.
+            if drop_corrupt_tail and i == len(lines) - 1:
+                break
+            raise StorageError(f"corrupt JSONL record in {path} (line {i + 1})")
     return out
 
 
@@ -121,7 +177,7 @@ class RunWriter:
         key = self._stream(node_id, stream)
         buffer = self._buffers[key]
         for rec in records:
-            buffer.append(json.dumps(rec, sort_keys=True))
+            buffer.append(_frame_line(json.dumps(rec, sort_keys=True)))
         self.records_written += len(records)
         if len(buffer) >= self._flush_records:
             self._flush_stream(key)
@@ -165,11 +221,21 @@ class RunWriter:
 
 
 class Level2Store:
-    """One execution's intermediate storage rooted at a directory."""
+    """One execution's intermediate storage rooted at a directory.
 
-    def __init__(self, root) -> None:
+    With ``salvage=True`` the run-stream readers quarantine corrupt
+    records (truncated tails, CRC mismatches) instead of raising: the bad
+    raw lines are copied under ``quarantine/`` at their original relative
+    path, a per-(run, node, stream) salvage record counts what was kept
+    and dropped, and conditioning continues over the intact records.  The
+    default (``salvage=False``) hard-fails on the first corrupt record —
+    partial data must never flow into level 3 unannounced.
+    """
+
+    def __init__(self, root, salvage: bool = False) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.salvage = bool(salvage)
         # Enumeration caches (node_ids / run_ids): every write path that
         # can add or remove nodes or runs goes through this instance and
         # calls _invalidate_enumeration, so a cached listing is never
@@ -177,6 +243,9 @@ class Level2Store:
         # construct fresh stores, so cross-process staleness cannot occur.
         self._node_ids_cache: Optional[List[str]] = None
         self._run_ids_cache: Optional[List[int]] = None
+        #: ``{(run, node, stream): salvage record}`` from this instance's
+        #: salvage-mode reads (also mirrored to quarantine/ on disk).
+        self._salvage: Dict[Tuple[int, str, str], Dict[str, Any]] = {}
 
     def _invalidate_enumeration(self) -> None:
         self._node_ids_cache = None
@@ -211,7 +280,10 @@ class Level2Store:
         _append_jsonl(self.journal_path, [record])
 
     def read_journal(self) -> List[Dict[str, Any]]:
-        return _read_jsonl(self.journal_path)
+        # A crash can truncate at most the journal's final append; the
+        # entry it belonged to was never acknowledged, so dropping it is
+        # exactly the resume semantics we want.
+        return _read_jsonl(self.journal_path, drop_corrupt_tail=True)
 
     # ------------------------------------------------------------------
     # Master-side measurements
@@ -276,8 +348,8 @@ class Level2Store:
         packets: List[Dict[str, Any]],
     ) -> None:
         run_dir = self._node_dir(node_id) / "runs" / str(run_id)
-        _append_jsonl(run_dir / "events.jsonl", events)
-        _append_jsonl(run_dir / "packets.jsonl", packets)
+        _append_jsonl(run_dir / "events.jsonl", events, framed=True)
+        _append_jsonl(run_dir / "packets.jsonl", packets, framed=True)
         self._invalidate_enumeration()
 
     def run_writer(self, run_id: int, flush_records: Optional[int] = None) -> RunWriter:
@@ -295,10 +367,73 @@ class Level2Store:
         self._invalidate_enumeration()
 
     def read_run_events(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
-        return _read_jsonl(self._node_dir(node_id) / "runs" / str(run_id) / "events.jsonl")
+        return self._read_stream(node_id, run_id, "events.jsonl")
 
     def read_run_packets(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
-        return _read_jsonl(self._node_dir(node_id) / "runs" / str(run_id) / "packets.jsonl")
+        return self._read_stream(node_id, run_id, "packets.jsonl")
+
+    def _read_stream(self, node_id: str, run_id: int, stream: str) -> List[Dict[str, Any]]:
+        """Read one run stream, honouring the store's salvage mode."""
+        path = self._node_dir(node_id) / "runs" / str(run_id) / stream
+        records, bad = self._scan_stream(path)
+        if not bad:
+            return records
+        if not self.salvage:
+            raise StorageError(
+                f"corrupt record in {path} (line {bad[0][0]}: {bad[0][1]}); "
+                "re-run conditioning with --salvage to quarantine it"
+            )
+        self._quarantine(path, run_id, node_id, stream, len(records), bad)
+        return records
+
+    def _scan_stream(self, path: Path) -> Tuple[List[Dict[str, Any]], List[Tuple[int, str, str]]]:
+        """Parse a run stream into ``(records, [(lineno, reason, raw)...])``."""
+        if not path.exists():
+            return [], []
+        records: List[Dict[str, Any]] = []
+        bad: List[Tuple[int, str, str]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                record, reason = _parse_record_line(line)
+                if reason is None:
+                    records.append(record)
+                else:
+                    bad.append((lineno, reason, line))
+        return records, bad
+
+    def _quarantine(
+        self,
+        path: Path,
+        run_id: int,
+        node_id: str,
+        stream: str,
+        kept: int,
+        bad: List[Tuple[int, str, str]],
+    ) -> None:
+        """Record one stream's corrupt lines in the quarantine sidecar."""
+        rel = path.relative_to(self.root)
+        sidecar = self.root / "quarantine" / rel
+        key = (int(run_id), node_id, stream)
+        if key not in self._salvage:
+            # First salvage read of this stream by this instance: (re)write
+            # the sidecar so repeated reads don't duplicate its lines.
+            sidecar.parent.mkdir(parents=True, exist_ok=True)
+            with open(sidecar, "w", encoding="utf-8") as fh:
+                for lineno, reason, line in bad:
+                    fh.write(json.dumps({"line": lineno, "reason": reason, "raw": line},
+                                        sort_keys=True) + "\n")
+        reasons = sorted({reason for _, reason, _ in bad})
+        self._salvage[key] = {
+            "run_id": int(run_id),
+            "node": node_id,
+            "stream": stream,
+            "kept": kept,
+            "dropped": len(bad),
+            "reason": ",".join(reasons),
+        }
 
     def read_extra_measurements(self, node_id: str, run_id: int) -> Dict[str, Any]:
         directory = self._node_dir(node_id) / "runs" / str(run_id) / "extra"
@@ -307,6 +442,62 @@ class Level2Store:
             for path in sorted(directory.glob("*.json")):
                 out[path.stem] = _read_json(path)
         return out
+
+    # ------------------------------------------------------------------
+    # Fault leases (reconciled-leak log; feeds the L3 FaultLeases table)
+    # ------------------------------------------------------------------
+    @property
+    def fault_lease_log_path(self) -> Path:
+        return self.root / "master" / "fault_leases.jsonl"
+
+    def append_reconciled_leases(self, records: List[Dict[str, Any]]) -> None:
+        """Persist leases a reconciliation sweep force-reverted."""
+        if records:
+            _append_jsonl(self.fault_lease_log_path, records)
+
+    def read_reconciled_leases(self) -> List[Dict[str, Any]]:
+        return _read_jsonl(self.fault_lease_log_path, drop_corrupt_tail=True)
+
+    # ------------------------------------------------------------------
+    # Salvage (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def salvage_records(self) -> List[Dict[str, Any]]:
+        """Per-(run, node, stream) salvage records from this instance's
+        reads, ordered for stable L3 insertion."""
+        return [self._salvage[key] for key in sorted(self._salvage)]
+
+    def salvage_probe(self, run_id: int) -> Dict[str, int]:
+        """Non-mutating corruption estimate for one run.
+
+        Scans every node's run streams without quarantining anything —
+        the campaign resume path uses this to decide whether a journaled
+        run lost too much data and must be re-executed.
+        """
+        kept = dropped = 0
+        for node_id in self.node_ids():
+            for stream in ("events.jsonl", "packets.jsonl"):
+                path = self._node_dir(node_id) / "runs" / str(run_id) / stream
+                records, bad = self._scan_stream(path)
+                kept += len(records)
+                dropped += len(bad)
+        return {"kept": kept, "dropped": dropped}
+
+    def write_salvage_report(self) -> Optional[Path]:
+        """Summarize this instance's salvage reads into
+        ``quarantine/salvage_report.json`` (None when nothing was salvaged)."""
+        records = self.salvage_records()
+        if not records:
+            return None
+        report_path = self.root / "quarantine" / "salvage_report.json"
+        _write_json(
+            report_path,
+            {
+                "records": records,
+                "total_kept": sum(r["kept"] for r in records),
+                "total_dropped": sum(r["dropped"] for r in records),
+            },
+        )
+        return report_path
 
     # ------------------------------------------------------------------
     # Run metadata (start times)
@@ -394,10 +585,17 @@ class Level2Store:
             run_dir = self._node_dir(node_id) / "runs" / str(run_id)
             if run_dir.exists():
                 shutil.rmtree(run_dir)
+            quarantined = (
+                self.root / "quarantine" / "nodes" / node_id / "runs" / str(run_id)
+            )
+            if quarantined.exists():
+                shutil.rmtree(quarantined)
         for path in (
             self.root / "master" / "timesync" / f"run_{run_id}.json",
             self.root / "master" / "runinfo" / f"run_{run_id}.json",
         ):
             if path.exists():
                 path.unlink()
+        for key in [k for k in self._salvage if k[0] == run_id]:
+            del self._salvage[key]
         self._invalidate_enumeration()

@@ -49,12 +49,16 @@ from repro.storage.level2 import Level2Store
 
 __all__ = [
     "TABLE_SCHEMAS",
+    "EXTENSION_TABLES",
     "RUN_TABLES",
+    "EXTENSION_RUN_TABLES",
     "create_schema",
     "open_fast_connection",
     "fsync_database",
     "insert_experiment_scope",
     "insert_run",
+    "insert_fault_leases",
+    "insert_salvage_info",
     "store_level3",
     "ExperimentDatabase",
 ]
@@ -124,6 +128,45 @@ CREATE INDEX idx_events_run ON Events (RunID, EventType);
 CREATE INDEX idx_packets_run ON Packets (RunID);
 """
 
+#: Integrity side tables beyond Table I (DESIGN.md §11).  Deliberately
+#: kept out of :data:`TABLE_SCHEMAS` so the default ``database_digest``
+#: stays Table-I-only: a run whose leaked fault was reconciled, or whose
+#: corrupt records were salvaged away on a clean retry, must still digest
+#: byte-identical to a fault-free execution.
+EXTENSION_TABLES: Dict[str, List[str]] = {
+    "FaultLeases": [
+        "RunID", "NodeID", "Kind", "LeaseID", "Event",
+        "AcquiredAt", "ExpiresAt", "ReconciledAt",
+    ],
+    "SalvageInfo": [
+        "RunID", "NodeID", "Stream", "RecordsKept", "RecordsDropped", "Reason",
+    ],
+}
+
+#: Extension tables keyed by run id (campaign merge reorders these too).
+EXTENSION_RUN_TABLES = ("FaultLeases", "SalvageInfo")
+
+_EXTENSION_DDL = """
+CREATE TABLE FaultLeases (
+    RunID        INTEGER,
+    NodeID       TEXT NOT NULL,
+    Kind         TEXT NOT NULL,
+    LeaseID      TEXT NOT NULL,
+    Event        TEXT NOT NULL,
+    AcquiredAt   REAL,
+    ExpiresAt    REAL,
+    ReconciledAt REAL
+);
+CREATE TABLE SalvageInfo (
+    RunID          INTEGER,
+    NodeID         TEXT NOT NULL,
+    Stream         TEXT NOT NULL,
+    RecordsKept    INTEGER NOT NULL,
+    RecordsDropped INTEGER NOT NULL,
+    Reason         TEXT NOT NULL
+);
+"""
+
 
 def _addr_to_node_map(description_xml: str) -> Dict[str, str]:
     """Address -> platform node id, from the stored description's platform
@@ -150,8 +193,10 @@ RUN_TABLES = ("RunInfos", "ExtraRunMeasurements", "Events", "Packets")
 
 
 def create_schema(conn: sqlite3.Connection) -> None:
-    """Create the Table I schema on an empty database connection."""
+    """Create the Table I schema (plus the integrity side tables) on an
+    empty database connection."""
     conn.executescript(_DDL)
+    conn.executescript(_EXTENSION_DDL)
 
 
 def open_fast_connection(path, fresh: bool = True) -> sqlite3.Connection:
@@ -279,6 +324,49 @@ def insert_run(conn: sqlite3.Connection, run, src_map: Dict[str, str]) -> None:
     )
 
 
+def insert_fault_leases(conn: sqlite3.Connection, records: List[Dict[str, Any]]) -> None:
+    """Insert reconciled-lease records (level-2 ``master/fault_leases.jsonl``)
+    into the FaultLeases side table."""
+    conn.executemany(
+        "INSERT INTO FaultLeases "
+        "(RunID, NodeID, Kind, LeaseID, Event, AcquiredAt, ExpiresAt, ReconciledAt) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            (
+                rec.get("run_id"),
+                rec.get("node", ""),
+                rec.get("kind", ""),
+                rec.get("lease_id", ""),
+                rec.get("event", "fault_leak_reconciled"),
+                rec.get("acquired_at"),
+                rec.get("expires_at"),
+                rec.get("reconciled_at"),
+            )
+            for rec in records
+        ),
+    )
+
+
+def insert_salvage_info(conn: sqlite3.Connection, records: List[Dict[str, Any]]) -> None:
+    """Insert per-(run, node, stream) salvage records into SalvageInfo."""
+    conn.executemany(
+        "INSERT INTO SalvageInfo "
+        "(RunID, NodeID, Stream, RecordsKept, RecordsDropped, Reason) "
+        "VALUES (?, ?, ?, ?, ?, ?)",
+        (
+            (
+                rec.get("run_id"),
+                rec.get("node", ""),
+                rec.get("stream", ""),
+                rec.get("kept", 0),
+                rec.get("dropped", 0),
+                rec.get("reason", ""),
+            )
+            for rec in records
+        ),
+    )
+
+
 def store_level3(source, db_path) -> Path:
     """Condition *source* and write the level-3 SQLite package.
 
@@ -315,9 +403,19 @@ def store_level3(source, db_path) -> Path:
         src_map = _addr_to_node_map(scope.description_xml)
         for run in runs:
             insert_run(conn, run, src_map)
+        if isinstance(source, Level2Store):
+            # Integrity side tables: the reconciled-leak log written by the
+            # master's sweeps, and whatever the just-finished conditioning
+            # pass salvaged (non-empty only with source.salvage=True).
+            insert_fault_leases(conn, source.read_reconciled_leases())
+            insert_salvage_info(conn, source.salvage_records())
+        else:
+            insert_salvage_info(conn, scope.salvage_records)
         conn.execute("COMMIT")
     finally:
         conn.close()
+    if isinstance(source, Level2Store):
+        source.write_salvage_report()
     fsync_database(db_path)
     return db_path
 
@@ -603,6 +701,42 @@ class ExperimentDatabase:
                 end_t = t
         close_group(current if per_run else None)
         return out
+
+    def fault_leases(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Reconciled fault-lease rows (empty for fault-free executions and,
+        not an error, for pre-extension databases)."""
+        query = (
+            "SELECT RunID, NodeID, Kind, LeaseID, Event, "
+            "AcquiredAt, ExpiresAt, ReconciledAt FROM FaultLeases"
+        )
+        args: List[Any] = []
+        if run_id is not None:
+            query += " WHERE RunID = ?"
+            args.append(run_id)
+        query += " ORDER BY RunID, NodeID, LeaseID"
+        try:
+            rows = self.conn.execute(query, args).fetchall()
+        except sqlite3.OperationalError:  # old schema without the table
+            return []
+        return [dict(row) for row in rows]
+
+    def salvage_info(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Salvage-conditioning rows (empty unless the package was built
+        with ``--salvage`` over a corrupt store)."""
+        query = (
+            "SELECT RunID, NodeID, Stream, RecordsKept, RecordsDropped, Reason "
+            "FROM SalvageInfo"
+        )
+        args: List[Any] = []
+        if run_id is not None:
+            query += " WHERE RunID = ?"
+            args.append(run_id)
+        query += " ORDER BY RunID, NodeID, Stream"
+        try:
+            rows = self.conn.execute(query, args).fetchall()
+        except sqlite3.OperationalError:  # old schema without the table
+            return []
+        return [dict(row) for row in rows]
 
     def extra_measurements(self, run_id: int) -> Dict[str, Dict[str, Any]]:
         out: Dict[str, Dict[str, Any]] = {}

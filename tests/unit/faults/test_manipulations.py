@@ -152,6 +152,45 @@ def test_cleanup_stops_leftovers(env_setup):
     assert all(nm.node.interface.filters == [] for nm in managers.values())
 
 
+def test_cleanup_is_idempotent(env_setup):
+    sim, ctrl, ctx, _managers, events = env_setup
+    _drive(sim, ctrl.execute("env_traffic_start", {"bw": 10, "random_pairs": 1,
+                                                   "choice": 0, "random_seed": 1}, ctx))
+    _drive(sim, ctrl.cleanup())
+    assert ctrl.last_cleanup_errors == []
+    n_events = len(events)
+    # A second sweep (e.g. a reconciliation racing run-exit) finds the
+    # pending lists already detached: no RPCs, no duplicate stop events.
+    _drive(sim, ctrl.cleanup())
+    assert len(events) == n_events
+    assert ctrl.last_cleanup_errors == []
+
+
+def test_cleanup_collects_errors_and_keeps_sweeping(env_setup):
+    sim, ctrl, ctx, managers, _events = env_setup
+    _drive(sim, ctrl.execute("env_traffic_start", {"bw": 10, "random_pairs": 2,
+                                                   "choice": 2, "random_seed": 1}, ctx))
+    _drive(sim, ctrl.execute("env_drop_all_start", {}, ctx))
+    victim = ctrl._traffic_nodes[0]
+    original = ctrl.channel.call
+
+    def failing_call(node_id, method, *args, **kwargs):
+        if node_id == victim and method == "traffic_stop":
+            raise RuntimeError("node unreachable")
+        return original(node_id, method, *args, **kwargs)
+
+    ctrl.channel.call = failing_call
+    _drive(sim, ctrl.cleanup())
+    assert len(ctrl.last_cleanup_errors) == 1
+    assert victim in ctrl.last_cleanup_errors[0]
+    # The failure did not abort the sweep: every other node's traffic and
+    # all drop-all filters were still stopped.
+    assert all(nm._flows == [] for name, nm in managers.items() if name != victim)
+    assert all(nm.node.interface.filters == [] for nm in managers.values())
+    # And the controller converged: nothing left pending.
+    assert ctrl._traffic_nodes == [] and ctrl._drop_all_nodes == []
+
+
 def test_unknown_action_rejected(env_setup):
     _sim, ctrl, ctx, _managers, _events = env_setup
     with pytest.raises(ValueError):

@@ -5,7 +5,12 @@ import pytest
 
 from repro.core.errors import StorageError
 from repro.storage.level2 import Level2Store
-from repro.storage.level3 import TABLE_SCHEMAS, ExperimentDatabase, store_level3
+from repro.storage.level3 import (
+    EXTENSION_TABLES,
+    TABLE_SCHEMAS,
+    ExperimentDatabase,
+    store_level3,
+)
 from repro.storage.level4 import ExperimentRepository
 
 DESC_XML = """<experiment name="t3" seed="1" comment="c">
@@ -43,8 +48,12 @@ def test_schema_matches_table_one(filled_store, tmp_path):
     db_path = store_level3(filled_store, tmp_path / "x.db")
     with ExperimentDatabase(db_path) as db:
         schema = db.schema()
-        assert set(schema) == set(TABLE_SCHEMAS)
+        # Table I verbatim, plus the integrity side tables (DESIGN.md §11)
+        # that deliberately live outside TABLE_SCHEMAS.
+        assert set(schema) == set(TABLE_SCHEMAS) | set(EXTENSION_TABLES)
         for table, attrs in TABLE_SCHEMAS.items():
+            assert schema[table] == attrs, table
+        for table, attrs in EXTENSION_TABLES.items():
             assert schema[table] == attrs, table
 
 

@@ -1,0 +1,203 @@
+"""Unit tests for CRC-framed run streams and salvage-mode conditioning."""
+
+import json
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.conditioning import condition_experiment
+from repro.storage.level2 import Level2Store, _crc, _frame_line
+from repro.storage.level3 import ExperimentDatabase, store_level3
+
+DESC_XML = """<experiment name="salv" seed="1" comment="c">
+  <platform>
+    <actornode id="h1" address="10.0.0.1" abstract="A" />
+    <envnode id="h2" address="10.0.0.2" />
+  </platform>
+</experiment>"""
+
+
+def _event(i, run_id=0, node="h1"):
+    return {"name": f"ev{i}", "node": node, "local_time": float(i),
+            "params": [], "run_id": run_id}
+
+
+def _fill(root, salvage=False, events=5):
+    store = Level2Store(root, salvage=salvage)
+    store.write_description(DESC_XML)
+    store.write_plan([])
+    store.write_timesync(0, {})
+    store.write_run_info(0, {"run_id": 0, "start_time": 0.0, "treatment": {}})
+    store.write_run_data("h1", 0, [_event(i) for i in range(events)], [])
+    return store
+
+
+def _events_path(root):
+    return root / "nodes" / "h1" / "runs" / "0" / "events.jsonl"
+
+
+def _corrupt_crc(path):
+    """Flip a digit in the last record's body, keeping its CRC frame."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    body, suffix = lines[-1].rsplit("\t", 1)
+    lines[-1] = body.replace('"local_time": 4.0', '"local_time": 9.0') + "\t" + suffix
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_run_streams_are_crc_framed(tmp_path):
+    _fill(tmp_path / "l2")
+    for line in _events_path(tmp_path / "l2").read_text(encoding="utf-8").splitlines():
+        body, suffix = line.rsplit("\t", 1)
+        assert suffix == _crc(body)
+
+
+def test_framed_roundtrip_and_legacy_lines(tmp_path):
+    store = _fill(tmp_path / "l2")
+    # A pre-framing store wrote bare JSON lines; both parse together.
+    with open(_events_path(tmp_path / "l2"), "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(_event(5)) + "\n")
+    events = store.read_run_events("h1", 0)
+    assert [e["name"] for e in events] == [f"ev{i}" for i in range(6)]
+
+
+# ----------------------------------------------------------------------
+# Corruption without --salvage: hard fail, pointing at the flag
+# ----------------------------------------------------------------------
+def test_crc_mismatch_fails_without_salvage(tmp_path):
+    store = _fill(tmp_path / "l2")
+    _corrupt_crc(_events_path(tmp_path / "l2"))
+    with pytest.raises(StorageError, match="--salvage"):
+        store.read_run_events("h1", 0)
+
+
+def test_truncated_tail_fails_without_salvage(tmp_path):
+    store = _fill(tmp_path / "l2")
+    path = _events_path(tmp_path / "l2")
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])  # cuts into the 8-hex CRC suffix
+    with pytest.raises(StorageError, match="truncated"):
+        store.read_run_events("h1", 0)
+
+
+# ----------------------------------------------------------------------
+# Salvage mode: quarantine and carry on
+# ----------------------------------------------------------------------
+def test_salvage_quarantines_crc_mismatch(tmp_path):
+    store = _fill(tmp_path / "l2", salvage=True)
+    _corrupt_crc(_events_path(tmp_path / "l2"))
+    events = store.read_run_events("h1", 0)
+    assert [e["name"] for e in events] == ["ev0", "ev1", "ev2", "ev3"]
+    records = store.salvage_records()
+    assert records == [{"run_id": 0, "node": "h1", "stream": "events.jsonl",
+                        "kept": 4, "dropped": 1, "reason": "crc_mismatch"}]
+    sidecar = tmp_path / "l2" / "quarantine" / "nodes" / "h1" / "runs" / "0" / "events.jsonl"
+    quarantined = [json.loads(ln) for ln in
+                   sidecar.read_text(encoding="utf-8").splitlines()]
+    assert len(quarantined) == 1
+    assert quarantined[0]["reason"] == "crc_mismatch"
+    assert '"local_time": 9.0' in quarantined[0]["raw"]
+
+
+def test_salvage_classifies_bad_json(tmp_path):
+    store = _fill(tmp_path / "l2", salvage=True)
+    path = _events_path(tmp_path / "l2")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(_frame_line("{not json at all") + "\n")  # CRC itself is valid
+    store.read_run_events("h1", 0)
+    assert store.salvage_records()[0]["reason"] == "bad_json"
+
+
+def test_salvage_report_written_and_probe_nonmutating(tmp_path):
+    store = _fill(tmp_path / "l2", salvage=True)
+    _corrupt_crc(_events_path(tmp_path / "l2"))
+
+    probe = Level2Store(tmp_path / "l2").salvage_probe(0)
+    assert probe == {"kept": 4, "dropped": 1}
+    assert not (tmp_path / "l2" / "quarantine").exists()  # probe left no trace
+
+    store.read_run_events("h1", 0)
+    report_path = store.write_salvage_report()
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert report["total_kept"] == 4
+    assert report["total_dropped"] == 1
+    assert report["records"][0]["stream"] == "events.jsonl"
+    # Nothing salvaged -> no report.
+    assert Level2Store(tmp_path / "l2", salvage=True).write_salvage_report() is None
+
+
+def test_clean_store_probe_and_records_empty(tmp_path):
+    store = _fill(tmp_path / "l2", salvage=True)
+    assert store.salvage_probe(0) == {"kept": 5, "dropped": 0}
+    assert store.read_run_events("h1", 0)
+    assert store.salvage_records() == []
+
+
+def test_purge_run_clears_quarantine(tmp_path):
+    store = _fill(tmp_path / "l2", salvage=True)
+    _corrupt_crc(_events_path(tmp_path / "l2"))
+    store.read_run_events("h1", 0)
+    assert store.salvage_records()
+    store.purge_run(0)
+    assert store.salvage_records() == []
+    assert not (tmp_path / "l2" / "quarantine" / "nodes" / "h1" / "runs" / "0").exists()
+
+
+# ----------------------------------------------------------------------
+# Conditioning and level 3
+# ----------------------------------------------------------------------
+def test_store_level3_salvage_path_records_salvage_info(tmp_path):
+    _fill(tmp_path / "l2")
+    _corrupt_crc(_events_path(tmp_path / "l2"))
+
+    with pytest.raises(StorageError, match="--salvage"):
+        store_level3(Level2Store(tmp_path / "l2"), tmp_path / "strict.db")
+
+    salvaging = Level2Store(tmp_path / "l2", salvage=True)
+    db_path = store_level3(salvaging, tmp_path / "salvaged.db")
+    with ExperimentDatabase(db_path) as db:
+        rows = db.salvage_info()
+        assert len(rows) == 1
+        assert rows[0]["RunID"] == 0
+        assert rows[0]["NodeID"] == "h1"
+        assert rows[0]["RecordsKept"] == 4
+        assert rows[0]["RecordsDropped"] == 1
+        assert rows[0]["Reason"] == "crc_mismatch"
+        assert db.row_counts()["Events"] == 4
+        assert db.fault_leases() == []
+    # store_level3 also summarized the quarantine on the way out.
+    assert (tmp_path / "l2" / "quarantine" / "salvage_report.json").exists()
+
+
+def test_condition_experiment_carries_salvage_records(tmp_path):
+    _fill(tmp_path / "l2")
+    _corrupt_crc(_events_path(tmp_path / "l2"))
+    data = condition_experiment(Level2Store(tmp_path / "l2", salvage=True))
+    assert [r["reason"] for r in data.salvage_records] == ["crc_mismatch"]
+    clean = condition_experiment(_fill(tmp_path / "clean"))
+    assert clean.salvage_records == []
+
+
+def test_journal_tolerates_torn_tail(tmp_path):
+    store = Level2Store(tmp_path / "l2")
+    store.append_journal({"type": "experiment_start", "seed": 1})
+    store.append_journal({"type": "run_complete", "run_id": 0})
+    with open(store.journal_path, "a", encoding="utf-8") as fh:
+        fh.write('{"type": "run_complete", "run_id": 1')  # torn append
+    entries = store.read_journal()
+    assert [e["type"] for e in entries] == ["experiment_start", "run_complete"]
+
+
+def test_reconciled_lease_log_roundtrip(tmp_path):
+    store = Level2Store(tmp_path / "l2")
+    assert store.read_reconciled_leases() == []
+    store.append_reconciled_leases([])  # no-op, creates nothing
+    assert not store.fault_lease_log_path.exists()
+    store.append_reconciled_leases(
+        [{"lease_id": "h1/0/1", "node": "h1", "run_id": 0, "kind": "msg_loss",
+          "reconciled_at": 2.5}]
+    )
+    leases = store.read_reconciled_leases()
+    assert [ls["lease_id"] for ls in leases] == ["h1/0/1"]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Controlled level-2 corruption for salvage-mode drills.
+
+Damages one run stream of a level-2 store the way real failures do —
+a crash-truncated tail or a bit flip that breaks the line's CRC frame —
+so CI and operators can exercise ``repro condition --salvage`` against a
+store that is corrupt in a known, assertable way.  Run it on a *copy* of
+the store: the damage is deliberate and permanent.
+
+Usage::
+
+    python tools/corrupt_l2.py STORE --node NODE --run RUN \
+        [--stream events.jsonl] (--truncate-bytes K | --flip-byte)
+
+``--truncate-bytes K`` cuts the last K bytes off the stream file
+(simulating a torn final write); ``--flip-byte`` changes one character
+inside the last record's JSON body while leaving its CRC suffix alone
+(simulating silent media corruption -> crc_mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", type=Path, help="level-2 store root (a copy!)")
+    parser.add_argument("--node", required=True, help="node id owning the stream")
+    parser.add_argument("--run", type=int, required=True, help="run id")
+    parser.add_argument("--stream", default="events.jsonl",
+                        choices=("events.jsonl", "packets.jsonl"))
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--truncate-bytes", type=int, metavar="K",
+                      help="cut the last K bytes off the stream file")
+    mode.add_argument("--flip-byte", action="store_true",
+                      help="corrupt one character of the last record's JSON "
+                           "body (keeps the CRC suffix -> crc_mismatch)")
+    return parser
+
+
+def truncate(path: Path, nbytes: int) -> None:
+    size = path.stat().st_size
+    if nbytes <= 0 or nbytes >= size:
+        raise SystemExit(f"--truncate-bytes must be in (0, {size})")
+    with open(path, "r+b") as fh:
+        fh.truncate(size - nbytes)
+    print(f"truncated {nbytes} byte(s) off {path} ({size} -> {size - nbytes})")
+
+
+def flip_byte(path: Path) -> None:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise SystemExit(f"{path} is empty; nothing to corrupt")
+    last = lines[-1]
+    if "\t" not in last:
+        raise SystemExit(f"last line of {path} is not CRC-framed")
+    body, suffix = last.rsplit("\t", 1)
+    # Flip a character in the middle of the JSON body; swapping a digit
+    # keeps the text valid JSON so only the CRC check can catch it.
+    pos = len(body) // 2
+    for offset in range(len(body)):
+        i = (pos + offset) % len(body)
+        if body[i].isdigit():
+            flipped = body[:i] + str((int(body[i]) + 1) % 10) + body[i + 1:]
+            break
+    else:
+        i = pos
+        flipped = body[:i] + ("x" if body[i] != "x" else "y") + body[i + 1:]
+    lines[-1] = f"{flipped}\t{suffix}"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"flipped one byte in the last record of {path}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    path = args.store / "nodes" / args.node / "runs" / str(args.run) / args.stream
+    if not path.exists():
+        raise SystemExit(f"no such stream: {path}")
+    if args.truncate_bytes is not None:
+        truncate(path, args.truncate_bytes)
+    else:
+        flip_byte(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
