@@ -13,12 +13,57 @@ base).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.stats import summarize
-from repro.net.tagger import TAG_MODULUS, TAG_NODE_OPTION, TAG_OPTION
+from repro.net.tagger import TAG_MODULUS, TAG_NODE_OPTION, TAG_OPTION, unwrap_tags
 
 __all__ = ["tagged_observations", "tag_loss_between", "packet_stats_for_run"]
+
+
+def _unwrap_node(entries: List[Tuple[float, int]]) -> Dict[int, float]:
+    """Time-ordered epoch unwrap of one node's raw observations.
+
+    Sorting by time before unwrapping lets RFC-1982 serial arithmetic
+    recover how often the 16-bit counter wrapped between observations; the
+    resulting keys are unique across the whole run instead of colliding
+    every 65536 packets.  Retransmissions (same unwrapped tag) keep their
+    first observation time.
+    """
+    entries.sort(key=lambda e: (e[0], e[1]))
+    times: Dict[int, float] = {}
+    for (t, _), tag in zip(entries, unwrap_tags([raw for _, raw in entries])):
+        if tag not in times or t < times[tag]:
+            times[tag] = t
+    return times
+
+
+def _align_to_origin(
+    times: Dict[int, float],
+    origin_by_residue: Dict[int, List[Tuple[int, float]]],
+) -> Dict[int, float]:
+    """Shift an observer's unwrapped tags onto the origin's numbering.
+
+    Each node's unwrap starts from its own first observation, so an
+    observer that only tuned in after a wrap sits a multiple of the tag
+    modulus below the origin.  Anchor on the earliest observation whose
+    16-bit residue the origin also sent, picking the origin tag whose send
+    time is nearest — one-way delay is tiny next to the time one epoch of
+    65536 packets takes, so "nearest in time" identifies the epoch.
+    """
+    if not times or not origin_by_residue:
+        return times
+    for tag in sorted(times, key=lambda k: times[k]):
+        candidates = origin_by_residue.get(tag % TAG_MODULUS)
+        if not candidates:
+            continue
+        t = times[tag]
+        origin_tag = min(candidates, key=lambda c: abs(c[1] - t))[0]
+        offset = origin_tag - tag
+        if offset:
+            return {k + offset: v for k, v in times.items()}
+        return times
+    return times
 
 
 def tagged_observations(
@@ -29,9 +74,12 @@ def tagged_observations(
     *origin_node*'s tagger stamped.
 
     TX records on the origin are the send times; RX records elsewhere are
-    receive times.
+    receive times.  Tags are unwrapped past the 16-bit modulus (per node,
+    in time order) and aligned to the origin's numbering, so runs longer
+    than 65536 packets per origin do not alias distinct packets onto one
+    key.
     """
-    out: Dict[str, Dict[int, float]] = {}
+    raw: Dict[str, List[Tuple[float, int]]] = {}
     for rec in packets:
         options = rec.get("options") or {}
         if options.get(TAG_NODE_OPTION) != origin_node:
@@ -45,11 +93,19 @@ def tagged_observations(
             continue
         if node != origin_node and direction != "rx":
             continue
-        times = out.setdefault(node, {})
         t = float(rec["common_time"]) if "common_time" in rec else float(rec["local_time"])
-        tag = int(tag) % TAG_MODULUS
-        if tag not in times or t < times[tag]:
-            times[tag] = t
+        raw.setdefault(node, []).append((t, int(tag) % TAG_MODULUS))
+
+    out: Dict[str, Dict[int, float]] = {}
+    origin_times: Dict[int, float] = {}
+    if origin_node in raw:
+        origin_times = _unwrap_node(raw.pop(origin_node))
+        out[origin_node] = origin_times
+    by_residue: Dict[int, List[Tuple[int, float]]] = {}
+    for tag, t in origin_times.items():
+        by_residue.setdefault(tag % TAG_MODULUS, []).append((tag, t))
+    for node, entries in raw.items():
+        out[node] = _align_to_origin(_unwrap_node(entries), by_residue)
     return out
 
 

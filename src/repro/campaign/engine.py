@@ -37,6 +37,7 @@ anywhere (worker or parent) therefore loses at most in-flight work, which
 from __future__ import annotations
 
 import concurrent.futures
+import json
 import os
 import shutil
 import time
@@ -54,6 +55,8 @@ from repro.faults.control import select_control_faults
 from repro.core.params import SpecialParams
 from repro.core.plan import TreatmentPlan, generate_plan
 from repro.core.xmlio import description_to_xml
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Tracer
 from repro.storage.level2 import Level2Store
 
 __all__ = ["CampaignEngine", "CampaignResult", "run_campaign", "merge_campaign"]
@@ -70,12 +73,20 @@ def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
     config), everything it produces lands on disk; the returned dict only
     carries pointers and statistics back to the dispatch loop.
     """
-    from repro.core.master import ExperiMaster
+    from repro.core.master import MASTER_NODE_ID, ExperiMaster
     from repro.core.xmlio import description_from_xml
+    from repro.obs.analyze import phase_durations
+    from repro.obs.metrics import diff_snapshots, get_registry
     from repro.platforms.localhost import LocalhostPlatform
     from repro.platforms.simulated import SimulatedPlatform
 
     started = time.monotonic()
+    # With a process pool this worker owns a private registry; the parent
+    # folds the per-ticket delta back in (keyed on pid, see dispatch loop).
+    # With a thread pool the registry *is* the parent's and no fold-in
+    # happens, so nothing is counted twice either way.
+    registry = get_registry()
+    metrics_before = registry.snapshot()
     root = Path(spec["campaign_dir"])
     run_id = spec["run_id"]
 
@@ -136,6 +147,10 @@ def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
         "pid": os.getpid(),
         "rpc_retries": getattr(channel, "retried_calls", 0),
         "rpc_timeouts": getattr(channel, "timed_out_calls", 0),
+        # Per-phase wall-clock seconds from the master's trace spans
+        # (empty when tracing is off) and the metrics this ticket added.
+        "phases": phase_durations(store.read_run_traces(MASTER_NODE_ID, run_id)),
+        "metrics": diff_snapshots(registry.snapshot(), metrics_before),
     }
 
 
@@ -309,6 +324,14 @@ class CampaignEngine:
         telemetry = CampaignTelemetry(total_runs=len(plan), emit=self.progress)
         telemetry.campaign_started(skipped=len(staged))
 
+        # Engine-scope tracer: dispatch spans and worker-boundary error
+        # spans (with full tracebacks) land in <campaign_dir>/traces.jsonl.
+        # Per-run spans travel separately, through the workers' staging
+        # stores into the shards' RunTraces table.
+        tracer = Tracer(node="engine")
+        campaign_wall_start = tracer.clock() if tracer.enabled else 0.0
+        dispatch_started: Dict[int, float] = {}
+
         result = CampaignResult(
             description=desc,
             plan=plan,
@@ -360,6 +383,8 @@ class CampaignEngine:
                         }
                         self.journal.record_run_start(ticket.run_id, label)
                         telemetry.run_started(ticket.run_id, label)
+                        if tracer.enabled:
+                            dispatch_started[ticket.run_id] = tracer.clock()
                         future = executor.submit(_execute_ticket, spec)
                         futures[future] = (ticket, slot, label)
 
@@ -383,6 +408,23 @@ class CampaignEngine:
                             requeued = scheduler.mark_failed(
                                 ticket.run_id, error, terminal=terminal
                             )
+                            # The one-line `error` string is all the journal
+                            # keeps; the error span preserves the traceback.
+                            dispatch_started.pop(ticket.run_id, None)
+                            tracer.record_error(
+                                "campaign_worker",
+                                exc,
+                                run_id=ticket.run_id,
+                                worker=label,
+                                attempt=ticket.attempts,
+                                requeued=requeued,
+                                site="campaign_worker",
+                            )
+                            get_registry().counter(
+                                "repro_campaign_worker_errors_total",
+                                "Exceptions crossing the campaign worker "
+                                "boundary",
+                            ).inc()
                             self.journal.record_run_failed(
                                 ticket.run_id, error, ticket.attempts
                             )
@@ -410,6 +452,24 @@ class CampaignEngine:
                                 res.get("rpc_retries", 0),
                                 res.get("rpc_timeouts", 0),
                             )
+                            telemetry.run_phases(res.get("phases") or {})
+                            # Fold a forked worker's metric delta into this
+                            # process; a thread worker already wrote here.
+                            if res.get("metrics") and res["pid"] != os.getpid():
+                                get_registry().merge(res["metrics"])
+                            if tracer.enabled:
+                                t0 = dispatch_started.pop(ticket.run_id, None)
+                                if t0 is not None:
+                                    tracer.record(
+                                        "campaign_run",
+                                        t0,
+                                        tracer.clock(),
+                                        run_id=ticket.run_id,
+                                        worker=label,
+                                        slot=slot,
+                                        attempt=ticket.attempts,
+                                        timed_out=res["timed_out"],
+                                    )
                             sources[ticket.run_id] = res
                             result.executed_runs.append(ticket.run_id)
                             if res["timed_out"]:
@@ -432,6 +492,17 @@ class CampaignEngine:
             result.failed_runs = dict(scheduler.failed)
             result.duration = time.monotonic() - started
             result.telemetry = telemetry.summary()
+            if tracer.enabled:
+                tracer.record(
+                    "campaign",
+                    campaign_wall_start,
+                    tracer.clock(),
+                    jobs=jobs,
+                    pool=self.pool,
+                    completed=len(result.executed_runs),
+                    failed=len(result.failed_runs),
+                )
+            self._write_observability(tracer)
 
         if result.failed_runs:
             failed = ", ".join(str(r) for r in sorted(result.failed_runs))
@@ -447,6 +518,31 @@ class CampaignEngine:
             result.db_path = self._merge(sources, db_path)
             result.duration = time.monotonic() - started
         return result
+
+    # ------------------------------------------------------------------
+    def _write_observability(self, tracer: Tracer) -> None:
+        """Persist engine-scope spans and the metrics snapshot.
+
+        ``traces.jsonl`` is appended (resumed sessions accumulate);
+        ``metrics.json`` is replaced with this session's registry state.
+        Best-effort on purpose: observability must never fail a campaign
+        whose runs are already safely journaled.
+        """
+        try:
+            records = tracer.drain_all()
+            if records:
+                path = self.campaign_dir / "traces.jsonl"
+                with open(path, "a", encoding="utf-8") as fh:
+                    for rec in records:
+                        fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            snapshot = get_registry().snapshot()
+            if snapshot:
+                path = self.campaign_dir / "metrics.json"
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(snapshot, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
 
     # ------------------------------------------------------------------
     def _filter_salvage_requeue(

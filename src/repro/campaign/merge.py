@@ -41,6 +41,7 @@ from repro.storage.level3 import (
     insert_experiment_scope,
     insert_fault_leases,
     insert_run,
+    insert_run_traces,
     insert_salvage_info,
     open_fast_connection,
 )
@@ -90,12 +91,19 @@ class ShardWriter:
         salvaged = [
             rec for rec in store.salvage_records() if rec.get("run_id") == run_id
         ]
+        # Harness spans the (single-run) master persisted for this run.
+        # Experiment-scope spans carry no run id and stay in the staging
+        # store; only run-attributed traces travel through the merge.
+        traces = []
+        for node_id in store.node_ids():
+            traces.extend(store.read_run_traces(node_id, run_id))
         with self.conn:  # one transaction: the campaign's commit point
             for table in RUN_TABLES + EXTENSION_RUN_TABLES:
                 self.conn.execute(f"DELETE FROM {table} WHERE RunID = ?", (run_id,))
             insert_run(self.conn, run, src_map)
             insert_fault_leases(self.conn, leases)
             insert_salvage_info(self.conn, salvaged)
+            insert_run_traces(self.conn, traces)
 
     def run_ids(self) -> list:
         return [

@@ -13,6 +13,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.analyze import phase_statistics
+from repro.obs.metrics import get_registry
+
 __all__ = ["CampaignTelemetry", "WorkerStatus"]
 
 
@@ -22,9 +25,14 @@ class WorkerStatus:
 
     worker: str
     run_id: Optional[int] = None  # None = idle
+    #: Clock reading of the last state transition (busy<->idle).  Reset on
+    #: *every* transition — a stale ``since`` after run completion used to
+    #: make any busy/idle-duration readout nonsense.
     since: float = 0.0
     completed: int = 0
     failed: int = 0
+    #: Accumulated seconds this worker spent executing runs.
+    busy_seconds: float = 0.0
 
 
 @dataclass
@@ -46,7 +54,10 @@ class CampaignTelemetry:
     emit: Optional[Callable[[str], None]] = None
     clock: Callable[[], float] = time.monotonic
 
-    started_at: float = field(default=0.0, init=False)
+    #: ``None`` until :meth:`campaign_started` — with a monotonic clock
+    #: there is no meaningful zero, so a 0.0 sentinel made ``throughput``
+    #: divide by the machine's entire uptime.
+    started_at: Optional[float] = field(default=None, init=False)
     completed: int = field(default=0, init=False)
     failed: int = field(default=0, init=False)
     retried: int = field(default=0, init=False)
@@ -56,6 +67,9 @@ class CampaignTelemetry:
     rpc_retries: int = field(default=0, init=False)
     rpc_timeouts: int = field(default=0, init=False)
     quarantined: List[str] = field(default_factory=list, init=False)
+    #: Per-phase durations across this session's runs (seconds), fed by
+    #: the workers' trace spans; rendered as p50/p95 in :meth:`summary`.
+    phase_durations: Dict[str, List[float]] = field(default_factory=dict, init=False)
 
     # ------------------------------------------------------------------
     # Lifecycle callbacks (called by the engine's dispatch loop)
@@ -71,31 +85,62 @@ class CampaignTelemetry:
         status.run_id = run_id
         status.since = self.clock()
 
+    def _worker_idle(self, worker: str) -> WorkerStatus:
+        """Transition *worker* to idle, folding the busy stint into its
+        busy-time tally (and the per-worker gauge)."""
+        now = self.clock()
+        status = self.workers.setdefault(worker, WorkerStatus(worker=worker))
+        if status.run_id is not None:
+            status.busy_seconds += max(0.0, now - status.since)
+        status.run_id = None
+        status.since = now
+        get_registry().gauge(
+            "repro_campaign_worker_busy_seconds",
+            "Wall-clock seconds each campaign worker spent executing runs",
+            labels=("worker",),
+        ).set(status.busy_seconds, worker=worker)
+        return status
+
     def run_completed(self, run_id: int, worker: str, duration: float) -> None:
         self.completed += 1
         self.run_durations.append(duration)
-        status = self.workers.setdefault(worker, WorkerStatus(worker=worker))
-        status.run_id = None
+        status = self._worker_idle(worker)
         status.completed += 1
+        get_registry().counter(
+            "repro_campaign_runs_completed_total",
+            "Campaign runs staged successfully this session",
+        ).inc()
         self._emit(self.progress_line(f"run {run_id} ok ({duration:.2f}s, {worker})"))
 
     def run_failed(
         self, run_id: int, worker: str, error: str, requeued: bool
     ) -> None:
-        status = self.workers.setdefault(worker, WorkerStatus(worker=worker))
-        status.run_id = None
+        status = self._worker_idle(worker)
         if requeued:
             self.retried += 1
+            get_registry().counter(
+                "repro_campaign_runs_retried_total",
+                "Campaign run attempts requeued after a failure",
+            ).inc()
             self._emit(self.progress_line(f"run {run_id} failed, retrying: {error}"))
         else:
             self.failed += 1
             status.failed += 1
+            get_registry().counter(
+                "repro_campaign_runs_failed_total",
+                "Campaign runs that exhausted their attempts",
+            ).inc()
             self._emit(self.progress_line(f"run {run_id} FAILED: {error}"))
 
     def rpc_stats(self, retries: int, timeouts: int) -> None:
         """Aggregate one finished run's control-channel retry counters."""
         self.rpc_retries += int(retries)
         self.rpc_timeouts += int(timeouts)
+
+    def run_phases(self, phases: Dict[str, float]) -> None:
+        """Fold one finished run's per-phase wall-clock durations in."""
+        for name, seconds in phases.items():
+            self.phase_durations.setdefault(str(name), []).append(float(seconds))
 
     def node_quarantined(self, node_id: str, failures: int) -> None:
         self.quarantined.append(node_id)
@@ -121,11 +166,22 @@ class CampaignTelemetry:
         return self.completed + self.skipped
 
     def throughput(self) -> float:
-        """Completed runs per wall-clock second, this session."""
+        """Completed runs per wall-clock second, this session.
+
+        Returns 0.0 until :meth:`campaign_started` has stamped the start
+        time: with a monotonic clock the 0.0 default is not "the epoch"
+        but an arbitrary point years in the past, so the old unguarded
+        ``clock() - started_at`` yielded a near-zero rate (and through it
+        an absurd ETA) for any callback arriving early.
+        """
+        if self.started_at is None:
+            return 0.0
         elapsed = self.clock() - self.started_at
         return self.completed / elapsed if elapsed > 0 else 0.0
 
     def eta_seconds(self) -> Optional[float]:
+        """Remaining runs over the staged-this-session rate (None when no
+        rate is measurable yet — before start or before any completion)."""
         rate = self.throughput()
         if rate <= 0:
             return None
@@ -158,9 +214,14 @@ class CampaignTelemetry:
             "quarantined_nodes": sorted(self.quarantined),
             "throughput": round(self.throughput(), 4),
             "workers": {
-                w.worker: {"completed": w.completed, "failed": w.failed}
+                w.worker: {
+                    "completed": w.completed,
+                    "failed": w.failed,
+                    "busy_seconds": round(w.busy_seconds, 4),
+                }
                 for w in sorted(self.workers.values(), key=lambda s: s.worker)
             },
+            "phases": phase_statistics(self.phase_durations),
         }
 
     # ------------------------------------------------------------------

@@ -177,6 +177,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_imp.add_argument("repository", type=Path)
     p_imp.add_argument("databases", type=Path, nargs="+")
 
+    p_tr = sub.add_parser(
+        "trace",
+        help="inspect harness run-trace spans stored in a level-3 database",
+    )
+    p_tr.add_argument("database", type=Path)
+    p_tr.add_argument("--run", type=int, default=None,
+                      help="run to render; without it, per-phase statistics "
+                           "across all runs plus the slowest run's critical "
+                           "path")
+    g_tr = p_tr.add_mutually_exclusive_group()
+    g_tr.add_argument("--tree", action="store_true",
+                      help="span tree of the run (default with --run)")
+    g_tr.add_argument("--critical-path", action="store_true",
+                      dest="critical_path",
+                      help="longest root-to-leaf span chain of the run")
+
+    p_met = sub.add_parser(
+        "metrics", help="export a harness metrics snapshot"
+    )
+    p_met.add_argument("source", type=Path,
+                       help="metrics.json file, or a level-2 store / campaign "
+                            "directory containing one")
+    p_met.add_argument("--format", choices=("prometheus", "json"),
+                       default="prometheus", dest="fmt",
+                       help="output format (default prometheus text "
+                            "exposition)")
+
     p_paper = sub.add_parser(
         "paper-xml",
         help="emit the paper's complete Figs. 4-10 experiment description",
@@ -233,6 +260,11 @@ def _cmd_run(args) -> int:
         platform, desc, Level2Store(store_root), resume=args.resume
     )
     result = master.execute()
+    from repro.obs.metrics import get_registry
+
+    snapshot = get_registry().snapshot()
+    if snapshot:
+        result.store.write_metrics(snapshot)
     if not args.quiet:
         print(describe_result(result.summary()))
         print(f"level-2 store: {store_root}")
@@ -284,6 +316,10 @@ def _cmd_campaign(args) -> int:
             f"{s['skipped']} resumed, {s['timed_out']} timed out "
             f"({s['jobs']} {result.pool} workers, {s['duration']:.1f}s)"
         )
+        phases = (result.telemetry or {}).get("phases") or {}
+        for phase, stats in phases.items():
+            print(f"  {phase:<12} p50={stats['p50'] * 1000.0:.1f}ms  "
+                  f"p95={stats['p95'] * 1000.0:.1f}ms  (n={stats['count']})")
         print(f"campaign directory: {campaign_dir}")
         print(f"level-3 database: {result.db_path}")
     return 0
@@ -498,6 +534,85 @@ def _cmd_import(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.analyze import (
+        PHASE_SPANS,
+        format_critical_path,
+        format_tree,
+        phase_statistics,
+    )
+    from repro.storage.level3 import ExperimentDatabase
+
+    with ExperimentDatabase(args.database) as db:
+        if args.run is not None:
+            records = db.run_traces(run_id=args.run)
+            if not records:
+                print(f"no trace spans for run {args.run} "
+                      "(tracing disabled, or a pre-tracing database)",
+                      file=sys.stderr)
+                return 1
+            if args.critical_path:
+                print(f"run {args.run} critical path:")
+                print("\n".join(format_critical_path(records)))
+            else:
+                print(f"run {args.run} span tree:")
+                print("\n".join(format_tree(records)))
+            return 0
+
+        records = db.run_traces()
+    records = [r for r in records if r.get("run_id") is not None]
+    if not records:
+        print("no trace spans stored "
+              "(tracing disabled, or a pre-tracing database)", file=sys.stderr)
+        return 1
+
+    by_run: dict = {}
+    for rec in records:
+        by_run.setdefault(rec["run_id"], []).append(rec)
+    durations: dict = {}
+    for run_records in by_run.values():
+        for rec in run_records:
+            if rec["name"] in PHASE_SPANS:
+                durations.setdefault(rec["name"], []).append(
+                    max(0.0, rec["end"] - rec["start"])
+                )
+    print(f"runs with spans: {len(by_run)}")
+    for phase, stats in phase_statistics(durations).items():
+        print(f"  {phase:<12} n={stats['count']:<5} "
+              f"p50={stats['p50'] * 1000.0:.1f}ms  "
+              f"p95={stats['p95'] * 1000.0:.1f}ms  "
+              f"max={stats['max'] * 1000.0:.1f}ms")
+    slowest = max(
+        by_run,
+        key=lambda rid: sum(
+            r["end"] - r["start"] for r in by_run[rid] if r["name"] == "run"
+        ),
+    )
+    print(f"slowest run ({slowest}) critical path:")
+    print("\n".join(format_critical_path(by_run[slowest])))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs.metrics import render_prometheus
+
+    source = args.source
+    if source.is_dir():
+        source = source / "metrics.json"
+    if not source.exists():
+        print(f"error: no metrics snapshot at {source} "
+              "(produced by `repro run` / `repro campaign`)", file=sys.stderr)
+        return 1
+    snapshot = json.loads(source.read_text(encoding="utf-8"))
+    if args.fmt == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
 def _cmd_paper_xml(args) -> int:
     from repro.paper import full_paper_experiment_xml
 
@@ -515,6 +630,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "condition": _cmd_condition,
     "import": _cmd_import,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "paper-xml": _cmd_paper_xml,
 }
 

@@ -41,6 +41,8 @@ from repro.core.topomeasure import measure_hop_counts, snapshot_topology
 from repro.core.validation import validate_description
 from repro.core.plugins import PluginManager
 from repro.faults.manipulations import EnvContext, EnvironmentController
+from repro.obs.trace import Tracer
+from repro.obs.metrics import get_registry
 from repro.storage.level2 import Level2Store
 
 __all__ = ["ExperiMaster", "ExperimentResult", "MASTER_NODE_ID"]
@@ -113,6 +115,14 @@ class ExperiMaster:
         this *outside* a run's staging store, which is deleted wholesale
         on retry — the lease must survive exactly the crashes that delete
         the staging data.
+    tracer:
+        Harness span tracer (:class:`repro.obs.trace.Tracer`); a private
+        one is built when omitted (honouring ``REPRO_TRACE``).  The
+        master hands the instance to the control channel, the fault
+        controllers and the environment controller, and drains each
+        run's spans into the level-2 store during collection.  Tracing
+        is wall-clocked and RNG-free, so it never perturbs results
+        (DESIGN.md §12).
     """
 
     def __init__(
@@ -127,6 +137,7 @@ class ExperiMaster:
         custom_treatments: Optional[List[Dict[str, Any]]] = None,
         only_runs: Optional[Set[int]] = None,
         lease_root=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.platform = platform
         self.description = description
@@ -146,9 +157,15 @@ class ExperiMaster:
         self.channel = platform.channel
         self.params = SpecialParams(description.special_params)
         self.bus = EventBus(self.sim)
+        #: Harness observability: one tracer per master, shared with every
+        #: component the master drives (never across masters — campaign
+        #: workers each build their own, so spans cannot interleave).
+        self.tracer = tracer if tracer is not None else Tracer()
         self.env_controller = EnvironmentController(
             self.sim, self.channel, emit=self._emit_env_event
         )
+        self.env_controller.tracer = self.tracer
+        self.channel.tracer = self.tracer
         self.channel.set_master_handler(self._on_node_upcall)
 
         self._run_events: Dict[int, List[Dict[str, Any]]] = {}
@@ -260,8 +277,15 @@ class ExperiMaster:
             Journal(self.store).record_run_aborted(
                 run_id, self._current_phase or "", f"{type(err).__name__}: {err}"
             )
-        except Exception:  # noqa: BLE001 - must never mask the real failure
-            pass
+        except Exception as journal_exc:  # noqa: BLE001 - never mask the real failure
+            self.tracer.record_error(
+                "journal_write", journal_exc, site="run_aborted", run_id=run_id
+            )
+            get_registry().counter(
+                "repro_suppressed_errors_total",
+                "Exceptions swallowed at continue-anyway boundaries",
+                labels=("site",),
+            ).inc(site="journal_run_aborted")
 
     # ------------------------------------------------------------------
     # Main experiment process
@@ -307,12 +331,14 @@ class ExperiMaster:
         self._attach_lease_stores(node_ids)
 
         # --- experiment initialization --------------------------------
+        init_span = self.tracer.start_span("experiment_init", nodes=len(node_ids))
         self.emit_master("experiment_init", params=(desc.name,))
         for node_id in node_ids:
             yield from self.channel.call(node_id, "experiment_init", desc.name)
         self.store.write_topology("before", self._topology_measurement(node_ids))
         self.plugins.experiment_init(self)
         self._start_heartbeat(node_ids)
+        init_span.end()
 
         # --- the run series --------------------------------------------
         executed_this_session = 0
@@ -340,6 +366,7 @@ class ExperiMaster:
                 yield self.sim.timeout(spacing)
 
         # --- experiment teardown ---------------------------------------
+        exit_span = self.tracer.start_span("experiment_collect", nodes=len(node_ids))
         if self.monitor is not None:
             self.monitor.stop()
         self.store.write_topology("after", self._topology_measurement(node_ids))
@@ -352,6 +379,8 @@ class ExperiMaster:
             self.store.write_node_experiment_events(node_id, data.get("events", []))
         self.emit_master("experiment_exit", params=(desc.name,))
         self.store.write_node_experiment_events(MASTER_NODE_ID, self._exp_events)
+        exit_span.end()
+        self.store.append_experiment_traces(self.tracer.drain(None))
         journal.record_experiment_complete()
         done.trigger(True)
 
@@ -430,6 +459,7 @@ class ExperiMaster:
             manager = self.platform.node_managers.get(node_id)
             if manager is None:
                 continue
+            manager.set_tracer(self.tracer)
             reconciled.extend(
                 manager.attach_lease_store(self.lease_store, ttl_margin=margin)
             )
@@ -447,8 +477,15 @@ class ExperiMaster:
         self.store.append_reconciled_leases(records)
         try:
             Journal(self.store).record_fault_leases_reconciled(records)
-        except Exception:  # noqa: BLE001 - diagnostics only
-            pass
+        except Exception as exc:  # noqa: BLE001 - diagnostics only
+            self.tracer.record_error(
+                "journal_write", exc, site="fault_leases_reconciled"
+            )
+            get_registry().counter(
+                "repro_suppressed_errors_total",
+                "Exceptions swallowed at continue-anyway boundaries",
+                labels=("site",),
+            ).inc(site="journal_leases_reconciled")
 
     def _topology_measurement(self, node_ids: List[str]) -> Dict[str, Any]:
         topology = self.platform.topology
@@ -485,6 +522,10 @@ class ExperiMaster:
         run = binding.run
         node_ids = [n.node_id for n in self.description.platform.nodes]
         self._current_run_id = run.run_id
+        self.tracer.current_run = run.run_id
+        run_span = self.tracer.start_span(
+            "run", run_id=run.run_id, replication=run.replication
+        )
         start_time = self.sim.now
         self.emit_master("run_init", params=(run.run_id,), run_id=run.run_id)
 
@@ -506,6 +547,15 @@ class ExperiMaster:
         self._current_phase = None
         self._current_binding = None
         self._current_run_id = None
+        run_span.end(timed_out=timed_out)
+        self.tracer.current_run = None
+        # Persist the run's spans through the same buffered writer path as
+        # events/packets; the collection writer has already closed, so the
+        # cleanup phase's own duration is included.
+        records = self.tracer.drain(run.run_id)
+        if records:
+            with self.store.run_writer(run.run_id) as writer:
+                writer.add_traces(MASTER_NODE_ID, records)
         return timed_out
 
     def _guard_phase(self, run_id: int, phase: str, gen, deadline: float):
@@ -518,23 +568,35 @@ class ExperiMaster:
         :class:`RunAbortedError` (journaled by :meth:`execute`).
         """
         self._current_phase = phase
+        span = self.tracer.start_span(phase, run_id=run_id)
         if deadline is None or deadline <= 0:
-            result = yield from gen
+            try:
+                result = yield from gen
+            except BaseException as exc:
+                span.end(status="error", error=f"{type(exc).__name__}: {exc}")
+                raise
+            span.end()
             return result
         proc = self.sim.process(gen, name=f"phase:{phase}:run{run_id}")
         expiry = self.sim.timeout(deadline, name=f"phase-deadline:{phase}")
-        fired, _value = yield self.sim.any_of(proc, expiry)
+        try:
+            fired, _value = yield self.sim.any_of(proc, expiry)
+        except BaseException as exc:
+            span.end(status="error", error=f"{type(exc).__name__}: {exc}")
+            raise
         if fired is expiry and not proc.triggered:
             self.emit_master(
                 "run_phase_deadline", params=(run_id, phase, deadline), run_id=run_id
             )
             if proc.alive:
                 proc.interrupt("phase_deadline")
+            span.end(status="error", error="phase_deadline", deadline=deadline)
             raise RunAbortedError(
                 f"run {run_id} {phase} phase exceeded its {deadline}s deadline",
                 run_id=run_id,
                 phase=phase,
             )
+        span.end()
         return proc.value
 
     # ---- preparation phase -------------------------------------------

@@ -239,6 +239,15 @@ class NodeManager:
     # ------------------------------------------------------------------
     # Fault leases (crash-safe revert; DESIGN.md §11)
     # ------------------------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        """Adopt the master's span tracer (:mod:`repro.obs.trace`).
+
+        The fault controller records its fault windows, lease churn and
+        swallowed revert errors there; a ``None`` tracer (standalone
+        NodeManager tests) simply records nothing.
+        """
+        self.faults.tracer = tracer
+
     def attach_lease_store(self, leases, ttl_margin: float = 0.0):
         """Attach the on-disk fault-lease store and sweep at startup.
 

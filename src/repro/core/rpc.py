@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.errors import RpcError, RpcFault, RpcTimeout, node_token
+from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     import random
@@ -216,12 +217,39 @@ class ControlChannel:
         # plus a list of one-shot per-call faults.
         self._down: Dict[str, str] = {}
         self._call_faults: List[Dict[str, Any]] = []
-        #: Total completed synchronous calls (overhead benchmarks).
+        #: Total completed synchronous calls (overhead benchmarks).  Kept
+        #: for API compatibility; the same tallies also feed the process
+        #: metrics registry (repro_rpc_* series).
         self.completed_calls = 0
         #: Calls that missed their deadline (including retried attempts).
         self.timed_out_calls = 0
         #: Retry attempts performed after a timeout or transport fault.
         self.retried_calls = 0
+        #: Master's span tracer (set by ExperiMaster); ``None`` = no spans.
+        self.tracer = None
+        # Declare the RPC metric families up front so every export carries
+        # them (HELP/TYPE) even for executions with zero retries/timeouts.
+        registry = get_registry()
+        registry.counter(
+            "repro_rpc_calls_total",
+            "Completed synchronous RPC calls",
+            labels=("method",),
+        )
+        registry.counter(
+            "repro_rpc_timeouts_total",
+            "RPC attempts that missed their deadline",
+            labels=("method",),
+        )
+        registry.counter(
+            "repro_rpc_retries_total",
+            "RPC retries after a timeout or transport fault",
+            labels=("method",),
+        )
+        registry.histogram(
+            "repro_rpc_call_seconds",
+            "RPC turnaround in experiment (simulation) seconds",
+            labels=("method",),
+        )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -345,6 +373,12 @@ class ControlChannel:
             attempts = self.retry.max_attempts
         request_xml = xmlrpc.client.dumps(tuple(args), method, allow_none=True)
 
+        registry = get_registry()
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        wall_start = tracer.clock() if tracing else 0.0
+        sim_start = self.sim.now
+
         for attempt in range(1, attempts + 1):
             done = self.sim.event(name=f"rpc:{node_id}.{method}")
             # Request propagation to the node...
@@ -359,10 +393,26 @@ class ControlChannel:
                     # The in-flight request is abandoned: a late response
                     # triggers the orphaned event, which nobody awaits.
                     self.timed_out_calls += 1
+                    registry.counter(
+                        "repro_rpc_timeouts_total",
+                        "RPC attempts that missed their deadline",
+                        labels=("method",),
+                    ).inc(method=method)
                     if attempt < attempts:
                         self.retried_calls += 1
+                        registry.counter(
+                            "repro_rpc_retries_total",
+                            "RPC retries after a timeout or transport fault",
+                            labels=("method",),
+                        ).inc(method=method)
                         yield self.sim.timeout(self.retry.delay(attempt))
                         continue
+                    if tracing:
+                        tracer.record(
+                            "rpc", wall_start, tracer.clock(), status="error",
+                            method=method, target=node_id, outcome="timeout",
+                            attempts=attempt, deadline=deadline,
+                        )
                     raise RpcTimeout(
                         f"rpc {method} to {node_token(node_id)} timed out after "
                         f"{deadline}s ({attempt} attempt(s))",
@@ -379,10 +429,40 @@ class ControlChannel:
                     # Transport-level refusal: the remote never executed,
                     # so retrying is safe regardless of idempotence.
                     self.retried_calls += 1
+                    registry.counter(
+                        "repro_rpc_retries_total",
+                        "RPC retries after a timeout or transport fault",
+                        labels=("method",),
+                    ).inc(method=method)
                     yield self.sim.timeout(self.retry.delay(attempt))
                     continue
+                if tracing:
+                    tracer.record(
+                        "rpc", wall_start, tracer.clock(), status="error",
+                        method=method, target=node_id, outcome="fault",
+                        attempts=attempt, fault_code=fault.faultCode,
+                        error=fault.faultString,
+                    )
                 raise RpcFault(fault.faultCode, fault.faultString) from None
             self.completed_calls += 1
+            registry.counter(
+                "repro_rpc_calls_total",
+                "Completed synchronous RPC calls",
+                labels=("method",),
+            ).inc(method=method)
+            registry.histogram(
+                "repro_rpc_call_seconds",
+                "RPC turnaround in experiment (simulation) seconds",
+                labels=("method",),
+            ).observe(self.sim.now - sim_start, method=method)
+            if tracing and attempt > 1:
+                # Only degraded-but-recovered calls get a span: every call
+                # would be noise, but a retried one is a diagnosis lead.
+                tracer.record(
+                    "rpc", wall_start, tracer.clock(), status="ok",
+                    method=method, target=node_id, outcome="retried",
+                    attempts=attempt,
+                )
             return result
 
     def _enqueue(self, node_id: str, method: str, request_xml: str, done) -> None:

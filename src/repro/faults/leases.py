@@ -43,6 +43,8 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry
+
 __all__ = ["FaultLeaseStore", "make_lease", "iter_lease_files"]
 
 
@@ -76,9 +78,25 @@ class FaultLeaseStore:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Live lease count per node as this store sees it — mirrors into
+        #: the ``repro_fault_leases_active`` gauge, so a stuck window (a
+        #: lease that never releases) is visible without reading files.
+        self._live: Dict[str, int] = {}
 
     def _path(self, node: str) -> Path:
         return self.root / f"{node}.jsonl"
+
+    def _track(self, node: str, delta: Optional[int]) -> None:
+        """Adjust the live count (``None`` resets after a reconcile)."""
+        if delta is None:
+            self._live[node] = 0
+        else:
+            self._live[node] = max(0, self._live.get(node, 0) + delta)
+        get_registry().gauge(
+            "repro_fault_leases_active",
+            "Fault leases currently held (acquired but not released)",
+            labels=("node",),
+        ).set(self._live[node], node=node)
 
     # ------------------------------------------------------------------
     # Writing (both appends are the crash-safety points: flush + fsync)
@@ -91,12 +109,14 @@ class FaultLeaseStore:
 
     def acquire(self, lease: Dict[str, Any]) -> None:
         self._append(lease["node"], {"op": "acquire", "lease": lease})
+        self._track(lease["node"], +1)
 
     def release(self, node: str, lease_id: str, released_at: float) -> None:
         self._append(
             node,
             {"op": "release", "lease_id": lease_id, "released_at": released_at},
         )
+        self._track(node, -1)
 
     # ------------------------------------------------------------------
     # Reading
@@ -156,6 +176,7 @@ class FaultLeaseStore:
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
             self._fsync_dir()
+        self._track(node, None)
         return leaked
 
     def _fsync_dir(self) -> None:

@@ -130,6 +130,22 @@ class EnvironmentController:
         self.last_pairs: List[Tuple[str, str]] = []
         #: Per-node errors swallowed by the last :meth:`cleanup` sweep.
         self.last_cleanup_errors: List[str] = []
+        #: Master's span tracer; swallowed sweep errors are recorded there
+        #: as ``error`` spans with full tracebacks (set by ExperiMaster).
+        self.tracer = None
+
+    def _record_swallowed(self, exc: Exception, node_id: str, call: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record_error(
+                "env_cleanup", exc, node=node_id, call=call, site="env_cleanup"
+            )
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(
+            "repro_suppressed_errors_total",
+            "Exceptions swallowed at continue-anyway boundaries",
+            labels=("site",),
+        ).inc(site="env_cleanup")
 
     # ------------------------------------------------------------------
     def execute(self, name: str, params: Dict[str, Any], ctx: EnvContext):
@@ -242,6 +258,7 @@ class EnvironmentController:
                 yield from self.channel.call(node_id, "traffic_stop")
             except Exception as exc:  # noqa: BLE001 - sweep must continue
                 self.last_cleanup_errors.append(f"{node_id}/traffic_stop: {exc}")
+                self._record_swallowed(exc, node_id, "traffic_stop")
         if traffic_nodes:
             self.emit("env_traffic_stopped", params=())
         for node_id in drop_all_nodes:
@@ -249,5 +266,6 @@ class EnvironmentController:
                 yield from self.channel.call(node_id, "drop_all_stop")
             except Exception as exc:  # noqa: BLE001 - sweep must continue
                 self.last_cleanup_errors.append(f"{node_id}/drop_all_stop: {exc}")
+                self._record_swallowed(exc, node_id, "drop_all_stop")
         if drop_all_nodes:
             self.emit("env_drop_all_stopped", params=())

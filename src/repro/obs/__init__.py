@@ -1,0 +1,58 @@
+"""Self-observability for the harness: tracing, metrics, trace analysis.
+
+The experiment framework measures the system under test with great care
+(Table I, conditioning, digests) but was itself a black box.  This
+package instruments the harness's *own* execution:
+
+* :mod:`repro.obs.trace` — lightweight span tracer.  Wall-clocked
+  (``time.perf_counter``), zero RNG draws, zero simulator interaction,
+  so instrumentation can stay on by default without perturbing the
+  deterministic results contract.
+* :mod:`repro.obs.metrics` — process-wide registry of counters, gauges
+  and fixed-bucket histograms, exportable as JSON and Prometheus text.
+* :mod:`repro.obs.analyze` — span-tree reconstruction, critical-path
+  walks and per-phase percentile aggregation over persisted traces.
+
+Digest neutrality is a hard guarantee, pinned by property tests: the
+level-3 Table I digest and the RNG draw schedule are byte-identical
+with tracing enabled, disabled, and under any ``--jobs`` count.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.trace import Span, Tracer, tracing_default_enabled
+
+from repro.obs.analyze import (
+    PHASE_SPANS,
+    build_span_tree,
+    critical_path,
+    format_critical_path,
+    format_tree,
+    phase_durations,
+    phase_statistics,
+    quantile,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "PHASE_SPANS",
+    "Span",
+    "Tracer",
+    "build_span_tree",
+    "critical_path",
+    "diff_snapshots",
+    "format_critical_path",
+    "format_tree",
+    "get_registry",
+    "phase_durations",
+    "phase_statistics",
+    "quantile",
+    "render_prometheus",
+    "set_registry",
+    "tracing_default_enabled",
+]

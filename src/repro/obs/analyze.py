@@ -1,0 +1,172 @@
+"""Offline analysis of persisted span records.
+
+Works on plain record dicts — the shape the tracer drains, the level-2
+``traces.jsonl`` stream stores, and :meth:`ExperimentDatabase.run_traces`
+returns — so the same helpers serve the CLI inspector, campaign
+summaries and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = [
+    "PHASE_SPANS",
+    "build_span_tree",
+    "critical_path",
+    "format_critical_path",
+    "format_tree",
+    "phase_durations",
+    "phase_statistics",
+    "quantile",
+]
+
+#: The per-run lifecycle phases the master instruments (paper Sec. IV:
+#: preparation, execution, clean-up).
+PHASE_SPANS = ("preparation", "execution", "cleanup")
+
+
+def _duration(rec: Mapping) -> float:
+    start = rec.get("start") or 0.0
+    end = rec.get("end")
+    return max(0.0, (end if end is not None else start) - start)
+
+
+def build_span_tree(records: Iterable[Mapping]) -> List[dict]:
+    """Nest records into ``{"record": rec, "children": [...]}`` trees.
+
+    Children are ordered by start time; records whose parent is missing
+    (drained separately, or the parent never closed) become roots.
+    """
+    nodes = [{"record": rec, "children": []} for rec in records]
+    by_id = {n["record"].get("span_id"): n for n in nodes}
+    roots: List[dict] = []
+    for node in nodes:
+        parent = by_id.get(node["record"].get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    def _sort(items: List[dict]) -> None:
+        items.sort(key=lambda n: (n["record"].get("start") or 0.0,
+                                  n["record"].get("span_id") or 0))
+        for item in items:
+            _sort(item["children"])
+    _sort(roots)
+    return roots
+
+
+def critical_path(records: Iterable[Mapping]) -> List[dict]:
+    """Walk the longest-duration chain root→leaf.
+
+    Starts at the longest root span and repeatedly descends into the
+    longest child.  Each step carries ``self_seconds`` — the span's
+    duration minus the chosen child's — so the report shows where time
+    is actually spent rather than just nested totals.
+    """
+    roots = build_span_tree(records)
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: _duration(n["record"]))
+    path: List[dict] = []
+    while node is not None:
+        rec = node["record"]
+        child = (
+            max(node["children"], key=lambda n: _duration(n["record"]))
+            if node["children"]
+            else None
+        )
+        child_seconds = _duration(child["record"]) if child is not None else 0.0
+        path.append(
+            {
+                "record": rec,
+                "seconds": _duration(rec),
+                "self_seconds": max(0.0, _duration(rec) - child_seconds),
+            }
+        )
+        node = child
+    return path
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile; 0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def phase_statistics(
+    durations_by_phase: Mapping[str, Sequence[float]],
+) -> Dict[str, Dict[str, float]]:
+    """count/p50/p95/mean/max per phase, phases in canonical order."""
+    out: Dict[str, Dict[str, float]] = {}
+    names = [p for p in PHASE_SPANS if p in durations_by_phase]
+    names += [p for p in sorted(durations_by_phase) if p not in PHASE_SPANS]
+    for name in names:
+        values = list(durations_by_phase[name])
+        if not values:
+            continue
+        out[name] = {
+            "count": len(values),
+            "p50": quantile(values, 0.50),
+            "p95": quantile(values, 0.95),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+    return out
+
+
+def phase_durations(records: Iterable[Mapping]) -> Dict[str, float]:
+    """Extract ``{phase: seconds}`` for one run's records."""
+    out: Dict[str, float] = {}
+    for rec in records:
+        name = rec.get("name")
+        if name in PHASE_SPANS:
+            out[name] = out.get(name, 0.0) + _duration(rec)
+    return out
+
+
+def _describe(rec: Mapping) -> str:
+    bits = [str(rec.get("name", "?"))]
+    attrs = rec.get("attrs") or {}
+    status = rec.get("status", "ok")
+    if status != "ok":
+        bits.append(f"[{status}]")
+    detail = ", ".join(
+        f"{k}={attrs[k]}" for k in sorted(attrs) if k not in ("traceback",)
+    )
+    if detail:
+        bits.append(f"({detail})")
+    return " ".join(bits)
+
+
+def format_tree(records: Iterable[Mapping]) -> List[str]:
+    """Indented text rendering of the span tree with durations."""
+    lines: List[str] = []
+
+    def _walk(node: dict, depth: int) -> None:
+        rec = node["record"]
+        lines.append(
+            f"{'  ' * depth}{_describe(rec)}  {_duration(rec) * 1000:.3f} ms"
+        )
+        for child in node["children"]:
+            _walk(child, depth + 1)
+
+    for root in build_span_tree(records):
+        _walk(root, 0)
+    return lines
+
+
+def format_critical_path(records: Iterable[Mapping]) -> List[str]:
+    lines: List[str] = []
+    for depth, step in enumerate(critical_path(records)):
+        rec = step["record"]
+        lines.append(
+            f"{'  ' * depth}{_describe(rec)}  "
+            f"total {step['seconds'] * 1000:.3f} ms, "
+            f"self {step['self_seconds'] * 1000:.3f} ms"
+        )
+    return lines

@@ -1,0 +1,276 @@
+"""Lightweight run-trace spans for the harness itself.
+
+A :class:`Tracer` collects *span records*: named wall-clock intervals
+with attributes, a parent link, and an optional run id.  It is built for
+one job — explaining where harness wall-clock goes and which errors were
+swallowed — under one constraint: it must be provably inert with respect
+to experiment results.
+
+Inertness by construction
+-------------------------
+* The clock is ``time.perf_counter`` (injectable for tests).  Spans
+  never read the simulator clock through a side effect and never draw
+  from any :class:`~repro.sim.rng.RngRegistry` stream, so the RNG
+  schedule is untouched whether tracing is on or off.
+* Records are buffered in memory and drained explicitly by the owner
+  (the master drains per run into the level-2 run writer).  Nothing in
+  the span path touches event emission, packet capture, or conditioning.
+* A disabled tracer short-circuits to no-ops; enabled and disabled
+  executions are pinned byte-identical at the level-3 Table I digest by
+  property tests.
+
+Each :class:`~repro.core.master.ExperiMaster` owns its own tracer so
+concurrent single-run masters inside one campaign worker process never
+interleave spans.  Components reached from the master (control channel,
+fault controllers, environment controller) get the instance handed to
+them; a ``None`` tracer is always legal and means "don't record".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback as _traceback
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "tracing_default_enabled", "TRACE_ENV_VAR"]
+
+#: Environment switch for the default-on instrumentation.  Anything in
+#: {"0", "false", "no", "off"} (case-insensitive) disables tracing.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FALSEY = frozenset({"0", "false", "no", "off"})
+
+
+def tracing_default_enabled() -> bool:
+    """Whether newly built tracers record, per ``REPRO_TRACE``."""
+    return os.environ.get(TRACE_ENV_VAR, "1").strip().lower() not in _FALSEY
+
+
+class Span:
+    """One open or finished interval.  Obtained from :class:`Tracer`.
+
+    Usable as a context manager (the common case) or ended manually via
+    :meth:`end` — the master's phase watchdog needs the manual form
+    because the phase outcome is only known after racing the deadline.
+    """
+
+    __slots__ = (
+        "tracer",
+        "span_id",
+        "parent_id",
+        "name",
+        "run_id",
+        "start",
+        "finish",
+        "status",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        run_id: Optional[int],
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.run_id = run_id
+        self.start = start
+        self.finish: Optional[float] = None
+        self.status = "ok"
+        self.attrs = attrs
+
+    @property
+    def closed(self) -> bool:
+        return self.finish is not None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after the span opened."""
+        if self.tracer is not None:
+            self.attrs.update(attrs)
+        return self
+
+    def end(self, status: Optional[str] = None, **attrs: Any) -> None:
+        if self.tracer is None or self.closed:
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        if status is not None:
+            self.status = status
+        self.tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.end(
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        else:
+            self.end()
+        # never suppress
+
+
+_NOOP_ATTRS: Dict[str, Any] = {}
+
+
+class Tracer:
+    """Collects span records; owned by one master (or campaign engine).
+
+    ``current_run`` is set by the owner around each run so spans opened
+    by shared components (RPC channel, fault controllers) are attributed
+    to the run in flight without threading a run id everywhere.
+    """
+
+    def __init__(
+        self,
+        enabled: Optional[bool] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        node: str = "master",
+    ) -> None:
+        self.enabled = tracing_default_enabled() if enabled is None else bool(enabled)
+        self.clock = clock
+        self.node = node
+        self.current_run: Optional[int] = None
+        self._next_id = 1
+        self._open: List[Span] = []
+        self._finished: List[Dict[str, Any]] = []
+
+    # -- recording ------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        run_id: Optional[int] = None,
+        node: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; caller must :meth:`Span.end` it (or use ``with``)."""
+        if not self.enabled:
+            return Span(None, 0, None, name, None, 0.0, _NOOP_ATTRS)
+        span = Span(
+            self,
+            self._next_id,
+            self._open[-1].span_id if self._open else None,
+            name,
+            self.current_run if run_id is None else run_id,
+            self.clock(),
+            dict(attrs),
+        )
+        if node is not None:
+            span.attrs["node"] = node
+        self._next_id += 1
+        self._open.append(span)
+        return span
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Context-manager form: ``with tracer.span("preparation"): ...``."""
+        return self.start_span(name, **attrs)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        status: str = "ok",
+        run_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record an interval that was timed externally (fault windows)."""
+        if not self.enabled:
+            return
+        span = Span(
+            self,
+            self._next_id,
+            self._open[-1].span_id if self._open else None,
+            name,
+            self.current_run if run_id is None else run_id,
+            start,
+            dict(attrs),
+        )
+        self._next_id += 1
+        span.finish = end
+        span.status = status
+        self._finished.append(self._to_record(span))
+
+    def record_error(self, name: str, exc: BaseException, **attrs: Any) -> None:
+        """Zero-length ``error`` span carrying the full traceback.
+
+        This is the sink for swallow-and-continue boundaries: the
+        handler may still suppress the exception, but the traceback
+        survives into the trace stream (and from there the L3
+        ``RunTraces`` table) instead of being reduced to one string.
+        """
+        if not self.enabled:
+            return
+        now = self.clock()
+        tb = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        self.record(
+            name,
+            now,
+            now,
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=tb,
+            **attrs,
+        )
+
+    def _finish(self, span: Span) -> None:
+        span.finish = self.clock()
+        try:
+            self._open.remove(span)
+        except ValueError:
+            pass
+        self._finished.append(self._to_record(span))
+
+    def _to_record(self, span: Span) -> Dict[str, Any]:
+        rec: Dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "run_id": span.run_id,
+            "node": span.attrs.pop("node", self.node),
+            "start": span.start,
+            "end": span.finish,
+            "status": span.status,
+        }
+        if span.attrs:
+            rec["attrs"] = span.attrs
+        return rec
+
+    # -- draining -------------------------------------------------------
+
+    def drain(self, run_id: Optional[int]) -> List[Dict[str, Any]]:
+        """Pop and return finished records attributed to *run_id*.
+
+        Records are returned ordered by ``(start, span_id)`` so the
+        persisted stream is stable regardless of end order.  Passing
+        ``None`` drains experiment-scope records (no run attribution).
+        """
+        keep: List[Dict[str, Any]] = []
+        out: List[Dict[str, Any]] = []
+        for rec in self._finished:
+            (out if rec["run_id"] == run_id else keep).append(rec)
+        self._finished = keep
+        out.sort(key=lambda r: (r["start"], r["span_id"]))
+        return out
+
+    def drain_all(self) -> List[Dict[str, Any]]:
+        out, self._finished = self._finished, []
+        out.sort(key=lambda r: (r["start"], r["span_id"]))
+        return out
+
+    def pending(self) -> int:
+        """Finished-but-undrained record count (diagnostic)."""
+        return len(self._finished)

@@ -24,10 +24,13 @@ Layout::
         runs/<run id>/
           events.jsonl
           packets.jsonl
+          traces.jsonl            # harness span records -> L3 RunTraces
           extra/<plugin>.json     # plugins' separate storage location
       eefiles/<name>              # executables/artefacts (EEFiles table)
       leases/<node>.jsonl         # fault leases (repro.faults.leases)
       master/fault_leases.jsonl   # reconciled-leak log -> L3 FaultLeases
+      master/traces.jsonl         # experiment-scope span records
+      metrics.json                # metrics registry snapshot (repro metrics)
       quarantine/...              # salvage mode's bad-record sidecar
 
 Everything is JSON-on-disk: human-inspectable, diff-able, and exactly what
@@ -187,6 +190,14 @@ class RunWriter:
 
     def add_packets(self, node_id: str, records: List[Dict[str, Any]]) -> None:
         self.append(node_id, "packets.jsonl", records)
+
+    def add_traces(self, node_id: str, records: List[Dict[str, Any]]) -> None:
+        """Harness span records (:mod:`repro.obs.trace`) for this run.
+
+        Same CRC-framed buffered path as events/packets; the records feed
+        the L3 ``RunTraces`` extension table, never Table I.
+        """
+        self.append(node_id, "traces.jsonl", records)
 
     # ------------------------------------------------------------------
     def _flush_stream(self, key: Tuple[str, str]) -> None:
@@ -372,6 +383,10 @@ class Level2Store:
     def read_run_packets(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
         return self._read_stream(node_id, run_id, "packets.jsonl")
 
+    def read_run_traces(self, node_id: str, run_id: int) -> List[Dict[str, Any]]:
+        """Span records one node (usually the master) persisted for a run."""
+        return self._read_stream(node_id, run_id, "traces.jsonl")
+
     def _read_stream(self, node_id: str, run_id: int, stream: str) -> List[Dict[str, Any]]:
         """Read one run stream, honouring the store's salvage mode."""
         path = self._node_dir(node_id) / "runs" / str(run_id) / stream
@@ -457,6 +472,33 @@ class Level2Store:
 
     def read_reconciled_leases(self) -> List[Dict[str, Any]]:
         return _read_jsonl(self.fault_lease_log_path, drop_corrupt_tail=True)
+
+    # ------------------------------------------------------------------
+    # Harness observability (spans outside any run; metrics snapshot)
+    # ------------------------------------------------------------------
+    @property
+    def experiment_trace_path(self) -> Path:
+        return self.root / "master" / "traces.jsonl"
+
+    def append_experiment_traces(self, records: List[Dict[str, Any]]) -> None:
+        """Experiment-scope spans (``experiment_init``, collection, ...)."""
+        if records:
+            _append_jsonl(self.experiment_trace_path, records)
+
+    def read_experiment_traces(self) -> List[Dict[str, Any]]:
+        return _read_jsonl(self.experiment_trace_path, drop_corrupt_tail=True)
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.root / "metrics.json"
+
+    def write_metrics(self, snapshot: Dict[str, Any]) -> Path:
+        """Persist a metrics-registry snapshot for ``repro metrics``."""
+        _write_json(self.metrics_path, snapshot)
+        return self.metrics_path
+
+    def read_metrics(self) -> Dict[str, Any]:
+        return _read_json(self.metrics_path) if self.metrics_path.exists() else {}
 
     # ------------------------------------------------------------------
     # Salvage (DESIGN.md §11)

@@ -58,6 +58,7 @@ __all__ = [
     "insert_experiment_scope",
     "insert_run",
     "insert_fault_leases",
+    "insert_run_traces",
     "insert_salvage_info",
     "store_level3",
     "ExperimentDatabase",
@@ -141,10 +142,14 @@ EXTENSION_TABLES: Dict[str, List[str]] = {
     "SalvageInfo": [
         "RunID", "NodeID", "Stream", "RecordsKept", "RecordsDropped", "Reason",
     ],
+    "RunTraces": [
+        "RunID", "NodeID", "SpanID", "ParentID", "Name",
+        "StartTime", "EndTime", "Status", "Attrs",
+    ],
 }
 
 #: Extension tables keyed by run id (campaign merge reorders these too).
-EXTENSION_RUN_TABLES = ("FaultLeases", "SalvageInfo")
+EXTENSION_RUN_TABLES = ("FaultLeases", "SalvageInfo", "RunTraces")
 
 _EXTENSION_DDL = """
 CREATE TABLE FaultLeases (
@@ -165,6 +170,18 @@ CREATE TABLE SalvageInfo (
     RecordsDropped INTEGER NOT NULL,
     Reason         TEXT NOT NULL
 );
+CREATE TABLE RunTraces (
+    RunID     INTEGER,
+    NodeID    TEXT NOT NULL,
+    SpanID    INTEGER NOT NULL,
+    ParentID  INTEGER,
+    Name      TEXT NOT NULL,
+    StartTime REAL NOT NULL,
+    EndTime   REAL NOT NULL,
+    Status    TEXT NOT NULL,
+    Attrs     TEXT NOT NULL
+);
+CREATE INDEX idx_runtraces_run ON RunTraces (RunID, Name);
 """
 
 
@@ -367,6 +384,32 @@ def insert_salvage_info(conn: sqlite3.Connection, records: List[Dict[str, Any]])
     )
 
 
+def insert_run_traces(conn: sqlite3.Connection, records: List[Dict[str, Any]]) -> None:
+    """Insert harness span records (level-2 ``traces.jsonl`` streams) into
+    the RunTraces side table.  Like the other extension tables this never
+    feeds the Table-I digest — the span payload carries wall-clock
+    timings, which are execution-specific by nature."""
+    conn.executemany(
+        "INSERT INTO RunTraces "
+        "(RunID, NodeID, SpanID, ParentID, Name, StartTime, EndTime, Status, Attrs) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            (
+                rec.get("run_id"),
+                rec.get("node", "master"),
+                rec.get("span_id", 0),
+                rec.get("parent_id"),
+                rec.get("name", ""),
+                rec.get("start", 0.0),
+                rec.get("end", rec.get("start", 0.0)),
+                rec.get("status", "ok"),
+                json.dumps(rec.get("attrs", {}), sort_keys=True),
+            )
+            for rec in records
+        ),
+    )
+
+
 def store_level3(source, db_path) -> Path:
     """Condition *source* and write the level-3 SQLite package.
 
@@ -409,6 +452,15 @@ def store_level3(source, db_path) -> Path:
             # pass salvaged (non-empty only with source.salvage=True).
             insert_fault_leases(conn, source.read_reconciled_leases())
             insert_salvage_info(conn, source.salvage_records())
+            # Harness spans: per-run streams first (run id ascending, node
+            # ascending, file order within), then experiment-scope spans.
+            node_ids = source.node_ids()
+            for run_id in source.run_ids():
+                for node_id in node_ids:
+                    insert_run_traces(
+                        conn, source.read_run_traces(node_id, run_id)
+                    )
+            insert_run_traces(conn, source.read_experiment_traces())
         else:
             insert_salvage_info(conn, scope.salvage_records)
         conn.execute("COMMIT")
@@ -737,6 +789,41 @@ class ExperimentDatabase:
         except sqlite3.OperationalError:  # old schema without the table
             return []
         return [dict(row) for row in rows]
+
+    def run_traces(self, run_id: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Harness span records, as the tracer drained them.
+
+        ``run_id=None`` returns every row including experiment-scope
+        spans (``RunID IS NULL``).  Empty — not an error — for databases
+        built before the table existed or with tracing disabled.
+        """
+        query = (
+            "SELECT RunID, NodeID, SpanID, ParentID, Name, "
+            "StartTime, EndTime, Status, Attrs FROM RunTraces"
+        )
+        args: List[Any] = []
+        if run_id is not None:
+            query += " WHERE RunID = ?"
+            args.append(run_id)
+        query += " ORDER BY RunID, StartTime, SpanID"
+        try:
+            rows = self.conn.execute(query, args).fetchall()
+        except sqlite3.OperationalError:  # old schema without the table
+            return []
+        return [
+            {
+                "run_id": row["RunID"],
+                "node": row["NodeID"],
+                "span_id": row["SpanID"],
+                "parent_id": row["ParentID"],
+                "name": row["Name"],
+                "start": row["StartTime"],
+                "end": row["EndTime"],
+                "status": row["Status"],
+                "attrs": json.loads(row["Attrs"]) if row["Attrs"] else {},
+            }
+            for row in rows
+        ]
 
     def extra_measurements(self, run_id: int) -> Dict[str, Dict[str, Any]]:
         out: Dict[str, Dict[str, Any]] = {}

@@ -1,0 +1,181 @@
+"""Property tests: 16-bit tag wrap-around through the packet analysis.
+
+The tagger's identifier space wraps at 65536 (Sec. VI-A); these tests
+drive synthetic tag sequences that start near the modulus and wrap
+multiple times per run through :mod:`repro.analysis.packetstats`,
+asserting that loss and delay come out exactly right anyway — distinct
+packets must never alias onto one tag key.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.packetstats import tag_loss_between, tagged_observations
+from repro.net.packet import Packet
+from repro.net.tagger import (
+    TAG_MODULUS,
+    TAG_NODE_OPTION,
+    TAG_OPTION,
+    PacketTagger,
+    unwrap_tags,
+)
+
+
+def _packet():
+    return Packet("10.0.0.1", "10.0.0.2", 1, 2, payload=None)
+
+
+# ----------------------------------------------------------------------
+# The tagger itself
+# ----------------------------------------------------------------------
+def test_tagger_counter_wraps_at_modulus():
+    tagger = PacketTagger("a", start=TAG_MODULUS - 2)
+    tags = []
+    for _ in range(5):
+        p = _packet()
+        assert tagger.tag(p)
+        tags.append(p.options[TAG_OPTION])
+    assert tags == [TAG_MODULUS - 2, TAG_MODULUS - 1, 0, 1, 2]
+    assert tagger.tagged_count == 5
+    assert unwrap_tags(tags) == [
+        TAG_MODULUS - 2,
+        TAG_MODULUS - 1,
+        TAG_MODULUS,
+        TAG_MODULUS + 1,
+        TAG_MODULUS + 2,
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_unwrap_tags_recovers_any_slow_sequence(seed):
+    """Unwrapping inverts ``% TAG_MODULUS`` for every increasing sequence
+    whose successive gaps stay below half the tag space (RFC 1982)."""
+    rng = random.Random(seed)
+    value = rng.randrange(TAG_MODULUS)
+    truth = []
+    for _ in range(400):
+        truth.append(value)
+        value += rng.randrange(1, TAG_MODULUS // 2)
+    unwrapped = unwrap_tags([v % TAG_MODULUS for v in truth])
+    assert [u - unwrapped[0] for u in unwrapped] == [t - truth[0] for t in truth]
+
+
+def test_unwrap_tags_tolerates_reordering():
+    # 65535 arriving after 1 is an older tag, not another full epoch.
+    assert unwrap_tags([TAG_MODULUS - 1, 1, 0, 2]) == [
+        TAG_MODULUS - 1,
+        TAG_MODULUS + 1,
+        TAG_MODULUS,
+        TAG_MODULUS + 2,
+    ]
+
+
+def test_unwrap_tags_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        unwrap_tags([TAG_MODULUS])
+    with pytest.raises(ValueError):
+        unwrap_tags([-1])
+
+
+# ----------------------------------------------------------------------
+# Wrapped sequences through the analysis
+# ----------------------------------------------------------------------
+def _tagged_stream(seed, start, count, max_gap):
+    """Synthetic unwrapped tag timeline: (unwrapped_tag, send_time)."""
+    rng = random.Random(seed)
+    sequence = []
+    tag = start
+    t = 1.0
+    for _ in range(count):
+        sequence.append((tag, round(t, 6)))
+        tag += rng.randrange(1, max_gap)
+        t += 0.01
+    return sequence
+
+
+def _capture(sequence, origin, observer, delay, drop):
+    """TX records on *origin* plus RX records on *observer* (minus drops)."""
+    packets = []
+    for tag, t in sequence:
+        opts = {TAG_OPTION: tag % TAG_MODULUS, TAG_NODE_OPTION: origin}
+        packets.append({"node": origin, "direction": "tx", "common_time": t,
+                        "options": dict(opts)})
+        if tag not in drop:
+            packets.append({"node": observer, "direction": "rx",
+                            "common_time": t + delay, "options": dict(opts)})
+    return packets
+
+
+@pytest.mark.parametrize("start", [0, TAG_MODULUS - 3, TAG_MODULUS - 40000])
+@pytest.mark.parametrize("seed", [11, 12])
+def test_multiple_wraps_never_alias_tags(start, seed):
+    # Gap ceiling: real taggers increment by one, so even with isolated
+    # losses the observer's successive deltas stay far below half the tag
+    # space — the bound serial unwrapping needs (two merged gaps must not
+    # exceed TAG_MODULUS / 2).
+    sequence = _tagged_stream(seed, start, count=300, max_gap=TAG_MODULUS // 4 - 1)
+    span = sequence[-1][0] - sequence[0][0]
+    assert span > 2 * TAG_MODULUS  # the run wraps the 16-bit space 2+ times
+    drop = {tag for idx, (tag, _) in enumerate(sequence) if idx % 17 == 0}
+    packets = _capture(sequence, "a", "b", delay=0.002, drop=drop)
+    rng = random.Random(seed)
+    rng.shuffle(packets)  # capture files are not sorted; analysis must be
+
+    out = tag_loss_between(packets, "a", "b")
+    assert out["sent"] == len(sequence)
+    assert out["received"] == len(sequence) - len(drop)
+    assert out["loss_rate"] == pytest.approx(len(drop) / len(sequence))
+    # Every matched pair is a true pair: one-way delay is exact.
+    assert out["delay"]["min"] == pytest.approx(0.002)
+    assert out["delay"]["max"] == pytest.approx(0.002)
+
+
+def test_same_residue_in_different_epochs_stays_distinct():
+    """The regression this file pins: tag k and tag k+65536 are different
+    packets.  Keying observations by the raw 16-bit value folded them
+    together, under-counting ``sent`` and pairing a late RX with an early
+    TX."""
+    sequence = []
+    t = 1.0
+    for tag in list(range(TAG_MODULUS - 6, TAG_MODULUS + 10)):  # first wrap
+        sequence.append((tag, t))
+        t += 0.01
+    bridge = TAG_MODULUS + 10
+    while bridge < 2 * TAG_MODULUS - 6:  # keep gaps under half the space
+        sequence.append((bridge, t))
+        t += 0.01
+        bridge += 30000
+    for tag in list(range(2 * TAG_MODULUS - 6, 2 * TAG_MODULUS + 10)):
+        sequence.append((tag, t))  # second wrap: residues repeat
+        t += 0.01
+
+    residues = [tag % TAG_MODULUS for tag, _ in sequence]
+    assert len(set(residues)) < len(residues)  # collisions by construction
+
+    packets = _capture(sequence, "a", "b", delay=0.003, drop=set())
+    obs = tagged_observations(packets, "a")
+    assert len(obs["a"]) == len(sequence)
+    assert len(obs["b"]) == len(sequence)
+    out = tag_loss_between(packets, "a", "b")
+    assert out["sent"] == len(sequence)
+    assert out["received"] == len(sequence)
+    assert out["loss_rate"] == 0.0
+    assert out["delay"]["max"] == pytest.approx(0.003)
+
+
+def test_late_observer_aligns_to_the_origins_epoch():
+    """An observer that only tunes in after a wrap must still match the
+    origin's numbering (origin-anchored alignment)."""
+    sequence = _tagged_stream(21, TAG_MODULUS - 10, count=80, max_gap=3000)
+    late_from = sequence[40][1]
+    packets = _capture(sequence, "a", "b", delay=0.004, drop=set())
+    packets = [
+        rec for rec in packets
+        if rec["node"] == "a" or rec["common_time"] >= late_from
+    ]
+    out = tag_loss_between(packets, "a", "b")
+    assert out["sent"] == len(sequence)
+    assert out["received"] == 40
+    assert out["delay"]["min"] == pytest.approx(0.004)
+    assert out["delay"]["max"] == pytest.approx(0.004)

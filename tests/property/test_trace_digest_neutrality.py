@@ -1,0 +1,118 @@
+"""The observability layer is provably inert.
+
+Tracing and metrics are on by default, so the burden of proof is theirs:
+with tracing on, off, or any worker count, the level-3 Table-I digest and
+the complete RNG schedule (the end state of every named stream the
+platform drew from) must be byte-identical.  Span persistence may only
+add rows to the ``RunTraces`` extension table, which the digest excludes
+by design.
+"""
+
+import sqlite3
+
+from repro.campaign import database_digest, run_campaign
+from repro.core.master import ExperiMaster
+from repro.obs.trace import TRACE_ENV_VAR
+from repro.platforms.simulated import SimulatedPlatform
+from repro.sd.processlib import build_two_party_description
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import store_level3
+
+
+def _description(seed=501, replications=6):
+    return build_two_party_description(
+        name="trace-neutrality", seed=seed, replications=replications, env_count=1
+    )
+
+
+def _rng_schedule(platform):
+    """End state of every RNG stream the execution touched.
+
+    Any extra draw anywhere — one ``random()`` call from the tracing
+    path — shifts the state of the stream it came from.
+    """
+    states = {
+        repr(key): rng.getstate()
+        for key, rng in platform.rngs._streams.items()
+    }
+    states["channel"] = platform.channel.rng.getstate()
+    states["medium"] = platform.medium.rng.getstate()
+    return states
+
+
+def _execute(tmp_path, monkeypatch, trace_value):
+    monkeypatch.setenv(TRACE_ENV_VAR, trace_value)
+    desc = _description()
+    platform = SimulatedPlatform(desc)
+    master = ExperiMaster(platform, desc, Level2Store(tmp_path / "l2"))
+    result = master.execute()
+    db_path = store_level3(result.store, tmp_path / "exp.db")
+    return database_digest(db_path), _rng_schedule(platform), db_path
+
+
+def _run_trace_rows(db_path):
+    conn = sqlite3.connect(str(db_path))
+    try:
+        return conn.execute("SELECT COUNT(*) FROM RunTraces").fetchone()[0]
+    finally:
+        conn.close()
+
+
+def test_digest_and_rng_schedule_identical_tracing_on_off(tmp_path, monkeypatch):
+    digest_on, rng_on, db_on = _execute(tmp_path / "on", monkeypatch, "1")
+    digest_off, rng_off, db_off = _execute(tmp_path / "off", monkeypatch, "0")
+    assert digest_on == digest_off
+    assert rng_on == rng_off
+    # Tracing is not silently dead — it wrote spans, outside the digest.
+    assert _run_trace_rows(db_on) > 0
+    assert _run_trace_rows(db_off) == 0
+
+
+def test_campaign_digest_identical_for_tracing_and_jobs(tmp_path, monkeypatch):
+    digests = {}
+    for label, trace_value, jobs in (
+        ("on-j1", "1", 1),
+        ("on-j2", "1", 2),
+        ("off-j2", "0", 2),
+    ):
+        monkeypatch.setenv(TRACE_ENV_VAR, trace_value)
+        db_path = tmp_path / f"{label}.db"
+        run_campaign(
+            _description(),
+            tmp_path / label,
+            db_path=db_path,
+            jobs=jobs,
+            pool="thread",
+        )
+        digests[label] = database_digest(db_path)
+    assert len(set(digests.values())) == 1
+    # Per-run spans rode the shard merge into the merged database.
+    assert _run_trace_rows(tmp_path / "on-j1.db") > 0
+    assert _run_trace_rows(tmp_path / "on-j2.db") > 0
+    assert _run_trace_rows(tmp_path / "off-j2.db") == 0
+
+
+def test_traced_phase_spans_cover_every_run(tmp_path, monkeypatch):
+    monkeypatch.setenv(TRACE_ENV_VAR, "1")
+    _, _, db_path = _execute(tmp_path, monkeypatch, "1")
+    conn = sqlite3.connect(str(db_path))
+    try:
+        rows = conn.execute(
+            "SELECT RunID, Name, COUNT(*) FROM RunTraces "
+            "WHERE Name IN ('preparation', 'execution', 'cleanup') "
+            "GROUP BY RunID, Name"
+        ).fetchall()
+        run_count = conn.execute(
+            "SELECT COUNT(DISTINCT RunID) FROM RunInfos"
+        ).fetchone()[0]
+    finally:
+        conn.close()
+    by_run = {}
+    for run_id, name, count in rows:
+        by_run.setdefault(run_id, set()).add(name)
+        assert count == 1, (run_id, name)
+    assert len(by_run) == run_count
+    assert all(
+        phases == {"preparation", "execution", "cleanup"}
+        for phases in by_run.values()
+    )

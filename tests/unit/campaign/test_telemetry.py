@@ -79,3 +79,96 @@ def test_worker_summary_is_sorted_and_complete():
     assert list(summary["workers"]) == ["w0", "w1"]
     assert summary["workers"]["w1"]["completed"] == 2
     assert summary["completed"] == 3
+
+
+# ----------------------------------------------------------------------
+# Regressions: uninitialized start time and stale WorkerStatus.since
+# ----------------------------------------------------------------------
+def test_throughput_zero_before_campaign_started():
+    """A completion callback before campaign_started() must not divide by
+    the monotonic clock's arbitrary origin (used to yield a near-zero rate
+    and an ETA of days)."""
+    t, clock = _telemetry(total=10)
+    clock.now = 9000.0  # far from zero, like any real monotonic reading
+    t.run_started(0, "w0")
+    t.run_completed(0, "w0", duration=1.0)
+    assert t.started_at is None
+    assert t.throughput() == 0.0
+    assert t.eta_seconds() is None
+    # The progress line must not advertise a bogus ETA either.
+    assert "eta" not in t.progress_line()
+
+
+def test_eta_uses_this_sessions_rate_after_start():
+    t, clock = _telemetry(total=10)
+    clock.now = 9000.0
+    t.campaign_started()
+    clock.now += 4.0
+    t.run_started(0, "w0")
+    t.run_completed(0, "w0", duration=4.0)
+    assert t.throughput() == 1 / 4.0
+    assert t.eta_seconds() == (10 - 1) / (1 / 4.0)
+
+
+def test_worker_since_resets_on_completion():
+    t, clock = _telemetry()
+    t.campaign_started()
+    t.run_started(0, "w0")
+    started_since = t.workers["w0"].since
+    clock.now += 3.0
+    t.run_completed(0, "w0", duration=3.0)
+    status = t.workers["w0"]
+    assert status.run_id is None
+    assert status.since == clock.now != started_since
+    clock.now += 2.0
+    t.run_started(1, "w0")
+    assert t.workers["w0"].since == clock.now
+
+
+def test_worker_since_resets_on_failure():
+    t, clock = _telemetry()
+    t.campaign_started()
+    t.run_started(0, "w0")
+    clock.now += 1.5
+    t.run_failed(0, "w0", "boom", requeued=True)
+    assert t.workers["w0"].since == clock.now
+    assert t.workers["w0"].run_id is None
+
+
+def test_busy_seconds_accumulates_per_worker():
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    registry = MetricsRegistry()
+    set_registry(registry)
+    try:
+        t, clock = _telemetry()
+        t.campaign_started()
+        t.run_started(0, "w0")
+        clock.now += 2.0
+        t.run_completed(0, "w0", duration=2.0)
+        t.run_started(1, "w0")
+        clock.now += 3.0
+        t.run_failed(1, "w0", "boom", requeued=False)
+        # An idle->idle transition (no run in flight) adds nothing.
+        t.run_failed(99, "w0", "spurious", requeued=False)
+        status = t.workers["w0"]
+        assert status.busy_seconds == 5.0
+        gauge = registry.gauge(
+            "repro_campaign_worker_busy_seconds", labels=("worker",)
+        )
+        assert gauge.value(worker="w0") == 5.0
+        assert t.summary()["workers"]["w0"]["busy_seconds"] == 5.0
+    finally:
+        set_registry(None)
+
+
+def test_phase_aggregation_in_summary():
+    t, _ = _telemetry()
+    t.campaign_started()
+    t.run_phases({"preparation": 1.0, "execution": 4.0})
+    t.run_phases({"preparation": 3.0, "execution": 2.0, "cleanup": 0.5})
+    phases = t.summary()["phases"]
+    assert list(phases) == ["preparation", "execution", "cleanup"]
+    assert phases["preparation"]["count"] == 2
+    assert phases["preparation"]["p50"] == 1.0
+    assert phases["execution"]["max"] == 4.0

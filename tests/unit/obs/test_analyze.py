@@ -1,0 +1,109 @@
+"""Unit tests for offline span analysis."""
+
+import pytest
+
+from repro.obs.analyze import (
+    build_span_tree,
+    critical_path,
+    format_critical_path,
+    format_tree,
+    phase_durations,
+    phase_statistics,
+    quantile,
+)
+
+
+def _rec(span_id, name, start, end, parent=None, **attrs):
+    rec = {
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "run_id": 0,
+        "node": "master",
+        "start": start,
+        "end": end,
+        "status": "ok",
+    }
+    if attrs:
+        rec["attrs"] = attrs
+    return rec
+
+
+def _run_records():
+    return [
+        _rec(1, "run", 0.0, 10.0),
+        _rec(2, "preparation", 0.0, 2.0, parent=1),
+        _rec(3, "execution", 2.0, 9.0, parent=1),
+        _rec(4, "rpc", 2.5, 3.0, parent=3),
+        _rec(5, "cleanup", 9.0, 10.0, parent=1),
+    ]
+
+
+def test_build_span_tree_nests_and_orders():
+    roots = build_span_tree(_run_records())
+    assert len(roots) == 1
+    names = [c["record"]["name"] for c in roots[0]["children"]]
+    assert names == ["preparation", "execution", "cleanup"]
+    execution = roots[0]["children"][1]
+    assert execution["children"][0]["record"]["name"] == "rpc"
+
+
+def test_orphan_parent_becomes_root():
+    records = [_rec(7, "rpc", 1.0, 2.0, parent=99)]
+    roots = build_span_tree(records)
+    assert len(roots) == 1 and roots[0]["record"]["name"] == "rpc"
+
+
+def test_critical_path_descends_longest_child():
+    path = critical_path(_run_records())
+    assert [step["record"]["name"] for step in path] == ["run", "execution", "rpc"]
+    assert path[0]["seconds"] == pytest.approx(10.0)
+    assert path[0]["self_seconds"] == pytest.approx(3.0)  # 10 - execution's 7
+    assert path[1]["self_seconds"] == pytest.approx(6.5)  # 7 - rpc's 0.5
+
+
+def test_quantile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert quantile(values, 0.50) == 2.0
+    assert quantile(values, 0.95) == 4.0
+    assert quantile([], 0.5) == 0.0
+    assert quantile([7.0], 0.95) == 7.0
+
+
+def test_phase_statistics_canonical_order_first():
+    stats = phase_statistics(
+        {"cleanup": [1.0], "custom": [5.0], "preparation": [2.0, 4.0]}
+    )
+    assert list(stats) == ["preparation", "cleanup", "custom"]
+    assert stats["preparation"]["count"] == 2
+    assert stats["preparation"]["p50"] == 2.0
+    assert stats["preparation"]["max"] == 4.0
+
+
+def test_phase_durations_sums_phase_spans_only():
+    durations = phase_durations(_run_records())
+    assert durations == {
+        "preparation": pytest.approx(2.0),
+        "execution": pytest.approx(7.0),
+        "cleanup": pytest.approx(1.0),
+    }
+
+
+def test_format_tree_and_critical_path_render():
+    tree_lines = format_tree(_run_records())
+    assert tree_lines[0].startswith("run")
+    assert any(line.startswith("  preparation") for line in tree_lines)
+    cp_lines = format_critical_path(_run_records())
+    assert "total 10000.000 ms" in cp_lines[0]
+    assert cp_lines[-1].lstrip().startswith("rpc")
+
+
+def test_format_hides_tracebacks_but_shows_status():
+    records = [
+        _rec(1, "fault_revert", 1.0, 1.0),
+    ]
+    records[0]["status"] = "error"
+    records[0]["attrs"] = {"error": "RuntimeError: x", "traceback": "Traceback..."}
+    (line,) = format_tree(records)
+    assert "[error]" in line
+    assert "Traceback" not in line

@@ -1,0 +1,136 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.trace import TRACE_ENV_VAR, Span, Tracer, tracing_default_enabled
+
+
+class StepClock:
+    def __init__(self):
+        self.now = 10.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def _tracer():
+    return Tracer(enabled=True, clock=StepClock())
+
+
+def test_span_records_interval_and_attrs():
+    tracer = _tracer()
+    with tracer.span("experiment_init", nodes=3):
+        pass
+    (rec,) = tracer.drain(None)
+    assert rec["name"] == "experiment_init"
+    assert rec["status"] == "ok"
+    assert rec["end"] > rec["start"]
+    assert rec["attrs"] == {"nodes": 3}
+    assert rec["node"] == "master"
+
+
+def test_nesting_sets_parent_ids():
+    tracer = _tracer()
+    with tracer.span("run") as outer:
+        with tracer.span("preparation") as inner:
+            pass
+    recs = tracer.drain(None)
+    by_name = {r["name"]: r for r in recs}
+    assert by_name["run"]["parent_id"] is None
+    assert by_name["preparation"]["parent_id"] == outer.span_id
+    assert inner.span_id != outer.span_id
+
+
+def test_current_run_attribution_and_drain_partition():
+    tracer = _tracer()
+    with tracer.span("experiment_init"):
+        pass
+    tracer.current_run = 7
+    with tracer.span("execution"):
+        pass
+    tracer.current_run = None
+    run_recs = tracer.drain(7)
+    assert [r["name"] for r in run_recs] == ["execution"]
+    assert run_recs[0]["run_id"] == 7
+    exp_recs = tracer.drain(None)
+    assert [r["name"] for r in exp_recs] == ["experiment_init"]
+    assert tracer.pending() == 0
+
+
+def test_drain_orders_by_start_time():
+    tracer = _tracer()
+    # End order is inner-first; drain order must be start order.
+    outer = tracer.start_span("run")
+    inner = tracer.start_span("preparation")
+    inner.end()
+    outer.end()
+    recs = tracer.drain(None)
+    assert [r["name"] for r in recs] == ["run", "preparation"]
+
+
+def test_exception_marks_error_and_propagates():
+    tracer = _tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("execution"):
+            raise ValueError("boom")
+    (rec,) = tracer.drain(None)
+    assert rec["status"] == "error"
+    assert rec["attrs"]["error"] == "ValueError: boom"
+
+
+def test_record_error_carries_traceback():
+    tracer = _tracer()
+    try:
+        raise RuntimeError("swallowed")
+    except RuntimeError as exc:
+        tracer.record_error("fault_revert", exc, site="stop_all")
+    (rec,) = tracer.drain(None)
+    assert rec["status"] == "error"
+    assert rec["start"] == rec["end"]
+    assert rec["attrs"]["site"] == "stop_all"
+    assert "RuntimeError: swallowed" in rec["attrs"]["traceback"]
+    assert "raise RuntimeError" in rec["attrs"]["traceback"]
+
+
+def test_manual_end_with_status_and_double_end():
+    tracer = _tracer()
+    span = tracer.start_span("preparation", run_id=3)
+    span.end(status="error", error="phase_deadline")
+    span.end()  # second end must be a no-op
+    recs = tracer.drain(3)
+    assert len(recs) == 1
+    assert recs[0]["status"] == "error"
+
+
+def test_disabled_tracer_is_inert():
+    tracer = Tracer(enabled=False)
+    with tracer.span("run", replication=1) as span:
+        span.set(more=2)
+    tracer.record("fault_window", 0.0, 1.0, kind="drop")
+    try:
+        raise RuntimeError("x")
+    except RuntimeError as exc:
+        tracer.record_error("boundary", exc)
+    assert tracer.drain(None) == []
+    assert tracer.drain_all() == []
+    assert isinstance(span, Span)
+
+
+def test_env_var_disables_default(monkeypatch):
+    monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+    assert tracing_default_enabled()
+    for value in ("0", "false", "OFF", "no"):
+        monkeypatch.setenv(TRACE_ENV_VAR, value)
+        assert not tracing_default_enabled()
+        assert not Tracer().enabled
+    monkeypatch.setenv(TRACE_ENV_VAR, "1")
+    assert Tracer().enabled
+
+
+def test_record_external_interval():
+    tracer = _tracer()
+    tracer.record("fault_window", 5.0, 9.0, run_id=2, kind="drop", hits=4)
+    (rec,) = tracer.drain(2)
+    assert rec["start"] == 5.0 and rec["end"] == 9.0
+    assert rec["attrs"]["kind"] == "drop"

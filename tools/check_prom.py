@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (format 0.0.4) read from a file
+or stdin.
+
+Checks the subset of the format ``repro metrics --format prometheus``
+emits:
+
+* ``# HELP <name> <text>`` / ``# TYPE <name> <counter|gauge|histogram>``
+  comment lines, TYPE before the first sample of its metric;
+* sample lines ``name{label="value",...} number`` with valid metric and
+  label identifiers and properly escaped label values;
+* histogram series completeness: every ``<name>_bucket`` family carries a
+  ``+Inf`` bucket, cumulative (non-decreasing) bucket counts per label
+  set, and matching ``_sum`` / ``_count`` samples.
+
+Exit status 0 when the input parses, 1 with one message per problem
+otherwise.  Used by the CI observability job and the metrics unit tests;
+no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Dict, List, Tuple
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+# Label values: anything with ", \ and newline backslash-escaped.
+_LABEL_VALUE_RE = re.compile(r'"(?:[^"\\\n]|\\["\\n])*"')
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_labels(raw: str, lineno: int, errors: List[str]) -> Tuple[str, ...]:
+    """Validate one ``k="v",...`` block; returns the sorted label pairs."""
+    pairs: List[str] = []
+    rest = raw
+    while rest:
+        m = _LABEL_NAME_RE.match(rest)
+        if m is None or not rest[m.end():].startswith("="):
+            errors.append(f"line {lineno}: malformed label name in {{{raw}}}")
+            return tuple(pairs)
+        name = m.group(0)
+        rest = rest[m.end() + 1:]
+        v = _LABEL_VALUE_RE.match(rest)
+        if v is None:
+            errors.append(
+                f"line {lineno}: malformed value for label {name!r} "
+                f"(unescaped quote/backslash?)"
+            )
+            return tuple(pairs)
+        pairs.append(f"{name}={v.group(0)}")
+        rest = rest[v.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: junk after label {name!r}: {rest!r}")
+            return tuple(pairs)
+    return tuple(sorted(pairs))
+
+
+def _strip_le(pairs: Tuple[str, ...]) -> Tuple[Tuple[str, ...], str]:
+    le = ""
+    kept = []
+    for pair in pairs:
+        if pair.startswith("le="):
+            le = pair[4:-1]
+        else:
+            kept.append(pair)
+    return tuple(kept), le
+
+
+def check_prometheus_text(text: str) -> List[str]:
+    """Return a list of problems; empty means the exposition is valid."""
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    seen_samples: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+    # histogram name -> label-set -> list of (le, value)
+    buckets: Dict[str, Dict[Tuple[str, ...], List[Tuple[str, float]]]] = {}
+    sums: Dict[str, Dict[Tuple[str, ...], float]] = {}
+    counts: Dict[str, Dict[Tuple[str, ...], float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # arbitrary comments are legal
+            name = parts[2]
+            if _NAME_RE.fullmatch(name) is None:
+                errors.append(f"line {lineno}: invalid metric name {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _VALID_TYPES:
+                    errors.append(
+                        f"line {lineno}: invalid TYPE {kind!r} for {name}"
+                    )
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if any(key[0] == name for key in seen_samples):
+                    errors.append(
+                        f"line {lineno}: TYPE for {name} after its samples"
+                    )
+                types[name] = kind
+            continue
+
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        pairs = (
+            _parse_labels(m.group("labels"), lineno, errors)
+            if m.group("labels")
+            else ()
+        )
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: non-numeric value {m.group('value')!r}"
+            )
+            continue
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+        key = (name, pairs)
+        if key in seen_samples:
+            errors.append(
+                f"line {lineno}: duplicate sample {name}{{{','.join(pairs)}}} "
+                f"(first at line {seen_samples[key]})"
+            )
+        seen_samples[key] = lineno
+        if types.get(base) == "histogram":
+            if name.endswith("_bucket"):
+                others, le = _strip_le(pairs)
+                buckets.setdefault(base, {}).setdefault(others, []).append(
+                    (le, value)
+                )
+            elif name.endswith("_sum"):
+                sums.setdefault(base, {})[pairs] = value
+            elif name.endswith("_count"):
+                counts.setdefault(base, {})[pairs] = value
+
+    for base, by_labels in buckets.items():
+        for labels, series in by_labels.items():
+            les = [le for le, _ in series]
+            if "+Inf" not in les:
+                errors.append(f"histogram {base}{list(labels)}: no +Inf bucket")
+                continue
+            values = [v for _, v in series]
+            if any(b > a for b, a in zip(values, values[1:])):
+                errors.append(
+                    f"histogram {base}{list(labels)}: bucket counts decrease"
+                )
+            inf_value = dict(series)["+Inf"]
+            total = counts.get(base, {}).get(labels)
+            if total is None:
+                errors.append(f"histogram {base}{list(labels)}: missing _count")
+            elif not math.isclose(total, inf_value):
+                errors.append(
+                    f"histogram {base}{list(labels)}: _count {total} != "
+                    f"+Inf bucket {inf_value}"
+                )
+            if labels not in sums.get(base, {}):
+                errors.append(f"histogram {base}{list(labels)}: missing _sum")
+
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) > 1:
+        text = open(argv[1], "r", encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    problems = check_prometheus_text(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        sample_count = sum(
+            1
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        print(f"ok: {sample_count} samples")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
