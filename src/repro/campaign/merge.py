@@ -44,6 +44,7 @@ from repro.storage.level3 import (
     insert_run_traces,
     insert_salvage_info,
     open_fast_connection,
+    stamp_table1_digest,
 )
 
 #: Column lookup across Table I and the integrity side tables.
@@ -205,6 +206,7 @@ def merge_shards(
         for conn in shards.values():
             conn.close()
         out.close()
+    stamp_table1_digest(db_path)
     fsync_database(db_path)
     return db_path
 
@@ -233,6 +235,10 @@ def apply_abort_reasons(db_path, reasons: Mapping[int, str]) -> int:
                 updated += cur.rowcount
     finally:
         conn.close()
+    if updated:
+        # AbortReason lives in RunInfos — a digested table — so the
+        # stamped digest goes stale the moment an annotation lands.
+        stamp_table1_digest(db_path)
     fsync_database(db_path)
     return updated
 
@@ -254,6 +260,12 @@ def database_digest(
     is execution-specific by nature, so they must not perturb equivalence
     checks between a recovered execution and a clean one.  Pass ``tables``
     explicitly (e.g. ``("FaultLeases",)``) to digest them too.
+
+    Rows are serialized inside SQLite (``quote()`` per column, one string
+    per row) and hashed in large chunks, so the digest runs at C speed
+    and releases the GIL while hashing — hot on every import/ingest
+    dedup path.  Only digest *equality* is contractual; the literal hex
+    value may change between framework versions.
     """
     ignored = set(ignore_columns)
     digest = hashlib.sha256()
@@ -264,8 +276,18 @@ def database_digest(
             digest.update(f"--{table}({','.join(keep)})--".encode())
             if not keep:
                 continue
-            for row in conn.execute(f"SELECT {', '.join(keep)} FROM {table}"):
-                digest.update(repr(row).encode())
+            row_expr = " || '|' || ".join(f"quote({c})" for c in keep)
+            # Concatenate rows into ~4096-row chunks inside SQLite:
+            # Python touches one string per chunk, memory stays bounded.
+            cursor = conn.execute(
+                f"SELECT group_concat(s, char(10)) FROM "
+                f"(SELECT {row_expr} AS s, rowid AS rid FROM {table}) "
+                f"GROUP BY rid / 4096 ORDER BY rid / 4096"
+            )
+            for (chunk,) in cursor:
+                if chunk is not None:
+                    digest.update(chunk.encode())
+                    digest.update(b"\n")
     finally:
         conn.close()
     return digest.hexdigest()

@@ -24,8 +24,16 @@ workflows:
     Condition an existing level-2 store into a level-3 package.  With
     ``--salvage``, corrupt run records are quarantined instead of
     aborting the conditioning (DESIGN.md §11).
+``repro repo <subcommand> ...``
+    The L4 analytics warehouse (DESIGN.md §13): ``ingest`` level-3
+    packages through the crash-safe write-behind queue, ``list`` the
+    catalogue, ``query`` the materialized read models, ``diff`` two
+    experiments, and ``regression-check`` a fresh package against a
+    warehouse baseline (non-zero exit on drift).
 ``repro import <repository.db> <experiment.db> [...]``
-    Import level-3 packages into a level-4 repository.
+    Deprecated alias kept for existing scripts: imports into the
+    single-file level-4 repository.  New tooling should use
+    ``repro repo ingest``.
 
 Usage: ``python -m repro <command> ...`` (or the ``repro`` console script
 if installed with entry points).
@@ -173,9 +181,70 @@ def build_parser() -> argparse.ArgumentParser:
                              "database's SalvageInfo table and in "
                              "<store>/quarantine/salvage_report.json")
 
-    p_imp = sub.add_parser("import", help="import level-3 DBs into a repository")
+    p_imp = sub.add_parser(
+        "import",
+        help="import level-3 DBs into a single-file repository "
+             "(deprecated: use `repro repo ingest`)",
+    )
     p_imp.add_argument("repository", type=Path)
     p_imp.add_argument("databases", type=Path, nargs="+")
+
+    p_repo = sub.add_parser(
+        "repo", help="the sharded L4 analytics warehouse"
+    )
+    repo_sub = p_repo.add_subparsers(dest="repo_command", required=True)
+
+    r_ing = repo_sub.add_parser(
+        "ingest", help="ingest level-3 packages (write-behind, crash-safe)"
+    )
+    r_ing.add_argument("root", type=Path, help="warehouse directory")
+    r_ing.add_argument("databases", type=Path, nargs="+")
+    r_ing.add_argument("--force", action="store_true",
+                       help="ingest even if an identical package (same "
+                            "Table-I digest) is already catalogued")
+    r_ing.add_argument("--sync", action="store_true",
+                       help="bypass the write-behind queue and ingest "
+                            "sequentially")
+    r_ing.add_argument("--batch-size", type=int, default=16, metavar="N",
+                       help="write-behind batch size (default 16)")
+
+    r_list = repo_sub.add_parser("list", help="catalogue: experiments and "
+                                              "partitions")
+    r_list.add_argument("root", type=Path)
+
+    r_q = repo_sub.add_parser("query", help="query the materialized read "
+                                            "models")
+    r_q.add_argument("root", type=Path)
+    r_q.add_argument("kind", choices=("event-counts", "faults",
+                                      "responsiveness", "trend"))
+    r_q.add_argument("--experiment", default=None, metavar="REF",
+                     help="restrict to one experiment (ExpID or name)")
+    r_q.add_argument("--event-type", default=None, metavar="TYPE",
+                     help="event type filter (required for trend)")
+
+    r_diff = repo_sub.add_parser("diff", help="compare two ingested "
+                                              "experiments")
+    r_diff.add_argument("root", type=Path)
+    r_diff.add_argument("a", metavar="EXP_A", help="ExpID or name")
+    r_diff.add_argument("b", metavar="EXP_B", help="ExpID or name")
+
+    r_reg = repo_sub.add_parser(
+        "regression-check",
+        help="check a fresh package against a warehouse baseline; "
+             "exit 1 on drift",
+    )
+    r_reg.add_argument("root", type=Path)
+    r_reg.add_argument("database", type=Path, help="fresh level-3 package")
+    r_reg.add_argument("--baseline", default=None, metavar="REF",
+                       help="baseline experiment (default: newest ingest "
+                            "with the package's name)")
+    r_reg.add_argument("--tol", type=float, default=0.0, metavar="F",
+                       help="opt into aggregate-equivalence: digest drift "
+                            "passes if responsiveness aggregates stay "
+                            "within this relative tolerance (default: any "
+                            "digest drift fails)")
+    r_reg.add_argument("--strict", action="store_true",
+                       help="only an exact Table-I digest match passes")
 
     p_tr = sub.add_parser(
         "trace",
@@ -526,12 +595,154 @@ def _cmd_condition(args) -> int:
 def _cmd_import(args) -> int:
     from repro.storage.level4 import ExperimentRepository
 
+    print("warning: `repro import` is deprecated; use `repro repo ingest` "
+          "(sharded warehouse with dedup and crash-safe ingestion)",
+          file=sys.stderr)
     with ExperimentRepository(args.repository) as repo:
         for db in args.databases:
             exp_id = repo.import_experiment(db)
             print(f"imported {db} as experiment #{exp_id}")
         print(f"repository now holds {len(repo.experiments())} experiment(s)")
     return 0
+
+
+def _cmd_repo(args) -> int:
+    handlers = {
+        "ingest": _repo_ingest,
+        "list": _repo_list,
+        "query": _repo_query,
+        "diff": _repo_diff,
+        "regression-check": _repo_regression_check,
+    }
+    return handlers[args.repo_command](args)
+
+
+def _repo_ingest(args) -> int:
+    from repro.repo import Warehouse, WriteBehindIngester
+
+    with Warehouse(args.root) as warehouse:
+        recovery = warehouse.last_recovery
+        recovered = sum(len(v) for v in recovery.values())
+        if recovered:
+            print(f"recovered {recovered} in-flight ingest(s) from a previous "
+                  f"session: {recovery}", file=sys.stderr)
+        if args.sync:
+            results = [
+                warehouse.ingest(db, force=args.force) for db in args.databases
+            ]
+        else:
+            with WriteBehindIngester(
+                warehouse, batch_size=args.batch_size
+            ) as queue:
+                for db in args.databases:
+                    queue.submit(db, force=args.force)
+                results = queue.flush()
+        for result in results:
+            if result.duplicate:
+                print(f"{result.source}: duplicate of experiment "
+                      f"#{result.exp_id} (same Table-I digest), skipped")
+            else:
+                print(f"ingested {result.source} as experiment "
+                      f"#{result.exp_id}")
+        print(f"warehouse holds {len(warehouse.experiments())} experiment(s) "
+              f"in {len(warehouse.partitions())} partition(s)")
+    return 0
+
+
+def _repo_list(args) -> int:
+    from repro.repo import Warehouse
+
+    with Warehouse(args.root) as warehouse:
+        partitions = {p["PartitionID"]: p for p in warehouse.partitions()}
+        for exp in warehouse.experiments():
+            part = partitions.get(exp["PartitionID"], {})
+            print(f"#{exp['ExpID']}  {exp['Name']}  "
+                  f"partition={part.get('ShardFile', '?')}  "
+                  f"digest={exp['ContentDigest'][:12]}")
+        print(f"{len(warehouse.experiments())} experiment(s), "
+              f"{len(partitions)} partition(s)")
+    return 0
+
+
+def _repo_query(args) -> int:
+    from repro.repo import Warehouse
+
+    with Warehouse(args.root) as warehouse:
+        exp_id = (
+            warehouse.resolve(args.experiment)
+            if args.experiment is not None
+            else None
+        )
+        if args.kind == "event-counts":
+            for row in warehouse.event_counts(exp_id, args.event_type):
+                print(f"#{row['exp_id']} {row['name']}  "
+                      f"{row['event_type']} = {row['n']}")
+        elif args.kind == "faults":
+            for row in warehouse.fault_breakdown(exp_id):
+                print(f"#{row['exp_id']} {row['name']}  "
+                      f"kind={row['kind']} phase={row['phase']} n={row['n']}")
+        elif args.kind == "responsiveness":
+            for row in warehouse.responsiveness_surface(exp_id):
+                median = (f"{row['t_r_median']:.4f}"
+                          if row["t_r_median"] is not None else "-")
+                print(f"#{row['exp_id']} {row['name']}  {row['treatment']}  "
+                      f"runs={row['runs']} complete={row['complete']} "
+                      f"t_R median={median}")
+        elif args.kind == "trend":
+            if args.event_type is None:
+                print("error: trend needs --event-type", file=sys.stderr)
+                return 2
+            for row in warehouse.trend(args.event_type):
+                print(f"seq={row['ingest_seq']} #{row['exp_id']} "
+                      f"{row['name']}  n={row['n']}")
+    return 0
+
+
+def _repo_diff(args) -> int:
+    from repro.repo import Warehouse
+
+    with Warehouse(args.root) as warehouse:
+        diff = warehouse.diff(args.a, args.b)
+        print(f"a: #{diff['a']['exp_id']} {diff['a']['name']} "
+              f"({diff['a']['digest'][:12]})")
+        print(f"b: #{diff['b']['exp_id']} {diff['b']['name']} "
+              f"({diff['b']['digest'][:12]})")
+        if diff["identical"]:
+            print("identical Table-I content")
+            return 0
+        for field, (va, vb) in diff["stats"].items():
+            print(f"stats.{field}: {va} -> {vb}")
+        for etype, (na, nb) in diff["event_counts"].items():
+            print(f"events[{etype}]: {na} -> {nb}")
+        for treatment, sides in diff["responsiveness"].items():
+            print(f"responsiveness[{treatment}]: {sides['a']} -> {sides['b']}")
+        if not (diff["stats"] or diff["event_counts"]
+                or diff["responsiveness"]):
+            print("digests differ but every compared aggregate matches")
+    return 0
+
+
+def _repo_regression_check(args) -> int:
+    from repro.repo import Warehouse
+
+    with Warehouse(args.root) as warehouse:
+        verdict = warehouse.regression_check(
+            args.database,
+            baseline=args.baseline,
+            tolerance=args.tol,
+            strict=args.strict,
+        )
+    print(f"baseline: #{verdict['baseline']['exp_id']} "
+          f"{verdict['baseline']['name']}")
+    for check in verdict["checks"]:
+        status = "ok" if check["ok"] else "DRIFT"
+        detail = {k: v for k, v in check.items() if k not in ("check", "ok")}
+        print(f"  [{status}] {check['check']}  {detail}")
+    if verdict["ok"]:
+        print("regression check passed")
+        return 0
+    print("regression check FAILED", file=sys.stderr)
+    return 1
 
 
 def _cmd_trace(args) -> int:
@@ -630,6 +841,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "condition": _cmd_condition,
     "import": _cmd_import,
+    "repo": _cmd_repo,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "paper-xml": _cmd_paper_xml,

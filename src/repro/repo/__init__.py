@@ -1,0 +1,44 @@
+"""L4 multi-experiment repository — the warehouse (DESIGN.md §13).
+
+ExCovery Sec. IV-F names a fourth storage level, "the integration of
+multiple experiments into a single repository", and leaves it
+unrealized.  This package is that level at scale:
+
+* :mod:`repro.repo.catalog` — the catalogue database routing
+  experiments to per-(name, factor-fingerprint) partition shards;
+* :mod:`repro.repo.shard` — shard storage: attach-copy ingestion and
+  level-3-shaped readers;
+* :mod:`repro.repo.journal` — the fsynced ingest journal making
+  write-behind ingestion crash-safe;
+* :mod:`repro.repo.views` — materialized cross-experiment read models;
+* :mod:`repro.repo.cache` — the cache-aside layer over the read models;
+* :mod:`repro.repo.warehouse` — the façade tying them together;
+* :mod:`repro.repo.queue` — the asynchronous write-behind front door.
+"""
+
+from repro.repo.cache import AggregateCache
+from repro.repo.catalog import Catalog
+from repro.repo.fingerprint import (
+    ExperimentKey,
+    content_fingerprint,
+    factor_fingerprint_from_plan,
+    fingerprint_package,
+)
+from repro.repo.journal import IngestJournal
+from repro.repo.queue import WriteBehindIngester
+from repro.repo.shard import ShardExperimentView
+from repro.repo.warehouse import IngestResult, Warehouse
+
+__all__ = [
+    "AggregateCache",
+    "Catalog",
+    "ExperimentKey",
+    "IngestJournal",
+    "IngestResult",
+    "ShardExperimentView",
+    "Warehouse",
+    "WriteBehindIngester",
+    "content_fingerprint",
+    "factor_fingerprint_from_plan",
+    "fingerprint_package",
+]

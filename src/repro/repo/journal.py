@@ -1,0 +1,134 @@
+"""Write-behind ingest journal: crash-safe warehouse ingestion.
+
+The warehouse's ingest queue acknowledges packages *before* their rows
+hit a shard (write-behind).  The journal is what makes that safe: an
+append-only, fsynced JSONL file at ``<root>/journal/ingest.jsonl`` whose
+entries bracket every ingest attempt.
+
+``ingest_begin``
+    ticket (monotonic per journal), source path, content digest,
+    partition key.  Appended — and fsynced — *before* any catalogue or
+    shard write for the batch.
+``ingest_done``
+    ticket + the ExpID the package ended up under.  Appended after the
+    catalogue marked the experiment ``done``.
+``ingest_skip``
+    ticket + the existing ExpID a duplicate deduplicated onto.
+
+A ``begin`` without a matching ``done``/``skip`` marks an ingest that
+was in flight when the process died.  Recovery
+(:meth:`repro.repo.warehouse.Warehouse.recover`) replays exactly those
+tickets: catalogue rows still ``pending`` are completed or purged, and
+sources that never reached the catalogue are re-ingested.  Because the
+catalogue dedups by content digest, replay is idempotent — a killed
+ingest resumes with no duplicate and no missing ExpIDs.
+
+Appends are batched: one ``append_many`` call is one write + flush +
+fsync regardless of batch size, which is where the write-behind queue's
+throughput over per-package commits comes from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["IngestJournal", "JOURNAL_FILE"]
+
+JOURNAL_FILE = "journal/ingest.jsonl"
+
+
+class IngestJournal:
+    """Typed access to one warehouse's ingest journal."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.path = self.root / JOURNAL_FILE
+        self._next_ticket = self._scan_next_ticket()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def next_ticket(self) -> int:
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return ticket
+
+    def append_many(
+        self, records: Iterable[Dict[str, Any]], fsync: bool = True
+    ) -> None:
+        """Append a batch of entries with a single flush (+ fsync).
+
+        ``fsync=False`` is for ticket-*closing* records (done/skip):
+        losing one to a power cut only means recovery re-examines a
+        ticket whose digest the catalogue already knows and closes it
+        again ("confirmed") — strictly idempotent.  ``begin`` records
+        must stay fsynced: they are what recovery replays from.
+        """
+        records = list(records)
+        if not records:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+
+    def begin_record(self, ticket: int, source, key) -> Dict[str, Any]:
+        return {
+            "type": "ingest_begin",
+            "ticket": ticket,
+            "source": str(source),
+            "digest": key.content_digest,
+            "name": key.name,
+            "factor_fp": key.factor_fingerprint,
+        }
+
+    def done_record(self, ticket: int, exp_id: int) -> Dict[str, Any]:
+        return {"type": "ingest_done", "ticket": ticket, "exp_id": exp_id}
+
+    def skip_record(self, ticket: int, exp_id: int) -> Dict[str, Any]:
+        return {"type": "ingest_skip", "ticket": ticket, "exp_id": exp_id}
+
+    def abandon_record(self, ticket: int, reason: str) -> Dict[str, Any]:
+        """Recovery found the ticket unrecoverable (source gone)."""
+        return {"type": "ingest_abandoned", "ticket": ticket, "reason": reason}
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every parseable journal entry, in file order.  A torn final
+        line (the crash wrote half a record) is ignored, not an error."""
+        if not self.path.exists():
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except ValueError:
+                    continue
+        return out
+
+    def incomplete(self) -> List[Dict[str, Any]]:
+        """``ingest_begin`` entries whose ticket never completed."""
+        begins: Dict[int, Dict[str, Any]] = {}
+        for rec in self.entries():
+            kind = rec.get("type")
+            if kind == "ingest_begin":
+                begins[rec.get("ticket", -1)] = rec
+            elif kind in ("ingest_done", "ingest_skip", "ingest_abandoned"):
+                begins.pop(rec.get("ticket", -1), None)
+        return [begins[t] for t in sorted(begins)]
+
+    def _scan_next_ticket(self) -> int:
+        tickets = [rec.get("ticket", -1) for rec in self.entries()]
+        return (max(tickets) + 1) if tickets else 0

@@ -1,0 +1,269 @@
+"""Materialized read models (CQRS-style) over the warehouse.
+
+The expensive cross-experiment questions — responsiveness-vs-factor
+surfaces, fault-type breakdowns, event/packet counts, trends over ingest
+time — are answered from *real tables* in the catalogue, not views over
+the shards.  Each model is refreshed incrementally when an ExpID is
+ingested (delete-then-insert for that ExpID, so a recovery replay is
+idempotent), and the refresh runs inside the ingest's catalogue
+transaction: a ``done`` experiment always has its read models.
+
+The aggregation itself leans on the shard's C-level ``GROUP BY`` for the
+counting models; only the responsiveness model runs Python, and only
+over the discovery-relevant event subset, reusing the exact extraction
+(:func:`repro.sd.metrics.extract_run_discovery`,
+:func:`repro.sd.metrics.summarize_runs`,
+:func:`repro.analysis.responsiveness.treatment_key`) the per-experiment
+analysis uses — so the surface matches a direct L3 analysis number for
+number.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.responsiveness import treatment_key
+from repro.core.errors import StorageError
+from repro.sd.metrics import extract_run_discovery, summarize_runs
+
+from repro.repo.shard import ShardExperimentView
+
+__all__ = [
+    "refresh_experiment_views",
+    "responsiveness_surface_rows",
+    "query_event_counts",
+    "query_fault_breakdown",
+    "query_responsiveness",
+    "query_trend",
+]
+
+_FAULT_EVENT = re.compile(r"^fault_(?P<kind>.+)_(?P<phase>[a-z]+)$")
+
+
+# ----------------------------------------------------------------------
+# Refresh (called from inside the ingest's catalogue transaction)
+# ----------------------------------------------------------------------
+def refresh_experiment_views(catalog_conn, shard_conn, exp_id: int) -> None:
+    """Recompute every read model for one ExpID."""
+    view = ShardExperimentView(shard_conn, exp_id)
+    for table in (
+        "MvExperimentStats",
+        "MvEventCounts",
+        "MvFaultBreakdown",
+        "MvResponsiveness",
+    ):
+        catalog_conn.execute(f"DELETE FROM {table} WHERE ExpID = ?", (exp_id,))
+
+    type_counts = _refresh_event_counts(catalog_conn, shard_conn, exp_id)
+    _refresh_stats(catalog_conn, shard_conn, exp_id, type_counts)
+    _refresh_fault_breakdown(catalog_conn, exp_id, type_counts)
+    _refresh_responsiveness(catalog_conn, view, exp_id)
+
+
+def _refresh_stats(
+    catalog_conn, shard_conn, exp_id: int, type_counts: Dict[str, int]
+) -> None:
+    # One RunInfos pass for both distinct counts; the event total falls
+    # out of the per-type counts already computed, so Events — by far the
+    # widest table — is never scanned a second time.
+    runs, nodes = shard_conn.execute(
+        "SELECT COUNT(DISTINCT RunID), COUNT(DISTINCT NodeID) "
+        "FROM RunInfos WHERE ExpID = ?",
+        (exp_id,),
+    ).fetchone()
+    packets = shard_conn.execute(
+        "SELECT COUNT(*) FROM Packets WHERE ExpID = ?", (exp_id,)
+    ).fetchone()[0]
+    catalog_conn.execute(
+        "INSERT INTO MvExperimentStats (ExpID, Runs, Events, Packets, Nodes) "
+        "VALUES (?, ?, ?, ?, ?)",
+        (exp_id, runs, sum(type_counts.values()), packets, nodes),
+    )
+
+
+def _refresh_event_counts(catalog_conn, shard_conn, exp_id: int) -> Dict[str, int]:
+    counts = {
+        row[0]: row[1]
+        for row in shard_conn.execute(
+            "SELECT EventType, COUNT(*) FROM Events WHERE ExpID = ? "
+            "GROUP BY EventType",
+            (exp_id,),
+        )
+    }
+    catalog_conn.executemany(
+        "INSERT INTO MvEventCounts (ExpID, EventType, N) VALUES (?, ?, ?)",
+        ((exp_id, etype, n) for etype, n in sorted(counts.items())),
+    )
+    return counts
+
+
+def _refresh_fault_breakdown(
+    catalog_conn, exp_id: int, type_counts: Dict[str, int]
+) -> None:
+    rows = []
+    for etype, n in sorted(type_counts.items()):
+        match = _FAULT_EVENT.match(etype)
+        if match is not None:
+            rows.append((exp_id, match.group("kind"), match.group("phase"), n))
+    catalog_conn.executemany(
+        "INSERT INTO MvFaultBreakdown (ExpID, Kind, Phase, N) "
+        "VALUES (?, ?, ?, ?)",
+        rows,
+    )
+
+
+def responsiveness_surface_rows(view: ShardExperimentView) -> List[Dict[str, Any]]:
+    """One experiment's responsiveness surface: per-treatment discovery
+    summaries, computed with the standard extraction over the shard's
+    discovery-relevant events.  Shared by the read-model refresh and by
+    ``regression-check`` (which runs it over a scratch shard built from
+    the fresh package, so both sides go through identical code)."""
+    try:
+        plan = {entry["run_id"]: entry for entry in view.plan()}
+        have_plan = True
+    except StorageError:
+        plan, have_plan = {}, False
+    by_run: Dict[int, List[Dict[str, Any]]] = {}
+    for event in view.sd_events():
+        by_run.setdefault(event["run_id"], []).append(event)
+
+    # Group run IDs by treatment exactly as
+    # ``responsiveness_by_treatment`` does: planless runs are skipped
+    # when a plan exists, and a package without any plan collapses into
+    # a single "{}" treatment group.
+    groups: Dict[str, List[int]] = {}
+    for run_id in view.run_ids():
+        entry = plan.get(run_id)
+        if entry is None and have_plan:
+            continue
+        key = treatment_key(entry["treatment"]) if entry is not None else "{}"
+        groups.setdefault(key, []).append(run_id)
+
+    rows = []
+    for key in sorted(groups):
+        outcomes = []
+        for run_id in groups[key]:
+            events = by_run.get(run_id, [])
+            sus = sorted(
+                {e["node"] for e in events if e["name"] == "sd_start_search"}
+            )
+            sms = sorted(
+                {e["node"] for e in events if e["name"] == "sd_start_publish"}
+            )
+            for su in sus:
+                outcomes.append(
+                    extract_run_discovery(events, run_id, su, sms)
+                )
+        summary = summarize_runs(outcomes)
+        rows.append(
+            {
+                "treatment": key,
+                "runs": summary["runs"],
+                "complete": summary["complete"],
+                "t_r_min": summary["t_r_min"],
+                "t_r_median": summary["t_r_median"],
+                "t_r_p95": summary["t_r_p95"],
+                "t_r_max": summary["t_r_max"],
+                "t_r_mean": summary["t_r_mean"],
+            }
+        )
+    return rows
+
+
+def _refresh_responsiveness(
+    catalog_conn, view: ShardExperimentView, exp_id: int
+) -> None:
+    rows = [
+        (
+            exp_id,
+            r["treatment"],
+            r["runs"],
+            r["complete"],
+            r["t_r_min"],
+            r["t_r_median"],
+            r["t_r_p95"],
+            r["t_r_max"],
+            r["t_r_mean"],
+        )
+        for r in responsiveness_surface_rows(view)
+    ]
+    catalog_conn.executemany(
+        "INSERT INTO MvResponsiveness (ExpID, TreatmentKey, Runs, Complete, "
+        "TRMin, TRMedian, TRP95, TRMax, TRMean) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Queries (over the materialized tables only — no shard access)
+# ----------------------------------------------------------------------
+def query_event_counts(
+    catalog_conn, exp_id: Optional[int] = None, event_type: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    query = (
+        "SELECT m.ExpID AS exp_id, e.Name AS name, m.EventType AS event_type, "
+        "m.N AS n FROM MvEventCounts m "
+        "JOIN Experiments e ON e.ExpID = m.ExpID WHERE e.Status = 'done'"
+    )
+    args: List[Any] = []
+    if exp_id is not None:
+        query += " AND m.ExpID = ?"
+        args.append(exp_id)
+    if event_type is not None:
+        query += " AND m.EventType = ?"
+        args.append(event_type)
+    query += " ORDER BY m.ExpID, m.EventType"
+    return [dict(row) for row in catalog_conn.execute(query, args)]
+
+
+def query_fault_breakdown(
+    catalog_conn, exp_id: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    query = (
+        "SELECT m.ExpID AS exp_id, e.Name AS name, m.Kind AS kind, "
+        "m.Phase AS phase, m.N AS n FROM MvFaultBreakdown m "
+        "JOIN Experiments e ON e.ExpID = m.ExpID WHERE e.Status = 'done'"
+    )
+    args: List[Any] = []
+    if exp_id is not None:
+        query += " AND m.ExpID = ?"
+        args.append(exp_id)
+    query += " ORDER BY m.ExpID, m.Kind, m.Phase"
+    return [dict(row) for row in catalog_conn.execute(query, args)]
+
+
+def query_responsiveness(
+    catalog_conn, exp_id: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    query = (
+        "SELECT m.ExpID AS exp_id, e.Name AS name, "
+        "m.TreatmentKey AS treatment, m.Runs AS runs, m.Complete AS complete, "
+        "m.TRMin AS t_r_min, m.TRMedian AS t_r_median, m.TRP95 AS t_r_p95, "
+        "m.TRMax AS t_r_max, m.TRMean AS t_r_mean "
+        "FROM MvResponsiveness m "
+        "JOIN Experiments e ON e.ExpID = m.ExpID WHERE e.Status = 'done'"
+    )
+    args: List[Any] = []
+    if exp_id is not None:
+        query += " AND m.ExpID = ?"
+        args.append(exp_id)
+    query += " ORDER BY m.ExpID, m.TreatmentKey"
+    return [dict(row) for row in catalog_conn.execute(query, args)]
+
+
+def query_trend(catalog_conn, event_type: str) -> List[Dict[str, Any]]:
+    """Event count of one type per experiment, in ingest order — the
+    trend-over-time series of the warehouse."""
+    return [
+        dict(row)
+        for row in catalog_conn.execute(
+            "SELECT e.IngestSeq AS ingest_seq, e.ExpID AS exp_id, "
+            "e.Name AS name, COALESCE(m.N, 0) AS n "
+            "FROM Experiments e LEFT JOIN MvEventCounts m "
+            "ON m.ExpID = e.ExpID AND m.EventType = ? "
+            "WHERE e.Status = 'done' ORDER BY e.IngestSeq, e.ExpID",
+            (event_type,),
+        )
+    ]

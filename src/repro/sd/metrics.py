@@ -53,7 +53,9 @@ class RunDiscovery:
 
     @property
     def t_r(self) -> Optional[float]:
-        if self.search_started is None or not self.complete:
+        # An empty provider set is vacuously complete but has no "last
+        # required add" — there is no response time to report.
+        if self.search_started is None or not self.required or not self.complete:
             return None
         last = max(self.found_at[p] for p in self.required)
         return last - self.search_started

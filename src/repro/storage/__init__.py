@@ -10,10 +10,13 @@
    Conditioning (:mod:`repro.storage.conditioning`) unifies all local
    timestamps onto the common time base using the per-run clock-offset
    measurements.
-4. **Level 4** — :mod:`repro.storage.level4`: the multi-experiment
-   repository.  The paper leaves this level unrealized ("To date,
-   ExCovery does not realize this level"); we implement it as the stated
-   future work.
+4. **Level 4** — the multi-experiment repository.  The paper leaves
+   this level unrealized ("To date, ExCovery does not realize this
+   level"); we implement it twice over: the single-file compatibility
+   tier in :mod:`repro.storage.level4`, and the sharded analytics
+   warehouse in :mod:`repro.repo` (catalogue + per-partition shards,
+   crash-safe write-behind ingestion, materialized read models —
+   DESIGN.md §13).  Both dedup by the same Table-I content digest.
 """
 
 from repro.storage.conditioning import (

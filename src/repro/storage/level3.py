@@ -52,6 +52,10 @@ __all__ = [
     "EXTENSION_TABLES",
     "RUN_TABLES",
     "EXTENSION_RUN_TABLES",
+    "CHECKSUM_TABLE",
+    "TABLE1_DIGEST_KEY",
+    "read_stamped_digest",
+    "stamp_table1_digest",
     "create_schema",
     "open_fast_connection",
     "fsync_database",
@@ -151,6 +155,21 @@ EXTENSION_TABLES: Dict[str, List[str]] = {
 #: Extension tables keyed by run id (campaign merge reorders these too).
 EXTENSION_RUN_TABLES = ("FaultLeases", "SalvageInfo", "RunTraces")
 
+#: Side table carrying checksums *of* the package.  Deliberately outside
+#: both :data:`TABLE_SCHEMAS` and :data:`EXTENSION_TABLES`: it stores the
+#: Table-I digest and therefore must never feed it, and the campaign
+#: merge never copies it (each finalized database stamps its own).
+CHECKSUM_TABLE = "PackageChecksums"
+
+#: ``PackageChecksums.Name`` of the Table-I content digest
+#: (:func:`repro.campaign.merge.database_digest` with default arguments).
+TABLE1_DIGEST_KEY = "table1_sha256"
+
+_CHECKSUM_DDL = (
+    f"CREATE TABLE IF NOT EXISTS {CHECKSUM_TABLE} "
+    "(Name TEXT PRIMARY KEY, Value TEXT NOT NULL)"
+)
+
 _EXTENSION_DDL = """
 CREATE TABLE FaultLeases (
     RunID        INTEGER,
@@ -214,6 +233,7 @@ def create_schema(conn: sqlite3.Connection) -> None:
     empty database connection."""
     conn.executescript(_DDL)
     conn.executescript(_EXTENSION_DDL)
+    conn.execute(_CHECKSUM_DDL)
 
 
 def open_fast_connection(path, fresh: bool = True) -> sqlite3.Connection:
@@ -260,6 +280,59 @@ def fsync_database(path) -> None:
         pass
     finally:
         os.close(dir_fd)
+
+
+def read_stamped_digest(db_path) -> Optional[str]:
+    """The Table-I digest stamped at package finalization, or ``None``.
+
+    ``None`` means the package predates stamping (or was written by an
+    external tool); callers fall back to computing the digest.  The stamp
+    is only as fresh as the last framework write — anything that edits a
+    package behind the framework's back leaves it stale, which is why
+    verification paths recompute instead of trusting it
+    (:func:`repro.repo.fingerprint.content_fingerprint` with
+    ``trusted=False``).
+    """
+    conn = sqlite3.connect(str(db_path))
+    try:
+        try:
+            row = conn.execute(
+                f"SELECT Value FROM {CHECKSUM_TABLE} WHERE Name = ?",
+                (TABLE1_DIGEST_KEY,),
+            ).fetchone()
+        except sqlite3.OperationalError:  # pre-stamp package: no table
+            return None
+    finally:
+        conn.close()
+    return row[0] if row else None
+
+
+def stamp_table1_digest(db_path) -> str:
+    """Compute the package's Table-I digest and stamp it into
+    :data:`CHECKSUM_TABLE`, returning the digest.
+
+    Every framework writer calls this as its last content mutation
+    before the final fsync, so ingest and import paths can read the
+    digest back in O(1) instead of re-hashing megabytes per package.
+    The digest covers :data:`TABLE_SCHEMAS` only, never the checksum
+    table itself — stamping cannot perturb the value it records.
+    """
+    # Deferred import: merge imports this module at load time.
+    from repro.campaign.merge import database_digest
+
+    value = database_digest(db_path)
+    conn = sqlite3.connect(str(db_path))
+    try:
+        conn.execute(_CHECKSUM_DDL)
+        conn.execute(
+            f"INSERT OR REPLACE INTO {CHECKSUM_TABLE} (Name, Value) "
+            "VALUES (?, ?)",
+            (TABLE1_DIGEST_KEY, value),
+        )
+        conn.commit()
+    finally:
+        conn.close()
+    return value
 
 
 def insert_experiment_scope(conn: sqlite3.Connection, data: ConditionedExperiment) -> None:
@@ -468,6 +541,7 @@ def store_level3(source, db_path) -> Path:
         conn.close()
     if isinstance(source, Level2Store):
         source.write_salvage_report()
+    stamp_table1_digest(db_path)
     fsync_database(db_path)
     return db_path
 
@@ -568,7 +642,7 @@ class ExperimentDatabase:
             args.append(node_id)
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
-        query += " ORDER BY CommonTime, NodeID"
+        query += " ORDER BY CommonTime, NodeID, rowid"
         return [
             {
                 "run_id": row["RunID"],
@@ -608,7 +682,7 @@ class ExperimentDatabase:
             args.append(node_id)
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
-        query += " ORDER BY CommonTime, NodeID"
+        query += " ORDER BY CommonTime, NodeID, rowid"
         cursor = self.conn.cursor()
         try:
             cursor.execute(query, args)
@@ -639,7 +713,7 @@ class ExperimentDatabase:
         if run_id is not None:
             query += " WHERE RunID = ?"
             args.append(run_id)
-        query += " ORDER BY CommonTime, NodeID"
+        query += " ORDER BY CommonTime, NodeID, rowid"
         cursor = self.conn.cursor()
         try:
             cursor.execute(query, args)
@@ -660,7 +734,7 @@ class ExperimentDatabase:
         if run_id is not None:
             query += " WHERE RunID = ?"
             args.append(run_id)
-        query += " ORDER BY RunID, NodeID"
+        query += " ORDER BY RunID, NodeID, rowid"
         return [dict(row) for row in self.conn.execute(query, args)]
 
     def abort_reasons(self) -> Dict[int, str]:
@@ -721,7 +795,7 @@ class ExperimentDatabase:
             query += " AND RunID IN (SELECT DISTINCT RunID FROM RunInfos)"
             query += " ORDER BY RunID, CommonTime, NodeID"
         else:
-            query += " ORDER BY CommonTime, NodeID"
+            query += " ORDER BY CommonTime, NodeID, rowid"
 
         out: List[Dict[str, Any]] = []
         current: Any = object()  # sentinel != any run id

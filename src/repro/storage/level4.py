@@ -1,4 +1,4 @@
-"""Storage level 4: the multi-experiment repository.
+"""Storage level 4: the single-file multi-experiment repository.
 
 Sec. IV-F: *"The fourth level describes the integration of multiple
 experiments into a single repository to facilitate comparison and
@@ -10,6 +10,14 @@ of the level-3 schema with an additional ``ExpID`` discriminator column
 plus an ``Experiments`` catalogue table.  Importing a level-3 package
 copies its rows under a fresh ``ExpID``; cross-experiment analyses then
 join on the catalogue.
+
+This single-file form is the compatibility tier.  The scalable successor
+is the sharded warehouse in :mod:`repro.repo` (DESIGN.md §13) — a
+catalogue database routing packages into per-partition shards with
+crash-safe write-behind ingestion and materialized read models.  The two
+share their identity primitives: imports here dedup by the same Table-I
+content digest (:func:`repro.repo.fingerprint.content_fingerprint`) the
+warehouse keys on, so an experiment means the same thing at either tier.
 """
 
 from __future__ import annotations
@@ -26,12 +34,13 @@ __all__ = ["ExperimentRepository"]
 
 _REPO_DDL = """
 CREATE TABLE IF NOT EXISTS Experiments (
-    ExpID       INTEGER PRIMARY KEY AUTOINCREMENT,
-    Name        TEXT NOT NULL,
-    Comment     TEXT NOT NULL DEFAULT '',
-    EEVersion   TEXT NOT NULL,
-    ExpXML      TEXT NOT NULL,
-    SourcePath  TEXT NOT NULL
+    ExpID         INTEGER PRIMARY KEY AUTOINCREMENT,
+    Name          TEXT NOT NULL,
+    Comment       TEXT NOT NULL DEFAULT '',
+    EEVersion     TEXT NOT NULL,
+    ExpXML        TEXT NOT NULL,
+    SourcePath    TEXT NOT NULL,
+    ContentDigest TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS Logs (
     ExpID INTEGER NOT NULL, NodeID TEXT NOT NULL, Log TEXT NOT NULL
@@ -66,12 +75,24 @@ CREATE INDEX IF NOT EXISTS idx_repo_events ON Events (ExpID, RunID, EventType);
 class ExperimentRepository:
     """A growing collection of imported experiments."""
 
+    #: Rows copied per executemany batch — bounds Python-side memory no
+    #: matter how large the source package is.
+    IMPORT_BATCH_ROWS = 2000
+
     def __init__(self, db_path) -> None:
         self.db_path = Path(db_path)
         self.db_path.parent.mkdir(parents=True, exist_ok=True)
         self.conn = sqlite3.connect(str(self.db_path))
         self.conn.row_factory = sqlite3.Row
         self.conn.executescript(_REPO_DDL)
+        # Repositories created before the dedup change lack the digest
+        # column; widen them in place.
+        cols = [r[1] for r in self.conn.execute("PRAGMA table_info(Experiments)")]
+        if "ContentDigest" not in cols:
+            self.conn.execute(
+                "ALTER TABLE Experiments "
+                "ADD COLUMN ContentDigest TEXT NOT NULL DEFAULT ''"
+            )
         self.conn.commit()
 
     def close(self) -> None:
@@ -86,19 +107,46 @@ class ExperimentRepository:
     # ------------------------------------------------------------------
     # Import
     # ------------------------------------------------------------------
-    def import_experiment(self, level3_path) -> int:
-        """Copy a level-3 package into the repository; returns its ExpID."""
+    def import_experiment(self, level3_path, force: bool = False) -> int:
+        """Copy a level-3 package into the repository; returns its ExpID.
+
+        Imports dedup by Table-I content digest: re-importing a package
+        whose content is already catalogued returns the existing ExpID
+        instead of creating a second copy.  *force* overrides the check
+        and imports a fresh copy regardless.
+
+        Rows stream in fixed-size batches
+        (:attr:`IMPORT_BATCH_ROWS` per ``executemany``), so importing a
+        multi-gigabyte package never materializes its event log in
+        Python memory.
+        """
+        # Lazy import: repro.repo reaches back into repro.storage, and
+        # this module is imported from the storage package __init__.
+        from repro.repo.fingerprint import content_fingerprint
+
+        digest = content_fingerprint(level3_path)
+        if not force:
+            row = self.conn.execute(
+                "SELECT ExpID FROM Experiments WHERE ContentDigest = ? "
+                "ORDER BY ExpID",
+                (digest,),
+            ).fetchone()
+            if row is not None:
+                return row[0]
+
         with ExperimentDatabase(level3_path) as db:
             info = db.experiment_info()
             cur = self.conn.execute(
-                "INSERT INTO Experiments (Name, Comment, EEVersion, ExpXML, SourcePath) "
-                "VALUES (?, ?, ?, ?, ?)",
+                "INSERT INTO Experiments "
+                "(Name, Comment, EEVersion, ExpXML, SourcePath, ContentDigest) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     info["Name"],
                     info["Comment"],
                     info["EEVersion"],
                     info["ExpXML"],
                     str(level3_path),
+                    digest,
                 ),
             )
             exp_id = cur.lastrowid
@@ -113,15 +161,17 @@ class ExperimentRepository:
                 "Packets": "RunID, NodeID, CommonTime, SrcNodeID, Data",
             }
             for table, columns in copies.items():
-                rows = src.execute(f"SELECT {columns} FROM {table}").fetchall()
-                if not rows:
-                    continue
-                placeholders = ", ".join("?" for _ in rows[0])
-                self.conn.executemany(
+                cursor = src.execute(f"SELECT {columns} FROM {table}")
+                placeholders = ", ".join("?" for _ in columns.split(","))
+                insert = (
                     f"INSERT INTO {table} (ExpID, {columns}) "
-                    f"VALUES ({exp_id}, {placeholders})",
-                    [tuple(row) for row in rows],
+                    f"VALUES ({exp_id}, {placeholders})"
                 )
+                while True:
+                    rows = cursor.fetchmany(self.IMPORT_BATCH_ROWS)
+                    if not rows:
+                        break
+                    self.conn.executemany(insert, [tuple(r) for r in rows])
             self.conn.commit()
             return exp_id
 
@@ -132,8 +182,8 @@ class ExperimentRepository:
         return [
             dict(row)
             for row in self.conn.execute(
-                "SELECT ExpID, Name, Comment, EEVersion, SourcePath "
-                "FROM Experiments ORDER BY ExpID"
+                "SELECT ExpID, Name, Comment, EEVersion, SourcePath, "
+                "ContentDigest FROM Experiments ORDER BY ExpID"
             )
         ]
 

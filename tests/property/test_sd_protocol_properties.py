@@ -48,6 +48,23 @@ def _first(events, node, name):
     return None
 
 
+def _run_until_event(sim, events, node, name, horizon, extended):
+    """Run to *horizon*; on a miss keep going to *extended*.
+
+    Liveness is an *eventually* claim.  Under per-packet loss the failure
+    probability within any fixed horizon is small but nonzero (every
+    retry can lose the coin toss), so a hard cutoff makes the property
+    statistically false and the test flaky — Hypothesis will eventually
+    find a seed whose first N transmissions all drop.  The extended
+    horizon leaves room for enough further retries/refreshes that a miss
+    means a real liveness bug, not bad luck.
+    """
+    sim.run(until=horizon)
+    if _first(events, node, name) is None:
+        sim.run(until=extended)
+    return _first(events, node, name)
+
+
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     loss=st.floats(min_value=0.0, max_value=0.5),
@@ -62,8 +79,9 @@ def test_mdns_discovery_liveness_under_loss(seed, loss):
     agents["p0"].action_start_publish({"type": "_t"})
     agents["p1"].action_init({"role": "su"})
     agents["p1"].action_start_search({"type": "_t"})
-    sim.run(until=120.0)
-    assert _first(events, "p1", M.EVENT_SD_SERVICE_ADD) is not None
+    assert _run_until_event(
+        sim, events, "p1", M.EVENT_SD_SERVICE_ADD, 120.0, 1800.0
+    ) is not None
 
 
 @given(
@@ -77,9 +95,10 @@ def test_slp_registration_liveness_under_loss(seed, loss):
     agents["p0"].action_init({"role": "scm"})
     agents["p1"].action_init({"role": "sm"})
     agents["p1"].action_start_publish({"type": "_t"})
-    sim.run(until=180.0)
+    assert _run_until_event(
+        sim, events, "p0", M.EVENT_SCM_REGISTRATION_ADD, 180.0, 1800.0
+    ) is not None
     assert _first(events, "p1", M.EVENT_SCM_FOUND) is not None
-    assert _first(events, "p0", M.EVENT_SCM_REGISTRATION_ADD) is not None
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))

@@ -1,0 +1,65 @@
+"""Shared fixtures: synthetic level-3 packages for warehouse tests."""
+
+import pytest
+
+from repro.storage.level2 import Level2Store
+from repro.storage.level3 import store_level3
+
+DESC_XML = """<experiment name="NAME" seed="1" comment="c">
+  <platform>
+    <actornode id="h1" address="10.0.0.1" abstract="A" />
+    <envnode id="h2" address="10.0.0.2" />
+  </platform>
+</experiment>"""
+
+
+def build_level3(root, tag, n_runs=2, t0=1.0, factor_levels=(0, 1),
+                 extra_events=(), name=None):
+    """A small but complete level-3 package: plan, timesync, SD events
+    per run (publish/search/add), one fault event, one packet."""
+    store = Level2Store(root / f"l2-{tag}")
+    store.write_description(DESC_XML.replace("NAME", name or tag))
+    plan = [
+        {"run_id": r, "treatment": {"f": factor_levels[r % len(factor_levels)]},
+         "replication": r // len(factor_levels), "treatment_index": r % len(factor_levels),
+         "seed": 100 + r}
+        for r in range(n_runs)
+    ]
+    store.write_plan(plan)
+    for r in range(n_runs):
+        base = t0 + 10.0 * r
+        store.write_timesync(r, {"h1": {"offset": 0.0, "rtt": 0.001,
+                                        "error_bound": 0.0005, "probes": 5}})
+        store.write_run_info(r, {"run_id": r, "start_time": base,
+                                 "treatment": plan[r]["treatment"]})
+        events = [
+            {"name": "sd_start_publish", "node": "h2", "local_time": base,
+             "params": [], "run_id": r},
+            {"name": "sd_start_search", "node": "h1", "local_time": base + 0.1,
+             "params": [], "run_id": r},
+            {"name": "sd_service_add", "node": "h1",
+             "local_time": base + 0.4 + 0.05 * (r % len(factor_levels)),
+             "params": ["svc", "h2"], "run_id": r},
+            {"name": "fault_pl_run", "node": "h2", "local_time": base + 0.2,
+             "params": [], "run_id": r},
+        ]
+        events.extend(
+            {"name": name, "node": "h1", "local_time": base + 0.3,
+             "params": [], "run_id": r}
+            for name in extra_events
+        )
+        packets = [
+            {"node": "h1", "local_time": base + 0.05, "uid": r,
+             "src": "10.0.0.1", "dst": "10.0.0.2", "direction": "tx",
+             "payload": "'x'"},
+        ]
+        store.write_run_data("h1", r, events, packets)
+    return store_level3(store, root / f"{tag}.db")
+
+
+@pytest.fixture
+def make_level3(tmp_path):
+    def _make(tag, **kwargs):
+        return build_level3(tmp_path, tag, **kwargs)
+
+    return _make

@@ -1,0 +1,38 @@
+"""The cache-aside aggregate cache: hits, misses, invalidation."""
+
+from repro.repo.cache import AggregateCache
+
+
+def test_hit_after_miss():
+    cache = AggregateCache()
+    calls = []
+    compute = lambda: calls.append(1) or "value"  # noqa: E731
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get_or_compute("k", compute) == "value"
+    assert len(calls) == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_invalidate_orphans_all_entries():
+    cache = AggregateCache()
+    cache.get_or_compute("k", lambda: 1)
+    cache.invalidate()
+    recomputed = cache.get_or_compute("k", lambda: 2)
+    assert recomputed == 2
+    assert cache.misses == 2
+
+
+def test_distinct_keys_do_not_collide():
+    cache = AggregateCache()
+    assert cache.get_or_compute(("a", 1), lambda: "x") == "x"
+    assert cache.get_or_compute(("a", 2), lambda: "y") == "y"
+    assert cache.hits == 0
+
+
+def test_capacity_bound_clears_rather_than_grows():
+    cache = AggregateCache(max_entries=4)
+    for i in range(10):
+        cache.get_or_compute(i, lambda i=i: i)
+    assert len(cache._entries) <= 4
+    # Still correct after the clear.
+    assert cache.get_or_compute(9, lambda: "recomputed") in (9, "recomputed")

@@ -1,0 +1,111 @@
+"""Catalogue: partition routing, experiment lifecycle, status filters."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.repo.catalog import Catalog
+from repro.repo.fingerprint import ExperimentKey
+
+
+def _key(name="exp", fp="f" * 16, digest="d1"):
+    return ExperimentKey(name=name, comment="", ee_version="v",
+                         exp_xml="<x/>", factor_fingerprint=fp,
+                         content_digest=digest)
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    cat = Catalog(tmp_path / "wh")
+    yield cat
+    cat.close()
+
+
+def test_partition_routing_is_stable(catalog):
+    pid1, path1 = catalog.get_or_create_partition("exp", "aa" * 8)
+    pid2, path2 = catalog.get_or_create_partition("exp", "aa" * 8)
+    assert (pid1, path1) == (pid2, path2)
+    pid3, path3 = catalog.get_or_create_partition("exp", "bb" * 8)
+    assert pid3 != pid1 and path3 != path1
+    pid4, _ = catalog.get_or_create_partition("other", "aa" * 8)
+    assert pid4 not in (pid1, pid3)
+    assert len(catalog.partitions()) == 3
+
+
+def test_shard_paths_live_under_shards_dir(catalog):
+    pid, path = catalog.get_or_create_partition("weird name/<>", "cc" * 8)
+    assert path.parent.name == "shards"
+    assert path == catalog.shard_path(pid)
+    with pytest.raises(StorageError):
+        catalog.shard_path(999)
+
+
+def test_pending_rows_are_invisible_to_queries(catalog):
+    pid, _ = catalog.get_or_create_partition("exp", "aa" * 8)
+    exp_id = catalog.insert_pending(pid, _key(), "src.db",
+                                    catalog.next_ingest_seq())
+    catalog.conn.commit()
+    assert catalog.experiments() == []
+    assert catalog.find_by_digest("d1") is None
+    with pytest.raises(StorageError):
+        catalog.experiment_id_by_name("exp")
+    assert [r["ExpID"] for r in catalog.pending()] == [exp_id]
+
+    catalog.mark_done(exp_id)
+    catalog.conn.commit()
+    assert [r["ExpID"] for r in catalog.experiments()] == [exp_id]
+    assert catalog.find_by_digest("d1")["ExpID"] == exp_id
+    assert catalog.experiment_id_by_name("exp") == exp_id
+    assert catalog.pending() == []
+
+
+def test_find_by_digest_returns_oldest(catalog):
+    pid, _ = catalog.get_or_create_partition("exp", "aa" * 8)
+    first = catalog.insert_pending(pid, _key(), "a.db", 1)
+    second = catalog.insert_pending(pid, _key(), "b.db", 2)
+    catalog.mark_done(first)
+    catalog.mark_done(second)
+    catalog.conn.commit()
+    assert catalog.find_by_digest("d1")["ExpID"] == first
+    # Newest wins for name resolution (latest ingest is the baseline).
+    assert catalog.experiment_id_by_name("exp") == second
+
+
+def test_ingest_seq_monotonic(catalog):
+    pid, _ = catalog.get_or_create_partition("exp", "aa" * 8)
+    assert catalog.next_ingest_seq() == 1
+    catalog.insert_pending(pid, _key(), "a.db", 7)
+    catalog.conn.commit()
+    assert catalog.next_ingest_seq() == 8
+
+
+def test_purge_removes_catalogue_and_view_rows(catalog):
+    pid, _ = catalog.get_or_create_partition("exp", "aa" * 8)
+    exp_id = catalog.insert_pending(pid, _key(), "a.db", 1)
+    catalog.conn.execute(
+        "INSERT INTO MvExperimentStats (ExpID, Runs, Events, Packets, Nodes) "
+        "VALUES (?, 1, 1, 1, 1)", (exp_id,))
+    catalog.conn.execute(
+        "INSERT INTO MvEventCounts (ExpID, EventType, N) VALUES (?, 'e', 1)",
+        (exp_id,))
+    catalog.purge_experiment(exp_id)
+    catalog.conn.commit()
+    with pytest.raises(StorageError):
+        catalog.experiment(exp_id)
+    for table in ("MvExperimentStats", "MvEventCounts"):
+        count = catalog.conn.execute(
+            f"SELECT COUNT(*) FROM {table} WHERE ExpID = ?", (exp_id,)
+        ).fetchone()[0]
+        assert count == 0
+
+
+def test_catalogue_persists_across_reopen(tmp_path):
+    cat = Catalog(tmp_path / "wh")
+    pid, _ = cat.get_or_create_partition("exp", "aa" * 8)
+    exp_id = cat.insert_pending(pid, _key(), "a.db", 1)
+    cat.mark_done(exp_id)
+    cat.conn.commit()
+    cat.close()
+    again = Catalog(tmp_path / "wh")
+    assert [r["ExpID"] for r in again.experiments()] == [exp_id]
+    assert again.get_or_create_partition("exp", "aa" * 8)[0] == pid
+    again.close()

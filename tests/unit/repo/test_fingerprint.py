@@ -1,0 +1,60 @@
+"""Warehouse identity: content digests and factor fingerprints."""
+
+from repro.repo.fingerprint import (
+    content_fingerprint,
+    factor_fingerprint_from_plan,
+    fingerprint_package,
+)
+
+
+def _plan(levels, order=None, replications=1):
+    runs = []
+    rid = 0
+    for rep in range(replications):
+        for level in (order or levels):
+            runs.append({"run_id": rid, "treatment": {"f": level},
+                         "replication": rep, "treatment_index": 0,
+                         "seed": rid})
+            rid += 1
+    return runs
+
+
+def test_content_digest_stable_and_discriminating(make_level3):
+    db_a = make_level3("alpha")
+    db_b = make_level3("alpha2", name="alpha")  # identical content
+    db_c = make_level3("gamma", t0=99.0, name="alpha")  # shifted times
+    assert content_fingerprint(db_a) == content_fingerprint(db_b)
+    assert content_fingerprint(db_a) != content_fingerprint(db_c)
+
+
+def test_factor_fingerprint_ignores_order_and_replication():
+    base = factor_fingerprint_from_plan(_plan([1, 2, 3]))
+    assert factor_fingerprint_from_plan(_plan([1, 2, 3], order=[3, 1, 2])) == base
+    assert factor_fingerprint_from_plan(_plan([1, 2, 3], replications=4)) == base
+
+
+def test_factor_fingerprint_changes_on_new_level_or_factor():
+    base = factor_fingerprint_from_plan(_plan([1, 2]))
+    assert factor_fingerprint_from_plan(_plan([1, 2, 3])) != base
+    widened = _plan([1, 2])
+    for entry in widened:
+        entry["treatment"]["g"] = "x"
+    assert factor_fingerprint_from_plan(widened) != base
+
+
+def test_factor_fingerprint_skips_dict_levels_and_empty_plan():
+    plan = _plan([1])
+    plan[0]["treatment"]["composite"] = {"nested": True}
+    without = _plan([1])
+    assert factor_fingerprint_from_plan(plan) == factor_fingerprint_from_plan(without)
+    # No plan at all still yields a routable partition key.
+    assert factor_fingerprint_from_plan([])
+
+
+def test_fingerprint_package_fields(make_level3):
+    db = make_level3("alpha")
+    key = fingerprint_package(db)
+    assert key.name == "alpha"
+    assert key.comment == "c"
+    assert key.content_digest == content_fingerprint(db)
+    assert key.partition == ("alpha", key.factor_fingerprint)

@@ -6,9 +6,11 @@ import pytest
 from repro.core.errors import StorageError
 from repro.storage.level2 import Level2Store
 from repro.storage.level3 import (
+    CHECKSUM_TABLE,
     EXTENSION_TABLES,
     TABLE_SCHEMAS,
     ExperimentDatabase,
+    read_stamped_digest,
     store_level3,
 )
 from repro.storage.level4 import ExperimentRepository
@@ -49,8 +51,11 @@ def test_schema_matches_table_one(filled_store, tmp_path):
     with ExperimentDatabase(db_path) as db:
         schema = db.schema()
         # Table I verbatim, plus the integrity side tables (DESIGN.md §11)
-        # that deliberately live outside TABLE_SCHEMAS.
-        assert set(schema) == set(TABLE_SCHEMAS) | set(EXTENSION_TABLES)
+        # and the digest-stamp table, which deliberately live outside
+        # TABLE_SCHEMAS.
+        assert set(schema) == (
+            set(TABLE_SCHEMAS) | set(EXTENSION_TABLES) | {CHECKSUM_TABLE}
+        )
         for table, attrs in TABLE_SCHEMAS.items():
             assert schema[table] == attrs, table
         for table, attrs in EXTENSION_TABLES.items():
@@ -209,7 +214,7 @@ def test_repository_events_scoped_by_experiment(filled_store, tmp_path):
     db_path = store_level3(filled_store, tmp_path / "x.db")
     with ExperimentRepository(tmp_path / "repo.db") as repo:
         e1 = repo.import_experiment(db_path)
-        e2 = repo.import_experiment(db_path)  # imported twice = two entries
+        e2 = repo.import_experiment(db_path, force=True)  # forced second copy
         assert repo.run_ids(e1) == [0]
         assert len(repo.events(e1)) == 1
         assert len(repo.events(e2)) == 1
@@ -239,7 +244,7 @@ def test_repository_dimensional_views(filled_store, tmp_path):
         facts = repo.conn.execute("SELECT COUNT(*) FROM FactEvents").fetchone()[0]
         assert facts == 1
         # Views track later imports without re-creation.
-        repo.import_experiment(db_path)
+        repo.import_experiment(db_path, force=True)
         facts = repo.conn.execute("SELECT COUNT(*) FROM FactEvents").fetchone()[0]
         assert facts == 2
 
@@ -269,3 +274,115 @@ def test_repository_persists_across_reopen(filled_store, tmp_path):
     repo.close()
     with ExperimentRepository(tmp_path / "repo.db") as again:
         assert len(again.experiments()) == 1
+
+
+def test_repository_import_dedups_by_content_digest(filled_store, tmp_path):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        first = repo.import_experiment(db_path)
+        # Same Table-I content: the import is an idempotent no-op.
+        assert repo.import_experiment(db_path) == first
+        assert len(repo.experiments()) == 1
+        assert repo.experiments()[0]["ContentDigest"]
+        # An explicit force creates the historic duplicate.
+        forced = repo.import_experiment(db_path, force=True)
+        assert forced != first
+        assert len(repo.experiments()) == 2
+
+
+def test_repository_import_streams_in_batches(filled_store, tmp_path,
+                                              monkeypatch):
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    monkeypatch.setattr(ExperimentRepository, "IMPORT_BATCH_ROWS", 1)
+    with ExperimentRepository(tmp_path / "repo.db") as repo:
+        exp_id = repo.import_experiment(db_path)
+        with ExperimentDatabase(db_path) as src:
+            assert len(repo.events(exp_id)) == src.row_counts()["Events"]
+            assert repo.run_ids(exp_id) == src.run_ids()
+
+
+def test_repository_digest_column_added_to_existing_repo(filled_store,
+                                                         tmp_path):
+    import sqlite3
+
+    repo_path = tmp_path / "old-repo.db"
+    with sqlite3.connect(repo_path) as conn:
+        conn.executescript(
+            """
+            CREATE TABLE Experiments (
+                ExpID INTEGER PRIMARY KEY AUTOINCREMENT,
+                Name TEXT NOT NULL,
+                Comment TEXT NOT NULL DEFAULT '',
+                EEVersion TEXT NOT NULL DEFAULT '',
+                ExpXML TEXT NOT NULL DEFAULT '',
+                SourcePath TEXT NOT NULL DEFAULT ''
+            );
+            INSERT INTO Experiments (Name) VALUES ('legacy');
+            """
+        )
+        conn.commit()
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    with ExperimentRepository(repo_path) as repo:
+        repo.import_experiment(db_path)
+        names = [e["Name"] for e in repo.experiments()]
+        assert "legacy" in names and "t3" in names
+
+
+# ----------------------------------------------------------------------
+# Digest stamping (PackageChecksums)
+# ----------------------------------------------------------------------
+def test_store_level3_stamps_table1_digest(filled_store, tmp_path):
+    from repro.campaign.merge import database_digest
+
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    assert read_stamped_digest(db_path) == database_digest(db_path)
+
+
+def test_content_fingerprint_trusts_stamp_unless_told_not_to(
+    filled_store, tmp_path
+):
+    import sqlite3
+
+    from repro.campaign.merge import database_digest
+    from repro.repo.fingerprint import content_fingerprint
+
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    true_digest = database_digest(db_path)
+    # Tamper with the stamp: the trusted path believes it (that is the
+    # O(1) contract), the verification path recomputes.
+    with sqlite3.connect(db_path) as conn:
+        conn.execute(
+            f"UPDATE {CHECKSUM_TABLE} SET Value = 'bogus'"
+        )
+        conn.commit()
+    assert content_fingerprint(db_path) == "bogus"
+    assert content_fingerprint(db_path, trusted=False) == true_digest
+
+
+def test_content_fingerprint_falls_back_without_stamp(filled_store, tmp_path):
+    import sqlite3
+
+    from repro.campaign.merge import database_digest
+    from repro.repo.fingerprint import content_fingerprint
+
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    # Pre-stamp package: drop the table entirely, as an old writer's
+    # output would look.
+    with sqlite3.connect(db_path) as conn:
+        conn.execute(f"DROP TABLE {CHECKSUM_TABLE}")
+        conn.commit()
+    assert read_stamped_digest(db_path) is None
+    assert content_fingerprint(db_path) == database_digest(db_path)
+
+
+def test_stamp_survives_and_tracks_abort_annotation(filled_store, tmp_path):
+    from repro.campaign.merge import apply_abort_reasons, database_digest
+
+    db_path = store_level3(filled_store, tmp_path / "x.db")
+    before = read_stamped_digest(db_path)
+    # Annotation rewrites RunInfos (a digested table): the stamp must be
+    # refreshed to the post-annotation digest, not left stale.
+    assert apply_abort_reasons(db_path, {0: "node lost"}) > 0
+    after = read_stamped_digest(db_path)
+    assert after != before
+    assert after == database_digest(db_path)
