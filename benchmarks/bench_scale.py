@@ -1,22 +1,354 @@
-"""Scale: an experiment on a DES-testbed-sized mesh.
+"""Scale: the simulator fast path at 100/500/1000 emulated mesh nodes.
 
-The paper's platform is the ~100-node DES wireless testbed.  This bench
-runs the two-party discovery experiment on a 100-node emulated mesh
-(2 SMs, 2 SUs, 96 environment nodes, multicast flooding across the whole
-graph) and reports the wall-clock cost per run — the feasibility evidence
-that laptop-scale reproduction of testbed-scale experiments is practical.
+Two workloads:
+
+* ``test_scale_100_node_mesh`` — the original feasibility bench: a full
+  two-party discovery experiment (master, RPC control plane, storage) on a
+  100-node mesh, the paper's platform size.
+* the **packet storm** — a pure data-plane workload (kernel + medium +
+  nodes only, no control plane) that isolates the per-packet hot loop:
+  multicast floods across the whole mesh plus multi-hop unicast
+  ping/pong pairs.  Each scale runs the production kernel/medium
+  ("fast": event wheel, route tables, copy-on-write deliveries) and the
+  frozen pre-optimization oracle ("reference":
+  ``repro.sim.reference.ReferenceSimulator`` +
+  ``repro.net.reference.ReferenceMedium``) on identical seeds, asserts
+  identical ``MediumStats`` (and byte-identical capture records at the
+  100-node paper scale), and reports the end-to-end speedup.
+
+Emits ``BENCH_sim.json``; the committed ``BENCH_sim.baseline.json`` is
+the regression gate for CI's ``sim-bench`` job.  Full mode enforces the
+PR's tentpole claim: >= 5x at 1000 nodes over the pre-optimization
+kernel.
+
+Run standalone (CI smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick \
+        --out BENCH_sim.json \
+        --check-baseline benchmarks/BENCH_sim.baseline.json
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_scale.py --benchmark-only -s
 """
 
-from conftest import print_table, run_once
+from __future__ import annotations
 
-from repro import ExperiMaster, Level2Store
-from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
-from repro.sd.processlib import build_two_party_description
+import argparse
+import gc
+import hashlib
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.net.medium import CongestionModel, WirelessMedium
+from repro.net.node import NetNode
+from repro.net.packet import MULTICAST_SD_GROUP, reset_uid_counter
+from repro.net.reference import ReferenceMedium, ReferenceNetNode
+from repro.net.topology import random_geometric_topology
+from repro.sim.kernel import Simulator
+from repro.sim.reference import ReferenceSimulator
 
 NODES = 100
 
+#: Storm scales.  Radius keeps the geometric mesh connected but multi-hop
+#: (diameter ~8-15 hops).  Channel capacity scales with node count — a
+#: 1000-node deployment is many collision domains, not one — so offered
+#: load stays in the regime where multi-hop unicast actually traverses
+#: its full path.  The big scales are ping-dominated: multi-hop unicast
+#: is where a mesh routing data plane spends its life, and it exercises
+#: the whole per-hop chain (route lookup, address resolution, MAC
+#: retries, forwarding) on every event.  ``capture`` stays on only at
+#: the paper scale, where the byte-identical digest check runs; observer
+#: cost is identical in both flavours and would only dilute the kernel/
+#: medium comparison at the big scales.
+STORM_SCALES = {
+    "100": {
+        "nodes": 100, "radius": 0.22, "capacity": 2e6,
+        "flood_senders": 4, "flood_ticks": 10, "flood_interval": 0.5,
+        "ping_pairs": 50, "ping_ticks": 10, "ping_interval": 0.5,
+        "capture": True,
+    },
+    "500": {
+        "nodes": 500, "radius": 0.13, "capacity": 10e6,
+        "flood_senders": 1, "flood_ticks": 3, "flood_interval": 1.0,
+        "ping_pairs": 500, "ping_ticks": 30, "ping_interval": 0.15,
+        "capture": False,
+    },
+    "1000": {
+        "nodes": 1000, "radius": 0.10, "capacity": 20e6,
+        "flood_senders": 1, "flood_ticks": 3, "flood_interval": 1.0,
+        "ping_pairs": 1000, "ping_ticks": 30, "ping_interval": 0.15,
+        "capture": False,
+    },
+}
 
+STORM_SEED = 7
+STORM_DURATION = 5.0
+FLOOD_PORT = 5353
+PING_PORT = 7
+PONG_PORT = 8
+
+
+# ----------------------------------------------------------------------
+# Packet-storm workload (pure data plane)
+# ----------------------------------------------------------------------
+def _noop(payload, packet, node):
+    pass
+
+
+def _pong(payload, packet, node):
+    node.send_datagram(
+        {"r": payload["n"]},
+        dst_addr=packet.src_addr,
+        dst_port=PONG_PORT,
+        src_port=PING_PORT,
+        size=64,
+        flow="load",
+    )
+
+
+def _flood_tick(sim, node, interval, remaining):
+    node.send_datagram(
+        {"f": remaining},
+        dst_addr=MULTICAST_SD_GROUP,
+        dst_port=FLOOD_PORT,
+        src_port=FLOOD_PORT,
+        size=192,
+        flow="load",
+    )
+    if remaining > 1:
+        sim.call_later(interval, _flood_tick, sim, node, interval, remaining - 1)
+
+
+def _ping_tick(sim, node, dst_addr, interval, seq, remaining):
+    node.send_datagram(
+        {"n": seq},
+        dst_addr=dst_addr,
+        dst_port=PING_PORT,
+        src_port=PING_PORT,
+        size=64,
+        flow="load",
+    )
+    if remaining > 1:
+        sim.call_later(
+            interval, _ping_tick, sim, node, dst_addr, interval, seq + 1, remaining - 1
+        )
+
+
+_PING_PAIR_MEMO = {}
+
+
+def _pick_ping_pairs(cfg):
+    """Deterministic (src_index, dst_index) ping pairs, farthest-first.
+
+    Each source pings its topologically farthest node (smallest index on
+    ties), so pings traverse diameter-length paths and the per-hop
+    forwarding chain dominates the workload.  Computed on a throwaway
+    topology instance so neither flavour's route caches are pre-warmed
+    outside the timed region; memoized because every repetition of every
+    flavour uses the same pairs.
+    """
+    memo_key = (cfg["nodes"], cfg["radius"], cfg["ping_pairs"])
+    cached = _PING_PAIR_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    topo = random_geometric_topology(cfg["nodes"], cfg["radius"], seed=STORM_SEED)
+    names = topo.node_names
+    ids = topo.intern_ids()
+    idx_of = {name: i for i, name in enumerate(names)}
+    pairs = []
+    for i in range(cfg["ping_pairs"]):
+        src = names[i % len(names)]
+        src_id = ids[src]
+        topo._route_row(src_id)  # force the distance row
+        dist = topo._dist_rows[src_id]
+        far_id = max(range(len(dist)), key=lambda j: (dist[j], -j))
+        pairs.append((i % len(names), idx_of[topo.node_name(far_id)]))
+    _PING_PAIR_MEMO[memo_key] = pairs
+    return pairs
+
+
+def _build_mesh(flavor, cfg):
+    # The reference flavour is the WHOLE pre-optimization data plane —
+    # kernel, medium, interface and node — so the speedup is measured
+    # against the code as it shipped, not a hybrid.
+    sim_cls = Simulator if flavor == "fast" else ReferenceSimulator
+    medium_cls = WirelessMedium if flavor == "fast" else ReferenceMedium
+    node_cls = NetNode if flavor == "fast" else ReferenceNetNode
+    topo = random_geometric_topology(cfg["nodes"], cfg["radius"], seed=STORM_SEED)
+    sim = sim_cls()
+    medium = medium_cls(
+        sim,
+        topo,
+        random.Random(STORM_SEED * 7 + 1),
+        congestion=CongestionModel(capacity_bps=cfg["capacity"]),
+    )
+    nodes = []
+    for i, name in enumerate(topo.node_names):
+        node = node_cls(
+            sim, name, f"10.{i >> 16}.{(i >> 8) & 255}.{i & 255}"
+        )
+        node.capture.enabled = cfg["capture"]
+        node.join_group(MULTICAST_SD_GROUP)
+        node.bind(FLOOD_PORT, _noop)
+        node.bind(PING_PORT, _pong)
+        node.bind(PONG_PORT, _noop)
+        medium.attach(node)
+        nodes.append(node)
+    return sim, medium, nodes
+
+
+def run_storm(flavor, scale):
+    """One packet storm at *scale*; returns (seconds, metrics dict, nodes)."""
+    cfg = STORM_SCALES[scale]
+    # uids restart at 1 so fast and reference produce identical captures.
+    reset_uid_counter(1)
+    sim, medium, nodes = _build_mesh(flavor, cfg)
+    n = len(nodes)
+    for i in range(cfg["flood_senders"]):
+        sender = nodes[(i * n) // cfg["flood_senders"]]
+        sim.call_later(
+            0.01 * i, _flood_tick, sim, sender, cfg["flood_interval"],
+            cfg["flood_ticks"],
+        )
+    for i, (src_idx, dst_idx) in enumerate(_pick_ping_pairs(cfg)):
+        src = nodes[src_idx]
+        dst = nodes[dst_idx]
+        sim.call_later(
+            0.05 + (i % 100) * 0.001, _ping_tick, sim, src, dst.address,
+            cfg["ping_interval"], 0, cfg["ping_ticks"],
+        )
+
+    # GC pauses are noise proportional to process history, not to the
+    # flavour under test; collect up front and keep the cycle collector
+    # out of the timed region (refcounting still frees packets).
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        sim.run(until=STORM_DURATION)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    metrics = {
+        "stats": medium.stats.as_dict(),
+        "callbacks": sim.executed_callbacks,
+        "captured": sum(len(node.capture) for node in nodes),
+    }
+    return elapsed, metrics, nodes
+
+
+def _capture_digest(nodes):
+    digest = hashlib.sha256()
+    for node in nodes:
+        for rec in node.capture.records:
+            digest.update(json.dumps(rec, sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+def run_scale(scale, deep_equivalence=False, repetitions=2):
+    """One scale: interleaved fast/reference repetitions, min-of-reps.
+
+    Interleaving and taking the per-flavour minimum filters noisy-
+    neighbour drift out of the speedup ratio — a transient slowdown
+    hitting one flavour's single measurement would otherwise swing the
+    gate by tens of percent.  Runs are deterministic, so every repetition
+    must also reproduce identical metrics (asserted).
+    """
+    fast_s = ref_s = None
+    fast_metrics = ref_metrics = None
+    fast_digest = None
+    for rep in range(repetitions):
+        s, metrics, nodes = run_storm("fast", scale)
+        fast_s = s if fast_s is None else min(fast_s, s)
+        assert fast_metrics is None or fast_metrics == metrics, (
+            f"fast flavour not deterministic at {scale}"
+        )
+        fast_metrics = metrics
+        if deep_equivalence and fast_digest is None:
+            fast_digest = _capture_digest(nodes)
+        del nodes
+
+        s, metrics, nodes = run_storm("reference", scale)
+        ref_s = s if ref_s is None else min(ref_s, s)
+        assert ref_metrics is None or ref_metrics == metrics, (
+            f"reference flavour not deterministic at {scale}"
+        )
+        ref_metrics = metrics
+        # The fast path must be invisible in the data: identical medium
+        # counters, kernel callback counts and capture volume...
+        assert fast_metrics == ref_metrics, (
+            f"fast/reference diverged at {scale}: {fast_metrics} vs {ref_metrics}"
+        )
+        # ...and, at paper scale, byte-identical capture records.
+        if deep_equivalence and fast_digest is not None:
+            assert fast_digest == _capture_digest(nodes), (
+                f"capture records diverged at {scale} nodes"
+            )
+        del nodes
+
+    return {
+        "nodes": STORM_SCALES[scale]["nodes"],
+        "callbacks": fast_metrics["callbacks"],
+        "transmissions": fast_metrics["stats"]["transmissions"],
+        "deliveries": fast_metrics["stats"]["deliveries"],
+        "captured": fast_metrics["captured"],
+        "fast_s": {"storm": round(fast_s, 4)},
+        "reference_s": {"storm": round(ref_s, 4)},
+        "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
+    }
+
+
+def print_report(results):
+    print("\n=== Simulator fast path: data-plane packet storm ===")
+    header = (f"{'nodes':>6} | {'callbacks':>9} | {'reference (s)':>13} | "
+              f"{'fast (s)':>9} | {'speedup':>7}")
+    print(header)
+    print("-" * len(header))
+    for scale, res in results.items():
+        print(f"{res['nodes']:>6} | {res['callbacks']:>9} | "
+              f"{res['reference_s']['storm']:>13.3f} | "
+              f"{res['fast_s']['storm']:>9.3f} | {res['speedup']:>6.2f}x")
+
+
+def check_baseline(results, baseline_path, tolerance=2.0):
+    """Fail (return False) if the fast storm regressed by more than
+    *tolerance*x against the committed baseline."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    ok = True
+    for scale, res in results.items():
+        base = baseline.get("scales", {}).get(scale)
+        if base is None:
+            continue
+        for stage, base_s in base["fast_s"].items():
+            now_s = res["fast_s"][stage]
+            if base_s > 0 and now_s > base_s * tolerance:
+                print(f"REGRESSION {scale}/{stage}: {now_s:.3f}s vs "
+                      f"baseline {base_s:.3f}s (> {tolerance}x)", file=sys.stderr)
+                ok = False
+    return ok
+
+
+def measure(scales):
+    return {
+        scale: run_scale(scale, deep_equivalence=(scale == "100"))
+        for scale in scales
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
 def test_scale_100_node_mesh(benchmark, workdir):
+    from conftest import print_table, run_once
+
+    from repro import ExperiMaster, Level2Store
+    from repro.platforms.simulated import PlatformConfig, SimulatedPlatform
+    from repro.sd.processlib import build_two_party_description
+
     desc = build_two_party_description(
         name="scale-100", seed=100, sm_count=2, su_count=2,
         env_count=NODES - 4, replications=2, deadline=30.0,
@@ -24,13 +356,13 @@ def test_scale_100_node_mesh(benchmark, workdir):
     )
     config = PlatformConfig(topology="mesh", mesh_radius=0.22, base_loss=0.03)
 
-    def run_scale():
+    def run_scale_experiment():
         platform = SimulatedPlatform(desc, config)
         master = ExperiMaster(platform, desc, Level2Store(workdir / "l2"))
         result = master.execute()
         return platform, master, result
 
-    platform, master, result = run_once(benchmark, run_scale)
+    platform, master, result = run_once(benchmark, run_scale_experiment)
     assert len(result.executed_runs) == 2
     assert result.timed_out_runs == []
     adds = master.bus.events_named("sd_service_add")
@@ -51,3 +383,53 @@ def test_scale_100_node_mesh(benchmark, workdir):
     )
     benchmark.extra_info["nodes"] = NODES
     benchmark.extra_info["callbacks"] = platform.sim.executed_callbacks
+
+
+def test_storm_fast_path_speedup(benchmark, workdir):
+    from conftest import run_once
+
+    results = run_once(benchmark, measure, ["100"])
+    print_report(results)
+    benchmark.extra_info["results"] = results
+    # The tentpole claim, scaled down for CI: the fast path clearly beats
+    # the pre-optimization kernel even at paper scale.
+    assert results["100"]["speedup"] >= 1.5, results
+
+
+# ----------------------------------------------------------------------
+# Standalone CLI (CI smoke job)
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="100- and 500-node storms only (CI smoke)")
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="result JSON path (default: BENCH_sim.json)")
+    parser.add_argument("--check-baseline", metavar="PATH",
+                        help="fail on >2x regression vs this baseline JSON")
+    args = parser.parse_args(argv)
+
+    scales = ["100", "500"] if args.quick else list(STORM_SCALES)
+    results = measure(scales)
+    print_report(results)
+
+    payload = {"benchmark": "sim_scale", "scales": results}
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check_baseline:
+        if not check_baseline(results, args.check_baseline):
+            return 1
+        print(f"within 2x of baseline {args.check_baseline}")
+    if not args.quick:
+        speedup = results["1000"]["speedup"]
+        if speedup < 5.0:
+            print(f"FAIL: storm speedup {speedup:.2f}x < 5x at 1000 nodes",
+                  file=sys.stderr)
+            return 1
+        print(f"storm speedup at 1000 nodes: {speedup:.2f}x (>= 5x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -383,8 +383,7 @@ class ControlChannel:
             done = self.sim.event(name=f"rpc:{node_id}.{method}")
             # Request propagation to the node...
             self.sim.call_later(
-                self._one_way(),
-                lambda _d=done: self._enqueue(node_id, method, request_xml, _d),
+                self._one_way(), self._enqueue, node_id, method, request_xml, done
             )
             if deadline > 0:
                 expiry = self.sim.timeout(deadline, name=f"rpc-deadline:{method}")
@@ -495,19 +494,16 @@ class ControlChannel:
         response_xml = self._servers[node_id].handle_request(request_xml)
         dropped = self._take_call_fault(node_id, method, "drop_reply")
 
-        def respond() -> None:
-            done.trigger(response_xml)
-
-        def unlock() -> None:
-            self._busy[node_id] = False
-            self._drain(node_id)
-
         # Response travels back; the node lock is released immediately
         # after local handling, so the next queued call proceeds while the
         # previous response is still in flight.
         if not dropped:
-            self.sim.call_later(self._one_way(), respond)
-        self.sim.call_later(0.0, unlock)
+            self.sim.call_later(self._one_way(), done.trigger, response_xml)
+        self.sim.call_later(0.0, self._unlock, node_id)
+
+    def _unlock(self, node_id: str) -> None:
+        self._busy[node_id] = False
+        self._drain(node_id)
 
     # ------------------------------------------------------------------
     # One-way upcall (node -> master)
@@ -521,10 +517,9 @@ class ControlChannel:
         if self._master_handler is None:
             raise RpcError("no master handler registered on the control channel")
         wire = xmlrpc.client.dumps((payload,), "master_notify", allow_none=True)
-        handler = self._master_handler
+        self.sim.call_later(self._one_way(), self._deliver_cast, wire, self._master_handler)
 
-        def deliver() -> None:
-            (decoded,), _ = xmlrpc.client.loads(wire)
-            handler(decoded)
-
-        self.sim.call_later(self._one_way(), deliver)
+    @staticmethod
+    def _deliver_cast(wire: str, handler: Any) -> None:
+        (decoded,), _ = xmlrpc.client.loads(wire)
+        handler(decoded)

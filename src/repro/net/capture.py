@@ -56,14 +56,30 @@ class PacketCapture:
         if self.max_records is not None and len(self._records) >= self.max_records:
             self.dropped_records += 1
             return
-        entry: CapturedPacket = {
-            "seq": next(self._seq),
-            "local_time": self.node.clock.time(),
-            "direction": direction.value,
-            "node": self.node.name,
-        }
-        entry.update(packet.describe())
-        self._records.append(entry)
+        node = self.node
+        # One dict literal instead of build-then-update; the key order
+        # must stay exactly header-then-describe() for L2 JSON stability.
+        # The packet is snapshotted *now* (options copied) because the
+        # medium shares one packet object across all receivers of a
+        # transmission (copy-on-write fast path).
+        self._records.append(
+            {
+                "seq": next(self._seq),
+                "local_time": node.clock.time(),
+                "direction": direction.value,
+                "node": node.name,
+                "uid": packet.uid,
+                "src": packet.src_addr,
+                "dst": packet.dst_addr,
+                "sport": packet.src_port,
+                "dport": packet.dst_port,
+                "size": packet.size,
+                "ttl": packet.ttl,
+                "flow": packet.flow,
+                "options": dict(packet.options),
+                "payload": packet.payload,
+            }
+        )
 
     @property
     def records(self) -> List[CapturedPacket]:

@@ -23,15 +23,47 @@ The medium only ever moves packets one hop.  Multi-hop unicast forwarding
 and multicast flooding are the receiving *node's* job
 (:meth:`repro.net.node.NetNode._receive`), mirroring the layering of a real
 mesh routing daemon.
+
+Fast path
+---------
+This module is the packet hot loop of 1000-node runs (DESIGN.md §14), so
+the common path is allocation-free and every per-packet lookup is O(1):
+
+* address → node and name → node resolution are dict hits, maintained in
+  ``attach``/``detach``;
+* next hops come from :meth:`Topology.next_hop_id` over interned int ids
+  (lazy BFS route rows, no nx path lists);
+* multicast floods iterate a precomputed per-sender array of
+  ``(receiver, base_loss, base_delay)`` rows in sorted-neighbour order —
+  rebuilt only when membership or :attr:`Topology.version` changes;
+* load accounting merges same-instant transmissions into one window slot,
+  so eviction work is O(1) amortized per *instant*, not per packet, and
+  utilization is computed once per transmit (it cannot change between the
+  per-neighbour carries of a single transmission);
+* delivered packets are shared copy-on-write: receive paths snapshot or
+  copy before mutating (capture records immediately, forwarding goes
+  through ``Packet.forwarded``), so the per-hop ``packet.copy()`` is gone
+  and deliveries are scheduled as bound method + args, no closure.
+
+``repro.net.reference.ReferenceMedium`` preserves the historical
+implementation; property tests pin both to byte-identical Table-I digests
+and :class:`MediumStats` at paper scale.  The RNG draw order (per-carry
+uniform jitter, then loss attempts, neighbours in sorted-name order) is
+part of that contract — do not reorder draws.
 """
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.net.packet import Packet, is_broadcast, is_multicast
+from repro.net.packet import (
+    BROADCAST_ADDR as _BCAST,
+    MULTICAST_PREFIX as _MC_PREFIX,
+    Packet,
+)
 from repro.net.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,6 +73,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
 __all__ = ["CongestionModel", "WirelessMedium", "MediumStats"]
+
+logger = logging.getLogger(__name__)
+
+#: Cache sentinel distinguishing "never resolved" from "resolved: no route".
+_UNRESOLVED = object()
 
 
 @dataclass
@@ -77,7 +114,7 @@ class CongestionModel:
         return self.queue_delay_at_capacity * utilization
 
 
-@dataclass
+@dataclass(slots=True)
 class MediumStats:
     """Aggregate medium counters for analysis and benchmarks."""
 
@@ -131,9 +168,26 @@ class WirelessMedium:
         self.mac_retries = int(mac_retries)
         self.retry_backoff = float(retry_backoff)
         self._nodes: Dict[str, "NetNode"] = {}
-        self._load_window: Deque[Tuple[float, int]] = deque()
+        self._by_address: Dict[str, "NetNode"] = {}
+        # Sliding load window of [time, bytes] slots; same-instant
+        # transmissions merge into the tail slot (exact: eviction compares
+        # the shared timestamp, so merging cannot change utilization).
+        self._load_window: Deque[List] = deque()
         self._load_bytes = 0
         self.stats = MediumStats()
+        # Congestion parameters memoized per congestion-object identity:
+        # five dataclass attribute loads collapse into one tuple unpack on
+        # the hot path.  Swapping in a new CongestionModel instance takes
+        # effect immediately; the instances themselves are never mutated.
+        self._cong_key: Optional[CongestionModel] = None
+        self._cong_params: Tuple = ()
+        # Caches derived from (topology.version, membership); -1 forces a
+        # rebuild on the next transmit.
+        self._cache_version = -1
+        self._name_ids: Dict[str, int] = {}
+        self._nodes_by_id: List[Optional["NetNode"]] = []
+        self._flood_rows: Dict[str, List[Tuple]] = {}
+        self._dst_rows: Dict[str, Dict[str, Optional[Tuple]]] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -144,12 +198,31 @@ class WirelessMedium:
             raise KeyError(f"node {node.name!r} is not part of the topology")
         if node.name in self._nodes:
             raise ValueError(f"node {node.name!r} already attached")
+        if node.address in self._by_address:
+            raise ValueError(
+                f"address {node.address!r} already attached "
+                f"(node {self._by_address[node.address].name!r})"
+            )
         self._nodes[node.name] = node
+        self._by_address[node.address] = node
         node.interface.medium = self
+        self._cache_version = -1
 
-    def detach(self, node: "NetNode") -> None:
-        self._nodes.pop(node.name, None)
+    def detach(self, node: "NetNode") -> bool:
+        """Unregister *node*; returns whether it was actually attached.
+
+        Detaching a node that was never attached is almost always a
+        topology/name typo in the caller, so the miss is surfaced instead
+        of silently swallowed.
+        """
+        was_attached = self._nodes.pop(node.name, None) is not None
+        if was_attached:
+            self._by_address.pop(node.address, None)
+        else:
+            logger.warning("detach of unattached node %r ignored", node.name)
         node.interface.medium = None
+        self._cache_version = -1
+        return was_attached
 
     def node(self, name: str) -> "NetNode":
         return self._nodes[name]
@@ -158,10 +231,7 @@ class WirelessMedium:
         return self._nodes[name].address
 
     def node_by_address(self, address: str) -> Optional["NetNode"]:
-        for node in self._nodes.values():
-            if node.address == address:
-                return node
-        return None
+        return self._by_address.get(address)
 
     @property
     def attached_names(self):
@@ -172,22 +242,89 @@ class WirelessMedium:
     # ------------------------------------------------------------------
     def _account(self, size: int) -> None:
         now = self.sim.now
-        self._load_window.append((now, size))
+        window = self._load_window
+        if window and window[-1][0] == now:
+            window[-1][1] += size
+        else:
+            window.append([now, size])
         self._load_bytes += size
-        self._evict(now)
+        horizon = now - self.congestion.window
+        while window and window[0][0] < horizon:
+            self._load_bytes -= window.popleft()[1]
 
     def _evict(self, now: float) -> None:
         horizon = now - self.congestion.window
         window = self._load_window
         while window and window[0][0] < horizon:
-            _, size = window.popleft()
-            self._load_bytes -= size
+            self._load_bytes -= window.popleft()[1]
 
     def utilization(self) -> float:
         """Current offered load as a fraction of capacity, clamped to [0, 1.5]."""
         self._evict(self.sim.now)
         offered_bps = (self._load_bytes * 8.0) / self.congestion.window
         return min(offered_bps / self.congestion.capacity_bps, 1.5)
+
+    def reset_load(self) -> None:
+        """Zero the offered-load window (fresh run on a reused medium)."""
+        self._load_window.clear()
+        self._load_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Derived caches
+    # ------------------------------------------------------------------
+    def _rebuild_caches(self) -> None:
+        topology = self.topology
+        ids = topology.intern_ids()
+        self._name_ids = ids
+        by_id: List[Optional["NetNode"]] = [None] * len(ids)
+        for name, node in self._nodes.items():
+            node_id = ids.get(name)
+            if node_id is not None:
+                by_id[node_id] = node
+        self._nodes_by_id = by_id
+        self._flood_rows = {}
+        self._dst_rows = {}
+        self._cache_version = topology.version
+
+    def _flood_row(self, sender_name: str) -> List[Tuple]:
+        """Per-sender flood sweep: ``(deliver, base_loss, base_delay)`` per
+        attached neighbour, in sorted-neighbour order.  The *bound*
+        ``Interface.deliver`` is cached so a carry is pure arithmetic plus
+        one scheduled call."""
+        row = self._flood_rows.get(sender_name)
+        if row is None:
+            edge_params = self.topology.edge_params
+            nodes = self._nodes
+            row = []
+            for neighbor in self.topology.neighbors(sender_name):
+                target = nodes.get(neighbor)
+                if target is None:
+                    continue
+                base_loss, base_delay = edge_params(sender_name, neighbor)
+                row.append((target.interface.deliver, base_loss, base_delay))
+            self._flood_rows[sender_name] = row
+        return row
+
+    def _resolve_hop(self, sender_name: str, dst_addr: str) -> Optional[Tuple]:
+        """Resolve the unicast hop record for ``sender → dst_addr``:
+        ``(deliver, base_loss, base_delay)`` of the next-hop receiver, or
+        ``None`` when the address is unknown or unroutable.  Results are
+        memoized per sender in ``_dst_rows``; any membership or topology
+        change clears them via ``_rebuild_caches``."""
+        dst_node = self._by_address.get(dst_addr)
+        if dst_node is None:
+            return None
+        name_ids = self._name_ids
+        hop_id = self.topology.next_hop_id(
+            name_ids[sender_name], name_ids[dst_node.name]
+        )
+        if hop_id < 0:
+            return None
+        receiver = self._nodes_by_id[hop_id]
+        if receiver is None:
+            return None
+        base_loss, base_delay = self.topology.edge_params(sender_name, receiver.name)
+        return (receiver.interface.deliver, base_loss, base_delay)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -201,65 +338,104 @@ class WirelessMedium:
         the destination is unknown or unreachable the frame is dropped,
         which is what a mesh routing daemon with no route does.
         """
-        self.stats.transmissions += 1
-        self._account(packet.size)
-        if is_broadcast(packet.dst_addr) or is_multicast(packet.dst_addr):
-            for neighbor in self.topology.neighbors(sender.name):
-                target = self._nodes.get(neighbor)
-                if target is None:
-                    continue
-                self._carry(sender, target, packet, unicast=False, extra_delay=extra_delay)
+        stats = self.stats
+        stats.transmissions += 1
+        congestion = self.congestion
+        if congestion is not self._cong_key:
+            self._cong_key = congestion
+            self._cong_params = (
+                congestion.window,
+                congestion.capacity_bps,
+                congestion.loss_coeff,
+                congestion.queue_delay_at_capacity,
+                congestion.jitter,
+            )
+        c_window, c_capacity, c_loss_coeff, c_qdac, jitter = self._cong_params
+        # Inlined _account: same-instant slot merge + window eviction.
+        now = self.sim._now
+        window = self._load_window
+        size = packet.size
+        if window and window[-1][0] == now:
+            window[-1][1] += size
+        else:
+            window.append([now, size])
+        load = self._load_bytes + size
+        horizon = now - c_window
+        while window and window[0][0] < horizon:
+            load -= window.popleft()[1]
+        self._load_bytes = load
+        if self._cache_version != self.topology.version:
+            self._rebuild_caches()
+
+        # Utilization is identical for every carry of one transmission
+        # (time and the load window only change between events), so it is
+        # computed once.  The congestion curves are inlined verbatim from
+        # CongestionModel.extra_loss / queue_delay — operation order and
+        # association preserved exactly, so every float (and hence every
+        # RNG comparison) matches the reference bit for bit.
+        offered_bps = (load * 8.0) / c_window
+        utilization = min(offered_bps / c_capacity, 1.5)
+        congestion_loss = c_loss_coeff * utilization * utilization
+        queue_delay = c_qdac * utilization
+        # rand() * jitter is bit-identical to rng.uniform(0.0, jitter)
+        # (uniform computes a + (b - a) * random()) and consumes exactly
+        # one draw — the RNG stream stays equal to the reference medium's.
+        rand = self.rng.random
+        call_later = self.sim.call_later
+        dst_addr = packet.dst_addr
+
+        # Inlined is_broadcast/is_multicast: both special addresses start
+        # with "2", so ordinary unicast skips the string tests entirely.
+        if dst_addr[0] == "2" and (
+            dst_addr.startswith(_MC_PREFIX) or dst_addr == _BCAST
+        ):
+            # Batched flood: one precomputed sweep over the attached
+            # neighbours, one RNG jitter + loss draw per receiver, the
+            # shared packet scheduled copy-on-write per delivery.
+            for deliver, base_loss, base_delay in self._flood_row(sender.name):
+                delay = extra_delay + base_delay + queue_delay + rand() * jitter
+                p_loss = base_loss + congestion_loss
+                if p_loss > 0.99:
+                    p_loss = 0.99
+                if rand() >= p_loss:
+                    stats.deliveries += 1
+                    call_later(delay, deliver, packet)
+                else:
+                    stats.losses += 1
             return
 
-        dst_node = self.node_by_address(packet.dst_addr)
-        if dst_node is None:
-            self.stats.losses += 1
+        # Per-sender destination rows collapse address lookup, id
+        # interning and next-hop resolution into a single dict hit on the
+        # steady path; a cached None is a resolved "no route" (also the
+        # daemon's answer every time until the topology changes).
+        sender_name = sender.name
+        row = self._dst_rows.get(sender_name)
+        if row is None:
+            row = self._dst_rows[sender_name] = {}
+        hop = row.get(dst_addr, _UNRESOLVED)
+        if hop is _UNRESOLVED:
+            hop = row[dst_addr] = self._resolve_hop(sender_name, dst_addr)
+        if hop is None:
+            stats.losses += 1
             return
-        next_hop_name = self.topology.next_hop(sender.name, dst_node.name)
-        if next_hop_name is None or next_hop_name not in self._nodes:
-            self.stats.losses += 1
+        deliver, base_loss, base_delay = hop
+        delay = extra_delay + base_delay + queue_delay + rand() * jitter
+        p_loss = base_loss + congestion_loss
+        if p_loss > 0.99:
+            p_loss = 0.99
+        # Unrolled attempt 0 — the common case needs no range object and
+        # no retry bookkeeping.
+        if rand() >= p_loss:
+            stats.deliveries += 1
+            call_later(delay, deliver, packet)
             return
-        self._carry(
-            sender, self._nodes[next_hop_name], packet, unicast=True, extra_delay=extra_delay
-        )
-
-    def _carry(
-        self,
-        sender: "NetNode",
-        receiver: "NetNode",
-        packet: Packet,
-        unicast: bool,
-        extra_delay: float,
-    ) -> None:
-        attrs = self.topology.edge_attrs(sender.name, receiver.name)
-        utilization = self.utilization()
-        p_loss = min(
-            0.99,
-            float(attrs.get("base_loss", 0.0)) + self.congestion.extra_loss(utilization),
-        )
-        attempts = 1 + (self.mac_retries if unicast else 0)
-        delay = (
-            extra_delay
-            + float(attrs.get("base_delay", 0.001))
-            + self.congestion.queue_delay(utilization)
-            + self.rng.uniform(0.0, self.congestion.jitter)
-        )
-        delivered = False
-        for attempt in range(attempts):
-            if self.rng.random() >= p_loss:
-                delivered = True
-                if attempt:
-                    self.stats.mac_retries += attempt
-                    delay += attempt * self.retry_backoff
-                break
-        if not delivered:
-            self.stats.losses += 1
-            return
-        self.stats.deliveries += 1
-        # Each hop copies the packet so in-flight mutation on one node
-        # cannot corrupt another's view; the uid survives for tracking.
-        arriving = packet.copy()
-        self.sim.call_later(delay, lambda: receiver.interface.deliver(arriving))
+        for attempt in range(1, 1 + self.mac_retries):
+            if rand() >= p_loss:
+                stats.mac_retries += attempt
+                stats.deliveries += 1
+                call_later(delay + attempt * self.retry_backoff, deliver, packet)
+                return
+        stats.losses += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

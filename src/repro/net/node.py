@@ -26,9 +26,10 @@ from repro.net.capture import PacketCapture
 from repro.net.clock import LocalClock
 from repro.net.interface import Interface
 from repro.net.packet import (
+    BROADCAST_ADDR,
     DEFAULT_TTL,
+    MULTICAST_PREFIX,
     Packet,
-    is_broadcast,
     is_multicast,
 )
 from repro.net.tagger import PacketTagger
@@ -170,11 +171,18 @@ class NetNode:
     # Receive path (called by the interface)
     # ------------------------------------------------------------------
     def _receive(self, packet: Packet, _iface: Interface) -> None:
-        if is_multicast(packet.dst_addr):
-            self._receive_multicast(packet)
-        elif is_broadcast(packet.dst_addr):
-            self._deliver_local(packet)
-        elif packet.dst_addr == self.address:
+        # Inlined is_multicast/is_broadcast (hot path): both special
+        # address forms start with "2", so unicast to a normal address
+        # skips the string tests.  Check order matches the historical one.
+        dst = packet.dst_addr
+        if dst[0] == "2":
+            if dst.startswith(MULTICAST_PREFIX):
+                self._receive_multicast(packet)
+                return
+            if dst == BROADCAST_ADDR:
+                self._deliver_local(packet)
+                return
+        if dst == self.address:
             self._deliver_local(packet)
         else:
             self._forward_unicast(packet)
@@ -185,21 +193,30 @@ class NetNode:
         self._mark_seen(packet.uid)
         if packet.dst_addr in self._groups:
             self._deliver_local(packet)
-        if self.flood_multicast and not packet.expired:
-            onward = packet.forwarded()
-            if not onward.expired:
-                self.counters["flooded"] += 1
-                self.interface.transmit(onward)
+        # ttl > 1 == "this packet is alive and its forwarded copy will be
+        # too"; checking before forwarded() skips the copy when the hop
+        # budget is spent.
+        if self.flood_multicast and packet.ttl > 1:
+            self.counters["flooded"] += 1
+            self.interface.transmit(packet.forwarded())
 
     def _forward_unicast(self, packet: Packet) -> None:
         if not self.forwarding:
             return
-        onward = packet.forwarded()
-        if onward.expired:
+        if packet.ttl <= 1:  # the forwarded packet would be expired
             self.counters["ttl_expired"] += 1
             return
         self.counters["forwarded"] += 1
-        self.interface.transmit(onward)
+        # A unicast packet has exactly one receiver per hop, so at this
+        # point this node is its only owner: nothing upstream holds a
+        # reference that is still read (captures snapshot fields at record
+        # time) and nothing downstream has seen it yet.  Decrementing the
+        # hop budget in place therefore observes the same values everywhere
+        # a per-hop copy would, without allocating one.  Multicast floods
+        # DO share the packet object across receivers and must keep
+        # copying (see _receive_multicast).
+        packet.ttl -= 1
+        self.interface.transmit(packet)
 
     def _deliver_local(self, packet: Packet) -> None:
         handler = self._bindings.get(packet.dst_port)
@@ -210,9 +227,10 @@ class NetNode:
         handler(packet.payload, packet, self)
 
     def _mark_seen(self, uid: int) -> None:
+        # Callers only mark unseen uids, so plain insertion already lands
+        # the key at the LRU tail; no move_to_end needed.
         seen = self._seen
         seen[uid] = None
-        seen.move_to_end(uid)
         while len(seen) > self._seen_cache_size:
             seen.popitem(last=False)
 

@@ -17,13 +17,45 @@ distance < radius, quality degrading with distance.
 Hop counts — the paper's "rudimentary description of the network topology
 ... measured as hop count between the participating nodes" (Sec. IV-B4) —
 come straight from shortest path lengths of this graph.
+
+Route tables
+------------
+The simulator fast path (DESIGN.md §14) never touches nx path lists on the
+packet hot loop.  Node names are interned to dense int ids (graph node
+insertion order) and next hops come from lazily built per-source BFS rows:
+``_route_row(src_id)[dst_id]`` is the int id of the neighbour *src*
+forwards to, ``-1`` if unreachable (or ``dst == src``).  The FIFO BFS
+propagates the first hop over ``graph.adj`` in insertion order, which is
+exactly the discovery order ``nx.all_pairs_shortest_path`` uses, so the
+chosen hop is identical to the historical ``shortest_path(src, dst)[1]``
+(pinned by ``tests/unit/net/test_topology.py`` and the medium-equivalence
+property tests).  ``shortest_path`` itself stays nx-backed for callers
+that need full paths and for the frozen reference medium.
+
+Every cache (nx paths, id interning, route/distance rows, sorted
+neighbours, edge parameters) invalidates together through
+:meth:`Topology.invalidate_cache`, which also bumps :attr:`Topology.version`
+so medium-local caches keyed on the topology can notice mutations.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
+
+try:  # numpy is a declared dependency, but the route tables degrade
+    import numpy as _np  # gracefully to the pure-Python BFS without it.
+except ImportError:  # pragma: no cover
+    _np = None
+
+try:  # scipy is optional; its C BFS is the fastest route-row builder.
+    from scipy.sparse import csr_matrix as _sp_csr_matrix
+    from scipy.sparse.csgraph import breadth_first_order as _sp_bfs
+except ImportError:  # pragma: no cover
+    _sp_csr_matrix = None
+    _sp_bfs = None
 
 __all__ = [
     "Topology",
@@ -39,6 +71,12 @@ __all__ = [
 DEFAULT_BASE_LOSS = 0.02
 DEFAULT_BASE_DELAY = 0.002
 
+#: Per-hop defaults applied when an edge lacks explicit attributes; these
+#: mirror the historical ``attrs.get(...)`` fallbacks in the medium's
+#: carry path and must not drift from them.
+FALLBACK_BASE_LOSS = 0.0
+FALLBACK_BASE_DELAY = 0.001
+
 
 class Topology:
     """A connectivity graph plus convenience queries.
@@ -51,7 +89,20 @@ class Topology:
         if graph.number_of_nodes() == 0:
             raise ValueError("topology must contain at least one node")
         self.graph = graph
+        #: Bumped by :meth:`invalidate_cache`; consumers (the wireless
+        #: medium) key their own derived caches on this counter.
+        self.version = 0
         self._paths_cache: Optional[Dict[str, Dict[str, List[str]]]] = None
+        self._ids: Optional[Dict[str, int]] = None
+        self._names: Optional[List[str]] = None
+        self._adj_ids: Optional[List[List[int]]] = None
+        self._csr: Optional[Tuple] = None
+        self._sp_graph = None
+        self._bfs_scratch = None
+        self._route_rows: Dict[int, List[int]] = {}
+        self._dist_rows: Dict[int, List[int]] = {}
+        self._sorted_neighbors: Dict[str, List[str]] = {}
+        self._edge_params: Dict[Tuple[str, str], Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -61,10 +112,31 @@ class Topology:
         return sorted(self.graph.nodes)
 
     def neighbors(self, name: str) -> List[str]:
-        return sorted(self.graph.neighbors(name))
+        cached = self._sorted_neighbors.get(name)
+        if cached is None:
+            cached = sorted(self.graph.neighbors(name))
+            self._sorted_neighbors[name] = cached
+        return cached
 
     def edge_attrs(self, a: str, b: str) -> Dict[str, float]:
         return self.graph.edges[a, b]
+
+    def edge_params(self, a: str, b: str) -> Tuple[float, float]:
+        """``(base_loss, base_delay)`` of a link, with carry-path defaults.
+
+        Cached floats so the medium hot loop skips the nx attribute-dict
+        machinery per packet.
+        """
+        key = (a, b)
+        params = self._edge_params.get(key)
+        if params is None:
+            attrs = self.graph.edges[a, b]
+            params = (
+                float(attrs.get("base_loss", FALLBACK_BASE_LOSS)),
+                float(attrs.get("base_delay", FALLBACK_BASE_DELAY)),
+            )
+            self._edge_params[key] = params
+        return params
 
     def has_edge(self, a: str, b: str) -> bool:
         return self.graph.has_edge(a, b)
@@ -87,24 +159,217 @@ class Topology:
         except KeyError:
             raise KeyError(f"no path {src} -> {dst}") from None
 
+    # ------------------------------------------------------------------
+    # Interned ids and route tables (the packet hot path)
+    # ------------------------------------------------------------------
+    def intern_ids(self) -> Dict[str, int]:
+        """Name → dense int id, in graph node insertion order."""
+        if self._ids is None:
+            names = list(self.graph.nodes)
+            self._names = names
+            self._ids = {name: i for i, name in enumerate(names)}
+            ids = self._ids
+            adj = self.graph.adj
+            self._adj_ids = [[ids[w] for w in adj[v]] for v in names]
+        return self._ids
+
+    def node_name(self, node_id: int) -> str:
+        """Inverse of :meth:`intern_ids`."""
+        self.intern_ids()
+        return self._names[node_id]
+
+    def _adjacency_csr(self):
+        """Interned adjacency flattened to CSR arrays for the numpy BFS."""
+        if self._csr is None:
+            self.intern_ids()
+            adj = self._adj_ids
+            counts = [len(a) for a in adj]
+            indptr = _np.zeros(len(adj) + 1, dtype=_np.int32)
+            _np.cumsum(counts, out=indptr[1:])
+            indices = _np.fromiter(
+                (w for a in adj for w in a),
+                dtype=_np.int32,
+                count=int(indptr[-1]),
+            )
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def _scipy_graph(self):
+        """The interned adjacency as a scipy CSR matrix.
+
+        Built straight from the CSR arrays so row order stays graph
+        insertion order — scipy's BFS iterates rows as stored, which is
+        what keeps its predecessor tree identical to the sequential BFS.
+        """
+        if self._sp_graph is None:
+            indptr, indices = self._adjacency_csr()
+            n = len(indptr) - 1
+            data = _np.ones(len(indices), dtype=_np.float64)
+            self._sp_graph = _sp_csr_matrix((data, indices, indptr), shape=(n, n))
+        return self._sp_graph
+
+    def _route_row(self, src_id: int) -> List[int]:
+        """Next-hop ids from ``src_id`` to every node (-1: none).
+
+        One FIFO BFS over the interned adjacency; first-discovery hop
+        assignment replicates ``nx.all_pairs_shortest_path`` exactly (see
+        module docstring).  Also materializes the distance row consumed by
+        :meth:`hop_count`.  Vectorized level-synchronous numpy BFS when
+        numpy is importable, pure-Python deque BFS otherwise; both produce
+        identical rows (pinned by ``tests/unit/net/test_topology.py``).
+        """
+        row = self._route_rows.get(src_id)
+        if row is None:
+            if _sp_bfs is not None:
+                row, dist = self._route_row_scipy(src_id)
+            elif _np is not None:
+                row, dist = self._route_row_numpy(src_id)
+            else:
+                row, dist = self._route_row_python(src_id)
+            self._route_rows[src_id] = row
+            self._dist_rows[src_id] = dist
+        return row
+
+    def _route_row_python(self, src_id: int) -> Tuple[List[int], List[int]]:
+        """The sequential FIFO BFS — fallback and equivalence oracle."""
+        self.intern_ids()
+        adj = self._adj_ids
+        n = len(adj)
+        row = [-1] * n
+        dist = [-1] * n
+        dist[src_id] = 0
+        queue = deque((src_id,))
+        pop = queue.popleft
+        push = queue.append
+        while queue:
+            v = pop()
+            hop_v = row[v]
+            dist_w = dist[v] + 1
+            if v == src_id:
+                for w in adj[v]:
+                    if dist[w] < 0:
+                        dist[w] = dist_w
+                        row[w] = w
+                        push(w)
+            else:
+                for w in adj[v]:
+                    if dist[w] < 0:
+                        dist[w] = dist_w
+                        row[w] = hop_v
+                        push(w)
+        return row, dist
+
+    def _route_row_numpy(self, src_id: int) -> Tuple[List[int], List[int]]:
+        """Level-synchronous vectorized BFS, first-discovery order intact.
+
+        Per level, candidates are the frontier's neighbours concatenated
+        in frontier (= FIFO queue) order, so the *first occurrence* of an
+        undiscovered node among the candidates is exactly the discovery
+        the sequential BFS makes.  First occurrences are found without
+        sorting: assigning candidate positions through a scratch array in
+        *reversed* order leaves each node's first position behind
+        (duplicate fancy-index assignments resolve last-write-wins), and
+        filtering on ``pos[cand] == arange`` keeps exactly those entries —
+        already in discovery order.
+        """
+        indptr, indices = self._adjacency_csr()
+        n = len(indptr) - 1
+        row = _np.full(n, -1, dtype=_np.int32)
+        dist = _np.full(n, -1, dtype=_np.int32)
+        dist[src_id] = 0
+        # Scratch for the first-occurrence trick; never cleared, because a
+        # level only ever reads positions it just wrote.
+        pos = self._bfs_scratch
+        if pos is None or len(pos) != n:
+            pos = self._bfs_scratch = _np.empty(n, dtype=_np.int64)
+        # Level 1: src's neighbours forward to themselves.
+        frontier = indices[indptr[src_id]:indptr[src_id + 1]]
+        frontier = frontier[dist[frontier] < 0]  # guards self-loops
+        row[frontier] = frontier
+        dist[frontier] = 1
+        level = 1
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Gather the frontier's adjacency rows into one candidate
+            # array (classic CSR multi-row gather).
+            ends = _np.cumsum(counts)
+            gather = _np.repeat(starts - ends + counts, counts)
+            gather += _np.arange(total, dtype=_np.int32)
+            cand = indices[gather]
+            hops = _np.repeat(row[frontier], counts)
+            fresh = dist[cand] < 0
+            cand = cand[fresh]
+            hops = hops[fresh]
+            if cand.size == 0:
+                break
+            order = _np.arange(cand.size, dtype=_np.int64)
+            pos[cand[::-1]] = order[::-1]
+            first = pos[cand] == order
+            frontier = cand[first]
+            level += 1
+            row[frontier] = hops[first]
+            dist[frontier] = level
+        return row.tolist(), dist.tolist()
+
+    def _route_row_scipy(self, src_id: int) -> Tuple[List[int], List[int]]:
+        """C BFS via ``scipy.sparse.csgraph``, first-discovery order intact.
+
+        scipy's ``breadth_first_order`` is the same FIFO BFS over the same
+        CSR rows, so its predecessor tree equals the sequential BFS's
+        parent assignment node for node (verified against
+        ``_route_row_python`` across every topology shape in
+        ``tests/unit/net/test_topology.py``).  The next-hop row follows by
+        walking the BFS order once: a node inherits its parent's first
+        hop, or is its own first hop when the parent is the source.
+        """
+        order, pred = _sp_bfs(
+            self._scipy_graph(), src_id, directed=True, return_predecessors=True
+        )
+        n = len(self._names)
+        row = [-1] * n
+        dist = [-1] * n
+        dist[src_id] = 0
+        preds = pred.tolist()
+        for v in order.tolist()[1:]:
+            p = preds[v]
+            dist[v] = dist[p] + 1
+            row[v] = v if p == src_id else row[p]
+        return row, dist
+
+    def next_hop_id(self, src_id: int, dst_id: int) -> int:
+        """Int-id flavour of :meth:`next_hop` for the medium hot loop."""
+        if src_id == dst_id:
+            return -1
+        return self._route_row(src_id)[dst_id]
+
     def next_hop(self, src: str, dst: str) -> Optional[str]:
         """The neighbour *src* forwards to on the way to *dst*."""
         if src == dst:
             return None
-        try:
-            path = self.shortest_path(src, dst)
-        except KeyError:
+        ids = self.intern_ids()
+        src_id = ids.get(src)
+        dst_id = ids.get(dst)
+        if src_id is None or dst_id is None:
             return None
-        return path[1]
+        hop_id = self._route_row(src_id)[dst_id]
+        return None if hop_id < 0 else self._names[hop_id]
 
     def hop_count(self, src: str, dst: str) -> Optional[int]:
         """Number of hops between two nodes, ``None`` if unreachable."""
         if src == dst:
             return 0
-        try:
-            return len(self.shortest_path(src, dst)) - 1
-        except KeyError:
+        ids = self.intern_ids()
+        src_id = ids.get(src)
+        dst_id = ids.get(dst)
+        if src_id is None or dst_id is None:
             return None
+        self._route_row(src_id)
+        dist = self._dist_rows[src_id][dst_id]
+        return None if dist < 0 else dist
 
     def hop_count_matrix(self, names: Optional[Iterable[str]] = None) -> Dict[Tuple[str, str], Optional[int]]:
         """All-pairs hop counts for the given nodes (default: all).
@@ -121,8 +386,25 @@ class Topology:
         }
 
     def invalidate_cache(self) -> None:
-        """Forget cached shortest paths after mutating the graph."""
+        """Forget every derived structure after mutating the graph.
+
+        Shortest paths, interned ids, route/distance rows, sorted
+        neighbour lists and edge parameters are one coherent unit — they
+        all derive from the graph and must never go stale independently.
+        ``version`` is bumped so medium-local caches rebuild too.
+        """
         self._paths_cache = None
+        self._ids = None
+        self._names = None
+        self._adj_ids = None
+        self._csr = None
+        self._sp_graph = None
+        self._bfs_scratch = None
+        self._route_rows.clear()
+        self._dist_rows.clear()
+        self._sorted_neighbors.clear()
+        self._edge_params.clear()
+        self.version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

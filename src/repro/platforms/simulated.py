@@ -228,8 +228,7 @@ class SimulatedPlatform(Platform):
     # ------------------------------------------------------------------
     def on_run_init(self, run_id: int) -> None:
         self.medium.rng = self.rngs.fresh("medium", run_id)
-        self.medium._load_window.clear()
-        self.medium._load_bytes = 0
+        self.medium.reset_load()
         self.channel.rng = self.rngs.fresh("channel", run_id)
         # Resilience state resets with the data-plane streams: the retry
         # jitter stream is per-run (the resume guarantee), and any chaos

@@ -153,7 +153,7 @@ class EchoAgent:
                 size=64,
                 flow="experiment",
             )
-            self.sim.call_later(self._deadline, lambda s=seq: self._expire(s))
+            self.sim.call_later(self._deadline, self._expire, seq)
             yield self.sim.timeout(interval * (1.0 + rng.uniform(-0.05, 0.05)))
 
     def _expire(self, seq: int) -> None:

@@ -1,30 +1,45 @@
 """The discrete-event simulation kernel.
 
-A :class:`Simulator` owns simulated time and a priority queue of scheduled
+A :class:`Simulator` owns simulated time and a pending set of scheduled
 callbacks.  Time advances only when the queue is drained at the current
 instant (classic event-driven operation, Sec. II-C1 of the paper).  The
 kernel also supports *wall-clock synchronized* execution (a "real-time
 simulator" in the paper's taxonomy) via ``run(realtime_factor=...)``, used
 by the ``localhost`` platform.
 
+The pending set is a bucketed event wheel (:mod:`repro.sim.wheel`) rather
+than a single ``heapq``: near-future events live in O(1) time buckets, far
+ones in an overflow heap, and the wheel re-anchors and re-tunes itself as
+the schedule skews.  ``repro.sim.reference.ReferenceSimulator`` preserves
+the original single-heap kernel as the equivalence oracle; property tests
+pin both kernels to identical execution orders.
+
 Determinism contract
 --------------------
-The pending queue orders entries by ``(time, sequence)`` where ``sequence``
+The pending set orders entries by ``(time, sequence)`` where ``sequence``
 is a global monotonic counter.  Two simulations performing the same
 schedule calls in the same order therefore execute callbacks in the same
 order — no dict ordering, id(), or wall clock leaks into scheduling
-decisions.
+decisions.  The wheel preserves this order exactly (see
+:mod:`repro.sim.wheel` for the argument).
+
+Scheduling hot path
+-------------------
+``call_later`` / ``call_at`` accept ``*args`` that are stored beside the
+callable and applied at execution time.  Hot callers (the wireless medium
+delivering packets, the RPC channel, fault timers) pass bound methods plus
+argument tuples instead of allocating a closure per event.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import time as _wallclock
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional
 
 from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
 from repro.sim.process import Process
+from repro.sim.wheel import EventWheel
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -43,15 +58,28 @@ class Simulator:
         experiment master typically leaves this at zero and uses per-node
         :class:`~repro.net.clock.LocalClock` offsets to model desynchronized
         node clocks.
+    bucket_count / bucket_width:
+        Event-wheel geometry (see :class:`~repro.sim.wheel.EventWheel`).
+        The defaults suit emulated-network workloads; the width self-tunes
+        while the simulation runs.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        bucket_count: int = 1024,
+        bucket_width: float = 0.001,
+    ) -> None:
         self._now = float(start_time)
         # Entries are (time, sequence, fn, args): storing the argument
         # tuple beside the callable avoids allocating a closure per
         # scheduled event on the two hottest paths (callback resumption
         # and event triggering).
-        self._queue: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._wheel = EventWheel(
+            start_time=self._now,
+            bucket_count=bucket_count,
+            bucket_width=bucket_width,
+        )
         self._sequence = itertools.count()
         self._crashed: List[Process] = []
         #: Counts every callback executed; handy for overhead benchmarks.
@@ -92,29 +120,31 @@ class Simulator:
     # Scheduling (kernel-internal API used by events/processes)
     # ------------------------------------------------------------------
     def _push(self, at: float, fn: Callable[..., None], args: tuple = ()) -> None:
-        heapq.heappush(self._queue, (at, next(self._sequence), fn, args))
+        self._wheel.push((at, next(self._sequence), fn, args))
 
     def _schedule_callback(self, cb: Callable[[Any], None], arg: Any) -> None:
         """Run ``cb(arg)`` at the current simulated instant, asynchronously."""
-        self._push(self._now, cb, (arg,))
+        self._wheel.push((self._now, next(self._sequence), cb, (arg,)))
 
     def _schedule_trigger(self, event: SimEvent, delay: float, value: Any) -> None:
         """Trigger *event* after *delay* simulated seconds."""
-        self._push(self._now + delay, event.trigger, (value,))
+        self._wheel.push(
+            (self._now + delay, next(self._sequence), event.trigger, (value,))
+        )
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule a bare callback at absolute simulated time *when*."""
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time *when*."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < now {self._now}"
             )
-        self._push(when, fn)
+        self._wheel.push((when, next(self._sequence), fn, args))
 
-    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
-        """Schedule a bare callback ``delay`` seconds from now."""
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._push(self._now + delay, fn)
+        self._wheel.push((self._now + delay, next(self._sequence), fn, args))
 
     def _report_crash(self, process: Process, exc: BaseException) -> None:
         self._crashed.append(process)
@@ -127,9 +157,10 @@ class Simulator:
 
         Returns ``False`` when the queue is empty.
         """
-        if not self._queue:
+        entry = self._wheel.pop()
+        if entry is None:
             return False
-        at, _seq, fn, args = heapq.heappop(self._queue)
+        at, _seq, fn, args = entry
         self._now = at
         self.executed_callbacks += 1
         fn(*args)
@@ -166,27 +197,60 @@ class Simulator:
         """
         wall_anchor = _wallclock.monotonic() if realtime_factor else None
         sim_anchor = self._now
+        wheel = self._wheel
+        # _report_crash appends to this exact list; _raise_crash (which
+        # rebinds the attribute) always raises, so the alias cannot go
+        # stale inside the loop.
+        crashed = self._crashed
 
-        while self._queue:
-            if until_event is not None and until_event.triggered:
-                break
-            next_at = self._queue[0][0]
-            if until is not None and next_at > until:
-                self._now = until
-                break
-            if wall_anchor is not None:
-                lag = (next_at - sim_anchor) / realtime_factor - (
-                    _wallclock.monotonic() - wall_anchor
-                )
-                if lag > 0:
-                    _wallclock.sleep(lag)
-            self.step()
-            if raise_on_crash and self._crashed:
-                self._raise_crash()
+        if until_event is None and wall_anchor is None:
+            # The common shape (plain run / run(until=...)): one fused
+            # wheel call per event, no per-iteration event or wall-clock
+            # checks.
+            pop_until = wheel.pop_until
+            while True:
+                head = pop_until(until)
+                if head is None:
+                    # Drained, or the head lies beyond the horizon; either
+                    # way the clock advances exactly to `until`.
+                    if until is not None and self._now < until:
+                        self._now = until
+                    break
+                self._now = head[0]
+                self.executed_callbacks += 1
+                head[2](*head[3])
+                if raise_on_crash and crashed:
+                    self._raise_crash()
         else:
-            # Queue drained; still honour an explicit horizon.
-            if until is not None and self._now < until:
-                self._now = until
+            peek = wheel.peek
+            pop_ready = wheel.pop_ready
+            while True:
+                if until_event is not None and until_event.triggered:
+                    break
+                head = peek()
+                if head is None:
+                    # Queue drained; still honour an explicit horizon.
+                    if until is not None and self._now < until:
+                        self._now = until
+                    break
+                next_at = head[0]
+                if until is not None and next_at > until:
+                    self._now = until
+                    break
+                if wall_anchor is not None:
+                    lag = (next_at - sim_anchor) / realtime_factor - (
+                        _wallclock.monotonic() - wall_anchor
+                    )
+                    if lag > 0:
+                        _wallclock.sleep(lag)
+                # Fused step(): the head was just peeked, so it can be
+                # popped without re-scanning the wheel.
+                pop_ready()
+                self._now = next_at
+                self.executed_callbacks += 1
+                head[2](*head[3])
+                if raise_on_crash and crashed:
+                    self._raise_crash()
 
         if raise_on_crash and self._crashed:
             self._raise_crash()
@@ -208,7 +272,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled-but-unexecuted callbacks."""
-        return len(self._queue)
+        return len(self._wheel)
 
     def drain_crashes(self) -> List[Process]:
         """Return and clear the list of crashed processes (for tests)."""

@@ -1,0 +1,304 @@
+"""Bucketed event wheel (calendar queue) for the simulation kernel.
+
+The kernel's pending set used to be one global ``heapq``; every push and
+pop paid ``O(log n)`` tuple comparisons against the entire future.  The
+:class:`EventWheel` replaces it with a classic two-tier calendar queue:
+
+* a **near window** of ``bucket_count`` fixed-width time buckets covering
+  ``[start, start + bucket_count * bucket_width)``.  Pushing into a future
+  bucket is a plain ``list.append``; the bucket is heapified *lazily* the
+  first time the draining cursor reaches it, so the common schedule-ahead
+  path costs O(1),
+* a **far-future overflow heap** for entries beyond the near horizon.
+  When the near window is exhausted the wheel re-anchors on the overflow
+  head and redistributes the entries that fall inside the new window —
+  each entry crosses the boundary at most once, so redistribution is
+  O(1) amortized per event,
+* **lazy resize on skew**: at each re-anchor the bucket width doubles or
+  halves (bounded) based on how densely the previous window was
+  populated, keeping a few events per bucket whether the workload fires
+  every microsecond or every minute.
+
+Determinism contract
+--------------------
+Entries are ``(time, sequence, fn, args)`` tuples and pop in exactly
+global ``(time, sequence)`` order — byte-for-byte the order the old
+single-heap kernel produced:
+
+* buckets partition time ranges and the cursor drains them low to high;
+* within a bucket, ``heapq`` orders by ``(time, sequence)``;
+* an entry scheduled *behind* the cursor (same-instant callbacks during a
+  drain) is clamped into the cursor bucket, where the heap still ranks it
+  correctly against everything not yet executed — an already-drained
+  bucket is never reopened, and simulated time never runs backwards, so
+  no ordering violation can arise;
+* resizing happens only at re-anchor points and depends only on the
+  event history, never on wall time, ids or dict order.
+
+``float`` bucket indexing is safe against boundary rounding because
+``int((t - start) / width)`` is monotone non-decreasing in ``t``: two
+entries can never land in buckets that invert their time order.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventWheel"]
+
+#: One pending callback: (time, sequence, fn, args).
+Entry = Tuple[float, int, Callable[..., None], tuple]
+
+#: Bounds of the adaptive bucket width (seconds).  The lower bound stops
+#: a pathological same-instant storm from shrinking the width to denormal
+#: floats; the upper bound keeps a mostly-idle wheel from degenerating
+#: into a single bucket spanning hours.
+MIN_BUCKET_WIDTH = 1e-9
+MAX_BUCKET_WIDTH = 60.0
+
+
+class EventWheel:
+    """A deterministic calendar queue of ``(time, sequence, fn, args)`` entries.
+
+    Parameters
+    ----------
+    start_time:
+        Left edge of the initial near window (the simulator's start time).
+    bucket_count:
+        Number of near-window buckets.  More buckets widen the O(1)
+        horizon at the cost of longer empty-bucket scans per rotation.
+    bucket_width:
+        Initial seconds per bucket.  Auto-tuned at every re-anchor; the
+        default of 1 ms matches typical emulated one-hop delays.
+    """
+
+    __slots__ = (
+        "_bucket_count",
+        "_width",
+        "_start",
+        "_horizon",
+        "_cursor",
+        "_buckets",
+        "_overflow",
+        "_pending",
+        "_drained",
+        "_heaped",
+        "rotations",
+        "resizes",
+    )
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        bucket_count: int = 1024,
+        bucket_width: float = 0.001,
+    ) -> None:
+        if bucket_count < 1:
+            raise ValueError(f"bucket_count must be >= 1, got {bucket_count}")
+        if not MIN_BUCKET_WIDTH <= bucket_width <= MAX_BUCKET_WIDTH:
+            raise ValueError(
+                f"bucket_width must be in [{MIN_BUCKET_WIDTH}, "
+                f"{MAX_BUCKET_WIDTH}], got {bucket_width}"
+            )
+        self._bucket_count = int(bucket_count)
+        self._width = float(bucket_width)
+        self._start = float(start_time)
+        self._horizon = self._start + self._bucket_count * self._width
+        self._cursor = 0
+        self._buckets: List[List[Entry]] = [[] for _ in range(self._bucket_count)]
+        self._overflow: List[Entry] = []
+        self._pending = 0
+        #: Events drained from the current near window (drives resizing).
+        self._drained = 0
+        #: Index of the bucket already heapified this window (-1: none).
+        self._heaped = -1
+        #: Introspection counters for benchmarks and tuning.
+        self.rotations = 0
+        self.resizes = 0
+
+    # ------------------------------------------------------------------
+    # Queue API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._pending
+
+    @property
+    def bucket_width(self) -> float:
+        """Current (auto-tuned) seconds per bucket."""
+        return self._width
+
+    def push(self, entry: Entry) -> None:
+        """Insert *entry*; its time must be >= the last popped time."""
+        at = entry[0]
+        if at >= self._horizon:
+            heappush(self._overflow, entry)
+        else:
+            idx = int((at - self._start) / self._width)
+            cursor = self._cursor
+            if idx <= cursor:
+                # Same-instant (or boundary-rounded) insert during a
+                # drain: the cursor bucket is live and heapified, so a
+                # heappush keeps (time, seq) order against the not-yet-
+                # executed entries there.
+                if cursor >= self._bucket_count:
+                    # The window is fully drained but not yet re-anchored
+                    # (pushes between a final pop and the next peek).
+                    heappush(self._overflow, entry)
+                    self._pending += 1
+                    return
+                if cursor != self._heaped:
+                    bucket = self._buckets[cursor]
+                    if len(bucket) > 1:
+                        heapify(bucket)
+                    self._heaped = cursor
+                heappush(self._buckets[cursor], entry)
+            else:
+                if idx >= self._bucket_count:  # float guard at the horizon
+                    idx = self._bucket_count - 1
+                self._buckets[idx].append(entry)
+        self._pending += 1
+
+    def peek(self) -> Optional[Entry]:
+        """The next entry in (time, sequence) order, or ``None`` if empty."""
+        if not self._pending:
+            return None
+        buckets = self._buckets
+        while True:
+            c = self._cursor
+            count = self._bucket_count
+            while c < count:
+                bucket = buckets[c]
+                if bucket:
+                    if c != self._heaped:
+                        if len(bucket) > 1:
+                            heapify(bucket)
+                        self._heaped = c
+                    self._cursor = c
+                    return bucket[0]
+                c += 1
+            self._cursor = c
+            self._rotate()
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the next entry, or ``None`` if empty."""
+        entry = self.peek()
+        if entry is None:
+            return None
+        heappop(self._buckets[self._cursor])
+        self._pending -= 1
+        self._drained += 1
+        return entry
+
+    def pop_until(self, limit: Optional[float]) -> Optional[Entry]:
+        """Pop and return the next entry, unless the queue is empty or the
+        head is scheduled after *limit* (``None``: no horizon).
+
+        One call replaces the kernel run loop's peek-then-pop pair; the
+        scan is inlined (not delegated to :meth:`peek`) so the hot loop
+        pays exactly one Python call per event.
+        """
+        if not self._pending:
+            return None
+        buckets = self._buckets
+        while True:
+            c = self._cursor
+            count = self._bucket_count
+            while c < count:
+                bucket = buckets[c]
+                if bucket:
+                    if c != self._heaped:
+                        if len(bucket) > 1:
+                            heapify(bucket)
+                        self._heaped = c
+                    self._cursor = c
+                    entry = bucket[0]
+                    if limit is not None and entry[0] > limit:
+                        return None
+                    heappop(bucket)
+                    self._pending -= 1
+                    self._drained += 1
+                    return entry
+                c += 1
+            self._cursor = c
+            self._rotate()
+
+    def pop_ready(self) -> None:
+        """Remove the entry the immediately preceding :meth:`peek` returned.
+
+        Only valid directly after a successful ``peek`` with no intervening
+        ``push``/``pop`` — the cursor bucket is then live and heapified, so
+        the head can be dropped without re-scanning the window.  The
+        kernel's run loop uses this to avoid paying the bucket scan twice
+        per event.
+        """
+        heappop(self._buckets[self._cursor])
+        self._pending -= 1
+        self._drained += 1
+
+    def clear(self) -> None:
+        """Drop every pending entry (test/reset helper)."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._overflow.clear()
+        self._pending = 0
+        self._drained = 0
+        self._heaped = -1
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rotate(self) -> None:
+        """Re-anchor the near window on the overflow head.
+
+        Only called when every near bucket is empty and at least one
+        entry is pending, which means the overflow holds all of them.
+        """
+        overflow = self._overflow
+        head_time = overflow[0][0]
+        self._retune()
+        count = self._bucket_count
+        width = self._width
+        self._start = head_time
+        self._horizon = horizon = head_time + count * width
+        self._cursor = 0
+        self._heaped = -1
+        self.rotations += 1
+        buckets = self._buckets
+        last = count - 1
+        while overflow and overflow[0][0] < horizon:
+            entry = heappop(overflow)
+            idx = int((entry[0] - head_time) / width)
+            if idx > last:  # float guard at the horizon boundary
+                idx = last
+            buckets[idx].append(entry)
+
+    def _retune(self) -> None:
+        """Lazy resize on skew: adapt bucket width to observed density.
+
+        A window that drained far more events than it has buckets was too
+        coarse (long per-bucket heaps); one that drained almost none was
+        too fine (empty-bucket scans dominate).  Doubling/halving keeps
+        the wheel within a factor of two of a good width while staying
+        deterministic — the decision depends only on simulated history.
+        """
+        drained = self._drained
+        count = self._bucket_count
+        if drained > 4 * count:
+            new_width = self._width * 0.5
+            if new_width >= MIN_BUCKET_WIDTH:
+                self._width = new_width
+                self.resizes += 1
+        elif drained < count // 4:
+            new_width = self._width * 2.0
+            if new_width <= MAX_BUCKET_WIDTH:
+                self._width = new_width
+                self.resizes += 1
+        self._drained = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EventWheel pending={self._pending} width={self._width:g} "
+            f"buckets={self._bucket_count} rotations={self.rotations}>"
+        )

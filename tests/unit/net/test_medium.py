@@ -96,17 +96,16 @@ def test_retry_adds_backoff_delay(sim):
     medium.attach(a)
     medium.attach(b)
 
-    # Force exactly one failed attempt by rigging the RNG sequence.
+    # Force exactly one failed attempt by rigging the RNG sequence.  The
+    # medium draws jitter via random() too (call 1), so the loss attempts
+    # see calls 2 (fail) and 3 (success).
     class Rigged:
         def __init__(self):
             self.calls = 0
 
         def random(self):
             self.calls += 1
-            return 0.0 if self.calls == 1 else 1.0
-
-        def uniform(self, lo, hi):
-            return 0.0
+            return 0.0 if self.calls <= 2 else 1.0
 
     medium.rng = Rigged()
     topo.graph.edges["m0", "m1"]["base_loss"] = 0.5
@@ -156,3 +155,62 @@ def test_node_by_address(sim):
     medium, (a, b) = _build(sim)
     assert medium.node_by_address(b.address) is b
     assert medium.node_by_address("nope") is None
+
+
+def test_duplicate_address_rejected(sim):
+    medium, (a, b, _c) = _build(sim, n=3)
+    medium.detach(_c)
+    dupe = NetNode(sim, "m2", a.address)  # valid name, stolen address
+    with pytest.raises(ValueError, match="address"):
+        medium.attach(dupe)
+
+
+def test_detach_returns_membership(sim, caplog):
+    medium, (a, b) = _build(sim)
+    assert medium.detach(b) is True
+    assert medium.node_by_address(b.address) is None
+    # A second detach is a caller bug: surfaced via return + warning.
+    with caplog.at_level("WARNING", logger="repro.net.medium"):
+        assert medium.detach(b) is False
+    assert any("detach of unattached" in r.message for r in caplog.records)
+
+
+def test_rewire_mid_sim_changes_packet_route(sim):
+    # Satellite: route tables and the medium's per-sender destination
+    # rows must follow a topology rewire mid-simulation.  Start with the
+    # line a-b-c (a→c relays through b), then splice a direct a-c link
+    # while the simulation is running and send again.
+    topo = from_edges([("a", "b"), ("b", "c")], base_loss=0.0, base_delay=0.001)
+    medium = WirelessMedium(sim, topo, random.Random(3))
+    a = NetNode(sim, "a", "10.3.0.1")
+    b = NetNode(sim, "b", "10.3.0.2")
+    c = NetNode(sim, "c", "10.3.0.3")
+    for node in (a, b, c):
+        medium.attach(node)
+    got = []
+    c.bind(9, lambda pl, pkt, n: got.append((pl, pkt.ttl, sim.now)))
+
+    def rewire():
+        topo.graph.add_edge("a", "c", base_loss=0.0, base_delay=0.001)
+        topo.invalidate_cache()
+
+    a.send_datagram("via-b", c.address, 9)  # takes the 2-hop path
+    sim.call_later(0.5, rewire)
+    sim.call_later(1.0, a.send_datagram, "direct", c.address, 9)
+    sim.run(until=2.0)
+
+    assert [pl for pl, _, _ in got] == ["via-b", "direct"]
+    assert b.counters["forwarded"] == 1  # only the pre-rewire packet relayed
+    (_, ttl_before, _), (_, ttl_after, _) = got
+    assert ttl_after == ttl_before + 1  # one hop fewer burned post-rewire
+
+
+def test_reattach_after_detach(sim):
+    medium, (a, b) = _build(sim)
+    medium.detach(b)
+    medium.attach(b)
+    got = []
+    b.bind(5, lambda pl, pkt, n: got.append(pl))
+    a.send_datagram("x", b.address, 5)
+    sim.run(until=1.0)
+    assert got == ["x"]

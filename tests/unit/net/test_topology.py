@@ -103,3 +103,86 @@ def test_empty_topology_rejected():
 
     with pytest.raises(ValueError):
         Topology(nx.Graph())
+
+
+# ----------------------------------------------------------------------
+# Route-row implementations
+# ----------------------------------------------------------------------
+def _row_shapes():
+    return {
+        "line": line_topology(7),
+        "grid": grid_topology(4, 5),
+        "star": star_topology(6),
+        "full": full_mesh_topology(5),
+        "geo": random_geometric_topology(60, 0.25, seed=11),
+        "split": from_edges([("a", "b"), ("c", "d")]),  # disconnected
+    }
+
+
+def test_route_row_backends_agree():
+    # The pure-python BFS is the oracle; the numpy frontier sweep and the
+    # scipy C BFS must reproduce its next-hop and distance rows exactly
+    # (not just equivalently) so routing is backend-independent.
+    for label, topo in _row_shapes().items():
+        ids = topo.intern_ids()
+        backends = {"python": topo._route_row_python}
+        if hasattr(topo, "_route_row_numpy"):
+            try:
+                topo._route_row_numpy(0)
+            except (TypeError, AttributeError):  # numpy unavailable
+                pass
+            else:
+                backends["numpy"] = topo._route_row_numpy
+        try:
+            topo._route_row_scipy(0)
+        except (TypeError, AttributeError):  # scipy unavailable
+            pass
+        else:
+            backends["scipy"] = topo._route_row_scipy
+        oracle = {src_id: topo._route_row_python(src_id) for src_id in ids.values()}
+        for name, impl in backends.items():
+            for src_id, expect in oracle.items():
+                assert impl(src_id) == expect, f"{name} diverged at {label}/{src_id}"
+
+
+def test_route_row_dispatcher_matches_oracle():
+    topo = random_geometric_topology(40, 0.3, seed=5)
+    ids = topo.intern_ids()
+    for src_id in ids.values():
+        row, dist = topo._route_row_python(src_id)
+        assert topo._route_row(src_id) == row
+        assert topo._dist_rows[src_id] == dist
+
+
+def test_next_hop_progresses_toward_destination():
+    # next_hop must strictly reduce the remaining hop count on every
+    # shape, which is exactly what the medium's per-hop forwarding needs.
+    for topo in _row_shapes().values():
+        for src in topo.node_names:
+            for dst in topo.node_names:
+                if src == dst:
+                    continue
+                hops = topo.hop_count(src, dst)
+                hop = topo.next_hop(src, dst)
+                if hops is None:
+                    assert hop is None
+                else:
+                    assert topo.hop_count(hop, dst) == hops - 1
+
+
+def test_edge_params_cached_and_defaulted():
+    topo = from_edges([("a", "b")], base_loss=0.25, base_delay=0.004)
+    assert topo.edge_params("a", "b") == (0.25, 0.004)
+    # Same tuple from the per-pair cache, both orientations.
+    assert topo.edge_params("b", "a") == (0.25, 0.004)
+
+
+def test_invalidate_cache_clears_route_rows():
+    topo = line_topology(4)
+    ids = topo.intern_ids()
+    topo._route_row(ids["n0"])
+    assert topo._route_rows
+    version = topo.version
+    topo.invalidate_cache()
+    assert not topo._route_rows and not topo._dist_rows
+    assert topo.version == version + 1

@@ -39,6 +39,30 @@ def test_negative_delay_rejected(sim):
         sim.call_later(-0.1, lambda: None)
 
 
+def test_call_later_passes_args(sim):
+    seen = []
+    sim.call_later(0.5, lambda *a: seen.append(a), "x", 7)
+    sim.run()
+    assert seen == [("x", 7)]
+
+
+def test_call_at_passes_args(sim):
+    seen = []
+    sim.call_at(0.5, lambda *a: seen.append(a), "y", 8)
+    sim.run()
+    assert seen == [("y", 8)]
+
+
+def test_args_survive_mixed_ordering(sim):
+    # Args-carrying and closure-style events interleave deterministically.
+    order = []
+    sim.call_later(1.0, order.append, "args-a")
+    sim.call_later(1.0, lambda: order.append("closure"))
+    sim.call_later(1.0, order.append, "args-b")
+    sim.run()
+    assert order == ["args-a", "closure", "args-b"]
+
+
 def test_fifo_order_at_same_instant(sim):
     order = []
     for i in range(5):

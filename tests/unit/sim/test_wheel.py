@@ -1,0 +1,156 @@
+"""Unit tests for the bucketed event wheel."""
+
+import pytest
+
+from repro.sim.wheel import MAX_BUCKET_WIDTH, MIN_BUCKET_WIDTH, EventWheel
+
+
+def _entry(at, seq):
+    return (at, seq, lambda: None, ())
+
+
+def _drain(wheel):
+    out = []
+    while True:
+        entry = wheel.pop()
+        if entry is None:
+            return out
+        out.append((entry[0], entry[1]))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        EventWheel(bucket_count=0)
+    with pytest.raises(ValueError):
+        EventWheel(bucket_width=MIN_BUCKET_WIDTH / 10)
+    with pytest.raises(ValueError):
+        EventWheel(bucket_width=MAX_BUCKET_WIDTH * 10)
+
+
+def test_pops_in_time_order():
+    wheel = EventWheel()
+    times = [0.5, 0.003, 0.25, 0.0, 0.9991]
+    for seq, at in enumerate(times):
+        wheel.push(_entry(at, seq))
+    assert [t for t, _ in _drain(wheel)] == sorted(times)
+    assert len(wheel) == 0
+
+
+def test_sequence_breaks_time_ties():
+    wheel = EventWheel()
+    for seq in (3, 1, 2, 0):
+        wheel.push(_entry(0.25, seq))
+    assert _drain(wheel) == [(0.25, 0), (0.25, 1), (0.25, 2), (0.25, 3)]
+
+
+def test_overflow_entries_come_back_in_order():
+    # Horizon with defaults is 1024 * 0.001 = 1.024 s; everything later
+    # lands in the overflow heap and re-enters through rotation.
+    wheel = EventWheel()
+    times = [5.0, 0.5, 120.0, 1.5, 0.001, 77.25]
+    for seq, at in enumerate(times):
+        wheel.push(_entry(at, seq))
+    assert [t for t, _ in _drain(wheel)] == sorted(times)
+    assert wheel.rotations >= 1
+
+
+def test_same_instant_push_during_drain_is_seen():
+    # A callback scheduling another callback at the *same* instant must
+    # run before anything later — the clamped cursor-bucket insert.
+    wheel = EventWheel()
+    wheel.push(_entry(0.5, 0))
+    wheel.push(_entry(0.6, 1))
+    first = wheel.pop()
+    assert first[0] == 0.5
+    wheel.push(_entry(0.5, 2))  # behind the cursor's left edge
+    assert _drain(wheel) == [(0.5, 2), (0.6, 1)]
+
+
+def test_push_after_window_drained_before_reanchor():
+    # Drain the whole near window, then push before the next peek; the
+    # entry must go to overflow (cursor == bucket_count) and still pop.
+    wheel = EventWheel(bucket_count=4, bucket_width=0.001)
+    wheel.push(_entry(0.0035, 0))
+    assert wheel.pop()[0] == 0.0035
+    wheel._cursor = wheel._bucket_count  # simulate fully-scanned window
+    wheel.push(_entry(0.0035, 1))
+    assert _drain(wheel) == [(0.0035, 1)]
+
+
+def test_retune_widens_sparse_window():
+    wheel = EventWheel(bucket_count=64, bucket_width=0.001)
+    # One event per window → drained << count/4 → width doubles at rotate.
+    width0 = wheel.bucket_width
+    for seq in range(4):
+        wheel.push(_entry(seq * 10.0 + 0.01, seq))
+    _drain(wheel)
+    assert wheel.bucket_width > width0
+    assert wheel.resizes >= 1
+
+
+def test_retune_narrows_dense_window():
+    wheel = EventWheel(bucket_count=4, bucket_width=0.001)
+    # >> 4*count events inside one window → width halves at rotate.
+    for seq in range(64):
+        wheel.push(_entry(0.0001 * (seq % 30), seq))
+    wheel.push(_entry(1.0, 64))  # forces a rotation after the burst
+    _drain(wheel)
+    assert wheel.bucket_width < 0.001
+
+
+def test_retune_respects_width_bounds():
+    wheel = EventWheel(bucket_count=1, bucket_width=MAX_BUCKET_WIDTH)
+    wheel.push(_entry(MAX_BUCKET_WIDTH * 3, 0))  # sparse → wants to double
+    _drain(wheel)
+    assert wheel.bucket_width <= MAX_BUCKET_WIDTH
+
+
+def test_peek_does_not_remove():
+    wheel = EventWheel()
+    wheel.push(_entry(0.1, 0))
+    assert wheel.peek()[0] == 0.1
+    assert wheel.peek()[0] == 0.1
+    assert len(wheel) == 1
+
+
+def test_pop_ready_after_peek():
+    wheel = EventWheel()
+    wheel.push(_entry(0.1, 0))
+    wheel.push(_entry(0.2, 1))
+    head = wheel.peek()
+    wheel.pop_ready()
+    assert head[0] == 0.1
+    assert wheel.peek()[0] == 0.2
+
+
+def test_pop_until_respects_limit():
+    wheel = EventWheel()
+    wheel.push(_entry(0.1, 0))
+    wheel.push(_entry(0.5, 1))
+    assert wheel.pop_until(0.3)[0] == 0.1
+    assert wheel.pop_until(0.3) is None  # head beyond limit stays queued
+    assert len(wheel) == 1
+    assert wheel.pop_until(None)[0] == 0.5
+    assert wheel.pop_until(None) is None  # empty
+
+
+def test_pop_until_rotates_through_overflow():
+    wheel = EventWheel(bucket_count=4, bucket_width=0.001)
+    wheel.push(_entry(50.0, 0))
+    assert wheel.pop_until(100.0)[0] == 50.0
+
+
+def test_clear_resets():
+    wheel = EventWheel()
+    for seq, at in enumerate([0.1, 5.0, 99.0]):
+        wheel.push(_entry(at, seq))
+    wheel.clear()
+    assert len(wheel) == 0
+    assert wheel.pop() is None
+
+
+def test_empty_wheel_pops_none():
+    wheel = EventWheel()
+    assert wheel.peek() is None
+    assert wheel.pop() is None
+    assert wheel.pop_until(None) is None
