@@ -39,14 +39,13 @@ from __future__ import annotations
 import concurrent.futures
 import json
 import os
-import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.campaign.journal import CampaignJournal
-from repro.campaign.merge import ShardWriter, apply_abort_reasons, merge_shards
+from repro.campaign.merge import apply_abort_reasons, merge_shards
 from repro.campaign.scheduler import CampaignScheduler
 from repro.campaign.telemetry import CampaignTelemetry
 from repro.core.description import ExperimentDescription
@@ -68,90 +67,14 @@ __all__ = ["CampaignEngine", "CampaignResult", "run_campaign", "merge_campaign"]
 def _execute_ticket(spec: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one run in an isolated platform; stage it into the shard.
 
-    Runs inside a pool worker (thread or forked process).  Everything it
-    needs arrives in *spec* (plain JSON-able values plus the platform
-    config), everything it produces lands on disk; the returned dict only
-    carries pointers and statistics back to the dispatch loop.
+    Runs inside a pool worker (thread or forked process).  The body lives
+    in :func:`repro.core.master.execute_spec_run` — the same entry point
+    fabric fleet workers drive (DESIGN.md §15) — so local pools and
+    remote fleets execute byte-identical runs by construction.
     """
-    from repro.core.master import MASTER_NODE_ID, ExperiMaster
-    from repro.core.xmlio import description_from_xml
-    from repro.obs.analyze import phase_durations
-    from repro.obs.metrics import diff_snapshots, get_registry
-    from repro.platforms.localhost import LocalhostPlatform
-    from repro.platforms.simulated import SimulatedPlatform
+    from repro.core.master import execute_spec_run
 
-    started = time.monotonic()
-    # With a process pool this worker owns a private registry; the parent
-    # folds the per-ticket delta back in (keyed on pid, see dispatch loop).
-    # With a thread pool the registry *is* the parent's and no fold-in
-    # happens, so nothing is counted twice either way.
-    registry = get_registry()
-    metrics_before = registry.snapshot()
-    root = Path(spec["campaign_dir"])
-    run_id = spec["run_id"]
-
-    desc = description_from_xml(spec["description_xml"])
-    config = spec["config"]
-    control_faults = spec.get("control_faults") or []
-    if control_faults:
-        # The dispatch loop already filtered the chaos plan down to this
-        # attempt and session; bind what remains to this worker's private
-        # platform config.
-        from dataclasses import replace
-
-        from repro.platforms.simulated import PlatformConfig
-
-        config = (
-            replace(config, control_faults=control_faults)
-            if config is not None
-            else PlatformConfig(control_faults=control_faults)
-        )
-    if spec["realtime_factor"] is not None:
-        platform = LocalhostPlatform(
-            desc, config, realtime_factor=spec["realtime_factor"]
-        )
-    else:
-        platform = SimulatedPlatform(desc, config)
-
-    store_dir = root / spec["store"]
-    if store_dir.exists():
-        # Leftovers of a crashed or retried attempt: runs start clean.
-        shutil.rmtree(store_dir)
-    store = Level2Store(store_dir)
-    master = ExperiMaster(
-        platform,
-        desc,
-        store,
-        only_runs={run_id},
-        custom_treatments=spec["custom_treatments"],
-        # Fault leases must survive the staging rmtree above — a retried
-        # attempt's reconciliation sweep is what reverts the faults the
-        # crashed attempt leaked, so the lease root lives at campaign
-        # level, keyed by run id.
-        lease_root=root / spec["lease_root"],
-    )
-    result = master.execute()
-    if run_id not in result.executed_runs:
-        raise CampaignError(f"plan has no run {run_id}; nothing executed")
-
-    with ShardWriter(root / spec["shard"]) as shard:
-        shard.stage_run(store, run_id)
-
-    channel = getattr(platform, "channel", None)
-    return {
-        "run_id": run_id,
-        "store": spec["store"],
-        "shard": spec["shard"],
-        "timed_out": run_id in result.timed_out_runs,
-        "duration": time.monotonic() - started,
-        "pid": os.getpid(),
-        "rpc_retries": getattr(channel, "retried_calls", 0),
-        "rpc_timeouts": getattr(channel, "timed_out_calls", 0),
-        # Per-phase wall-clock seconds from the master's trace spans
-        # (empty when tracing is off) and the metrics this ticket added.
-        "phases": phase_durations(store.read_run_traces(MASTER_NODE_ID, run_id)),
-        "metrics": diff_snapshots(registry.snapshot(), metrics_before),
-    }
+    return execute_spec_run(spec)
 
 
 # ----------------------------------------------------------------------
@@ -295,7 +218,9 @@ class CampaignEngine:
         started = time.monotonic()
         desc = self.description
         plan = generate_plan(
-            desc.factors, desc.seed, custom_treatments=self.custom_treatments
+            desc.factors,
+            desc.seed,
+            custom_treatments=self.custom_treatments,
         )
         plan_fp = plan.fingerprint()
 
@@ -306,11 +231,14 @@ class CampaignEngine:
             if self.journal.started():
                 raise RecoveryError(
                     "campaign directory already holds a journal; pass "
-                    "resume=True or use a fresh directory"
+                    "resume=True or use a fresh directory",
                 )
             staged = {}
         session = self.journal.record_start(
-            desc.fingerprint(), desc.seed, len(plan), plan_fp
+            desc.fingerprint(),
+            desc.seed,
+            len(plan),
+            plan_fp,
         )
 
         scheduler = CampaignScheduler(
@@ -391,7 +319,8 @@ class CampaignEngine:
                 dispatch()
                 while futures:
                     done, _pending = concurrent.futures.wait(
-                        futures, return_when=concurrent.futures.FIRST_COMPLETED
+                        futures,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
                     )
                     for future in done:
                         ticket, slot, label = futures.pop(future)
@@ -406,7 +335,9 @@ class CampaignEngine:
                                 and node_id in scheduler.quarantined_nodes
                             )
                             requeued = scheduler.mark_failed(
-                                ticket.run_id, error, terminal=terminal
+                                ticket.run_id,
+                                error,
+                                terminal=terminal,
                             )
                             # The one-line `error` string is all the journal
                             # keeps; the error span preserves the traceback.
@@ -426,27 +357,39 @@ class CampaignEngine:
                                 "boundary",
                             ).inc()
                             self.journal.record_run_failed(
-                                ticket.run_id, error, ticket.attempts
+                                ticket.run_id,
+                                error,
+                                ticket.attempts,
                             )
                             telemetry.run_failed(
-                                ticket.run_id, label, error, requeued
+                                ticket.run_id,
+                                label,
+                                error,
+                                requeued,
                             )
                             if node_id is not None and scheduler.record_node_failure(
-                                node_id
+                                node_id,
                             ):
                                 self.journal.record_node_quarantined(
-                                    node_id, scheduler.node_failures[node_id]
+                                    node_id,
+                                    scheduler.node_failures[node_id],
                                 )
                                 telemetry.node_quarantined(
-                                    node_id, scheduler.node_failures[node_id]
+                                    node_id,
+                                    scheduler.node_failures[node_id],
                                 )
                         else:
                             scheduler.mark_done(ticket.run_id)
                             self.journal.record_run_complete(
-                                ticket.run_id, label, res["store"], res["shard"]
+                                ticket.run_id,
+                                label,
+                                res["store"],
+                                res["shard"],
                             )
                             telemetry.run_completed(
-                                ticket.run_id, label, res["duration"]
+                                ticket.run_id,
+                                label,
+                                res["duration"],
                             )
                             telemetry.rpc_stats(
                                 res.get("rpc_retries", 0),
@@ -482,7 +425,7 @@ class CampaignEngine:
                             ):
                                 raise CampaignError(
                                     f"aborting after {completions} runs "
-                                    "(abort_after_runs)"
+                                    "(abort_after_runs)",
                                 )
                     free_slots.sort(reverse=True)
                     dispatch()
@@ -509,7 +452,7 @@ class CampaignEngine:
             raise CampaignError(
                 f"{len(result.failed_runs)} run(s) failed after "
                 f"{self.max_attempts} attempt(s): {failed}; fix the cause and "
-                "resume the campaign"
+                "resume the campaign",
             )
         self.journal.record_complete()
 
@@ -546,7 +489,8 @@ class CampaignEngine:
 
     # ------------------------------------------------------------------
     def _filter_salvage_requeue(
-        self, staged: Dict[int, Dict[str, Any]]
+        self,
+        staged: Dict[int, Dict[str, Any]],
     ) -> Dict[int, Dict[str, Any]]:
         """Drop journaled runs whose staged data lost too much to salvage.
 
@@ -561,12 +505,14 @@ class CampaignEngine:
         kept_map: Dict[int, Dict[str, Any]] = {}
         for run_id, entry in sorted(staged.items()):
             probe = Level2Store(self.campaign_dir / entry["store"]).salvage_probe(
-                run_id
+                run_id,
             )
             total = probe["kept"] + probe["dropped"]
             if probe["dropped"] and total and probe["dropped"] / total > threshold:
                 self.journal.record_run_salvage_requeued(
-                    run_id, probe["kept"], probe["dropped"]
+                    run_id,
+                    probe["kept"],
+                    probe["dropped"],
                 )
             else:
                 kept_map[run_id] = entry
@@ -575,13 +521,15 @@ class CampaignEngine:
     def _merge(self, sources: Dict[int, Dict[str, Any]], db_path) -> Path:
         if not sources:
             raise CampaignError("no staged runs to merge")
-        scope_run = min(sources)
-        scope_store = Level2Store(self.campaign_dir / sources[scope_run]["store"])
         run_sources = {
             run_id: self.campaign_dir / entry["shard"]
             for run_id, entry in sources.items()
         }
-        merged = merge_shards(db_path, scope_store, run_sources)
+        merged = merge_shards(
+            db_path,
+            _resolve_scope(self.campaign_dir, sources),
+            run_sources,
+        )
         _annotate_abort_reasons(self.journal, merged, sources)
         return merged
 
@@ -605,19 +553,33 @@ def merge_campaign(campaign_dir, db_path) -> Path:
     journal = CampaignJournal(campaign_dir)
     if not journal.finished():
         raise CampaignError(
-            "campaign is not complete; execute (or resume) it before merging"
+            "campaign is not complete; execute (or resume) it before merging",
         )
     sources = journal.completed()
     if not sources:
         raise CampaignError("journal holds no completed runs")
-    scope_run = min(sources)
-    scope_store = Level2Store(campaign_dir / sources[scope_run]["store"])
-    run_sources = {
-        run_id: campaign_dir / entry["shard"] for run_id, entry in sources.items()
-    }
-    merged = merge_shards(db_path, scope_store, run_sources)
+    run_sources = {run_id: campaign_dir / entry["shard"] for run_id, entry in sources.items()}
+    merged = merge_shards(db_path, _resolve_scope(campaign_dir, sources), run_sources)
     _annotate_abort_reasons(journal, merged, sources)
     return merged
+
+
+def _resolve_scope(campaign_dir: Path, sources: Dict[int, Dict[str, Any]]):
+    """Locate the experiment-scope payload for a merge.
+
+    The scope run is the plan's first (minimum run id) — the one run
+    every campaign has.  A local entry points at its staging store; a
+    fleet entry (``store: null``) means the scope was shipped from the
+    worker that executed the scope run and persisted as ``scope.json``
+    at the campaign root.  Both forms condition to identical scope rows,
+    so local and fleet campaigns merge byte-identically.
+    """
+    from repro.campaign.merge import SCOPE_NAME, load_scope_payload
+
+    entry = sources[min(sources)]
+    if entry.get("store") is not None:
+        return Level2Store(Path(campaign_dir) / entry["store"])
+    return load_scope_payload(Path(campaign_dir) / SCOPE_NAME)
 
 
 def _annotate_abort_reasons(journal: CampaignJournal, db_path, sources) -> None:

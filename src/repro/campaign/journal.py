@@ -17,7 +17,10 @@ physically lives:
     run id, worker, the run's level-2 staging directory and the worker's
     level-3 shard database (both relative to the campaign root).  Written
     *after* the shard transaction committed — the shard write is the
-    commit point, the journal entry the durable pointer to it.
+    commit point, the journal entry the durable pointer to it.  Fleet
+    campaigns (DESIGN.md §15) have no coordinator-side staging store, so
+    their entries carry ``store: null`` and resume validation falls back
+    to probing the shard itself for the run's rows.
 ``run_failed``
     run id, error text, attempt number (kept for post-mortems; a failed
     run may later gain a ``run_complete`` from a retry or resume).  The
@@ -26,6 +29,11 @@ physically lives:
 ``node_quarantined``
     node id + failure count — the scheduler stopped charging this node's
     failures against run retry budgets.
+``worker_registered`` / ``worker_quarantined`` / ``lease_expired``
+    fleet lifecycle diagnostics (DESIGN.md §15).  Run and lease *state*
+    never lives here — completed runs are ``run_complete`` entries and
+    lease state is the fabric lease store's — these entries only preserve
+    the fleet's story for post-mortems and ``repro fabric status``.
 ``run_salvage_requeued``
     a resume probed a journaled run's staged level-2 data, found its
     salvage loss above the configured threshold and re-queued the run
@@ -72,7 +80,11 @@ class CampaignJournal:
             os.fsync(fh.fileno())
 
     def record_start(
-        self, fingerprint: str, seed: int, total_runs: int, plan_fingerprint: str
+        self,
+        fingerprint: str,
+        seed: int,
+        total_runs: int,
+        plan_fingerprint: str,
     ) -> int:
         """Append a session-start entry; returns this session's index."""
         session = self.session_count()
@@ -84,7 +96,7 @@ class CampaignJournal:
                 "total_runs": total_runs,
                 "plan_fingerprint": plan_fingerprint,
                 "session": session,
-            }
+            },
         )
         return session
 
@@ -92,8 +104,14 @@ class CampaignJournal:
         self._append({"type": "run_start", "run_id": run_id, "worker": worker})
 
     def record_run_complete(
-        self, run_id: int, worker: str, store: str, shard: str
+        self,
+        run_id: int,
+        worker: str,
+        store: Optional[str],
+        shard: str,
     ) -> None:
+        """*store* is ``None`` for fleet runs: results arrived as shipped
+        shard rows and only the shard holds the run."""
         self._append(
             {
                 "type": "run_complete",
@@ -101,7 +119,7 @@ class CampaignJournal:
                 "worker": worker,
                 "store": store,
                 "shard": shard,
-            }
+            },
         )
 
     def record_run_failed(self, run_id: int, error: str, attempt: int) -> None:
@@ -111,7 +129,7 @@ class CampaignJournal:
                 "run_id": run_id,
                 "error": error,
                 "attempt": attempt,
-            }
+            },
         )
 
     def record_node_quarantined(self, node_id: str, failures: int) -> None:
@@ -120,7 +138,40 @@ class CampaignJournal:
                 "type": "node_quarantined",
                 "node_id": node_id,
                 "failures": failures,
-            }
+            },
+        )
+
+    def record_worker_registered(self, worker_id: str, capacity: int) -> None:
+        self._append(
+            {
+                "type": "worker_registered",
+                "worker_id": worker_id,
+                "capacity": capacity,
+            },
+        )
+
+    def record_worker_quarantined(self, worker_id: str, reason: str) -> None:
+        self._append(
+            {
+                "type": "worker_quarantined",
+                "worker_id": worker_id,
+                "reason": reason,
+            },
+        )
+
+    def record_lease_expired(
+        self,
+        lease_id: str,
+        worker_id: str,
+        requeued_runs: List[int],
+    ) -> None:
+        self._append(
+            {
+                "type": "lease_expired",
+                "lease_id": lease_id,
+                "worker_id": worker_id,
+                "requeued_runs": sorted(requeued_runs),
+            },
         )
 
     def record_run_salvage_requeued(self, run_id: int, kept: int, dropped: int) -> None:
@@ -130,7 +181,7 @@ class CampaignJournal:
                 "run_id": run_id,
                 "kept": kept,
                 "dropped": dropped,
-            }
+            },
         )
 
     def record_complete(self) -> None:
@@ -201,14 +252,23 @@ class CampaignJournal:
 
     def quarantined_nodes(self) -> List[str]:
         return sorted(
-            {e["node_id"] for e in self.entries() if e["type"] == "node_quarantined"}
+            {e["node_id"] for e in self.entries() if e["type"] == "node_quarantined"},
         )
+
+    def registered_workers(self) -> List[str]:
+        return sorted({e["worker_id"] for e in self.entries() if e["type"] == "worker_registered"})
+
+    def quarantined_workers(self) -> List[str]:
+        return sorted({e["worker_id"] for e in self.entries() if e["type"] == "worker_quarantined"})
 
     # ------------------------------------------------------------------
     # Resume protocol
     # ------------------------------------------------------------------
     def prepare_resume(
-        self, description, total_runs: int, plan_fingerprint: str
+        self,
+        description,
+        total_runs: int,
+        plan_fingerprint: str,
     ) -> Dict[int, Dict[str, Any]]:
         """Validate compatibility; return the staged-run source map.
 
@@ -221,7 +281,7 @@ class CampaignJournal:
         start = self.start_entry()
         if start is None:
             raise RecoveryError(
-                "campaign journal has no campaign_start entry; nothing to resume"
+                "campaign journal has no campaign_start entry; nothing to resume",
             )
         if self.finished():
             raise RecoveryError("campaign already completed; nothing to resume")
@@ -229,18 +289,25 @@ class CampaignJournal:
         if start.get("plan_fingerprint") != plan_fingerprint:
             raise RecoveryError(
                 "treatment plan changed since the aborted campaign "
-                "(custom_treatments differ?)"
+                "(custom_treatments differ?)",
             )
+        from repro.campaign.merge import shard_has_run
         from repro.storage.level2 import Level2Store
 
         staged = {}
         for run_id, entry in self.completed().items():
-            store_root = self.root / entry["store"]
             shard = self.root / entry["shard"]
-            if (
-                store_root.is_dir()
-                and shard.exists()
-                and Level2Store(store_root).has_complete_run(run_id)
+            if not shard.exists():
+                continue
+            if entry.get("store") is None:
+                # Fleet entry: the shard is the only copy — trust it iff
+                # it actually holds the run's rows.
+                if shard_has_run(shard, run_id):
+                    staged[run_id] = entry
+                continue
+            store_root = self.root / entry["store"]
+            if store_root.is_dir() and Level2Store(store_root).has_complete_run(
+                run_id,
             ):
                 staged[run_id] = entry
         return staged

@@ -28,7 +28,11 @@ from pathlib import Path
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.core.errors import StorageError
-from repro.storage.conditioning import condition_run, condition_scope
+from repro.storage.conditioning import (
+    ConditionedExperiment,
+    condition_run,
+    condition_scope,
+)
 from repro.storage.level2 import Level2Store
 from repro.storage.level3 import (
     EXTENSION_RUN_TABLES,
@@ -50,7 +54,47 @@ from repro.storage.level3 import (
 #: Column lookup across Table I and the integrity side tables.
 _ALL_SCHEMAS: Dict[str, list] = {**TABLE_SCHEMAS, **EXTENSION_TABLES}
 
-__all__ = ["ShardWriter", "merge_shards", "apply_abort_reasons", "database_digest"]
+__all__ = [
+    "ShardWriter",
+    "merge_shards",
+    "shard_has_run",
+    "load_scope_payload",
+    "SCOPE_NAME",
+    "apply_abort_reasons",
+    "database_digest",
+]
+
+#: File name of the persisted experiment-scope payload a fabric
+#: coordinator keeps at the campaign root (written before the scope
+#: run's shard commit, so journal-complete implies it exists).
+SCOPE_NAME = "scope.json"
+
+
+def load_scope_payload(path) -> ConditionedExperiment:
+    """Read a persisted ``scope.json`` back into the scope payload form.
+
+    Fleet campaigns have no coordinator-side staging stores; the scope
+    run's worker ships its conditioned experiment scope and the
+    coordinator persists it here.  The merge accepts this payload in
+    place of a scope store (see :func:`merge_shards`).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(
+            f"experiment scope payload missing: {path}; the fleet campaign "
+            "never shipped its scope run",
+        )
+    import json as _json
+
+    data = _json.loads(path.read_text(encoding="utf-8"))
+    return ConditionedExperiment(
+        description_xml=data["description_xml"],
+        runs=[],
+        node_logs=data["node_logs"],
+        experiment_measurements=data["experiment_measurements"],
+        eefiles=data["eefiles"],
+        plan=data["plan"],
+    )
 
 
 class ShardWriter:
@@ -85,13 +129,8 @@ class ShardWriter:
         """
         run = condition_run(store, run_id)
         src_map = _addr_to_node_map(store.read_description())
-        leases = [
-            rec for rec in store.read_reconciled_leases()
-            if rec.get("run_id") == run_id
-        ]
-        salvaged = [
-            rec for rec in store.salvage_records() if rec.get("run_id") == run_id
-        ]
+        leases = [rec for rec in store.read_reconciled_leases() if rec.get("run_id") == run_id]
+        salvaged = [rec for rec in store.salvage_records() if rec.get("run_id") == run_id]
         # Harness spans the (single-run) master persisted for this run.
         # Experiment-scope spans carry no run id and stay in the staging
         # store; only run-attributed traces travel through the merge.
@@ -110,7 +149,7 @@ class ShardWriter:
         return [
             r[0]
             for r in self.conn.execute(
-                "SELECT DISTINCT RunID FROM RunInfos ORDER BY RunID"
+                "SELECT DISTINCT RunID FROM RunInfos ORDER BY RunID",
             )
         ]
 
@@ -137,7 +176,11 @@ def merge_shards(
         Output database (must not exist — same contract as
         :func:`~repro.storage.level3.store_level3`).
     scope_store:
-        Level-2 store providing the experiment-scope tables.
+        Level-2 store providing the experiment-scope tables, or an
+        already-conditioned :class:`ConditionedExperiment` scope payload —
+        the form a fabric coordinator holds, shipped from the worker that
+        executed the plan's first run (DESIGN.md §15).  Both forms insert
+        identical experiment-scope rows.
     run_sources:
         ``{run_id: shard database path}`` — typically
         ``CampaignJournal.completed()`` mapped to absolute paths.  Merged
@@ -158,7 +201,12 @@ def merge_shards(
         out.execute("BEGIN")
         # condition_scope skips the scope store's run records entirely —
         # run rows come from the shards, never the scope store.
-        insert_experiment_scope(out, condition_scope(scope_store))
+        scope = (
+            scope_store
+            if isinstance(scope_store, ConditionedExperiment)
+            else condition_scope(scope_store)
+        )
+        insert_experiment_scope(out, scope)
 
         for run_id in sorted(run_sources):
             shard_path = Path(run_sources[run_id])
@@ -184,7 +232,7 @@ def merge_shards(
             if copied == 0:
                 raise StorageError(
                     f"run {run_id} has no rows in shard {shard_path}; "
-                    "journal and shard diverged"
+                    "journal and shard diverged",
                 )
             # Integrity side tables: copied per run like the run tables,
             # but excluded from the divergence check above — a run with
@@ -209,6 +257,31 @@ def merge_shards(
     stamp_table1_digest(db_path)
     fsync_database(db_path)
     return db_path
+
+
+def shard_has_run(shard_path, run_id: int) -> bool:
+    """Whether a shard database holds committed rows for *run_id*.
+
+    The fleet resume check: a coordinator-side shard is the only copy of a
+    shipped run, so a journal ``run_complete`` entry with ``store: null``
+    is only trusted when the shard transaction it points at really
+    committed.  Returns False for missing or unreadable shards.
+    """
+    shard_path = Path(shard_path)
+    if not shard_path.exists():
+        return False
+    try:
+        conn = sqlite3.connect(str(shard_path))
+        try:
+            row = conn.execute(
+                "SELECT 1 FROM RunInfos WHERE RunID = ? LIMIT 1",
+                (run_id,),
+            ).fetchone()
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return False
+    return row is not None
 
 
 def apply_abort_reasons(db_path, reasons: Mapping[int, str]) -> int:
@@ -282,7 +355,7 @@ def database_digest(
             cursor = conn.execute(
                 f"SELECT group_concat(s, char(10)) FROM "
                 f"(SELECT {row_expr} AS s, rowid AS rid FROM {table}) "
-                f"GROUP BY rid / 4096 ORDER BY rid / 4096"
+                f"GROUP BY rid / 4096 ORDER BY rid / 4096",
             )
             for (chunk,) in cursor:
                 if chunk is not None:

@@ -120,6 +120,9 @@ class CampaignScheduler:
         heapq.heapify(self._queue)
         self.skipped: Set[int] = skip
         self.in_flight: Dict[int, RunTicket] = {}
+        #: Queue entries for already-completed runs (release raced an
+        #: ack); counted so ``pending`` stays O(1) and truthful.
+        self._stale = 0
         self.done: Set[int] = set()
         self.failed: Dict[int, str] = {}
         self.quarantine_after = quarantine_after
@@ -137,24 +140,90 @@ class CampaignScheduler:
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - self._stale
 
     @property
     def finished(self) -> bool:
-        return not self._queue and not self.in_flight
+        return self.pending == 0 and not self.in_flight
 
     # ------------------------------------------------------------------
     def next_ticket(self) -> Optional[RunTicket]:
-        """Pop the next dispatchable ticket (``None`` when queue empty)."""
-        if not self._queue:
-            return None
-        ticket = heapq.heappop(self._queue)
-        ticket.attempts += 1
-        self.in_flight[ticket.run_id] = ticket
-        return ticket
+        """Pop the next dispatchable ticket (``None`` when queue empty).
+
+        Tickets whose run already completed are discarded: a fabric
+        re-lease races the original worker's ack, and when the ack wins
+        (first-ack-wins dedup) the released ticket becomes a stale queue
+        entry that must never dispatch again.
+        """
+        while self._queue:
+            ticket = heapq.heappop(self._queue)
+            if ticket.run_id in self.done:
+                self._stale -= 1
+                continue
+            ticket.attempts += 1
+            self.in_flight[ticket.run_id] = ticket
+            return ticket
+        return None
+
+    def next_batch(self, size: int) -> List[RunTicket]:
+        """Pop up to *size* tickets in dispatch order (fabric lease grants).
+
+        Queue-based load leveling in one call: however large the backlog,
+        a worker only ever takes what it asked for, and the queue drains
+        at whatever rate the fleet's batch requests sustain.
+        """
+        batch: List[RunTicket] = []
+        while len(batch) < size:
+            ticket = self.next_ticket()
+            if ticket is None:
+                break
+            batch.append(ticket)
+        return batch
+
+    def claim(self, run_id: int) -> Optional[RunTicket]:
+        """Move one specific queued run to in-flight (out of dispatch
+        order).  The coordinator-restart path: a restored active lease
+        still owns its pending runs, so they must not be re-leased while
+        the original worker may yet ack them.  O(queue) — called only
+        during restore, never in the dispatch loop.  Returns ``None``
+        when the run is not queued (already done, in flight or skipped).
+        """
+        for index, ticket in enumerate(self._queue):
+            if ticket.run_id == run_id and run_id not in self.done:
+                self._queue.pop(index)
+                heapq.heapify(self._queue)
+                ticket.attempts += 1
+                self.in_flight[run_id] = ticket
+                return ticket
+        return None
+
+    def release(self, run_id: int) -> bool:
+        """Return an in-flight run to the queue *without* charging an
+        attempt — the path for leases revoked by worker death, drain or
+        quarantine, where the run itself did nothing wrong.  The run goes
+        back at the front of its priority class (retry-wave promotion) so
+        a re-leased batch is not starved behind the whole backlog.
+        Returns False when the run is not in flight (already acked).
+        """
+        ticket = self.in_flight.pop(run_id, None)
+        if ticket is None:
+            return False
+        released = RunTicket(
+            priority=ticket.priority,
+            retry_wave=ticket.retry_wave - 1,
+            run_id=ticket.run_id,
+            run=ticket.run,
+            attempts=ticket.attempts - 1,
+            max_attempts=ticket.max_attempts,
+        )
+        heapq.heappush(self._queue, released)
+        return True
 
     def mark_done(self, run_id: int) -> None:
-        self.in_flight.pop(run_id, None)
+        if self.in_flight.pop(run_id, None) is None and run_id not in self.done:
+            # The run was released back to the queue before its ack
+            # arrived: its queue entry is now stale.
+            self._stale += 1
         self.done.add(run_id)
         self.failed.pop(run_id, None)
 

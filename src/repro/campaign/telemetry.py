@@ -70,6 +70,17 @@ class CampaignTelemetry:
     #: Per-phase durations across this session's runs (seconds), fed by
     #: the workers' trace spans; rendered as p50/p95 in :meth:`summary`.
     phase_durations: Dict[str, List[float]] = field(default_factory=dict, init=False)
+    #: Fleet lifecycle counters (fabric campaigns only; all zero locally).
+    fleet_events: Dict[str, int] = field(
+        default_factory=lambda: {
+            "registered": 0,
+            "transitions": 0,
+            "leases": 0,
+            "expired": 0,
+            "quarantined": 0,
+        },
+        init=False,
+    )
 
     # ------------------------------------------------------------------
     # Lifecycle callbacks (called by the engine's dispatch loop)
@@ -113,7 +124,11 @@ class CampaignTelemetry:
         self._emit(self.progress_line(f"run {run_id} ok ({duration:.2f}s, {worker})"))
 
     def run_failed(
-        self, run_id: int, worker: str, error: str, requeued: bool
+        self,
+        run_id: int,
+        worker: str,
+        error: str,
+        requeued: bool,
     ) -> None:
         status = self._worker_idle(worker)
         if requeued:
@@ -146,9 +161,43 @@ class CampaignTelemetry:
         self.quarantined.append(node_id)
         self._emit(
             self.progress_line(
-                f"node {node_id} QUARANTINED after {failures} failures"
-            )
+                f"node {node_id} QUARANTINED after {failures} failures",
+            ),
         )
+
+    # ------------------------------------------------------------------
+    # Fleet lifecycle (called by the fabric coordinator, DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def worker_registered(self, worker_id: str, capacity: int) -> None:
+        self.fleet_events["registered"] += 1
+        self._emit(f"worker {worker_id} joined (capacity {capacity})")
+
+    def worker_state(self, worker_id: str, old: str, new: str) -> None:
+        self.fleet_events["transitions"] += 1
+        self._emit(f"worker {worker_id}: {old} -> {new}")
+
+    def lease_granted(self, worker_id: str, lease_id: str, runs: int) -> None:
+        self.fleet_events["leases"] += 1
+        get_registry().counter(
+            "repro_fabric_leases_granted_total",
+            "Run batches leased to fleet workers",
+        ).inc()
+
+    def lease_expired(self, lease_id: str, worker_id: str, requeued: int) -> None:
+        self.fleet_events["expired"] += 1
+        get_registry().counter(
+            "repro_fabric_leases_expired_total",
+            "Leases whose workers went silent past the TTL",
+        ).inc()
+        self._emit(
+            self.progress_line(
+                f"lease {lease_id} of {worker_id} expired; {requeued} runs re-queued",
+            ),
+        )
+
+    def worker_quarantined(self, worker_id: str, reason: str) -> None:
+        self.fleet_events["quarantined"] += 1
+        self._emit(self.progress_line(f"worker {worker_id} QUARANTINED: {reason}"))
 
     def merge_started(self, run_count: int) -> None:
         self._emit(f"merging {run_count} runs into the experiment database")
@@ -212,6 +261,7 @@ class CampaignTelemetry:
             "rpc_retries": self.rpc_retries,
             "rpc_timeouts": self.rpc_timeouts,
             "quarantined_nodes": sorted(self.quarantined),
+            "fleet": dict(self.fleet_events),
             "throughput": round(self.throughput(), 4),
             "workers": {
                 w.worker: {

@@ -133,7 +133,106 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--realtime", type=float, default=None, metavar="FACTOR",
                         help="pace runs against the wall clock at this speed "
                              "factor")
+    p_camp.add_argument("--fleet", default=None, metavar="HOST:PORT",
+                        help="serve this campaign to a worker fleet bound at "
+                             "HOST:PORT instead of executing in a local pool "
+                             "(shorthand for `repro fabric serve --bind ...`)")
+    p_camp.add_argument("--lease-ttl", type=float, default=30.0, metavar="SECS",
+                        dest="lease_ttl",
+                        help="with --fleet: seconds a leased batch stays owned "
+                             "without renewal (default 30)")
+    p_camp.add_argument("--batch-size", type=int, default=4, metavar="N",
+                        dest="batch_size",
+                        help="with --fleet: maximum runs per lease (default 4)")
     p_camp.add_argument("--quiet", action="store_true")
+
+    p_fab = sub.add_parser(
+        "fabric",
+        help="distributed campaign fabric: serve a campaign to a worker "
+             "fleet, run a fleet worker, or query a coordinator",
+    )
+    fab_sub = p_fab.add_subparsers(dest="fabric_command", required=True)
+
+    f_serve = fab_sub.add_parser(
+        "serve", help="coordinate a campaign for a fleet of workers"
+    )
+    f_serve.add_argument("description", type=Path, help="experiment XML file")
+    f_serve.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                         help="listen address (port 0 picks an ephemeral "
+                              "port, printed at startup; default 127.0.0.1:0)")
+    f_serve.add_argument("--dir", type=Path, default=None, dest="campaign_dir",
+                         help="campaign directory (default ./<name>.campaign)")
+    f_serve.add_argument("--db", type=Path, default=None,
+                         help="merged level-3 SQLite database "
+                              "(default: <campaign dir>/<name>.db)")
+    f_serve.add_argument("--resume", action="store_true",
+                         help="resume an aborted fleet campaign from its "
+                              "journal (workers re-register automatically)")
+    f_serve.add_argument("--batch-size", type=int, default=4, metavar="N",
+                         help="maximum runs per lease (default 4)")
+    f_serve.add_argument("--lease-ttl", type=float, default=30.0,
+                         metavar="SECS", dest="lease_ttl",
+                         help="seconds a leased batch stays owned without a "
+                              "renewal before it is re-leased (default 30)")
+    f_serve.add_argument("--max-retries", "--retries", type=int, default=1,
+                         dest="max_retries", metavar="N",
+                         help="extra attempts per failed run (default 1)")
+    f_serve.add_argument("--chaos-json", type=Path, default=None,
+                         metavar="FILE",
+                         help="JSON list of control-plane fault entries")
+    f_serve.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
+                         default="mdns",
+                         help="SD protocol agents (default mdns)")
+    f_serve.add_argument("--topology", default="mesh",
+                         choices=("mesh", "grid", "line", "full"),
+                         help="emulated mesh shape (default mesh)")
+    f_serve.add_argument("--realtime", type=float, default=None,
+                         metavar="FACTOR",
+                         help="pace runs against the wall clock at this "
+                              "speed factor")
+    f_serve.add_argument("--rpc-timeout", type=float, default=None,
+                         metavar="SECS",
+                         help="per-call control-channel deadline")
+    f_serve.add_argument("--run-deadline", type=float, default=None,
+                         metavar="SECS",
+                         help="watchdog budget applied to each run phase")
+    f_serve.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                         help="abort if the campaign is not complete within "
+                              "this wall-clock budget")
+    f_serve.add_argument("--linger", type=float, default=2.0, metavar="SECS",
+                         help="stay up this long after completion so polling "
+                              "workers observe done and exit (default 2)")
+    f_serve.add_argument("--quiet", action="store_true")
+
+    f_worker = fab_sub.add_parser(
+        "worker", help="execute leased runs for a serving coordinator"
+    )
+    f_worker.add_argument("coordinator", metavar="HOST:PORT",
+                          help="coordinator address")
+    f_worker.add_argument("--id", default=None, dest="worker_id",
+                          metavar="NAME",
+                          help="fleet-unique worker name "
+                               "(default <hostname>-<pid>)")
+    f_worker.add_argument("--workdir", type=Path, default=None,
+                          help="local scratch root for staging stores and "
+                               "the worker shard (default ./fabric-<id>)")
+    f_worker.add_argument("--capacity", type=int, default=2, metavar="N",
+                          help="batch size to request per lease (default 2)")
+    f_worker.add_argument("--poll", type=float, default=0.5, metavar="SECS",
+                          help="sleep between lease polls when the queue is "
+                               "empty (default 0.5)")
+    f_worker.add_argument("--reconnect-budget", type=float, default=60.0,
+                          metavar="SECS", dest="reconnect_budget",
+                          help="seconds to ride out an unreachable "
+                               "coordinator, e.g. across its restart "
+                               "(default 60)")
+    f_worker.add_argument("--quiet", action="store_true")
+
+    f_status = fab_sub.add_parser(
+        "status", help="print a serving coordinator's JSON status snapshot"
+    )
+    f_status.add_argument("coordinator", metavar="HOST:PORT",
+                          help="coordinator address")
 
     p_val = sub.add_parser("validate", help="check a description")
     p_val.add_argument("description", type=Path)
@@ -157,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("--salvage", action="store_true",
                        help="show salvage-conditioning records "
                             "(quarantined corrupt level-2 data)")
+    p_ins.add_argument("--digest", action="store_true",
+                       help="print only the deterministic Table-I content "
+                            "digest of the database")
 
     p_tl = sub.add_parser("timeline", help="render one run's timeline")
     p_tl.add_argument("database", type=Path)
@@ -363,6 +465,24 @@ def _cmd_campaign(args) -> int:
     if args.chaos_json is not None:
         control_faults = json.loads(args.chaos_json.read_text(encoding="utf-8"))
 
+    if args.fleet is not None:
+        return _serve_fleet(
+            desc,
+            campaign_dir,
+            db_path,
+            bind=args.fleet,
+            batch_size=args.batch_size,
+            lease_ttl=args.lease_ttl,
+            max_attempts=1 + args.max_retries,
+            resume=args.resume,
+            control_faults=control_faults,
+            config=PlatformConfig(
+                protocol=args.protocol, topology=args.topology
+            ),
+            realtime_factor=args.realtime,
+            quiet=args.quiet,
+        )
+
     engine = CampaignEngine(
         desc,
         campaign_dir,
@@ -391,6 +511,143 @@ def _cmd_campaign(args) -> int:
                   f"p95={stats['p95'] * 1000.0:.1f}ms  (n={stats['count']})")
         print(f"campaign directory: {campaign_dir}")
         print(f"level-3 database: {result.db_path}")
+    return 0
+
+
+def _serve_fleet(
+    desc,
+    campaign_dir: Path,
+    db_path: Path,
+    *,
+    bind: str,
+    batch_size: int,
+    lease_ttl: float,
+    max_attempts: int,
+    resume: bool,
+    control_faults,
+    config,
+    realtime_factor,
+    quiet: bool,
+    timeout=None,
+    linger: float = 2.0,
+) -> int:
+    """Shared body of ``repro fabric serve`` and ``repro campaign --fleet``."""
+    import time as _time
+
+    from repro.fabric import FabricCoordinator
+    from repro.fabric.wire import parse_address
+
+    host, port = parse_address(bind)
+    coordinator = FabricCoordinator(
+        desc,
+        campaign_dir,
+        host=host,
+        port=port,
+        batch_size=batch_size,
+        lease_ttl=lease_ttl,
+        max_attempts=max_attempts,
+        resume=resume,
+        config=config,
+        realtime_factor=realtime_factor,
+        control_faults=control_faults,
+        progress=None if quiet else print,
+    )
+    with coordinator:
+        print(f"fabric coordinator serving at {coordinator.address} "
+              f"({len(coordinator.plan)} runs, batch {batch_size}, "
+              f"lease TTL {lease_ttl:g}s)")
+        result = coordinator.run_until_complete(db_path=db_path, timeout=timeout)
+        # Let polling workers observe done=True and exit cleanly before
+        # the listener disappears.
+        _time.sleep(max(0.0, linger))
+    if not quiet:
+        s = result.summary()
+        print(
+            f"campaign {s['experiment']!r}: {s['executed']} executed, "
+            f"{s['skipped']} resumed, {s['timed_out']} timed out "
+            f"({s['jobs']} fleet workers, {s['duration']:.1f}s)"
+        )
+        fleet = (result.telemetry or {}).get("fleet") or {}
+        if fleet:
+            print("  fleet: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(fleet.items())
+            ))
+        print(f"campaign directory: {campaign_dir}")
+        print(f"level-3 database: {result.db_path}")
+    return 0
+
+
+def _cmd_fabric(args) -> int:
+    handlers = {
+        "serve": _fabric_serve,
+        "worker": _fabric_worker,
+        "status": _fabric_status,
+    }
+    return handlers[args.fabric_command](args)
+
+
+def _fabric_serve(args) -> int:
+    import json
+
+    from repro.platforms.simulated import PlatformConfig
+
+    desc = _load_description(args.description)
+    _apply_resilience_flags(desc, args)
+    campaign_dir = args.campaign_dir or Path(f"{desc.name}.campaign")
+    db_path = args.db or campaign_dir / f"{desc.name}.db"
+    control_faults = None
+    if args.chaos_json is not None:
+        control_faults = json.loads(args.chaos_json.read_text(encoding="utf-8"))
+    return _serve_fleet(
+        desc,
+        campaign_dir,
+        db_path,
+        bind=args.bind,
+        batch_size=args.batch_size,
+        lease_ttl=args.lease_ttl,
+        max_attempts=1 + args.max_retries,
+        resume=args.resume,
+        control_faults=control_faults,
+        config=PlatformConfig(protocol=args.protocol, topology=args.topology),
+        realtime_factor=args.realtime,
+        quiet=args.quiet,
+        timeout=args.timeout,
+        linger=args.linger,
+    )
+
+
+def _fabric_worker(args) -> int:
+    import os
+    import socket
+
+    from repro.fabric import FabricWorker
+
+    worker_id = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    workdir = args.workdir or Path(f"fabric-{worker_id}")
+    worker = FabricWorker(
+        args.coordinator,
+        worker_id,
+        workdir,
+        capacity=args.capacity,
+        poll_interval=args.poll,
+        reconnect_budget=args.reconnect_budget,
+        on_event=None if args.quiet else print,
+    )
+    counters = worker.run_forever()
+    print(f"worker {worker_id}: {counters['completed']} completed, "
+          f"{counters['failed']} failed, {counters['abandoned']} abandoned")
+    return 0
+
+
+def _fabric_status(args) -> int:
+    import json
+
+    from repro.fabric import FleetChannel
+
+    with FleetChannel(args.coordinator, call_timeout=10.0,
+                      reconnect_budget=10.0) as channel:
+        status = json.loads(channel.call("status"))
+    print(json.dumps(status, indent=2, sort_keys=True))
     return 0
 
 
@@ -437,6 +694,12 @@ def _cmd_inspect(args) -> int:
             _inspect_directory_leases(args.database)
         if args.salvage:
             _inspect_directory_salvage(args.database)
+        return 0
+
+    if args.digest:
+        from repro.campaign.merge import database_digest
+
+        print(database_digest(args.database))
         return 0
 
     with ExperimentDatabase(args.database) as db:
@@ -834,6 +1097,7 @@ def _cmd_paper_xml(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "campaign": _cmd_campaign,
+    "fabric": _cmd_fabric,
     "validate": _cmd_validate,
     "describe": _cmd_describe,
     "inspect": _cmd_inspect,

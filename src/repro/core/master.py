@@ -45,7 +45,7 @@ from repro.obs.trace import Tracer
 from repro.obs.metrics import get_registry
 from repro.storage.level2 import Level2Store
 
-__all__ = ["ExperiMaster", "ExperimentResult", "MASTER_NODE_ID"]
+__all__ = ["ExperiMaster", "ExperimentResult", "MASTER_NODE_ID", "execute_spec_run"]
 
 #: Node identifier under which master-side events and data are stored.
 MASTER_NODE_ID = "master"
@@ -760,3 +760,113 @@ def _json_safe(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [_json_safe(v) for v in value]
     return value
+
+
+# ----------------------------------------------------------------------
+# Spec execution: the one-run worker entry point
+# ----------------------------------------------------------------------
+def execute_spec_run(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one campaign run from a plain picklable *spec*.
+
+    The single worker-side entry point shared by the local campaign
+    engine's pool workers and the fabric's fleet workers: everything the
+    run needs arrives as JSON-able values (plus an optional platform
+    config), everything it produces lands on disk under
+    ``spec["campaign_dir"]``, and the returned dict only carries pointers
+    and statistics back to the caller.
+
+    Spec keys: ``campaign_dir``, ``description_xml``,
+    ``custom_treatments``, ``config``, ``realtime_factor``, ``run_id``,
+    ``store`` / ``shard`` / ``lease_root`` (paths relative to the
+    campaign dir) and optional ``control_faults`` (already filtered to
+    this attempt and session).
+
+    Determinism contract: the run's staged data is a pure function of
+    (description, run id) — which host executes the spec, how often, and
+    in what order is invisible in the output.
+    """
+    import os
+    import shutil
+    import time as _time
+    from pathlib import Path
+
+    from repro.campaign.merge import ShardWriter
+    from repro.core.errors import CampaignError
+    from repro.core.xmlio import description_from_xml
+    from repro.obs.analyze import phase_durations
+    from repro.obs.metrics import diff_snapshots
+    from repro.platforms.localhost import LocalhostPlatform
+    from repro.platforms.simulated import SimulatedPlatform
+
+    started = _time.monotonic()
+    # With a process pool this worker owns a private registry; the parent
+    # folds the per-ticket delta back in (keyed on pid).  With a thread
+    # pool the registry *is* the parent's and no fold-in happens, so
+    # nothing is counted twice either way.
+    registry = get_registry()
+    metrics_before = registry.snapshot()
+    root = Path(spec["campaign_dir"])
+    run_id = spec["run_id"]
+
+    desc = description_from_xml(spec["description_xml"])
+    config = spec["config"]
+    control_faults = spec.get("control_faults") or []
+    if control_faults:
+        # The dispatcher already filtered the chaos plan down to this
+        # attempt and session; bind what remains to this worker's private
+        # platform config.
+        from dataclasses import replace
+
+        from repro.platforms.simulated import PlatformConfig
+
+        config = (
+            replace(config, control_faults=control_faults)
+            if config is not None
+            else PlatformConfig(control_faults=control_faults)
+        )
+    if spec["realtime_factor"] is not None:
+        platform = LocalhostPlatform(
+            desc, config, realtime_factor=spec["realtime_factor"]
+        )
+    else:
+        platform = SimulatedPlatform(desc, config)
+
+    store_dir = root / spec["store"]
+    if store_dir.exists():
+        # Leftovers of a crashed or retried attempt: runs start clean.
+        shutil.rmtree(store_dir)
+    store = Level2Store(store_dir)
+    master = ExperiMaster(
+        platform,
+        desc,
+        store,
+        only_runs={run_id},
+        custom_treatments=spec["custom_treatments"],
+        # Fault leases must survive the staging rmtree above — a retried
+        # attempt's reconciliation sweep is what reverts the faults the
+        # crashed attempt leaked, so the lease root lives at campaign
+        # level, keyed by run id.
+        lease_root=root / spec["lease_root"],
+    )
+    result = master.execute()
+    if run_id not in result.executed_runs:
+        raise CampaignError(f"plan has no run {run_id}; nothing executed")
+
+    with ShardWriter(root / spec["shard"]) as shard:
+        shard.stage_run(store, run_id)
+
+    channel = getattr(platform, "channel", None)
+    return {
+        "run_id": run_id,
+        "store": spec["store"],
+        "shard": spec["shard"],
+        "timed_out": run_id in result.timed_out_runs,
+        "duration": _time.monotonic() - started,
+        "pid": os.getpid(),
+        "rpc_retries": getattr(channel, "retried_calls", 0),
+        "rpc_timeouts": getattr(channel, "timed_out_calls", 0),
+        # Per-phase wall-clock seconds from the master's trace spans
+        # (empty when tracing is off) and the metrics this ticket added.
+        "phases": phase_durations(store.read_run_traces(MASTER_NODE_ID, run_id)),
+        "metrics": diff_snapshots(registry.snapshot(), metrics_before),
+    }

@@ -52,7 +52,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
     from repro.sim.kernel import Simulator
 
-__all__ = ["RpcServer", "ControlChannel", "RetryPolicy", "IDEMPOTENT_METHODS"]
+__all__ = [
+    "RpcServer",
+    "ControlChannel",
+    "RetryPolicy",
+    "IDEMPOTENT_METHODS",
+    "dump_request",
+    "load_response",
+]
 
 #: RPC methods whose remote effect is safe to repeat (at-least-once
 #: semantics): state resets, liveness probes and read-only collection.
@@ -74,6 +81,27 @@ IDEMPOTENT_METHODS = frozenset({
     "drop_all_start",
     "drop_all_stop",
 })
+
+
+def dump_request(method: str, args: Tuple[Any, ...]) -> str:
+    """Encode one call through the canonical XML-RPC wire codec.
+
+    Every control-plane transport — the in-simulation
+    :class:`ControlChannel` and the fabric's socket transport
+    (:mod:`repro.fabric.wire`) — marshals requests through this one
+    function, so an argument that cannot survive the wire format fails
+    identically everywhere.
+    """
+    return xmlrpc.client.dumps(tuple(args), method, allow_none=True)
+
+
+def load_response(response_xml: str) -> Any:
+    """Decode one XML-RPC response; remote faults raise :class:`RpcFault`."""
+    try:
+        (result,), _ = xmlrpc.client.loads(response_xml)
+    except xmlrpc.client.Fault as fault:
+        raise RpcFault(fault.faultCode, fault.faultString) from None
+    return result
 
 
 @dataclass
@@ -371,7 +399,7 @@ class ControlChannel:
         attempts = 1
         if retry and deadline > 0 and self.retry is not None and method in IDEMPOTENT_METHODS:
             attempts = self.retry.max_attempts
-        request_xml = xmlrpc.client.dumps(tuple(args), method, allow_none=True)
+        request_xml = dump_request(method, args)
 
         registry = get_registry()
         tracer = self.tracer

@@ -1,0 +1,42 @@
+"""The distributed campaign fabric: one campaign, many hosts.
+
+ExCovery's ExperiMaster orchestrates every actor from one host; ROADMAP
+item 1 generalizes the campaign engine into a coordinator + worker-fleet
+architecture (DESIGN.md §15).  The pieces:
+
+* :mod:`repro.fabric.wire` — framed XML-RPC over TCP sockets, reusing the
+  control plane's codec, deadline and retry contract (``core/rpc.py``).
+* :mod:`repro.fabric.leases` — fsynced lease records with TTL + renewal:
+  a dead worker's batch is re-leased without duplicate bookkeeping.
+* :mod:`repro.fabric.registry` — worker auto-registration, drain and
+  quarantine, driven by the heartbeat liveness state machine.
+* :mod:`repro.fabric.dispatch` — the lease dispatcher: batches runs off
+  the campaign scheduler's queue, re-leases expired batches, dedupes acks.
+* :mod:`repro.fabric.shipping` — JSON-safe shipping of per-run level-3
+  shard rows and the experiment-scope payload.
+* :mod:`repro.fabric.coordinator` / :mod:`repro.fabric.worker` — the two
+  processes: ``repro fabric serve`` and ``repro fabric worker``.
+
+The invariant carried over from the local engine: the merged level-3
+database is byte-identical for any fleet shape — ``--jobs 8`` local
+pools, a 3-worker fleet, or a fleet that lost a worker and its
+coordinator mid-campaign.
+"""
+
+from repro.fabric.coordinator import FabricCoordinator
+from repro.fabric.dispatch import LeaseDispatcher
+from repro.fabric.leases import Lease, LeaseStore
+from repro.fabric.registry import WorkerRegistry
+from repro.fabric.wire import FleetChannel, FleetServer
+from repro.fabric.worker import FabricWorker
+
+__all__ = [
+    "FabricCoordinator",
+    "FabricWorker",
+    "FleetChannel",
+    "FleetServer",
+    "Lease",
+    "LeaseStore",
+    "LeaseDispatcher",
+    "WorkerRegistry",
+]

@@ -1,0 +1,483 @@
+"""The campaign coordinator: ``repro fabric serve``.
+
+One process owns the campaign directory — journal, lease ledger, scope
+payload and the coordinator-side shards — and serves the fabric RPC
+surface to a fleet of pull-based workers:
+
+``register``   worker announces itself; gets the campaign bundle
+               (description XML, treatments, platform config, batch
+               cadence) so workers need zero local configuration.
+``heartbeat``  liveness beat; feeds the worker state machines.
+``lease``      pull a batch of runs as a durable TTL lease.
+``renew``      extend a lease mid-batch.
+``ack``        deliver one run's result (shipped level-3 rows) or its
+               failure; the durable commit happens here, under the
+               dispatch lock, before the worker gets its answer.
+``status``     JSON snapshot for ``repro fabric status`` and the CI
+               chaos drill.
+
+Crash safety is inherited, not invented: every run commit follows the
+local engine's ordering (scope payload → shard transaction → journal
+entry → scheduler), the lease ledger restores in-flight ownership after
+a coordinator restart, and the journal's resume protocol re-queues
+exactly the runs whose commits never landed.  Because runs are pure
+functions of (description, run id), the merged database of a restarted,
+re-leased, partially re-executed fleet campaign is byte-identical to a
+single ``--jobs`` local campaign — the invariant pinned by
+``tests/integration/test_fleet_fabric.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.engine import CampaignResult, merge_campaign
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.merge import SCOPE_NAME
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.telemetry import CampaignTelemetry
+from repro.core.description import ExperimentDescription
+from repro.core.errors import CampaignError, RecoveryError
+from repro.core.heartbeat import HeartbeatConfig
+from repro.core.params import SpecialParams
+from repro.core.plan import generate_plan
+from repro.core.rpc import RpcServer
+from repro.core.xmlio import description_to_xml
+from repro.fabric.dispatch import LeaseDispatcher
+from repro.fabric.leases import LeaseStore
+from repro.fabric.registry import WorkerRegistry
+from repro.fabric.shipping import CoordinatorShard
+from repro.fabric.wire import FleetServer
+from repro.faults.control import select_control_faults
+
+__all__ = ["FabricCoordinator", "serve_campaign"]
+
+
+def _worker_slug(worker_id: str) -> str:
+    """Filesystem-safe shard name for a worker id."""
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in worker_id) or "worker"
+
+
+def config_to_wire(config) -> Optional[Dict[str, Any]]:
+    """Serialize a :class:`PlatformConfig` for shipment to workers.
+
+    Only JSON-able configs can cross the fleet (the CLI never builds
+    anything else); prebuilt topology or congestion objects are
+    coordinator-local and refused up front.
+    """
+    if config is None:
+        return None
+    data = asdict(config)
+    if data.get("congestion") is not None:
+        raise CampaignError(
+            "fleet campaigns cannot ship a congestion model object; "
+            "configure congestion via description parameters instead",
+        )
+    if not isinstance(data.get("topology"), str):
+        raise CampaignError("fleet campaigns require a string topology name")
+    # control_faults travel per-spec (filtered per attempt), never in the
+    # base config — a worker must not double-arm them.
+    data.pop("congestion", None)
+    data.pop("control_faults", None)
+    json.dumps(data)  # fail fast on anything exotic
+    return data
+
+
+class FabricCoordinator:
+    """Owns one campaign's distributed execution.
+
+    Parameters mirror :class:`repro.campaign.engine.CampaignEngine` where
+    they mean the same thing; fabric-specific knobs:
+
+    host, port:
+        Bind address for the fleet server (``port=0`` = ephemeral).
+    batch_size:
+        Maximum runs per lease (queue-based load leveling: workers pull
+        at most this much at a time, whatever the backlog).
+    lease_ttl:
+        Seconds a granted batch stays owned without renewal.
+    heartbeat:
+        :class:`HeartbeatConfig` driving worker liveness states.
+    """
+
+    def __init__(
+        self,
+        description: ExperimentDescription,
+        campaign_dir,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_size: int = 4,
+        lease_ttl: float = 30.0,
+        max_attempts: int = 2,
+        resume: bool = False,
+        custom_treatments: Optional[List[Dict[str, Any]]] = None,
+        config=None,
+        realtime_factor: Optional[float] = None,
+        control_faults: Optional[List[Dict[str, Any]]] = None,
+        quarantine_after: int = 3,
+        heartbeat: Optional[HeartbeatConfig] = None,
+        progress=None,
+        clock=time.time,
+    ) -> None:
+        self.description = description
+        self.campaign_dir = Path(campaign_dir)
+        self.host = host
+        self.port = port
+        self.batch_size = batch_size
+        self.lease_ttl = float(lease_ttl)
+        self.max_attempts = max_attempts
+        self.resume = resume
+        self.custom_treatments = custom_treatments
+        self.config = config
+        self.config_wire = config_to_wire(config)
+        self.realtime_factor = realtime_factor
+        self.control_faults = list(control_faults or [])
+        self.quarantine_after = quarantine_after
+        self.heartbeat = heartbeat or HeartbeatConfig()
+        self.progress = progress
+        self.clock = clock
+
+        self.journal = CampaignJournal(self.campaign_dir)
+        self._lock = threading.RLock()
+        self._server: Optional[FleetServer] = None
+        self._scope_lock = threading.Lock()
+        self.session = 0
+        self.scheduler: Optional[CampaignScheduler] = None
+        self.dispatcher: Optional[LeaseDispatcher] = None
+        self.telemetry: Optional[CampaignTelemetry] = None
+        self._staged: Dict[int, Dict[str, Any]] = {}
+        self._timed_out: List[int] = []
+        self._started_at = 0.0
+        self._completed_recorded = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        if self._server is None:
+            raise CampaignError("coordinator is not serving")
+        host, port = self._server.address
+        return f"{host}:{port}"
+
+    @property
+    def scope_path(self) -> Path:
+        return self.campaign_dir / SCOPE_NAME
+
+    def start(self) -> "FabricCoordinator":
+        """Open the journal session, restore leases, begin serving."""
+        self._started_at = time.monotonic()
+        desc = self.description
+        self.plan = generate_plan(
+            desc.factors,
+            desc.seed,
+            custom_treatments=self.custom_treatments,
+        )
+        plan_fp = self.plan.fingerprint()
+        if self.resume:
+            self._staged = self.journal.prepare_resume(desc, len(self.plan), plan_fp)
+        else:
+            if self.journal.started():
+                raise RecoveryError(
+                    "campaign directory already holds a journal; pass "
+                    "resume=True or use a fresh directory",
+                )
+            self._staged = {}
+        self.session = self.journal.record_start(
+            desc.fingerprint(),
+            desc.seed,
+            len(self.plan),
+            plan_fp,
+        )
+        self.scheduler = CampaignScheduler(
+            self.plan,
+            completed=self._staged,
+            jobs=1,  # fleet capacity is the workers', not the coordinator's
+            max_parallel=0,
+            max_attempts=self.max_attempts,
+            quarantine_after=self.quarantine_after,
+        )
+        self.telemetry = CampaignTelemetry(
+            total_runs=len(self.plan),
+            emit=self.progress,
+        )
+        self.telemetry.campaign_started(skipped=len(self._staged))
+        self.dispatcher = LeaseDispatcher(
+            self.scheduler,
+            LeaseStore(self.campaign_dir, ttl=self.lease_ttl, clock=self.clock),
+            WorkerRegistry(self.heartbeat, clock=self.clock),
+            self.journal,
+            telemetry=self.telemetry,
+            batch_size=self.batch_size,
+            clock=self.clock,
+        )
+        if self.resume:
+            self.dispatcher.restore()
+        self.description_xml = description_to_xml(desc)
+        self._scope_run = min((run.run_id for run in self.plan), default=0)
+
+        rpc = RpcServer("fabric-coordinator")
+        rpc.register_function(self._rpc_register, "register")
+        rpc.register_function(self._rpc_heartbeat, "heartbeat")
+        rpc.register_function(self._rpc_lease, "lease")
+        rpc.register_function(self._rpc_renew, "renew")
+        rpc.register_function(self._rpc_ack, "ack")
+        rpc.register_function(self._rpc_status, "status")
+        rpc.register_function(self._rpc_drain, "drain")
+        rpc.register_function(self._rpc_quarantine, "quarantine")
+        self._server = FleetServer(self.host, self.port, rpc).start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    def __enter__(self) -> "FabricCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # RPC surface (every handler serializes under the dispatch lock)
+    # ------------------------------------------------------------------
+    def _rpc_register(self, worker_id: str, capacity: int) -> str:
+        with self._lock:
+            self.dispatcher.register(worker_id, capacity)
+            # The worker executing the scope run must ship the conditioned
+            # experiment scope — unless a previous session already staged
+            # the scope run locally (its store serves the merge) or a
+            # fleet shipment already persisted scope.json.
+            staged_scope = self._staged.get(self._scope_run)
+            need_scope = not self.scope_path.exists() and not (
+                staged_scope is not None and staged_scope.get("store") is not None
+            )
+            return json.dumps(
+                {
+                    "session": self.session,
+                    "fingerprint": self.description.fingerprint(),
+                    "total_runs": len(self.plan),
+                    "description_xml": self.description_xml,
+                    "custom_treatments": self.custom_treatments,
+                    "config": self.config_wire,
+                    "realtime_factor": self.realtime_factor,
+                    "scope_run": self._scope_run if need_scope else None,
+                    "lease_ttl": self.lease_ttl,
+                    "batch_size": self.batch_size,
+                },
+            )
+
+    def _rpc_heartbeat(self, worker_id: str) -> str:
+        with self._lock:
+            return self.dispatcher.beat(worker_id)
+
+    def _rpc_lease(self, worker_id: str, want: int) -> str:
+        with self._lock:
+            self.dispatcher.sweep()
+            lease, batch = self.dispatcher.grant(worker_id, want)
+            if lease is None:
+                return json.dumps(
+                    {
+                        "lease_id": None,
+                        "runs": [],
+                        "done": self.scheduler.finished,
+                        "draining": worker_id in self.dispatcher.registry.draining,
+                    },
+                )
+            runs = []
+            for ticket in batch:
+                self.journal.record_run_start(ticket.run_id, worker_id)
+                self.telemetry.run_started(ticket.run_id, worker_id)
+                runs.append(
+                    {
+                        "run_id": ticket.run_id,
+                        "attempt": ticket.attempts,
+                        "control_faults": select_control_faults(
+                            self.control_faults,
+                            attempt=ticket.attempts,
+                            session=self.session,
+                        ),
+                    },
+                )
+            return json.dumps(
+                {
+                    "lease_id": lease.lease_id,
+                    "ttl": self.lease_ttl,
+                    "runs": runs,
+                    "done": False,
+                    "draining": False,
+                },
+            )
+
+    def _rpc_renew(self, worker_id: str, lease_id: str) -> bool:
+        with self._lock:
+            return self.dispatcher.renew(worker_id, lease_id)
+
+    def _rpc_ack(
+        self,
+        worker_id: str,
+        lease_id: str,
+        run_id: int,
+        ok: bool,
+        payload_json: str,
+        error: str,
+    ) -> str:
+        with self._lock:
+            if not ok:
+                status = self.dispatcher.ack_failed(
+                    worker_id,
+                    lease_id,
+                    run_id,
+                    error or "worker reported failure",
+                )
+                return json.dumps({"status": status})
+            payload = json.loads(payload_json)
+
+            def commit() -> None:
+                self._persist_scope(payload.get("scope"))
+                shard_rel = f"shards/fleet_{_worker_slug(worker_id)}.db"
+                with CoordinatorShard(self.campaign_dir / shard_rel) as shard:
+                    shard.ingest(run_id, payload["tables"])
+                self.journal.record_run_complete(run_id, worker_id, None, shard_rel)
+
+            status = self.dispatcher.ack_completed(
+                worker_id,
+                lease_id,
+                run_id,
+                commit,
+                duration=float(payload.get("duration", 0.0)),
+            )
+            if status == "committed":
+                if payload.get("timed_out"):
+                    self._timed_out.append(run_id)
+                stats = payload.get("stats") or {}
+                self.telemetry.rpc_stats(
+                    stats.get("rpc_retries", 0),
+                    stats.get("rpc_timeouts", 0),
+                )
+                self.telemetry.run_phases(payload.get("phases") or {})
+            return json.dumps({"status": status})
+
+    def _rpc_status(self) -> str:
+        with self._lock:
+            status = self.dispatcher.status()
+            status["session"] = self.session
+            status["total_runs"] = len(self.plan)
+            status["staged"] = len(self.scheduler.done) + len(self._staged)
+            status["finished"] = self.scheduler.finished
+            status["failed_runs"] = sorted(self.scheduler.failed)
+            return json.dumps(status, sort_keys=True)
+
+    def _rpc_drain(self, worker_id: str) -> bool:
+        with self._lock:
+            self.dispatcher.drain_worker(worker_id)
+            return True
+
+    def _rpc_quarantine(self, worker_id: str, reason: str) -> str:
+        with self._lock:
+            requeued = self.dispatcher.quarantine_worker(
+                worker_id,
+                reason or "operator request",
+            )
+            return json.dumps({"requeued": sorted(requeued)})
+
+    # ------------------------------------------------------------------
+    def _persist_scope(self, scope_json: Optional[str]) -> None:
+        """Durably keep the shipped scope payload, first shipment wins.
+
+        Written (and fsynced) *before* the scope run's shard commit: a
+        journal entry for the scope run therefore implies the scope
+        payload exists, which is what lets the merge trust ``scope.json``
+        unconditionally for fleet campaigns.
+        """
+        if scope_json is None:
+            return
+        with self._scope_lock:
+            if self.scope_path.exists():
+                return
+            tmp = self.scope_path.with_suffix(".json.tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(scope_json)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.scope_path)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finished(self) -> bool:
+        with self._lock:
+            self.dispatcher.sweep()
+            return self.scheduler.finished
+
+    def run_until_complete(
+        self,
+        db_path=None,
+        poll: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> CampaignResult:
+        """Block until every run settled; journal completion and merge.
+
+        Raises :class:`CampaignError` (resumable state, like the local
+        engine) when runs exhausted their attempt budgets or *timeout*
+        elapsed with the queue still busy.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.finished():
+            if deadline is not None and time.monotonic() > deadline:
+                raise CampaignError(
+                    f"fleet campaign did not settle within {timeout}s; "
+                    "resume after fixing the fleet",
+                )
+            time.sleep(poll)
+        return self.finalize(db_path=db_path)
+
+    def finalize(self, db_path=None) -> CampaignResult:
+        """Seal a settled campaign: journal ``campaign_complete``, merge."""
+        with self._lock:
+            if not self.scheduler.finished:
+                raise CampaignError("campaign still has unsettled runs")
+            result = CampaignResult(
+                description=self.description,
+                plan=self.plan,
+                campaign_dir=self.campaign_dir,
+                executed_runs=sorted(self.scheduler.done),
+                skipped_runs=sorted(self._staged),
+                failed_runs=dict(self.scheduler.failed),
+                timed_out_runs=sorted(self._timed_out),
+                duration=time.monotonic() - self._started_at,
+                jobs=len(self.dispatcher.registry.workers()) or 1,
+                pool="fleet",
+                telemetry=self.telemetry.summary(),
+            )
+            if result.failed_runs:
+                failed = ", ".join(str(r) for r in sorted(result.failed_runs))
+                raise CampaignError(
+                    f"{len(result.failed_runs)} run(s) failed after "
+                    f"{self.max_attempts} attempt(s): {failed}; fix the cause "
+                    "and resume the campaign",
+                )
+            if not self._completed_recorded and not self.journal.finished():
+                self.journal.record_complete()
+                self._completed_recorded = True
+        if db_path is not None:
+            self.telemetry.merge_started(
+                len(self._staged) + len(self.scheduler.done),
+            )
+            result.db_path = merge_campaign(self.campaign_dir, db_path)
+            result.duration = time.monotonic() - self._started_at
+        return result
+
+
+def serve_campaign(description, campaign_dir, db_path=None, **kwargs):
+    """One-call convenience mirroring :func:`run_campaign` for fleets."""
+    coordinator = FabricCoordinator(description, campaign_dir, **kwargs)
+    with coordinator:
+        return coordinator.run_until_complete(db_path=db_path)

@@ -1,0 +1,152 @@
+"""Worker fleet membership: auto-registration, drain and quarantine.
+
+Workers are not configured on the coordinator — they *announce*
+themselves (``register``), which is what makes coordinator failover
+cheap: a restarted coordinator has an empty registry and re-learns the
+fleet from the next heartbeat of each worker (every fabric call from an
+unknown worker implicitly re-registers it).
+
+Liveness is the same ``alive → suspect → dead → quarantined`` state
+machine the master applies to testbed nodes
+(:class:`repro.core.heartbeat.NodeHealth`), driven passively by
+:class:`repro.core.heartbeat.LivenessTracker`: each worker heartbeat is a
+``beat``, the dispatcher's periodic sweep charges silence as misses.
+Policy on top of the states:
+
+* ``alive`` / ``suspect`` workers receive leases;
+* ``dead`` workers receive nothing and their leases expire via TTL;
+* ``quarantined`` workers (flapped ``quarantine_after`` times, or failed
+  a batch in a way that implicates the host) are terminal — their active
+  leases are revoked immediately, without waiting for the TTL;
+* ``draining`` is an administrative flag, not a liveness state: a
+  draining worker stays alive, finishes its current lease, and gets no
+  new ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.heartbeat import (
+    ALIVE,
+    DEAD,
+    QUARANTINED,
+    SUSPECT,
+    HeartbeatConfig,
+    LivenessTracker,
+)
+
+__all__ = ["WorkerRegistry"]
+
+
+class WorkerRegistry:
+    """Membership + liveness of one campaign's worker fleet.
+
+    Not thread-safe by itself; the coordinator serializes access under
+    its dispatch lock.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HeartbeatConfig] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.liveness = LivenessTracker(config, clock=clock)
+        self.clock = clock
+        #: worker id → static facts from its register call.
+        self.info: Dict[str, dict] = {}
+        self.draining: Set[str] = set()
+        self._registrations = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, worker_id: str, capacity: int = 1) -> bool:
+        """Admit (or re-admit) a worker; returns True on *first* sight.
+
+        Idempotent and also the implicit re-registration path: any fabric
+        call from a worker the registry does not know lands here, which is
+        how a restarted coordinator re-learns its fleet.
+        """
+        fresh = worker_id not in self.info
+        if fresh:
+            self._registrations += 1
+            self.info[worker_id] = {
+                "capacity": max(1, int(capacity)),
+                "registered_at": self.clock(),
+            }
+        self.liveness.beat(worker_id)
+        return fresh
+
+    def known(self, worker_id: str) -> bool:
+        return worker_id in self.info
+
+    def capacity(self, worker_id: str) -> int:
+        return self.info.get(worker_id, {}).get("capacity", 1)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def beat(self, worker_id: str) -> Optional[Tuple[str, str]]:
+        if worker_id not in self.info:
+            self.register(worker_id)
+            return None
+        return self.liveness.beat(worker_id)
+
+    def sweep(self, now: Optional[float] = None) -> List[Tuple[str, str, str]]:
+        """Charge silence as misses; returns liveness transitions."""
+        return self.liveness.sweep(now)
+
+    def state(self, worker_id: str) -> str:
+        health = self.liveness.health.get(worker_id)
+        return health.state if health is not None else DEAD
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+    def quarantine(self, worker_id: str) -> bool:
+        """Terminal removal from dispatch; True when newly quarantined."""
+        return self.liveness.quarantine(worker_id) is not None
+
+    def drain(self, worker_id: str) -> None:
+        """Stop granting to *worker_id*; current leases run to completion."""
+        self.draining.add(worker_id)
+
+    def undrain(self, worker_id: str) -> None:
+        self.draining.discard(worker_id)
+
+    def leasable(self, worker_id: str) -> bool:
+        """May this worker receive a new lease right now?"""
+        if worker_id in self.draining:
+            return False
+        return self.state(worker_id) in (ALIVE, SUSPECT)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def workers(self) -> List[str]:
+        return sorted(self.info)
+
+    def summary(self) -> Dict[str, dict]:
+        out: Dict[str, dict] = {}
+        for worker_id in self.workers():
+            health = self.liveness.health.get(worker_id)
+            out[worker_id] = {
+                "state": health.state if health is not None else DEAD,
+                "capacity": self.capacity(worker_id),
+                "draining": worker_id in self.draining,
+            }
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        states = [self.state(w) for w in self.info]
+        return {
+            "workers": len(self.info),
+            "alive": states.count(ALIVE),
+            "suspect": states.count(SUSPECT),
+            "dead": states.count(DEAD),
+            "quarantined": states.count(QUARANTINED),
+            "draining": len(self.draining),
+            "registrations": self._registrations,
+        }

@@ -1,0 +1,190 @@
+"""JSON-safe shipping of level-3 rows and the experiment-scope payload.
+
+Workers execute runs against their *local* staging stores and shard
+databases; what crosses the wire to the coordinator is the already
+conditioned, already ordered level-3 row data.  Two reasons not to ship
+native XML-RPC values:
+
+* XML-RPC's ``<int>`` is 32-bit — seeds and packet ids routinely exceed
+  it — while JSON carries Python's arbitrary-precision ints unharmed;
+* SQLite rows may hold BLOBs, which JSON cannot represent directly;
+  they travel tagged as ``{"__bytes__": "<base64>"}``.
+
+JSON float serialization uses ``repr``-exact round-tripping, so a float
+that leaves a worker's shard arrives at the coordinator bit-identical —
+a requirement, since the merged database must be byte-identical to a
+local campaign's.
+
+Row order *is* data: :func:`extract_run_rows` reads each table ``ORDER BY
+rowid`` (the conditioned order) and :class:`CoordinatorShard` re-inserts
+in shipped order, so rowid order inside the coordinator's shard equals
+the worker's — which is what the deterministic merge sorts by.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.core.errors import StorageError
+from repro.storage.conditioning import ConditionedExperiment
+from repro.storage.level3 import (
+    EXTENSION_RUN_TABLES,
+    EXTENSION_TABLES,
+    RUN_TABLES,
+    TABLE_SCHEMAS,
+    create_schema,
+    open_fast_connection,
+)
+
+__all__ = [
+    "encode_payload",
+    "decode_payload",
+    "extract_run_rows",
+    "encode_scope",
+    "decode_scope",
+    "CoordinatorShard",
+]
+
+#: Run-data tables shipped per run, in schema order.
+SHIPPED_TABLES = RUN_TABLES + EXTENSION_RUN_TABLES
+_COLUMNS = {**TABLE_SCHEMAS, **EXTENSION_TABLES}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__bytes__" in value:
+        return base64.b64decode(value["__bytes__"])
+    return value
+
+
+def encode_payload(payload: Dict[str, Any]) -> str:
+    """Serialize a shipping payload (tables / scope / result) to JSON."""
+    return json.dumps(payload, sort_keys=True, default=_tag_bytes)
+
+
+def _tag_bytes(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    raise TypeError(f"unshippable value of type {type(value).__name__}")
+
+
+def decode_payload(text: str) -> Dict[str, Any]:
+    return json.loads(text)
+
+
+def extract_run_rows(shard_path, run_id: int) -> Dict[str, List[list]]:
+    """Read one run's rows from a worker shard, per table, in rowid order.
+
+    Returns ``{table: [row, ...]}`` with JSON-safe cell values; tables the
+    run has no rows in are omitted.
+    """
+    conn = sqlite3.connect(str(shard_path))
+    try:
+        tables: Dict[str, List[list]] = {}
+        for table in SHIPPED_TABLES:
+            columns = ", ".join(_COLUMNS[table])
+            rows = conn.execute(
+                f"SELECT {columns} FROM {table} WHERE RunID = ? ORDER BY rowid",
+                (run_id,),
+            ).fetchall()
+            if rows:
+                tables[table] = [[_encode_value(cell) for cell in row] for row in rows]
+        return tables
+    finally:
+        conn.close()
+
+
+def encode_scope(scope: ConditionedExperiment) -> str:
+    """Serialize the experiment-scope payload (no run data) for shipping."""
+    return json.dumps(
+        {
+            "description_xml": scope.description_xml,
+            "node_logs": scope.node_logs,
+            "experiment_measurements": scope.experiment_measurements,
+            "eefiles": scope.eefiles,
+            "plan": scope.plan,
+        },
+        sort_keys=True,
+    )
+
+
+def decode_scope(text: str) -> ConditionedExperiment:
+    data = json.loads(text)
+    return ConditionedExperiment(
+        description_xml=data["description_xml"],
+        runs=[],
+        node_logs=data["node_logs"],
+        experiment_measurements=data["experiment_measurements"],
+        eefiles=data["eefiles"],
+        plan=data["plan"],
+    )
+
+
+class CoordinatorShard:
+    """The coordinator-side level-3 shard one worker's runs land in.
+
+    Same schema and same crash contract as
+    :class:`repro.campaign.merge.ShardWriter`: :meth:`ingest` deletes any
+    rows a previous shipment left for the run and inserts the new ones in
+    a single transaction — the fabric's commit point.  A run either fully
+    exists in the shard or not at all, which is exactly what
+    :func:`repro.campaign.merge.shard_has_run` probes on resume.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self.conn = open_fast_connection(self.path, fresh=False)
+        self.conn.isolation_level = ""
+        if fresh:
+            create_schema(self.conn)
+            self.conn.commit()
+
+    def ingest(self, run_id: int, tables: Dict[str, List[list]]) -> int:
+        """Commit one shipped run; returns the number of rows written."""
+        unknown = set(tables) - set(SHIPPED_TABLES)
+        if unknown:
+            raise StorageError(f"shipment for run {run_id} names unknown tables {sorted(unknown)}")
+        if not tables.get("RunInfos"):
+            raise StorageError(f"shipment for run {run_id} carries no RunInfos rows")
+        written = 0
+        with self.conn:
+            for table in SHIPPED_TABLES:
+                self.conn.execute(f"DELETE FROM {table} WHERE RunID = ?", (run_id,))
+            for table in SHIPPED_TABLES:
+                rows = tables.get(table)
+                if not rows:
+                    continue
+                columns = ", ".join(_COLUMNS[table])
+                placeholders = ", ".join("?" for _ in _COLUMNS[table])
+                self.conn.executemany(
+                    f"INSERT INTO {table} ({columns}) VALUES ({placeholders})",
+                    [[_decode_value(cell) for cell in row] for row in rows],
+                )
+                written += len(rows)
+        return written
+
+    def run_ids(self) -> List[int]:
+        return [
+            r[0]
+            for r in self.conn.execute("SELECT DISTINCT RunID FROM RunInfos ORDER BY RunID")
+        ]
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "CoordinatorShard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

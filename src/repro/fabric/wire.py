@@ -1,0 +1,239 @@
+"""Framed XML-RPC over TCP: the fabric's socket transport.
+
+``core/rpc.py`` is the contract — requests and responses are marshalled
+through the same :func:`repro.core.rpc.dump_request` /
+:func:`repro.core.rpc.load_response` codec the in-simulation control
+channel uses, server-side dispatch is a plain
+:class:`repro.core.rpc.RpcServer` method table, deadlines are per-call,
+and retries follow a seeded :class:`repro.core.rpc.RetryPolicy`.  What
+this module adds is only the part the simulation kernel used to play:
+moving the XML strings between real processes.
+
+Framing is a 4-byte big-endian length prefix followed by the UTF-8 XML
+payload; connections are persistent and serve any number of requests.
+
+Every fabric method is idempotent by construction (registration and
+lease grants are repeatable, acks deduplicate, renewals and reads are
+safe), so the client retries *all* methods on transport errors — and a
+coordinator restart shows up as a string of connection refusals that the
+client rides out under its ``reconnect_budget`` instead of failing the
+worker.  That budget is what lets a fleet survive coordinator failover
+(DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+import time
+from typing import Any, Optional, Tuple
+
+from repro.core.errors import RpcError, RpcTimeout
+from repro.core.rpc import RetryPolicy, RpcServer, dump_request, load_response
+
+__all__ = ["FleetServer", "FleetChannel", "parse_address"]
+
+_HEADER = struct.Struct(">I")
+#: Frames above this are rejected (a corrupt header must not OOM us).
+MAX_FRAME = 1 << 30
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise RpcError(f"bad fabric address {address!r}; expected host:port")
+    return host, int(port)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ConnectionError(f"frame of {length} bytes exceeds the 1 GiB cap")
+    return _recv_exact(sock, length)
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+class _FrameHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while True:
+            try:
+                request_xml = read_frame(self.request).decode("utf-8")
+            except (ConnectionError, OSError):
+                return
+            response_xml = self.server.rpc_server.handle_request(request_xml)
+            try:
+                write_frame(self.request, response_xml.encode("utf-8"))
+            except OSError:
+                return
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class FleetServer:
+    """Serves one :class:`RpcServer` method table over TCP frames.
+
+    ``port=0`` binds an ephemeral port; the resolved address is available
+    as :attr:`address` after construction.  One thread per connection —
+    the fabric's method handlers serialize themselves under the
+    coordinator's dispatch lock, so concurrency here is pure I/O overlap.
+    """
+
+    def __init__(self, host: str, port: int, rpc_server: RpcServer) -> None:
+        self.rpc_server = rpc_server
+        self._server = _ThreadingTCPServer((host, port), _FrameHandler)
+        self._server.rpc_server = rpc_server
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "FleetServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="fleet-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "FleetServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class FleetChannel:
+    """Client side of the framed transport; NOT thread-safe.
+
+    Each worker thread owns its own channel (heartbeats, renewals and the
+    lease loop never share a socket).
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` tuple or ``"host:port"`` string.
+    call_timeout:
+        Default per-call deadline, seconds.
+    retry:
+        Backoff schedule between attempts; seeded, so retry timing is as
+        reproducible as the rest of the control plane.
+    reconnect_budget:
+        Wall-clock seconds a *connection*-level failure (refused, reset —
+        the coordinator-restart signature) may be retried for, regardless
+        of the per-attempt budget.  Deadline misses stay bounded by
+        ``retry.max_attempts`` like any other RPC.
+    """
+
+    def __init__(
+        self,
+        address,
+        call_timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        reconnect_budget: float = 60.0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.address = parse_address(address) if isinstance(address, str) else address
+        self.call_timeout = float(call_timeout)
+        self.retry = retry or RetryPolicy(max_attempts=4, base_delay=0.1, max_delay=2.0)
+        self.reconnect_budget = float(reconnect_budget)
+        self.clock = clock
+        self.sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self.completed_calls = 0
+        self.retried_calls = 0
+
+    # ------------------------------------------------------------------
+    def _connect(self, deadline: float) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self.address, timeout=deadline)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "FleetChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def call(self, method: str, *args: Any, timeout: Optional[float] = None) -> Any:
+        """One synchronous RPC; retries transport failures, raises
+        :class:`RpcFault` for remote exceptions, :class:`RpcTimeout` when
+        every attempt missed its deadline, :class:`RpcError` when the
+        peer stayed unreachable past the reconnect budget."""
+        deadline = self.call_timeout if timeout is None else float(timeout)
+        request = dump_request(method, args).encode("utf-8")
+        started = self.clock()
+        attempt = 0
+        timeouts = 0
+        while True:
+            attempt += 1
+            try:
+                sock = self._connect(deadline)
+                sock.settimeout(deadline if deadline > 0 else None)
+                write_frame(sock, request)
+                response = read_frame(sock).decode("utf-8")
+            except socket.timeout:
+                self.close()
+                timeouts += 1
+                if timeouts >= self.retry.max_attempts:
+                    raise RpcTimeout(
+                        f"fabric rpc {method} to {self.address} timed out after "
+                        f"{deadline}s ({timeouts} attempt(s))",
+                        method=method,
+                    ) from None
+            except OSError as exc:
+                self.close()
+                if self.clock() - started > self.reconnect_budget:
+                    raise RpcError(
+                        f"fabric rpc {method}: {self.address} unreachable for "
+                        f"{self.reconnect_budget}s ({exc})",
+                    ) from None
+            else:
+                self.completed_calls += 1
+                return load_response(response)
+            self.retried_calls += 1
+            # Attempt index capped so the exponential backoff saturates at
+            # max_delay instead of overflowing during a long outage.
+            self.sleep(self.retry.delay(min(attempt, 16)))

@@ -1,0 +1,290 @@
+"""The fleet worker: ``repro fabric worker``.
+
+A worker is deliberately stateless: it connects, registers, and from
+then on everything it needs arrives from the coordinator — description
+XML, treatment plan parameters, platform config, batch cadence.  Its
+loop is pure pull:
+
+1. ``lease`` a batch (blocking politely when the queue is empty),
+2. execute each run through :func:`repro.core.master.execute_spec_run`
+   against a worker-local staging store and shard,
+3. ship the run's conditioned level-3 rows (plus, for the scope run,
+   the experiment-scope payload) in the ``ack``,
+4. repeat until the coordinator says the campaign is done.
+
+A renewal thread pulses ``renew`` at ~TTL/3 while a batch executes; a
+rejected renewal means the lease expired or was revoked (the worker was
+presumed dead, its batch re-leased) and the remaining runs are abandoned
+— their eventual re-execution elsewhere produces byte-identical rows,
+and a late ack of an already re-executed run deduplicates coordinator-
+side.  Transport failures ride the :class:`FleetChannel` retry/
+reconnect budget, which is what lets a worker survive a coordinator
+restart without operator help.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import CampaignError, RpcError
+from repro.fabric.shipping import encode_payload, encode_scope, extract_run_rows
+from repro.fabric.wire import FleetChannel
+
+__all__ = ["FabricWorker"]
+
+
+def _config_from_wire(data: Optional[Dict[str, Any]]):
+    if data is None:
+        return None
+    from repro.platforms.simulated import PlatformConfig
+
+    return PlatformConfig(**data)
+
+
+class FabricWorker:
+    """One fleet worker process (or thread, in tests).
+
+    Parameters
+    ----------
+    address:
+        Coordinator ``host:port``.
+    worker_id:
+        Fleet-unique name; becomes the worker label in journal entries.
+    workdir:
+        Local scratch root for staging stores and the worker's shard.
+    capacity:
+        Batch size to request per lease.
+    poll_interval:
+        Sleep between lease polls when the queue is empty.
+    reconnect_budget:
+        Seconds to ride out an unreachable coordinator (restart window).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        worker_id: str,
+        workdir,
+        capacity: int = 2,
+        poll_interval: float = 0.5,
+        call_timeout: float = 30.0,
+        reconnect_budget: float = 60.0,
+        execute: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.address = address
+        self.worker_id = worker_id
+        self.workdir = Path(workdir)
+        self.capacity = max(1, int(capacity))
+        self.poll_interval = float(poll_interval)
+        self.call_timeout = float(call_timeout)
+        self.reconnect_budget = float(reconnect_budget)
+        self._execute = execute
+        self.on_event = on_event
+        self.channel = FleetChannel(
+            address,
+            call_timeout=self.call_timeout,
+            reconnect_budget=self.reconnect_budget,
+        )
+        self._stop = threading.Event()
+        self._dead = threading.Event()
+        self.completed = 0
+        self.failed = 0
+        self.abandoned = 0
+        self._campaign: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _note(self, line: str) -> None:
+        if self.on_event is not None:
+            self.on_event(f"[{self.worker_id}] {line}")
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current run."""
+        self._stop.set()
+
+    def kill(self) -> None:
+        """Simulate abrupt process death (tests, chaos drills): stop the
+        loop AND the renewal pulse immediately, acking nothing — exactly
+        the silence a SIGKILLed worker process leaves behind, which is
+        what drives the coordinator's TTL expiry and re-lease path."""
+        self._stop.set()
+        self._dead.set()
+
+    # ------------------------------------------------------------------
+    def register(self) -> Dict[str, Any]:
+        import json
+
+        bundle = json.loads(
+            self.channel.call("register", self.worker_id, self.capacity),
+        )
+        self._campaign = bundle
+        self._note(
+            f"registered with {self.address}: campaign "
+            f"{bundle['fingerprint'][:12]}, {bundle['total_runs']} runs",
+        )
+        return bundle
+
+    def run_forever(self) -> Dict[str, int]:
+        """The worker loop; returns settlement counters on exit."""
+        import json
+
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        bundle = self.register()
+        ttl = float(bundle.get("lease_ttl") or 30.0)
+        while not self._stop.is_set():
+            try:
+                reply = json.loads(
+                    self.channel.call("lease", self.worker_id, self.capacity),
+                )
+            except RpcError:
+                # Coordinator unreachable past the reconnect budget: the
+                # campaign is over (or the operator will restart us).
+                self._note("coordinator unreachable; exiting")
+                break
+            if reply.get("done"):
+                self._note("campaign complete; exiting")
+                break
+            lease_id = reply.get("lease_id")
+            if not lease_id:
+                time.sleep(self.poll_interval)
+                continue
+            self._execute_lease(lease_id, reply["runs"], ttl)
+        self.channel.close()
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "abandoned": self.abandoned,
+        }
+
+    # ------------------------------------------------------------------
+    def _execute_lease(self, lease_id: str, runs, ttl: float) -> None:
+        lost = threading.Event()
+        renewer = threading.Thread(
+            target=self._renew_loop,
+            args=(lease_id, max(0.5, ttl / 3.0), lost),
+            name=f"renew-{lease_id}",
+            daemon=True,
+        )
+        renewer.start()
+        try:
+            for entry in runs:
+                if self._stop.is_set():
+                    return
+                if lost.is_set():
+                    # Lease expired/revoked: the batch belongs to someone
+                    # else now; executing more runs here is pure waste.
+                    self.abandoned += len(runs) - runs.index(entry)
+                    self._note(f"lease {lease_id} lost; abandoning batch")
+                    return
+                self._execute_one(lease_id, entry)
+        finally:
+            lost.set()
+            renewer.join(timeout=2.0)
+
+    def _renew_loop(self, lease_id: str, period: float, lost: threading.Event) -> None:
+        # Own channel: the main loop's socket is busy mid-execution.
+        with FleetChannel(
+            self.address,
+            call_timeout=self.call_timeout,
+            reconnect_budget=self.reconnect_budget,
+        ) as channel:
+            while not self._dead.wait(period):
+                if lost.is_set():
+                    return
+                try:
+                    renewed = channel.call("renew", self.worker_id, lease_id)
+                except RpcError:
+                    return  # reconnect budget exhausted; main loop decides
+                if not renewed:
+                    lost.set()
+                    return
+
+    def _execute_one(self, lease_id: str, entry: Dict[str, Any]) -> None:
+        import json
+
+        run_id = int(entry["run_id"])
+        spec = self._build_spec(run_id, entry)
+        try:
+            result = self._run_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            error = f"{type(exc).__name__}: {exc}"
+            self.failed += 1
+            self._note(f"run {run_id} failed: {error}")
+            try:
+                self.channel.call(
+                    "ack",
+                    self.worker_id,
+                    lease_id,
+                    run_id,
+                    False,
+                    "",
+                    error,
+                )
+            except RpcError:
+                self.abandoned += 1
+            return
+        payload: Dict[str, Any] = {
+            "tables": extract_run_rows(self.workdir / result["shard"], run_id),
+            "duration": result["duration"],
+            "timed_out": result["timed_out"],
+            "phases": result.get("phases") or {},
+            "stats": {
+                "rpc_retries": result.get("rpc_retries", 0),
+                "rpc_timeouts": result.get("rpc_timeouts", 0),
+            },
+        }
+        if self._campaign.get("scope_run") == run_id:
+            from repro.storage.conditioning import condition_scope
+            from repro.storage.level2 import Level2Store
+
+            payload["scope"] = encode_scope(
+                condition_scope(Level2Store(self.workdir / result["store"])),
+            )
+        try:
+            reply = json.loads(
+                self.channel.call(
+                    "ack",
+                    self.worker_id,
+                    lease_id,
+                    run_id,
+                    True,
+                    encode_payload(payload),
+                    "",
+                ),
+            )
+        except RpcError:
+            self.abandoned += 1
+            return
+        if reply.get("status") == "committed":
+            self.completed += 1
+            self._note(f"run {run_id} shipped ({result['duration']:.2f}s)")
+        else:
+            self._note(f"run {run_id} ack was a {reply.get('status')}")
+
+    # ------------------------------------------------------------------
+    def _build_spec(self, run_id: int, entry: Dict[str, Any]) -> Dict[str, Any]:
+        bundle = self._campaign
+        if not bundle:
+            raise CampaignError("worker is not registered")
+        return {
+            "campaign_dir": str(self.workdir),
+            "description_xml": bundle["description_xml"],
+            "custom_treatments": bundle.get("custom_treatments"),
+            "config": _config_from_wire(bundle.get("config")),
+            "realtime_factor": bundle.get("realtime_factor"),
+            "run_id": run_id,
+            "store": f"staging/{self.worker_id}/run_{run_id:06d}",
+            "shard": f"shards/{self.worker_id}.db",
+            "lease_root": f"leases/run_{run_id:06d}",
+            "control_faults": entry.get("control_faults") or [],
+        }
+
+    def _run_spec(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        if self._execute is not None:
+            return self._execute(spec)
+        from repro.core.master import execute_spec_run
+
+        return execute_spec_run(spec)

@@ -48,11 +48,12 @@ def build_span_tree(records: Iterable[Mapping]) -> List[dict]:
             parent["children"].append(node)
         else:
             roots.append(node)
+
     def _sort(items: List[dict]) -> None:
-        items.sort(key=lambda n: (n["record"].get("start") or 0.0,
-                                  n["record"].get("span_id") or 0))
+        items.sort(key=lambda n: (n["record"].get("start") or 0.0, n["record"].get("span_id") or 0))
         for item in items:
             _sort(item["children"])
+
     _sort(roots)
     return roots
 
@@ -83,7 +84,7 @@ def critical_path(records: Iterable[Mapping]) -> List[dict]:
                 "record": rec,
                 "seconds": _duration(rec),
                 "self_seconds": max(0.0, _duration(rec) - child_seconds),
-            }
+            },
         )
         node = child
     return path
@@ -135,9 +136,7 @@ def _describe(rec: Mapping) -> str:
     status = rec.get("status", "ok")
     if status != "ok":
         bits.append(f"[{status}]")
-    detail = ", ".join(
-        f"{k}={attrs[k]}" for k in sorted(attrs) if k not in ("traceback",)
-    )
+    detail = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs) if k not in ("traceback",))
     if detail:
         bits.append(f"({detail})")
     return " ".join(bits)
@@ -150,7 +149,7 @@ def format_tree(records: Iterable[Mapping]) -> List[str]:
     def _walk(node: dict, depth: int) -> None:
         rec = node["record"]
         lines.append(
-            f"{'  ' * depth}{_describe(rec)}  {_duration(rec) * 1000:.3f} ms"
+            f"{'  ' * depth}{_describe(rec)}  {_duration(rec) * 1000:.3f} ms",
         )
         for child in node["children"]:
             _walk(child, depth + 1)
@@ -167,6 +166,6 @@ def format_critical_path(records: Iterable[Mapping]) -> List[str]:
         lines.append(
             f"{'  ' * depth}{_describe(rec)}  "
             f"total {step['seconds'] * 1000:.3f} ms, "
-            f"self {step['self_seconds'] * 1000:.3f} ms"
+            f"self {step['self_seconds'] * 1000:.3f} ms",
         )
     return lines

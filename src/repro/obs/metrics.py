@@ -60,7 +60,7 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 def _label_key(label_names: Sequence[str], labels: Dict[str, str]) -> str:
     if set(labels) != set(label_names):
         raise ValueError(
-            f"labels {sorted(labels)} do not match declared {sorted(label_names)}"
+            f"labels {sorted(labels)} do not match declared {sorted(label_names)}",
         )
     return json.dumps([str(labels[name]) for name in label_names])
 
@@ -168,7 +168,7 @@ class MetricsRegistry:
             if existing is not None:
                 if not isinstance(existing, cls):
                     raise ValueError(
-                        f"metric {name!r} already declared as {existing.kind}"
+                        f"metric {name!r} already declared as {existing.kind}",
                     )
                 return existing
             inst = cls(name, help_text, tuple(labels), **kwargs)
@@ -176,12 +176,18 @@ class MetricsRegistry:
             return inst
 
     def counter(
-        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
     ) -> Counter:
         return self._declare(Counter, name, help_text, labels)
 
     def gauge(
-        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
     ) -> Gauge:
         return self._declare(Gauge, name, help_text, labels)
 
@@ -296,9 +302,7 @@ def diff_snapshots(after: Dict[str, dict], before: Dict[str, dict]) -> Dict[str,
                         "sum": float(cell["sum"]),
                     }
                     continue
-                counts = [
-                    max(0, c - p) for c, p in zip(cell["counts"], pcell["counts"])
-                ]
+                counts = [max(0, c - p) for c, p in zip(cell["counts"], pcell["counts"])]
                 if any(counts):
                     values[key] = {
                         "counts": counts,
@@ -327,7 +331,9 @@ def _format_value(value: float) -> str:
 
 
 def _label_str(
-    label_names: Sequence[str], key: str, extra: Iterable[Tuple[str, str]] = ()
+    label_names: Sequence[str],
+    key: str,
+    extra: Iterable[Tuple[str, str]] = (),
 ) -> str:
     pairs = list(zip(label_names, json.loads(key))) + list(extra)
     if not pairs:
@@ -356,7 +362,9 @@ def render_prometheus(snap: Dict[str, dict]) -> str:
                 for bound, count in zip(bounds, counts):
                     cumulative += count
                     labels = _label_str(
-                        label_names, key, [("le", _format_value(float(bound)))]
+                        label_names,
+                        key,
+                        [("le", _format_value(float(bound)))],
                     )
                     lines.append(f"{name}_bucket{labels} {cumulative}")
                 cumulative += counts[len(bounds)] if len(counts) > len(bounds) else 0

@@ -214,7 +214,7 @@ class Tracer:
             return
         now = self.clock()
         tb = "".join(
-            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            _traceback.format_exception(type(exc), exc, exc.__traceback__),
         )
         self.record(
             name,

@@ -23,16 +23,18 @@ def test_round_trip_and_session_index(tmp_path):
     assert not journal.started()
     assert _started(journal, desc) == 0
     journal.record_run_start(0, "s0w00")
-    journal.record_run_complete(0, "s0w00", "staging/s0w00/run_000000",
-                                "shards/s0w00.db")
+    journal.record_run_complete(0, "s0w00", "staging/s0w00/run_000000", "shards/s0w00.db")
     assert journal.started() and not journal.finished()
     assert _started(journal, desc) == 1  # second session
     journal.record_complete()
     assert journal.finished()
     assert journal.session_count() == 2
     assert [e["type"] for e in journal.entries()] == [
-        "campaign_start", "run_start", "run_complete",
-        "campaign_start", "campaign_complete",
+        "campaign_start",
+        "run_start",
+        "run_complete",
+        "campaign_start",
+        "campaign_complete",
     ]
 
 

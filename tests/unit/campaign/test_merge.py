@@ -16,8 +16,7 @@ from repro.storage.level3 import RUN_TABLES
 def executed_store(tmp_path_factory):
     """A completed 2-run experiment's level-2 store (shared, read-only)."""
     root = tmp_path_factory.mktemp("store")
-    desc = build_two_party_description(name="mrg", seed=11, replications=2,
-                                       env_count=1)
+    desc = build_two_party_description(name="mrg", seed=11, replications=2, env_count=1)
     master = ExperiMaster(SimulatedPlatform(desc), desc, Level2Store(root))
     master.execute()
     return Level2Store(root)
@@ -28,7 +27,8 @@ def _row_counts(path, run_id):
     try:
         return {
             t: conn.execute(
-                f"SELECT COUNT(*) FROM {t} WHERE RunID = ?", (run_id,)
+                f"SELECT COUNT(*) FROM {t} WHERE RunID = ?",
+                (run_id,),
             ).fetchone()[0]
             for t in RUN_TABLES
         }
@@ -55,7 +55,9 @@ def test_merge_matches_serial_store_level3(executed_store, tmp_path):
         writer.stage_run(executed_store, 1)  # staged out of order on purpose
         writer.stage_run(executed_store, 0)
     merged = merge_shards(
-        tmp_path / "merged.db", executed_store, {0: shard, 1: shard}
+        tmp_path / "merged.db",
+        executed_store,
+        {0: shard, 1: shard},
     )
     assert database_digest(merged) == database_digest(serial_db)
 
@@ -70,7 +72,9 @@ def test_merge_refuses_existing_database(executed_store, tmp_path):
 def test_merge_missing_shard_raises(executed_store, tmp_path):
     with pytest.raises(StorageError, match="shard database missing"):
         merge_shards(
-            tmp_path / "out.db", executed_store, {0: tmp_path / "nope.db"}
+            tmp_path / "out.db",
+            executed_store,
+            {0: tmp_path / "nope.db"},
         )
 
 

@@ -40,7 +40,9 @@ def test_completed_runs_never_scheduled():
 
 def test_priority_callable_reorders_dispatch():
     sched = CampaignScheduler(
-        _plan(), jobs=1, priority=lambda run: -run.run_id
+        _plan(),
+        jobs=1,
+        priority=lambda run: -run.run_id,
     )
     assert _drain(sched) == [5, 4, 3, 2, 1, 0]
 
@@ -106,3 +108,42 @@ def test_ticket_ordering_priority_then_wave_then_run_id():
     retry = RunTicket(priority=0, retry_wave=-1, run_id=9, run=None)
     urgent = RunTicket(priority=-1, retry_wave=0, run_id=7, run=None)
     assert sorted([plain, retry, urgent]) == [urgent, retry, plain]
+
+
+def test_next_batch_pops_in_dispatch_order():
+    sched = CampaignScheduler(_plan(), jobs=1)
+    assert [t.run_id for t in sched.next_batch(4)] == [0, 1, 2, 3]
+    assert [t.run_id for t in sched.next_batch(4)] == [4, 5]
+    assert sched.next_batch(4) == []
+    assert len(sched.in_flight) == 6
+
+
+def test_release_requeues_without_charging_an_attempt():
+    sched = CampaignScheduler(_plan(), jobs=1, max_attempts=2)
+    ticket = sched.next_ticket()
+    assert ticket.attempts == 1
+    assert sched.release(ticket.run_id)
+    assert not sched.release(ticket.run_id)  # no longer in flight
+    again = sched.next_ticket()
+    assert again.run_id == ticket.run_id  # retry-wave promotion
+    assert again.attempts == 1  # budget untouched by the release
+
+
+def test_claim_moves_a_specific_queued_run_in_flight():
+    sched = CampaignScheduler(_plan(), jobs=1)
+    claimed = sched.claim(3)
+    assert claimed.run_id == 3 and claimed.attempts == 1
+    assert sched.claim(3) is None  # already in flight
+    assert [t.run_id for t in sched.next_batch(6)] == [0, 1, 2, 4, 5]
+
+
+def test_stale_entry_after_release_ack_race_never_redispatches():
+    sched = CampaignScheduler(_plan(), jobs=1)
+    ticket = sched.next_ticket()
+    sched.release(ticket.run_id)  # lease expired, run requeued ...
+    sched.mark_done(ticket.run_id)  # ... then the original ack won
+    assert sched.pending == 5  # stale entry not counted
+    assert [t.run_id for t in sched.next_batch(10)] == [1, 2, 3, 4, 5]
+    for run_id in (1, 2, 3, 4, 5):
+        sched.mark_done(run_id)
+    assert sched.finished

@@ -154,7 +154,8 @@ def test_busy_seconds_accumulates_per_worker():
         status = t.workers["w0"]
         assert status.busy_seconds == 5.0
         gauge = registry.gauge(
-            "repro_campaign_worker_busy_seconds", labels=("worker",)
+            "repro_campaign_worker_busy_seconds",
+            labels=("worker",),
         )
         assert gauge.value(worker="w0") == 5.0
         assert t.summary()["workers"]["w0"]["busy_seconds"] == 5.0

@@ -1,0 +1,105 @@
+"""Unit tests for the fsynced lease ledger (fabric exactly-once core)."""
+
+import pytest
+
+from repro.core.errors import CampaignError
+from repro.fabric.leases import LeaseStore
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def store(tmp_path, clock):
+    return LeaseStore(tmp_path, ttl=30.0, clock=clock)
+
+
+def test_grant_assigns_sequential_ids_and_expiry(store, clock):
+    a = store.grant("w1", [0, 1])
+    b = store.grant("w2", [2])
+    assert (a.lease_id, b.lease_id) == ("L000001", "L000002")
+    assert a.expires_at == clock.now + 30.0
+    assert a.pending == [0, 1]
+    assert store.leased_runs() == {0, 1, 2}
+
+
+def test_empty_grant_and_bad_ttl_are_refused(tmp_path, store):
+    with pytest.raises(CampaignError):
+        store.grant("w1", [])
+    with pytest.raises(CampaignError):
+        LeaseStore(tmp_path, ttl=0)
+
+
+def test_ttl_expiry_and_renewal_race(store, clock):
+    lease = store.grant("w1", [0, 1])
+    clock.advance(29.0)
+    assert store.expired() == []
+    # A renewal just before the deadline pushes the expiry a full TTL out.
+    assert store.renew(lease.lease_id) is not None
+    clock.advance(29.0)
+    assert store.expired() == []
+    # Silence past the renewed deadline expires it.
+    clock.advance(2.0)
+    assert [exp.lease_id for exp in store.expired()] == [lease.lease_id]
+
+
+def test_renewing_a_closed_lease_fails_softly(store):
+    lease = store.grant("w1", [0])
+    store.close(lease.lease_id, "expired")
+    assert store.renew(lease.lease_id) is None
+    assert store.renew("L999999") is None
+
+
+def test_ack_dedup_and_auto_close(store):
+    lease = store.grant("w1", [0, 1])
+    store.ack(lease.lease_id, 0)
+    store.ack(lease.lease_id, 0)  # duplicate ack: no double bookkeeping
+    assert lease.acked == {0}
+    assert lease.active
+    store.ack(lease.lease_id, 1)
+    assert lease.closed == "complete"
+    assert store.leased_runs() == set()
+
+
+def test_close_is_idempotent_first_reason_wins(store):
+    lease = store.grant("w1", [0])
+    store.close(lease.lease_id, "expired")
+    store.close(lease.lease_id, "revoked")
+    assert lease.closed == "expired"
+
+
+def test_restore_replays_ledger_byte_identically(tmp_path, clock):
+    store = LeaseStore(tmp_path, ttl=10.0, clock=clock)
+    done = store.grant("w1", [0, 1])
+    store.ack(done.lease_id, 0)
+    store.ack(done.lease_id, 1)
+    open_lease = store.grant("w2", [2, 3])
+    store.ack(open_lease.lease_id, 2)
+    store.renew(open_lease.lease_id)
+
+    restored = LeaseStore(tmp_path, ttl=10.0, clock=clock)
+    assert restored.restore() == 1
+    lease = restored.get(open_lease.lease_id)
+    assert lease.worker_id == "w2"
+    assert lease.pending == [3]
+    assert lease.renewals == 1
+    assert restored.get(done.lease_id).closed == "complete"
+    # The sequence counter continues: no lease id reuse after restart.
+    assert restored.grant("w3", [4]).lease_id == "L000003"
+
+
+def test_restore_of_missing_ledger_is_empty(tmp_path):
+    assert LeaseStore(tmp_path).restore() == 0

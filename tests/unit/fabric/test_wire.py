@@ -1,0 +1,152 @@
+"""Unit tests for the framed socket transport and shipping codec."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.errors import RpcError, RpcFault, RpcTimeout
+from repro.core.rpc import RpcServer
+from repro.fabric.shipping import decode_payload, encode_payload
+from repro.fabric.wire import FleetChannel, FleetServer, parse_address
+
+
+def _server(methods):
+    rpc = RpcServer("test")
+    for name, fn in methods.items():
+        rpc.register_function(fn, name)
+    return FleetServer("127.0.0.1", 0, rpc)
+
+
+def test_parse_address():
+    assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+    with pytest.raises(RpcError):
+        parse_address("no-port")
+    with pytest.raises(RpcError):
+        parse_address(":123")
+
+
+def test_roundtrip_and_remote_fault():
+    def boom():
+        raise ValueError("kaput")
+
+    with _server({"echo": lambda x: x, "boom": boom}) as server:
+        address = "%s:%d" % server.address
+        with FleetChannel(address) as channel:
+            assert channel.call("echo", "hello") == "hello"
+            assert channel.call("echo", 41) == 41
+            with pytest.raises(RpcFault):
+                channel.call("boom")
+            # The connection survives a fault and keeps serving.
+            assert channel.call("echo", "still-up") == "still-up"
+
+
+def test_concurrent_clients_are_isolated():
+    with _server({"echo": lambda x: x}) as server:
+        address = "%s:%d" % server.address
+        results = {}
+
+        def hammer(tag):
+            with FleetChannel(address) as channel:
+                results[tag] = [channel.call("echo", f"{tag}-{i}") for i in range(20)]
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in ("a", "b", "c")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for tag, replies in results.items():
+            assert replies == [f"{tag}-{i}" for i in range(20)]
+
+
+def test_timeout_raises_after_retry_budget():
+    lock = threading.Lock()
+    lock.acquire()
+
+    def wedge():
+        with lock:  # blocks until the test releases it
+            return True
+
+    with _server({"wedge": wedge}) as server:
+        address = "%s:%d" % server.address
+        slept = []
+        channel = FleetChannel(address, call_timeout=0.2, sleep=slept.append)
+        with pytest.raises(RpcTimeout):
+            channel.call("wedge")
+        # The final attempt raises instead of sleeping again.
+        assert len(slept) == channel.retry.max_attempts - 1
+        lock.release()
+        channel.close()
+
+
+def test_reconnect_budget_rides_out_a_restart():
+    # Nothing listens on this port yet: the first call keeps retrying
+    # connection refusals until the server appears (coordinator restart).
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    address = f"127.0.0.1:{port}"
+
+    server = _server({"echo": lambda x: x})._server  # not started
+    server.server_close()
+
+    started = threading.Event()
+
+    def come_up_late():
+        started.wait()
+        with FleetServer("127.0.0.1", port, _late_rpc()) as late:
+            done.wait(5.0)
+
+    def _late_rpc():
+        rpc = RpcServer("late")
+        rpc.register_function(lambda x: x, "echo")
+        return rpc
+
+    done = threading.Event()
+    thread = threading.Thread(target=come_up_late, daemon=True)
+    thread.start()
+
+    channel = FleetChannel(address, call_timeout=1.0, reconnect_budget=10.0)
+    started.set()
+    try:
+        assert channel.call("echo", "survived") == "survived"
+    finally:
+        done.set()
+        channel.close()
+        thread.join(timeout=5.0)
+
+
+def test_unreachable_past_budget_raises_rpc_error():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    channel = FleetChannel(
+        f"127.0.0.1:{port}",
+        call_timeout=0.2,
+        reconnect_budget=0.3,
+        sleep=lambda s: None,
+    )
+    with pytest.raises(RpcError):
+        channel.call("echo", 1)
+
+
+def test_payload_codec_roundtrips_bytes_and_floats():
+    from repro.fabric.shipping import _decode_value
+
+    payload = {
+        "tables": {"Events": [[1, "e", 0.25, b"\x00\xff"], [2, None, 1e-9, b""]]},
+        "duration": 1.5,
+        "big": 1 << 40,  # would overflow plain XML-RPC i4 marshalling
+    }
+    decoded = decode_payload(encode_payload(payload))
+    assert decoded["duration"] == 1.5 and decoded["big"] == 1 << 40
+    # BLOB cells travel tagged; the ingest side untags them bit-exactly.
+    rows = [[_decode_value(c) for c in row] for row in decoded["tables"]["Events"]]
+    assert rows == payload["tables"]["Events"]
+
+
+def test_payload_codec_rejects_unshippable_values():
+    with pytest.raises(TypeError):
+        encode_payload({"bad": object()})

@@ -72,7 +72,7 @@ def test_quantile_nearest_rank():
 
 def test_phase_statistics_canonical_order_first():
     stats = phase_statistics(
-        {"cleanup": [1.0], "custom": [5.0], "preparation": [2.0, 4.0]}
+        {"cleanup": [1.0], "custom": [5.0], "preparation": [2.0, 4.0]},
     )
     assert list(stats) == ["preparation", "cleanup", "custom"]
     assert stats["preparation"]["count"] == 2

@@ -21,7 +21,10 @@ from check_prom import check_prometheus_text  # noqa: E402
 def desc_xml(tmp_path):
     path = tmp_path / "exp.xml"
     desc = build_two_party_description(
-        name="obs-cli", seed=9, replications=2, env_count=1
+        name="obs-cli",
+        seed=9,
+        replications=2,
+        env_count=1,
     )
     path.write_text(description_to_xml(desc), encoding="utf-8")
     return path
@@ -32,8 +35,7 @@ def executed(desc_xml, tmp_path, monkeypatch):
     monkeypatch.setenv(TRACE_ENV_VAR, "1")
     store = tmp_path / "l2"
     db = tmp_path / "exp.db"
-    assert main(["run", str(desc_xml), "--store", str(store),
-                 "--db", str(db), "--quiet"]) == 0
+    assert main(["run", str(desc_xml), "--store", str(store), "--db", str(db), "--quiet"]) == 0
     return store, db
 
 
@@ -51,17 +53,14 @@ def test_traces_survive_into_the_database(executed):
         run_span = next(rec for rec in records if rec["name"] == "run")
         assert run_span["attrs"]["replication"] == 0
         # Experiment-scope spans (no run id) are kept too.
-        exp_names = {
-            rec["name"] for rec in dbh.run_traces() if rec["run_id"] is None
-        }
+        exp_names = {rec["name"] for rec in dbh.run_traces() if rec["run_id"] is None}
         assert "experiment_init" in exp_names
 
 
 def test_level2_metrics_roundtrip(tmp_path):
     store = Level2Store(tmp_path / "l2")
     assert store.read_metrics() == {}
-    snap = {"repro_x_total": {"kind": "counter", "help": "", "labels": [],
-                              "values": {"[]": 3.0}}}
+    snap = {"repro_x_total": {"kind": "counter", "help": "", "labels": [], "values": {"[]": 3.0}}}
     store.write_metrics(snap)
     assert store.read_metrics() == snap
 
@@ -95,8 +94,7 @@ def test_trace_reports_absence(desc_xml, tmp_path, monkeypatch, capsys):
     monkeypatch.setenv(TRACE_ENV_VAR, "0")
     store = tmp_path / "l2"
     db = tmp_path / "exp.db"
-    assert main(["run", str(desc_xml), "--store", str(store),
-                 "--db", str(db), "--quiet"]) == 0
+    assert main(["run", str(desc_xml), "--store", str(store), "--db", str(db), "--quiet"]) == 0
     assert main(["trace", str(db)]) == 1
     assert "no trace spans" in capsys.readouterr().err
     assert main(["trace", str(db), "--run", "0"]) == 1
@@ -116,8 +114,7 @@ def test_metrics_prometheus_from_run_store(executed, capsys):
 
 def test_metrics_json_output(executed, capsys):
     store_root, _ = executed
-    assert main(["metrics", str(store_root / "metrics.json"),
-                 "--format", "json"]) == 0
+    assert main(["metrics", str(store_root / "metrics.json"), "--format", "json"]) == 0
     snap = json.loads(capsys.readouterr().out)
     assert snap["repro_rpc_calls_total"]["kind"] == "counter"
 

@@ -115,7 +115,7 @@ def test_diff_snapshots_drops_unchanged_metrics():
 def test_render_prometheus_is_valid_exposition():
     reg = MetricsRegistry()
     reg.counter("repro_rpc_retries_total", "RPC retries", labels=("method",)).inc(
-        method='weird"method\\name'
+        method='weird"method\\name',
     )
     reg.gauge("repro_busy_seconds", "busy", labels=("worker",)).set(1.25, worker="w0")
     h = reg.histogram("repro_dur_seconds", "durations", buckets=DEFAULT_BUCKETS)
@@ -123,7 +123,7 @@ def test_render_prometheus_is_valid_exposition():
         h.observe(v)
     text = reg.to_prometheus()
     assert check_prometheus_text(text) == []
-    assert '# TYPE repro_dur_seconds histogram' in text
+    assert "# TYPE repro_dur_seconds histogram" in text
     assert 'le="+Inf"' in text
     assert 'worker="w0"' in text
 

@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Fleet chaos drill: the CI-facing version of the fabric failover test.
+
+Orchestrates real processes over localhost — exactly what
+``tests/integration/test_fleet_fabric.py`` does with in-process threads,
+but with the OS in the loop:
+
+1. run the reference campaign locally (``repro campaign --jobs 2``),
+2. serve the same plan over a 3-worker fabric (``repro fabric serve`` +
+   3x ``repro fabric worker``),
+3. SIGKILL one worker mid-batch, then SIGKILL the coordinator itself and
+   restart it with ``--resume``,
+4. assert the merged fleet database's digest is byte-identical to the
+   local run's, and that the journal actually recorded the failover
+   (two coordinator sessions, the dead worker's lease expired).
+
+Prints ``DIGEST-MATCH`` and ``FAILOVER-OK`` markers for the CI job to
+grep; exits non-zero on any divergence.  Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def repro_env():
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def repro(*args, **kwargs):
+    kwargs.setdefault("env", repro_env())
+    kwargs.setdefault("cwd", str(ROOT))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *map(str, args)],
+        check=True,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def spawn(args, log_path, **kwargs):
+    kwargs.setdefault("env", repro_env())
+    kwargs.setdefault("cwd", str(ROOT))
+    log = open(log_path, "w", encoding="utf-8")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *map(str, args)],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        **kwargs,
+    )
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def digest(db_path):
+    return repro("inspect", db_path, "--digest").stdout.strip()
+
+
+def fleet_status(address):
+    from repro.core.errors import RpcError, RpcTimeout
+    from repro.fabric import FleetChannel
+
+    try:
+        with FleetChannel(address, call_timeout=5.0, reconnect_budget=2.0) as channel:
+            return json.loads(channel.call("status"))
+    except (RpcError, RpcTimeout, OSError, json.JSONDecodeError):
+        return None
+
+
+def holds_pending_lease(ledger_path, worker_id):
+    """True while *worker_id* has an active lease with unacked runs."""
+    if not ledger_path.exists():
+        return False
+    pending, owner = {}, {}
+    for line in ledger_path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        lease_id = rec["lease_id"]
+        if rec["op"] == "grant":
+            pending[lease_id] = set(rec["run_ids"])
+            owner[lease_id] = rec["worker_id"]
+        elif rec["op"] == "ack":
+            pending.get(lease_id, set()).discard(rec["run_id"])
+        elif rec["op"] == "close":
+            pending.pop(lease_id, None)
+    return any(
+        owner.get(lease_id) == worker_id and runs for lease_id, runs in pending.items()
+    )
+
+
+def write_description(path, replications, seed):
+    from repro.core.xmlio import description_to_xml
+    from repro.sd.processlib import build_two_party_description
+
+    desc = build_two_party_description(
+        name="fleet-drill", seed=seed, replications=replications, env_count=1
+    )
+    path.write_text(description_to_xml(desc), encoding="utf-8")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replications", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument("--workdir", type=Path, default=Path("fleet-drill"))
+    parser.add_argument("--lease-ttl", type=float, default=3.0)
+    parser.add_argument("--batch-size", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=420.0,
+                        help="overall drill deadline in seconds")
+    args = parser.parse_args()
+
+    work = args.workdir
+    if work.exists():
+        shutil.rmtree(work)
+    work.mkdir(parents=True)
+    xml = work / "exp.xml"
+    write_description(xml, args.replications, args.seed)
+
+    print(f"[drill] local reference campaign ({args.replications} runs)")
+    repro(
+        "campaign", xml, "--jobs", "2", "--pool", "thread",
+        "--dir", work / "local.campaign", "--db", work / "local.db", "--quiet",
+    )
+    ref = digest(work / "local.db")
+    print(f"[drill] local digest:  {ref}")
+
+    port = free_port()
+    address = f"127.0.0.1:{port}"
+    serve_args = [
+        "fabric", "serve", xml, "--bind", address,
+        "--dir", work / "fleet.campaign", "--db", work / "fleet.db",
+        "--batch-size", args.batch_size, "--lease-ttl", args.lease_ttl,
+        "--linger", "5",
+    ]
+    deadline = time.monotonic() + args.timeout
+    procs = []
+    try:
+        print(f"[drill] coordinator on {address}, 3 workers")
+        coordinator = spawn(serve_args, work / "coordinator-1.log")
+        procs.append(coordinator)
+        workers = {}
+        for i in range(3):
+            workers[f"w{i}"] = spawn(
+                [
+                    "fabric", "worker", address, "--id", f"w{i}",
+                    "--workdir", work / f"w{i}", "--poll", "0.2",
+                    "--reconnect-budget", "120", "--quiet",
+                ],
+                work / f"worker-w{i}.log",
+            )
+        procs.extend(workers.values())
+
+        # Kill w0 while the lease ledger shows it mid-batch, so its open
+        # lease is left behind for TTL expiry to reclaim.
+        ledger = work / "fleet.campaign" / "leases.jsonl"
+        while not holds_pending_lease(ledger, "w0"):
+            if time.monotonic() > deadline:
+                raise RuntimeError("drill timed out waiting for w0 to hold a batch")
+            time.sleep(0.02)
+        print("[drill] SIGKILL worker w0 mid-batch")
+        workers["w0"].kill()
+        workers["w0"].wait()
+
+        # Then kill the coordinator itself once at least one run has
+        # committed (so the resume actually has prior work to honor).
+        while True:
+            if time.monotonic() > deadline:
+                raise RuntimeError("drill timed out waiting for first completed run")
+            status = fleet_status(address)
+            if status and status["scheduler"]["done"] >= 1:
+                if status["finished"]:
+                    raise RuntimeError(
+                        "campaign finished before the drill could inject faults; "
+                        "raise --replications"
+                    )
+                break
+            time.sleep(0.05)
+        done = status["scheduler"]["done"]
+        print(f"[drill] SIGKILL coordinator after {done} completed run(s)")
+        coordinator.kill()
+        coordinator.wait()
+
+        print("[drill] restarting coordinator with --resume on the same port")
+        coordinator = spawn(
+            serve_args + ["--resume"], work / "coordinator-2.log"
+        )
+        procs.append(coordinator)
+        rc = coordinator.wait(timeout=max(10.0, deadline - time.monotonic()))
+        if rc != 0:
+            sys.stdout.write((work / "coordinator-2.log").read_text())
+            raise RuntimeError(f"resumed coordinator exited with {rc}")
+        for worker_id in ("w1", "w2"):
+            try:
+                workers[worker_id].wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                workers[worker_id].terminate()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+
+    flt = digest(work / "fleet.db")
+    print(f"[drill] fleet digest:  {flt}")
+
+    from repro.campaign.journal import CampaignJournal
+
+    journal = CampaignJournal(work / "fleet.campaign")
+    sessions = journal.session_count()
+    expiries = [e for e in journal.entries() if e["type"] == "lease_expired"]
+    completed = len(journal.completed())
+    print(
+        f"[drill] journal: sessions={sessions} lease_expired={len(expiries)} "
+        f"completed_runs={completed}"
+    )
+    failures = []
+    if flt != ref:
+        failures.append("merged fleet digest diverged from the local campaign")
+    if sessions < 2:
+        failures.append("coordinator restart did not journal a second session")
+    if not any(e["worker_id"] == "w0" for e in expiries):
+        failures.append("the killed worker's lease never expired")
+    if completed != args.replications:
+        failures.append(f"journal has {completed} completed runs, "
+                        f"expected {args.replications}")
+    if failures:
+        for failure in failures:
+            print(f"[drill] FAIL: {failure}")
+        print("DIGEST-MISMATCH" if flt != ref else "FAILOVER-BROKEN")
+        return 1
+    print("FAILOVER-OK")
+    print("DIGEST-MATCH")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
