@@ -109,18 +109,23 @@ class CampaignJournal:
         worker: str,
         store: Optional[str],
         shard: str,
+        epoch: Optional[int] = None,
     ) -> None:
         """*store* is ``None`` for fleet runs: results arrived as shipped
-        shard rows and only the shard holds the run."""
-        self._append(
-            {
-                "type": "run_complete",
-                "run_id": run_id,
-                "worker": worker,
-                "store": store,
-                "shard": shard,
-            },
-        )
+        shard rows and only the shard holds the run.  Fleet entries also
+        carry the committing coordinator's fencing *epoch* (DESIGN.md
+        §16) so a post-mortem can attribute every commit to the leader
+        that made it."""
+        record = {
+            "type": "run_complete",
+            "run_id": run_id,
+            "worker": worker,
+            "store": store,
+            "shard": shard,
+        }
+        if epoch is not None:
+            record["epoch"] = epoch
+        self._append(record)
 
     def record_run_failed(self, run_id: int, error: str, attempt: int) -> None:
         self._append(

@@ -202,13 +202,29 @@ def build_parser() -> argparse.ArgumentParser:
     f_serve.add_argument("--linger", type=float, default=2.0, metavar="SECS",
                          help="stay up this long after completion so polling "
                               "workers observe done and exit (default 2)")
+    f_serve.add_argument("--standby", action="store_true",
+                         help="run as a hot standby: tail the campaign "
+                              "journal and election ledger, take over "
+                              "leadership when the leader's lease lapses or "
+                              "is released")
+    f_serve.add_argument("--leader-id", default=None, dest="leader_id",
+                         metavar="NAME",
+                         help="identity on the election ledger "
+                              "(default coord-<pid> / standby-<pid>)")
+    f_serve.add_argument("--election-ttl", type=float, default=10.0,
+                         metavar="SECS", dest="election_ttl",
+                         help="seconds the leadership lease stays held "
+                              "without a renewal — the failover detection "
+                              "horizon for standbys (default 10)")
     f_serve.add_argument("--quiet", action="store_true")
 
     f_worker = fab_sub.add_parser(
         "worker", help="execute leased runs for a serving coordinator"
     )
-    f_worker.add_argument("coordinator", metavar="HOST:PORT",
-                          help="coordinator address")
+    f_worker.add_argument("coordinator", metavar="HOST:PORT[,HOST:PORT...]",
+                          help="coordinator seed list: the active "
+                               "coordinator plus any standby endpoints "
+                               "(walked in order after a failover)")
     f_worker.add_argument("--id", default=None, dest="worker_id",
                           metavar="NAME",
                           help="fleet-unique worker name "
@@ -226,13 +242,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds to ride out an unreachable "
                                "coordinator, e.g. across its restart "
                                "(default 60)")
+    f_worker.add_argument("--call-timeout", type=float, default=30.0,
+                          metavar="SECS", dest="call_timeout",
+                          help="per-attempt RPC deadline; lower it to "
+                               "detect a partitioned (silent) coordinator "
+                               "faster (default 30)")
     f_worker.add_argument("--quiet", action="store_true")
 
     f_status = fab_sub.add_parser(
-        "status", help="print a serving coordinator's JSON status snapshot"
+        "status",
+        help="print a coordinator's JSON status snapshot (leadership "
+             "epoch, leader endpoint, standby roster); exits non-zero "
+             "when no live leader holds the lease",
     )
-    f_status.add_argument("coordinator", metavar="HOST:PORT",
-                          help="coordinator address")
+    f_status.add_argument("coordinator", metavar="HOST:PORT", nargs="?",
+                          default=None,
+                          help="coordinator address (omit with --dir to "
+                               "read the election ledger directly)")
+    f_status.add_argument("--dir", type=Path, default=None,
+                          dest="campaign_dir",
+                          help="campaign directory: report leadership from "
+                               "the election ledger without a live RPC "
+                               "endpoint")
+
+    f_handoff = fab_sub.add_parser(
+        "handoff",
+        help="gracefully transfer leadership: drain in-flight batches, "
+             "release the lease so a standby claims the next epoch "
+             "(re-leases exactly zero runs)",
+    )
+    f_handoff.add_argument("coordinator", metavar="HOST:PORT",
+                           help="the current leader's address")
+    f_handoff.add_argument("--timeout", type=float, default=30.0,
+                           metavar="SECS",
+                           help="drain budget before giving up (default 30)")
 
     p_val = sub.add_parser("validate", help="check a description")
     p_val.add_argument("description", type=Path)
@@ -530,36 +573,80 @@ def _serve_fleet(
     quiet: bool,
     timeout=None,
     linger: float = 2.0,
+    standby: bool = False,
+    leader_id=None,
+    election_ttl: float = 10.0,
 ) -> int:
     """Shared body of ``repro fabric serve`` and ``repro campaign --fleet``."""
+    import os as _os
     import time as _time
 
-    from repro.fabric import FabricCoordinator
+    from repro.fabric import FabricCoordinator, LeadershipLost, StandbyCoordinator
     from repro.fabric.wire import parse_address
 
     host, port = parse_address(bind)
-    coordinator = FabricCoordinator(
-        desc,
-        campaign_dir,
-        host=host,
-        port=port,
-        batch_size=batch_size,
-        lease_ttl=lease_ttl,
-        max_attempts=max_attempts,
-        resume=resume,
-        config=config,
-        realtime_factor=realtime_factor,
-        control_faults=control_faults,
-        progress=None if quiet else print,
-    )
-    with coordinator:
-        print(f"fabric coordinator serving at {coordinator.address} "
-              f"({len(coordinator.plan)} runs, batch {batch_size}, "
-              f"lease TTL {lease_ttl:g}s)")
-        result = coordinator.run_until_complete(db_path=db_path, timeout=timeout)
-        # Let polling workers observe done=True and exit cleanly before
-        # the listener disappears.
+    if standby:
+        watcher = StandbyCoordinator(
+            desc,
+            campaign_dir,
+            standby_id=leader_id or f"standby-{_os.getpid()}",
+            host=host,
+            port=port,
+            election_ttl=election_ttl,
+            db_path=db_path,
+            on_event=None if quiet else print,
+            batch_size=batch_size,
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            config=config,
+            realtime_factor=realtime_factor,
+            control_faults=control_faults,
+            progress=None if quiet else print,
+        )
+        print(f"fabric standby {watcher.standby_id} watching {campaign_dir} "
+              f"(election TTL {election_ttl:g}s)")
+        try:
+            result = watcher.run(timeout=timeout)
+        except LeadershipLost as lost:
+            print(f"standby lost leadership: {lost}")
+            return 0 if lost.reason in ("handoff", "complete") else 3
+        if result is None:
+            return 0
         _time.sleep(max(0.0, linger))
+    else:
+        coordinator = FabricCoordinator(
+            desc,
+            campaign_dir,
+            host=host,
+            port=port,
+            batch_size=batch_size,
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            resume=resume,
+            config=config,
+            realtime_factor=realtime_factor,
+            control_faults=control_faults,
+            leader_id=leader_id,
+            election_ttl=election_ttl,
+            progress=None if quiet else print,
+        )
+        try:
+            with coordinator:
+                print(f"fabric coordinator serving at {coordinator.address} "
+                      f"({len(coordinator.plan)} runs, batch {batch_size}, "
+                      f"lease TTL {lease_ttl:g}s, epoch {coordinator.epoch})")
+                result = coordinator.run_until_complete(
+                    db_path=db_path, timeout=timeout,
+                )
+                # Let polling workers observe done=True and exit cleanly
+                # before the listener disappears.
+                _time.sleep(max(0.0, linger))
+        except LeadershipLost as lost:
+            # A handoff is a clean exit (the successor finishes the
+            # campaign); a deposition means this process must not keep
+            # writing and the operator should look at the successor.
+            print(f"coordinator stopped leading: {lost}")
+            return 0 if lost.reason == "handoff" else 3
     if not quiet:
         s = result.summary()
         print(
@@ -582,6 +669,7 @@ def _cmd_fabric(args) -> int:
         "serve": _fabric_serve,
         "worker": _fabric_worker,
         "status": _fabric_status,
+        "handoff": _fabric_handoff,
     }
     return handlers[args.fabric_command](args)
 
@@ -613,6 +701,9 @@ def _fabric_serve(args) -> int:
         quiet=args.quiet,
         timeout=args.timeout,
         linger=args.linger,
+        standby=args.standby,
+        leader_id=args.leader_id,
+        election_ttl=args.election_ttl,
     )
 
 
@@ -630,6 +721,7 @@ def _fabric_worker(args) -> int:
         workdir,
         capacity=args.capacity,
         poll_interval=args.poll,
+        call_timeout=args.call_timeout,
         reconnect_budget=args.reconnect_budget,
         on_event=None if args.quiet else print,
     )
@@ -640,15 +732,57 @@ def _fabric_worker(args) -> int:
 
 
 def _fabric_status(args) -> int:
+    """Leadership-aware status: exit 0 only when a live leader leads.
+
+    With a coordinator address the snapshot comes over RPC (and carries
+    the full fleet state); with ``--dir`` the election ledger is read
+    directly — the mode that still works when *no* coordinator answers,
+    which is exactly when an operator most wants to know who leads.
+    """
+    import json
+
+    from repro.core.errors import RpcError
+    from repro.fabric import ElectionLedger, FleetChannel
+
+    if args.coordinator is None and args.campaign_dir is None:
+        print("fabric status needs a coordinator address or --dir")
+        return 2
+    status = None
+    if args.coordinator is not None:
+        try:
+            with FleetChannel(args.coordinator, call_timeout=10.0,
+                              reconnect_budget=10.0) as channel:
+                status = json.loads(channel.call("status"))
+        except RpcError as exc:
+            if args.campaign_dir is None:
+                print(f"coordinator unreachable: {exc}")
+                return 1
+    if status is None:
+        status = {"election": ElectionLedger(args.campaign_dir).summary()}
+    print(json.dumps(status, indent=2, sort_keys=True))
+    election = status.get("election") or {}
+    if not election.get("leader_live") or status.get("deposed"):
+        return 1
+    return 0
+
+
+def _fabric_handoff(args) -> int:
     import json
 
     from repro.fabric import FleetChannel
 
-    with FleetChannel(args.coordinator, call_timeout=10.0,
+    # The drain can legitimately take the whole timeout; give the RPC a
+    # little headroom beyond it.
+    with FleetChannel(args.coordinator, call_timeout=args.timeout + 10.0,
                       reconnect_budget=10.0) as channel:
-        status = json.loads(channel.call("status"))
-    print(json.dumps(status, indent=2, sort_keys=True))
-    return 0
+        reply = json.loads(channel.call("handoff", args.timeout))
+    if reply.get("released"):
+        print(f"leadership released (epoch {reply.get('epoch')}); "
+              "a standby will claim the next epoch")
+        return 0
+    print(f"handoff refused: {reply.get('reason')}"
+          + (f" (pending {reply['pending']})" if reply.get("pending") else ""))
+    return 1
 
 
 def _cmd_validate(args) -> int:

@@ -245,6 +245,10 @@ class ControlChannel:
         # plus a list of one-shot per-call faults.
         self._down: Dict[str, str] = {}
         self._call_faults: List[Dict[str, Any]] = []
+        # node id -> blocked directions ({"request"}, {"reply"} or both):
+        # a network partition between master and that node, possibly
+        # asymmetric, persisting until healed.
+        self._partitions: Dict[str, set] = {}
         #: Total completed synchronous calls (overhead benchmarks).  Kept
         #: for API compatibility; the same tallies also feed the process
         #: metrics registry (repro_rpc_* series).
@@ -321,9 +325,44 @@ class ControlChannel:
         self._down.pop(node_id, None)
 
     def restore_all(self) -> None:
-        """Clear every injected fault (node-down modes and call faults)."""
+        """Clear every injected fault (node-down modes, call faults and
+        partitions)."""
         self._down.clear()
         self._call_faults.clear()
+        self._partitions.clear()
+
+    def partition_node(self, node_id: str, direction: str = "both") -> None:
+        """Partition the control link to *node_id* until healed.
+
+        Unlike the count-bounded drop faults, a partition drops *every*
+        matching message while it stands.  ``direction`` selects the
+        asymmetric cases: ``"request"`` loses master→node traffic only
+        (the node still answers requests that arrived before the cut),
+        ``"reply"`` loses node→master responses only (the node executes
+        requests but the master sees silence — the nastier half, because
+        non-idempotent work happens invisibly), ``"both"`` cuts the link.
+        """
+        if direction not in ("request", "reply", "both"):
+            raise RpcError(f"unknown partition direction {direction!r}")
+        dirs = self._partitions.setdefault(node_id, set())
+        if direction == "both":
+            dirs.update(("request", "reply"))
+        else:
+            dirs.add(direction)
+
+    def heal_partition(self, node_id: str, direction: str = "both") -> None:
+        """Lift a :meth:`partition_node` cut (or one direction of it)."""
+        if direction == "both":
+            self._partitions.pop(node_id, None)
+            return
+        dirs = self._partitions.get(node_id)
+        if dirs is not None:
+            dirs.discard(direction)
+            if not dirs:
+                self._partitions.pop(node_id, None)
+
+    def _partitioned(self, node_id: str, direction: str) -> bool:
+        return direction in self._partitions.get(node_id, ())
 
     def add_call_fault(
         self,
@@ -494,7 +533,11 @@ class ControlChannel:
 
     def _enqueue(self, node_id: str, method: str, request_xml: str, done) -> None:
         down = self._down.get(node_id)
-        if down == "hang" or self._take_call_fault(node_id, method, "drop_request"):
+        if (
+            down == "hang"
+            or self._partitioned(node_id, "request")
+            or self._take_call_fault(node_id, method, "drop_request")
+        ):
             return  # request lost; only a caller deadline recovers
         if down == "refuse" or node_id not in self._queues:
             # Node refused the connection or vanished in flight.
@@ -520,7 +563,9 @@ class ControlChannel:
         self._busy[node_id] = True
         request_xml, done, method = queue.popleft()
         response_xml = self._servers[node_id].handle_request(request_xml)
-        dropped = self._take_call_fault(node_id, method, "drop_reply")
+        dropped = self._partitioned(node_id, "reply") or self._take_call_fault(
+            node_id, method, "drop_reply"
+        )
 
         # Response travels back; the node lock is released immediately
         # after local handling, so the next queued call proceeds while the

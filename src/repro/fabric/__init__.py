@@ -14,29 +14,53 @@ architecture (DESIGN.md §15).  The pieces:
   the campaign scheduler's queue, re-leases expired batches, dedupes acks.
 * :mod:`repro.fabric.shipping` — JSON-safe shipping of per-run level-3
   shard rows and the experiment-scope payload.
+* :mod:`repro.fabric.election` — epoch-fenced leader election over the
+  shared campaign directory: hot-standby coordinators take over a lapsed
+  or released leadership lease automatically (DESIGN.md §16).
 * :mod:`repro.fabric.coordinator` / :mod:`repro.fabric.worker` — the two
   processes: ``repro fabric serve`` and ``repro fabric worker``.
 
 The invariant carried over from the local engine: the merged level-3
 database is byte-identical for any fleet shape — ``--jobs 8`` local
 pools, a 3-worker fleet, or a fleet that lost a worker and its
-coordinator mid-campaign.
+coordinator mid-campaign (with or without a standby taking over).
 """
 
 from repro.fabric.coordinator import FabricCoordinator
 from repro.fabric.dispatch import LeaseDispatcher
+from repro.fabric.election import (
+    ElectionLedger,
+    LeaderRecord,
+    LeadershipLost,
+    StandbyCoordinator,
+)
 from repro.fabric.leases import Lease, LeaseStore
 from repro.fabric.registry import WorkerRegistry
-from repro.fabric.wire import FleetChannel, FleetServer
+from repro.fabric.wire import (
+    FleetChannel,
+    FleetServer,
+    PartitionGate,
+    ReconnectBackoff,
+    clear_partition_gate,
+    install_partition_gate,
+)
 from repro.fabric.worker import FabricWorker
 
 __all__ = [
+    "ElectionLedger",
     "FabricCoordinator",
     "FabricWorker",
     "FleetChannel",
     "FleetServer",
+    "LeaderRecord",
+    "LeadershipLost",
     "Lease",
     "LeaseStore",
     "LeaseDispatcher",
+    "PartitionGate",
+    "ReconnectBackoff",
+    "StandbyCoordinator",
     "WorkerRegistry",
+    "clear_partition_gate",
+    "install_partition_gate",
 ]

@@ -50,6 +50,7 @@ from repro.core.plan import generate_plan
 from repro.core.rpc import RpcServer
 from repro.core.xmlio import description_to_xml
 from repro.fabric.dispatch import LeaseDispatcher
+from repro.fabric.election import ElectionLedger, LeadershipLost
 from repro.fabric.leases import LeaseStore
 from repro.fabric.registry import WorkerRegistry
 from repro.fabric.shipping import CoordinatorShard
@@ -104,6 +105,18 @@ class FabricCoordinator:
         Seconds a granted batch stays owned without renewal.
     heartbeat:
         :class:`HeartbeatConfig` driving worker liveness states.
+    leader_id:
+        This coordinator's identity on the election ledger (defaults to
+        ``coord-<pid>``).
+    election_ttl:
+        Seconds the leadership lease stays held without a renewal; the
+        failover detection horizon for standbys.
+    takeover:
+        ``True`` force-claims leadership even over a live lease (the
+        operator ``--resume`` path: whoever restarts asserts the old
+        leader is gone); ``False`` claims only a lapsed/released lease
+        (the standby path) and raises :class:`LeadershipLost` otherwise.
+        ``None`` (default) means ``takeover=resume``.
     """
 
     def __init__(
@@ -122,6 +135,9 @@ class FabricCoordinator:
         control_faults: Optional[List[Dict[str, Any]]] = None,
         quarantine_after: int = 3,
         heartbeat: Optional[HeartbeatConfig] = None,
+        leader_id: Optional[str] = None,
+        election_ttl: float = 10.0,
+        takeover: Optional[bool] = None,
         progress=None,
         clock=time.time,
     ) -> None:
@@ -143,7 +159,17 @@ class FabricCoordinator:
         self.progress = progress
         self.clock = clock
 
+        self.leader_id = leader_id or f"coord-{os.getpid()}"
+        self.election_ttl = float(election_ttl)
+        self.takeover = resume if takeover is None else bool(takeover)
+
         self.journal = CampaignJournal(self.campaign_dir)
+        self.election = ElectionLedger(
+            self.campaign_dir,
+            ttl=self.election_ttl,
+            clock=self.clock,
+        )
+        self.epoch = 0
         self._lock = threading.RLock()
         self._server: Optional[FleetServer] = None
         self._scope_lock = threading.Lock()
@@ -155,6 +181,10 @@ class FabricCoordinator:
         self._timed_out: List[int] = []
         self._started_at = 0.0
         self._completed_recorded = False
+        self._handoff_draining = False
+        self._deposed_reason: Optional[str] = None
+        self._renew_stop = threading.Event()
+        self._renew_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -171,7 +201,14 @@ class FabricCoordinator:
         return self.campaign_dir / SCOPE_NAME
 
     def start(self) -> "FabricCoordinator":
-        """Open the journal session, restore leases, begin serving."""
+        """Claim leadership, open the journal session, begin serving.
+
+        The fleet server socket is bound (but not yet serving) *before*
+        the leadership claim so the election record can carry the real
+        endpoint even for ephemeral ports; losing the claim closes the
+        socket and raises :class:`LeadershipLost` without having touched
+        the journal.
+        """
         self._started_at = time.monotonic()
         desc = self.description
         self.plan = generate_plan(
@@ -180,6 +217,36 @@ class FabricCoordinator:
             custom_treatments=self.custom_treatments,
         )
         plan_fp = self.plan.fingerprint()
+
+        rpc = RpcServer("fabric-coordinator")
+        rpc.register_function(self._rpc_register, "register")
+        rpc.register_function(self._rpc_heartbeat, "heartbeat")
+        rpc.register_function(self._rpc_lease, "lease")
+        rpc.register_function(self._rpc_renew, "renew")
+        rpc.register_function(self._rpc_ack, "ack")
+        rpc.register_function(self._rpc_status, "status")
+        rpc.register_function(self._rpc_drain, "drain")
+        rpc.register_function(self._rpc_quarantine, "quarantine")
+        rpc.register_function(self._rpc_handoff, "handoff")
+        self._server = FleetServer(self.host, self.port, rpc)  # bound, idle
+
+        epoch = self.election.campaign(
+            self.leader_id,
+            self.address,
+            force=self.takeover,
+        )
+        if epoch is None:
+            holder = self.election.current()
+            self._server.stop()
+            self._server = None
+            raise LeadershipLost(
+                f"{self.leader_id} lost the leadership claim: "
+                f"{holder.leader_id if holder else '?'} holds epoch "
+                f"{holder.epoch if holder else 0}",
+                reason="lost-claim",
+            )
+        self.epoch = epoch
+
         if self.resume:
             self._staged = self.journal.prepare_resume(desc, len(self.plan), plan_fp)
         else:
@@ -210,7 +277,12 @@ class FabricCoordinator:
         self.telemetry.campaign_started(skipped=len(self._staged))
         self.dispatcher = LeaseDispatcher(
             self.scheduler,
-            LeaseStore(self.campaign_dir, ttl=self.lease_ttl, clock=self.clock),
+            LeaseStore(
+                self.campaign_dir,
+                ttl=self.lease_ttl,
+                clock=self.clock,
+                epoch=self.epoch,
+            ),
             WorkerRegistry(self.heartbeat, clock=self.clock),
             self.journal,
             telemetry=self.telemetry,
@@ -219,25 +291,63 @@ class FabricCoordinator:
         )
         if self.resume:
             self.dispatcher.restore()
+            # Restore may have learned a higher epoch from the ledger,
+            # but ours is the freshly claimed maximum by construction.
+            self.dispatcher.leases.epoch = self.epoch
+        # Fence the lease ledger at our epoch immediately: anything a
+        # deposed predecessor appends from here on replays as stale.
+        self.dispatcher.leases.fence()
         self.description_xml = description_to_xml(desc)
         self._scope_run = min((run.run_id for run in self.plan), default=0)
 
-        rpc = RpcServer("fabric-coordinator")
-        rpc.register_function(self._rpc_register, "register")
-        rpc.register_function(self._rpc_heartbeat, "heartbeat")
-        rpc.register_function(self._rpc_lease, "lease")
-        rpc.register_function(self._rpc_renew, "renew")
-        rpc.register_function(self._rpc_ack, "ack")
-        rpc.register_function(self._rpc_status, "status")
-        rpc.register_function(self._rpc_drain, "drain")
-        rpc.register_function(self._rpc_quarantine, "quarantine")
-        self._server = FleetServer(self.host, self.port, rpc).start()
+        self._renew_stop.clear()
+        self._renew_thread = threading.Thread(
+            target=self._renew_leadership_loop,
+            name=f"election-renew-{self.leader_id}",
+            daemon=True,
+        )
+        self._renew_thread.start()
+        self._server.start()
         return self
 
     def stop(self) -> None:
+        self._renew_stop.set()
+        if self._renew_thread is not None:
+            self._renew_thread.join(timeout=5.0)
+            self._renew_thread = None
         if self._server is not None:
             self._server.stop()
             self._server = None
+
+    # ------------------------------------------------------------------
+    # Leadership
+    # ------------------------------------------------------------------
+    @property
+    def deposed(self) -> Optional[str]:
+        """Why this coordinator stopped leading, or ``None`` while it
+        still holds the lease (``"deposed"``, ``"handoff"``)."""
+        return self._deposed_reason
+
+    def _mark_deposed(self, reason: str) -> None:
+        self._deposed_reason = self._deposed_reason or reason
+        self._renew_stop.set()
+
+    def _renew_leadership_loop(self) -> None:
+        """Heartbeat the leadership lease at ~TTL/3; a refused renewal
+        means a rival claimed a higher epoch — stop writing immediately."""
+        period = max(0.2, self.election_ttl / 3.0)
+        while not self._renew_stop.wait(period):
+            if not self.election.renew(self.epoch):
+                self._mark_deposed("deposed")
+                return
+
+    def _check_leadership(self) -> None:
+        if self._deposed_reason is not None:
+            raise LeadershipLost(
+                f"{self.leader_id} no longer leads (epoch {self.epoch}): "
+                f"{self._deposed_reason}",
+                reason=self._deposed_reason,
+            )
 
     def __enter__(self) -> "FabricCoordinator":
         return self.start()
@@ -248,8 +358,26 @@ class FabricCoordinator:
     # ------------------------------------------------------------------
     # RPC surface (every handler serializes under the dispatch lock)
     # ------------------------------------------------------------------
+    def _epoch_gate(self, epoch: int) -> bool:
+        """True when the caller's epoch is not ours (the call is
+        rejected).  A caller *behind* us is stale (it must re-register
+        and learn the current epoch); a caller *ahead* of us means a
+        rival claimed a higher epoch — we are the stale one and stop
+        leading on the spot.  ``epoch < 0`` marks a legacy caller and is
+        accepted for wire compatibility."""
+        if epoch < 0 or epoch == self.epoch:
+            return False
+        if epoch > self.epoch:
+            self._mark_deposed("deposed")
+        return True
+
     def _rpc_register(self, worker_id: str, capacity: int) -> str:
         with self._lock:
+            if self._deposed_reason is not None:
+                raise CampaignError(
+                    f"{self.leader_id} is not the leader ({self._deposed_reason}); "
+                    "re-resolve the coordinator",
+                )
             self.dispatcher.register(worker_id, capacity)
             # The worker executing the scope run must ship the conditioned
             # experiment scope — unless a previous session already staged
@@ -271,6 +399,9 @@ class FabricCoordinator:
                     "scope_run": self._scope_run if need_scope else None,
                     "lease_ttl": self.lease_ttl,
                     "batch_size": self.batch_size,
+                    "epoch": self.epoch,
+                    "leader_id": self.leader_id,
+                    "endpoint": self.address,
                 },
             )
 
@@ -278,10 +409,27 @@ class FabricCoordinator:
         with self._lock:
             return self.dispatcher.beat(worker_id)
 
-    def _rpc_lease(self, worker_id: str, want: int) -> str:
+    def _rpc_lease(self, worker_id: str, want: int, epoch: int = -1) -> str:
         with self._lock:
+            if self._deposed_reason is not None:
+                return json.dumps(
+                    {"lease_id": None, "runs": [], "done": False,
+                     "draining": False, "not_leader": True},
+                )
+            if self._epoch_gate(epoch):
+                return json.dumps(
+                    {"lease_id": None, "runs": [], "done": False,
+                     "draining": False, "stale_epoch": True,
+                     "epoch": self.epoch},
+                )
             self.dispatcher.sweep()
-            lease, batch = self.dispatcher.grant(worker_id, want)
+            if self._handoff_draining:
+                # Leadership is being handed off: in-flight batches drain,
+                # nothing new is granted; workers keep polling and will
+                # re-resolve to the successor.
+                lease, batch = None, []
+            else:
+                lease, batch = self.dispatcher.grant(worker_id, want)
             if lease is None:
                 return json.dumps(
                     {
@@ -316,8 +464,10 @@ class FabricCoordinator:
                 },
             )
 
-    def _rpc_renew(self, worker_id: str, lease_id: str) -> bool:
+    def _rpc_renew(self, worker_id: str, lease_id: str, epoch: int = -1) -> bool:
         with self._lock:
+            if self._deposed_reason is not None or self._epoch_gate(epoch):
+                return False
             return self.dispatcher.renew(worker_id, lease_id)
 
     def _rpc_ack(
@@ -328,8 +478,15 @@ class FabricCoordinator:
         ok: bool,
         payload_json: str,
         error: str,
+        epoch: int = -1,
     ) -> str:
         with self._lock:
+            if self._deposed_reason is not None:
+                return json.dumps({"status": "not_leader"})
+            if self._epoch_gate(epoch):
+                if self._deposed_reason is not None:
+                    return json.dumps({"status": "not_leader"})
+                return json.dumps({"status": "stale_epoch", "epoch": self.epoch})
             if not ok:
                 status = self.dispatcher.ack_failed(
                     worker_id,
@@ -345,15 +502,31 @@ class FabricCoordinator:
                 shard_rel = f"shards/fleet_{_worker_slug(worker_id)}.db"
                 with CoordinatorShard(self.campaign_dir / shard_rel) as shard:
                     shard.ingest(run_id, payload["tables"])
-                self.journal.record_run_complete(run_id, worker_id, None, shard_rel)
+                self.journal.record_run_complete(
+                    run_id,
+                    worker_id,
+                    None,
+                    shard_rel,
+                    epoch=self.epoch,
+                )
 
-            status = self.dispatcher.ack_completed(
-                worker_id,
-                lease_id,
-                run_id,
-                commit,
-                duration=float(payload.get("duration", 0.0)),
-            )
+            def fenced_commit() -> None:
+                # The durable write runs under the election flock with the
+                # epoch re-validated inside: a leader deposed mid-ack (a
+                # partition healed, a rival claimed) cannot commit.
+                self.election.fenced(self.epoch, commit)
+
+            try:
+                status = self.dispatcher.ack_completed(
+                    worker_id,
+                    lease_id,
+                    run_id,
+                    fenced_commit,
+                    duration=float(payload.get("duration", 0.0)),
+                )
+            except LeadershipLost:
+                self._mark_deposed("deposed")
+                return json.dumps({"status": "not_leader"})
             if status == "committed":
                 if payload.get("timed_out"):
                     self._timed_out.append(run_id)
@@ -373,7 +546,53 @@ class FabricCoordinator:
             status["staged"] = len(self.scheduler.done) + len(self._staged)
             status["finished"] = self.scheduler.finished
             status["failed_runs"] = sorted(self.scheduler.failed)
+            status["election"] = self.election.summary()
+            status["epoch"] = self.epoch
+            status["leader_id"] = self.leader_id
+            status["handoff_draining"] = self._handoff_draining
+            status["deposed"] = self._deposed_reason
             return json.dumps(status, sort_keys=True)
+
+    def _rpc_handoff(self, timeout: float = 30.0) -> str:
+        """Graceful leadership transfer: drain in-flight batches, then
+        release the lease so a standby claims the next epoch.
+
+        No lease is expired or revoked on this path — every in-flight
+        run settles through its original worker's acks before the
+        release — so a handoff re-leases exactly zero runs.
+        """
+        with self._lock:
+            if self._deposed_reason is not None:
+                return json.dumps(
+                    {"released": False, "reason": self._deposed_reason},
+                )
+            self._handoff_draining = True
+        deadline = time.monotonic() + float(timeout)
+        pending: List[str] = []
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._deposed_reason is not None:
+                    return json.dumps(
+                        {"released": False, "reason": self._deposed_reason},
+                    )
+                pending = [
+                    lease.lease_id
+                    for lease in self.dispatcher.leases.active()
+                    if lease.pending
+                ]
+            if not pending:
+                break
+            time.sleep(0.05)
+        else:
+            with self._lock:
+                self._handoff_draining = False
+            return json.dumps(
+                {"released": False, "reason": "drain timeout", "pending": pending},
+            )
+        with self._lock:
+            released = self.election.release(self.epoch, "handoff")
+            self._mark_deposed("handoff")
+            return json.dumps({"released": released, "epoch": self.epoch})
 
     def _rpc_drain(self, worker_id: str) -> bool:
         with self._lock:
@@ -414,6 +633,9 @@ class FabricCoordinator:
     # ------------------------------------------------------------------
     def finished(self) -> bool:
         with self._lock:
+            # A deposed leader must not keep sweeping: TTL expiries and
+            # lease closes are the successor's to write now.
+            self._check_leadership()
             self.dispatcher.sweep()
             return self.scheduler.finished
 
@@ -427,7 +649,9 @@ class FabricCoordinator:
 
         Raises :class:`CampaignError` (resumable state, like the local
         engine) when runs exhausted their attempt budgets or *timeout*
-        elapsed with the queue still busy.
+        elapsed with the queue still busy, and :class:`LeadershipLost`
+        when this coordinator was deposed or handed leadership off (the
+        successor finishes the campaign).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while not self.finished():
@@ -467,6 +691,10 @@ class FabricCoordinator:
             if not self._completed_recorded and not self.journal.finished():
                 self.journal.record_complete()
                 self._completed_recorded = True
+            # Leadership is no longer needed: release so watching
+            # standbys exit instead of waiting out the TTL.
+            self._renew_stop.set()
+            self.election.release(self.epoch, "complete")
         if db_path is not None:
             self.telemetry.merge_started(
                 len(self._staged) + len(self.scheduler.done),

@@ -143,9 +143,10 @@ class LeaseDispatcher:
         Returns ``"committed"`` or ``"duplicate"``.
         """
         self.registry.beat(worker_id)
-        if run_id in self.scheduler.done:
-            # Already settled (duplicate ack, retried RPC, or a re-leased
-            # run's second executor): acknowledge without committing.
+        if self._settled(run_id):
+            # Already settled (duplicate ack, retried RPC, a re-leased
+            # run's second executor, or a replayed ack of a run a
+            # previous session staged): acknowledge without committing.
             self.leases.ack(lease_id, run_id)
             return "duplicate"
         commit()
@@ -164,7 +165,7 @@ class LeaseDispatcher:
         ``"duplicate"``.
         """
         self.registry.beat(worker_id)
-        if run_id in self.scheduler.done:
+        if self._settled(run_id):
             self.leases.ack(lease_id, run_id)
             return "duplicate"
         if run_id not in self.scheduler.in_flight:
@@ -199,6 +200,14 @@ class LeaseDispatcher:
     def _attempts(self, lease_id: str, run_id: int) -> int:
         ticket = self._tickets.get(lease_id, {}).get(run_id)
         return ticket.attempts if ticket is not None else 1
+
+    def _settled(self, run_id: int) -> bool:
+        """A run is settled if this session committed it (``done``) or a
+        previous session's journaled commit staged it (``skipped``) —
+        both must dedupe incoming acks, or a worker replaying its
+        unacked buffer across a coordinator restart would double-commit
+        a run whose first commit landed just before the crash."""
+        return run_id in self.scheduler.done or run_id in self.scheduler.skipped
 
     # ------------------------------------------------------------------
     # Reclaiming
@@ -291,7 +300,7 @@ class LeaseDispatcher:
         for lease in self.leases.active():
             kept: Dict[int, RunTicket] = {}
             for run_id in lease.pending:
-                if run_id in self.scheduler.done:
+                if self._settled(run_id):
                     continue
                 ticket = self.scheduler.claim(run_id)
                 if ticket is not None:

@@ -13,6 +13,8 @@ campaign journal, holding four record shapes:
 ``ack``      one run of the lease resolved (completed or failed).
 ``close``    the lease ended: ``complete`` (all runs resolved),
              ``expired`` (TTL ran out), ``revoked`` (drain/quarantine).
+``epoch``    a fence: a freshly claimed coordinator marking its fencing
+             epoch as the ledger's floor before any organic append.
 
 Replaying the ledger reconstructs the exact active-lease set, which is
 what makes coordinator failover safe: a restarted coordinator honors
@@ -20,6 +22,14 @@ in-flight leases (their workers may still ack) instead of blindly
 re-dispatching, and the TTL sweep re-queues only batches whose workers
 went silent.  Close records are what makes re-leasing *exactly once* —
 revoking or expiring an already-closed lease is a no-op.
+
+Every record is stamped with the writing coordinator's **fencing
+epoch** (:mod:`repro.fabric.election`).  Epochs only grow, so a record
+carrying an epoch lower than one already seen was appended by a deposed
+leader that outlived its lease (partition, SIGSTOP) — :meth:`restore`
+skips such records (counted in :attr:`LeaseStore.fenced_records`),
+which is the replay-side half of the split-brain defense: a stale
+leader's stray appends can waste bytes, never corrupt lease state.
 
 Wall-clock timestamps are used deliberately: leases coordinate real
 processes, not simulated ones, and never influence run data (a lease
@@ -77,6 +87,7 @@ class LeaseStore:
         campaign_dir,
         ttl: float = 30.0,
         clock: Callable[[], float] = time.time,
+        epoch: int = 0,
     ) -> None:
         if ttl <= 0:
             raise CampaignError(f"lease ttl must be > 0, got {ttl}")
@@ -84,6 +95,10 @@ class LeaseStore:
         self.path = self.root / LEASES_NAME
         self.ttl = float(ttl)
         self.clock = clock
+        #: The writing coordinator's fencing epoch, stamped on appends.
+        self.epoch = int(epoch)
+        #: Stale-epoch records skipped by the last :meth:`restore`.
+        self.fenced_records = 0
         self._leases: Dict[str, Lease] = {}
         self._seq = 0
 
@@ -91,18 +106,40 @@ class LeaseStore:
     # Persistence
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
+        record.setdefault("epoch", self.epoch)
         self.root.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
 
+    def fence(self) -> None:
+        """Durably mark this store's epoch as the ledger's floor.
+
+        Written by a freshly claimed coordinator *before* any organic
+        append so that every record a deposed predecessor writes after
+        the takeover replays as stale.  Without it there is a window —
+        between the successor's claim and its first grant/renew — where
+        a stale leader's appends would carry the highest epoch in the
+        file and replay as legitimate.
+        """
+        self._append({"op": "epoch"})
+
     def restore(self) -> int:
-        """Replay the ledger (coordinator restart); returns active count."""
+        """Replay the ledger (coordinator restart); returns active count.
+
+        Records stamped with an epoch *below* the highest seen so far
+        were written by a deposed leader after its successor claimed the
+        lease — they are skipped (fencing by epoch comparison), and the
+        highest epoch seen becomes the floor for this store's own
+        :attr:`epoch` stamp.
+        """
         self._leases.clear()
         self._seq = 0
+        self.fenced_records = 0
         if not self.path.exists():
             return 0
+        max_epoch = 0
         with open(self.path, "r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -110,6 +147,11 @@ class LeaseStore:
                     continue
                 rec = json.loads(line)
                 op = rec["op"]
+                rec_epoch = int(rec.get("epoch", 0))
+                if rec_epoch < max_epoch:
+                    self.fenced_records += 1
+                    continue
+                max_epoch = rec_epoch
                 if op == "grant":
                     lease = Lease(
                         lease_id=rec["lease_id"],
@@ -133,6 +175,8 @@ class LeaseStore:
                     lease = self._leases.get(rec["lease_id"])
                     if lease is not None:
                         lease.closed = rec["reason"]
+        if max_epoch > self.epoch:
+            self.epoch = max_epoch
         return len(self.active())
 
     # ------------------------------------------------------------------
@@ -239,4 +283,6 @@ class LeaseStore:
             "granted": self._seq,
             "active": len(active),
             "leased_runs": sum(len(lease.pending) for lease in active),
+            "epoch": self.epoch,
+            "fenced_records": self.fenced_records,
         }

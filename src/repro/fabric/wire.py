@@ -23,17 +23,26 @@ worker.  That budget is what lets a fleet survive coordinator failover
 
 from __future__ import annotations
 
+import random as _random
 import socket
 import socketserver
 import struct
 import threading
 import time
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Set, Tuple
 
 from repro.core.errors import RpcError, RpcTimeout
 from repro.core.rpc import RetryPolicy, RpcServer, dump_request, load_response
 
-__all__ = ["FleetServer", "FleetChannel", "parse_address"]
+__all__ = [
+    "FleetServer",
+    "FleetChannel",
+    "PartitionGate",
+    "ReconnectBackoff",
+    "clear_partition_gate",
+    "install_partition_gate",
+    "parse_address",
+]
 
 _HEADER = struct.Struct(">I")
 #: Frames above this are rejected (a corrupt header must not OOM us).
@@ -46,6 +55,103 @@ def parse_address(address: str) -> Tuple[str, int]:
     if not host or not port.isdigit():
         raise RpcError(f"bad fabric address {address!r}; expected host:port")
     return host, int(port)
+
+
+class ReconnectBackoff:
+    """Decorrelated-jitter backoff for connection-level retries.
+
+    After a coordinator failover every worker in the fleet notices the
+    dead endpoint at the same instant; plain exponential backoff would
+    have them all reconnect in synchronized waves and thundering-herd
+    the new leader.  Decorrelated jitter (each delay drawn uniformly
+    from ``[base, 3 * previous]``, capped) de-phases the fleet while
+    keeping the schedule seeded and therefore reproducible.
+
+    Invariants (unit-tested): every delay lies in ``[base, cap]``, and
+    two instances with the same seed emit identical sequences.
+    """
+
+    def __init__(self, base: float = 0.05, cap: float = 2.0, seed: int = 0) -> None:
+        if base <= 0 or cap < base:
+            raise RpcError(
+                f"backoff requires 0 < base <= cap, got base={base} cap={cap}",
+            )
+        self.base = float(base)
+        self.cap = float(cap)
+        self.rng = _random.Random(seed)
+        self._prev = self.base
+
+    def next(self) -> float:
+        """The next delay in seconds (advances the jitter stream)."""
+        self._prev = min(self.cap, self.rng.uniform(self.base, self._prev * 3.0))
+        return self._prev
+
+    def reset(self) -> None:
+        """Back to the base delay (call after a successful reconnect)."""
+        self._prev = self.base
+
+
+class PartitionGate:
+    """Asymmetric link-drop rules between labeled fabric endpoints.
+
+    The fabric-level arm of the control-fault injector (DESIGN.md §16):
+    where :mod:`repro.faults.control` partitions the *simulated* control
+    plane, this gate partitions the *fabric* — between a leader and a
+    subset of its workers, or between coordinator peers.  Rules are
+    directional ``(src, dst)`` pairs matched against a channel's
+    ``label`` (source) and its target address (destination); ``"*"``
+    wildcards either side, so ``partition("*", leader_addr)`` isolates a
+    leader from everyone while ``partition("w1", leader_addr)`` cuts one
+    worker's uplink only (the asymmetric case: w1's calls are dropped,
+    everyone else's flow).
+
+    A blocked call surfaces to :class:`FleetChannel` exactly as a
+    dropped packet would — a connection error that rides the reconnect
+    budget — so partitioned peers exercise the same code path as real
+    network failures.  Install process-wide with
+    :func:`install_partition_gate` (tests, chaos drills).
+    """
+
+    def __init__(self) -> None:
+        self._blocked: Set[Tuple[str, str]] = set()
+        self._lock = threading.Lock()
+
+    def partition(self, src: str, dst: str, symmetric: bool = False) -> None:
+        with self._lock:
+            self._blocked.add((src, dst))
+            if symmetric:
+                self._blocked.add((dst, src))
+
+    def heal(self, src: Optional[str] = None, dst: Optional[str] = None) -> None:
+        """Lift rules matching *src*/*dst* (``None`` matches any)."""
+        with self._lock:
+            self._blocked = {
+                (s, d)
+                for (s, d) in self._blocked
+                if (src is not None and s != src) or (dst is not None and d != dst)
+            }
+
+    def blocked(self, src: Optional[str], dst: str) -> bool:
+        src = src or ""
+        with self._lock:
+            return any(
+                (s in ("*", src)) and (d in ("*", dst)) for s, d in self._blocked
+            )
+
+
+#: Process-wide gate consulted by every :class:`FleetChannel` call.
+_PARTITION_GATE: Optional[PartitionGate] = None
+
+
+def install_partition_gate(gate: PartitionGate) -> PartitionGate:
+    global _PARTITION_GATE
+    _PARTITION_GATE = gate
+    return gate
+
+
+def clear_partition_gate() -> None:
+    global _PARTITION_GATE
+    _PARTITION_GATE = None
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -121,7 +227,11 @@ class FleetServer:
         return self
 
     def stop(self) -> None:
-        self._server.shutdown()
+        # shutdown() waits on serve_forever's exit handshake; skip it if
+        # the serving thread never started (e.g. a lost leadership claim
+        # closing a bound-but-idle server).
+        if self._thread is not None:
+            self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -154,6 +264,15 @@ class FleetChannel:
         the coordinator-restart signature) may be retried for, regardless
         of the per-attempt budget.  Deadline misses stay bounded by
         ``retry.max_attempts`` like any other RPC.
+    backoff:
+        Delay schedule between connection-level retries; defaults to a
+        :class:`ReconnectBackoff` seeded from the channel *label* so a
+        reconnecting fleet de-phases deterministically instead of
+        thundering-herding a freshly promoted leader.
+    label:
+        Source identity for :class:`PartitionGate` matching (typically
+        the worker id); ``None`` opts out of partition rules with a
+        ``"*"``-source match only.
     """
 
     def __init__(
@@ -162,6 +281,8 @@ class FleetChannel:
         call_timeout: float = 10.0,
         retry: Optional[RetryPolicy] = None,
         reconnect_budget: float = 60.0,
+        backoff: Optional[ReconnectBackoff] = None,
+        label: Optional[str] = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
@@ -169,6 +290,10 @@ class FleetChannel:
         self.call_timeout = float(call_timeout)
         self.retry = retry or RetryPolicy(max_attempts=4, base_delay=0.1, max_delay=2.0)
         self.reconnect_budget = float(reconnect_budget)
+        self.label = label
+        self.backoff = backoff or ReconnectBackoff(
+            seed=hash(label) & 0xFFFFFFFF if label is not None else 0,
+        )
         self.clock = clock
         self.sleep = sleep
         self._sock: Optional[socket.socket] = None
@@ -176,7 +301,16 @@ class FleetChannel:
         self.retried_calls = 0
 
     # ------------------------------------------------------------------
+    @property
+    def address_str(self) -> str:
+        return "%s:%d" % self.address
+
     def _connect(self, deadline: float) -> socket.socket:
+        gate = _PARTITION_GATE
+        if gate is not None and gate.blocked(self.label, self.address_str):
+            raise ConnectionRefusedError(
+                f"fabric partition: {self.label or '?'} -> {self.address_str}",
+            )
         if self._sock is None:
             sock = socket.create_connection(self.address, timeout=deadline)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -230,8 +364,15 @@ class FleetChannel:
                         f"fabric rpc {method}: {self.address} unreachable for "
                         f"{self.reconnect_budget}s ({exc})",
                     ) from None
+                self.retried_calls += 1
+                # Connection-level failures are the whole-fleet-at-once
+                # signature (coordinator death/failover): decorrelated
+                # jitter de-phases the reconnect storm.
+                self.sleep(self.backoff.next())
+                continue
             else:
                 self.completed_calls += 1
+                self.backoff.reset()
                 return load_response(response)
             self.retried_calls += 1
             # Attempt index capped so the exponential backoff saturates at

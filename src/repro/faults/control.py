@@ -17,7 +17,10 @@ Keys
     ``hang`` — the node's NodeManager stops answering (requests
     swallowed); ``refuse`` — requests fail fast with a 503 transport
     fault; ``drop_request`` / ``drop_reply`` — lose ``count`` matching
-    messages; ``restore`` — lift a previous hang/refuse.
+    messages; ``partition`` — a standing (possibly asymmetric) network
+    cut: *every* message in the blocked ``direction`` is lost until a
+    ``heal`` lifts it; ``heal`` — lift a previous partition;
+    ``restore`` — lift a previous hang/refuse.
 ``at``
     Seconds after run preparation starts (kernel time) before the fault
     arms; default ``0``.
@@ -26,6 +29,10 @@ Keys
 ``method``, ``count``
     For the drop actions: RPC method filter (default any) and how many
     messages to lose (default 1).
+``direction``
+    For ``partition``/``heal``: ``request`` (master→node only),
+    ``reply`` (node→master only — the asymmetric halves) or ``both``
+    (default).
 ``max_attempt``
     Campaign-only: inject only while the run's attempt number is ≤ this
     (e.g. ``1`` = first attempt fails, the retry runs fault-free).
@@ -52,7 +59,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["VALID_ACTIONS", "ControlFaultPlan", "select_control_faults"]
 
-VALID_ACTIONS = ("hang", "refuse", "drop_request", "drop_reply", "restore")
+VALID_ACTIONS = (
+    "hang",
+    "refuse",
+    "drop_request",
+    "drop_reply",
+    "partition",
+    "heal",
+    "restore",
+)
+_DIRECTIONS = ("request", "reply", "both")
 
 
 def _normalize(entry: Dict[str, Any]) -> Dict[str, Any]:
@@ -68,6 +84,12 @@ def _normalize(entry: Dict[str, Any]) -> Dict[str, Any]:
     out.setdefault("run_id", None)
     out.setdefault("method", None)
     out.setdefault("count", 1)
+    out.setdefault("direction", "both")
+    if out["direction"] not in _DIRECTIONS:
+        raise PlatformError(
+            f"unknown partition direction {out['direction']!r}; "
+            f"choose from {_DIRECTIONS}",
+        )
     return out
 
 
@@ -118,21 +140,29 @@ class ControlFaultPlan:
         for entry in self.for_run(run_id):
             action = entry["action"]
             at = float(entry["at"])
-            if action in ("hang", "refuse"):
-                fn = partial(channel.set_node_down, entry["node"], action)
-            elif action == "restore":
-                fn = partial(channel.restore_node, entry["node"])
-            else:  # drop_request / drop_reply
-                fn = partial(
-                    channel.add_call_fault,
-                    entry["node"],
-                    action,
-                    entry["method"],
-                    int(entry["count"]),
-                )
-            if at > 0:
-                sim.call_later(at, fn)
-            else:
-                fn()
-            armed += 1
+            # partition/heal accept a node *list* so one entry can cut a
+            # whole subset of the fleet (the classic minority partition).
+            nodes = entry["node"] if isinstance(entry["node"], list) else [entry["node"]]
+            for node in nodes:
+                if action in ("hang", "refuse"):
+                    fn = partial(channel.set_node_down, node, action)
+                elif action == "restore":
+                    fn = partial(channel.restore_node, node)
+                elif action == "partition":
+                    fn = partial(channel.partition_node, node, entry["direction"])
+                elif action == "heal":
+                    fn = partial(channel.heal_partition, node, entry["direction"])
+                else:  # drop_request / drop_reply
+                    fn = partial(
+                        channel.add_call_fault,
+                        node,
+                        action,
+                        entry["method"],
+                        int(entry["count"]),
+                    )
+                if at > 0:
+                    sim.call_later(at, fn)
+                else:
+                    fn()
+                armed += 1
         return armed

@@ -1,0 +1,201 @@
+"""Property tests: the lease ledger under arbitrary failover chaos.
+
+Hypothesis drives a model of the fabric's settle path — grants, worker
+deaths (TTL expiry), leadership epoch bumps with a stale predecessor
+still appending, duplicate acks and stale-epoch acks — against the real
+:class:`repro.fabric.leases.LeaseStore` and the dispatcher's first-ack-
+wins dedupe rule.  Two invariants must hold for *every* interleaving:
+
+1. **Exactly-once commit.**  Each run's durable-commit callback fires at
+   most once during the chaos, and exactly once after the queue drains.
+2. **Replay determinism.**  Restoring a fresh store from any prefix of
+   the ledger file reconstructs exactly the lease state the legitimate
+   (current-epoch) store held when that prefix was the whole file —
+   stale leaders' appends are fenced out by epoch comparison.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.leases import LeaseStore
+
+RUNS = 8
+TTL = 30.0
+
+
+class Model:
+    """The coordinator-side settle model: store + first-ack-wins dedupe."""
+
+    def __init__(self, tmp_path):
+        self.root = tmp_path
+        self.now = [1000.0]
+        self.epoch = 1
+        self.store = LeaseStore(tmp_path, ttl=TTL, clock=self.clock, epoch=1)
+        self.store.fence()  # what FabricCoordinator.start does on claim
+        self.stale_store = None  # the deposed predecessor, if any
+        self.done = set()
+        self.commits = Counter()
+        self.queue = list(range(RUNS))
+        self.snapshots = []
+        self.snapshot()
+
+    def clock(self):
+        return self.now[0]
+
+    # -- canonical state + snapshotting --------------------------------
+    def state(self, store):
+        return {
+            lease.lease_id: (
+                lease.worker_id,
+                lease.run_ids,
+                tuple(sorted(lease.acked)),
+                lease.closed,
+            )
+            for lease in store._leases.values()
+        }
+
+    def lines(self):
+        if not self.store.path.exists():
+            return 0
+        with open(self.store.path, "r", encoding="utf-8") as fh:
+            return sum(1 for _ in fh)
+
+    def snapshot(self):
+        self.snapshots.append((self.lines(), self.epoch, self.state(self.store)))
+
+    # -- operations ----------------------------------------------------
+    def grant(self, worker):
+        batch = self.queue[:2]
+        if not batch:
+            return
+        del self.queue[:2]
+        self.store.grant(worker, batch)
+        self.snapshot()
+
+    def ack(self, run_id):
+        """First-ack-wins settle, mirroring LeaseDispatcher.ack_completed."""
+        for lease in self.store.active():
+            if run_id in lease.pending:
+                if run_id not in self.done:
+                    self.commits[run_id] += 1
+                    self.done.add(run_id)
+                self.store.ack(lease.lease_id, run_id)
+                self.snapshot()
+                return
+
+    def duplicate_ack(self, run_id):
+        """A retried/replayed ack of an already settled run."""
+        if run_id not in self.done:
+            return
+        for lease in self.store._leases.values():
+            if run_id in lease.run_ids:
+                if run_id in self.done:
+                    pass  # dedupe: commit callback NOT invoked
+                self.store.ack(lease.lease_id, run_id)
+                self.snapshot()
+                return
+
+    def worker_dies(self):
+        """Advance past the TTL; expire leases, requeue unsettled runs."""
+        self.now[0] += TTL + 1.0
+        for lease in self.store.expired():
+            closed = self.store.close(lease.lease_id, "expired")
+            if closed is not None and closed.closed == "expired":
+                for run_id in lease.pending:
+                    if run_id not in self.done:
+                        self.queue.append(run_id)
+        self.snapshot()
+
+    def epoch_bump(self):
+        """A rival coordinator takes over; we become the stale writer."""
+        self.stale_store = self.store
+        self.epoch += 1
+        successor = LeaseStore(self.root, ttl=TTL, clock=self.clock,
+                               epoch=self.epoch)
+        successor.restore()
+        successor.epoch = self.epoch
+        successor.fence()
+        self.store = successor
+        self.snapshot()
+
+    def stale_append(self, run_id):
+        """The deposed leader keeps acking/granting at its old epoch."""
+        if self.stale_store is None:
+            return
+        for lease in self.stale_store.active():
+            if run_id in lease.pending:
+                self.stale_store.ack(lease.lease_id, run_id)
+                return
+        # Nothing to ack: append a stale grant instead (also fenced).
+        self.stale_store.grant("ghost", [run_id])
+
+    def drain(self):
+        """Settle everything still outstanding under the current leader."""
+        guard = 0
+        while len(self.done) < RUNS and guard < 100:
+            guard += 1
+            outstanding = [
+                r for lease in self.store.active() for r in lease.pending
+            ]
+            for run_id in outstanding:
+                self.ack(run_id)
+            if self.queue:
+                self.grant("drainer")
+        assert guard < 100, "drain did not converge"
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("grant"), st.sampled_from(["w1", "w2", "w3"])),
+        st.tuples(st.just("ack"), st.integers(0, RUNS - 1)),
+        st.tuples(st.just("dup"), st.integers(0, RUNS - 1)),
+        st.tuples(st.just("die"), st.none()),
+        st.tuples(st.just("bump"), st.none()),
+        st.tuples(st.just("stale"), st.integers(0, RUNS - 1)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(ops=ops)
+@settings(max_examples=60, deadline=None)
+def test_exactly_once_commits_and_prefix_replay(ops, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("ledger")
+    model = Model(tmp_path)
+    dispatch = {
+        "grant": model.grant,
+        "ack": model.ack,
+        "dup": model.duplicate_ack,
+        "die": lambda _=None: model.worker_dies(),
+        "bump": lambda _=None: model.epoch_bump(),
+        "stale": model.stale_append,
+    }
+    for name, arg in ops:
+        dispatch[name](arg) if arg is not None else dispatch[name]()
+        # Invariant 1, continuously: no run ever commits twice.
+        assert all(count == 1 for count in model.commits.values())
+
+    model.drain()
+    # Invariant 1, terminally: every run committed exactly once.
+    assert model.commits == Counter({run: 1 for run in range(RUNS)})
+
+    # Invariant 2: replaying any prefix of the ledger reconstructs the
+    # exact state the legitimate store held at that point.
+    with open(model.store.path, "r", encoding="utf-8") as fh:
+        all_lines = fh.readlines()
+    replay_root = tmp_path_factory.mktemp("replay")
+    for i, (line_count, epoch, expected) in enumerate(model.snapshots):
+        prefix_dir = replay_root / f"p{i}"
+        prefix_dir.mkdir()
+        (prefix_dir / "leases.jsonl").write_text(
+            "".join(all_lines[:line_count]), encoding="utf-8",
+        )
+        replayed = LeaseStore(prefix_dir, ttl=TTL, clock=model.clock)
+        replayed.restore()
+        assert replayed.epoch == epoch
+        assert model.state(replayed) == expected, (
+            f"prefix of {line_count} lines diverged at epoch {epoch}"
+        )

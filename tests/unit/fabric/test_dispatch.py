@@ -206,3 +206,47 @@ def test_restore_reclaims_pending_runs_and_grace_renews(tmp_path):
     assert restored.sweep()["expired"] == []
     # ... and the original worker's ack still lands as the first ack.
     assert restored.ack_completed("w1", lease.lease_id, 1, lambda: None) == "committed"
+
+
+def test_replayed_ack_of_staged_run_deduplicates(tmp_path):
+    """A worker replaying its unacked buffer across a coordinator restart
+    may re-send a run whose commit landed (and was staged) just before
+    the crash: the new session must answer ``duplicate`` — not commit
+    again, and not corrupt the scheduler's pending accounting."""
+    clock = FakeClock()
+    plan = _plan(4)
+    journal = CampaignJournal(tmp_path)
+    journal.record_start("fp", 42, len(plan), plan.fingerprint())
+    # Session 1 granted L000001 for runs (0, 1) and committed run 0.
+    old = LeaseStore(tmp_path, ttl=30.0, clock=clock)
+    old_lease = old.grant("w1", [0, 1])
+    # Session 2: run 0 arrives staged (journal replay), not via `done`.
+    scheduler = CampaignScheduler(plan, completed=[0], jobs=1, max_parallel=0)
+    heartbeat = HeartbeatConfig(
+        interval=1.0, suspect_after=2, dead_after=4, quarantine_after=2,
+    )
+    dispatcher = LeaseDispatcher(
+        scheduler,
+        LeaseStore(tmp_path, ttl=30.0, clock=clock),
+        WorkerRegistry(heartbeat, clock=clock),
+        journal,
+        batch_size=2,
+        clock=clock,
+    )
+    dispatcher.restore()
+    pending_before = scheduler.pending
+    commits = []
+    status = dispatcher.ack_completed(
+        "w1", old_lease.lease_id, 0, lambda: commits.append(0),
+    )
+    assert status == "duplicate"
+    assert commits == []
+    assert scheduler.pending == pending_before
+    assert dispatcher.ack_failed("w1", old_lease.lease_id, 0, "late") == "duplicate"
+    # Run 1 is still honorably in flight under the restored lease.
+    assert 1 in scheduler.in_flight
+    assert (
+        dispatcher.ack_completed("w1", old_lease.lease_id, 1, lambda: commits.append(1))
+        == "committed"
+    )
+    assert commits == [1]

@@ -150,3 +150,101 @@ def test_payload_codec_roundtrips_bytes_and_floats():
 def test_payload_codec_rejects_unshippable_values():
     with pytest.raises(TypeError):
         encode_payload({"bad": object()})
+
+
+# ----------------------------------------------------------------------
+# Decorrelated-jitter reconnect backoff
+# ----------------------------------------------------------------------
+def test_backoff_every_delay_within_bounds():
+    from repro.fabric.wire import ReconnectBackoff
+
+    backoff = ReconnectBackoff(base=0.05, cap=2.0, seed=7)
+    delays = [backoff.next() for _ in range(500)]
+    assert all(0.05 <= d <= 2.0 for d in delays)
+    # The jitter actually spreads (not a constant schedule) and reaches
+    # the cap region under sustained failure.
+    assert len({round(d, 6) for d in delays}) > 100
+    assert max(delays) > 1.0
+
+
+def test_backoff_seeded_determinism_and_decorrelation():
+    from repro.fabric.wire import ReconnectBackoff
+
+    a_gen, b_gen, c_gen = (
+        ReconnectBackoff(seed=42),
+        ReconnectBackoff(seed=42),
+        ReconnectBackoff(seed=43),
+    )
+    a = [a_gen.next() for _ in range(50)]
+    b = [b_gen.next() for _ in range(50)]
+    c = [c_gen.next() for _ in range(50)]
+    assert a == b  # same seed, same schedule — reproducible chaos drills
+    assert a != c  # different workers de-phase
+
+
+def test_backoff_reset_returns_to_base():
+    from repro.fabric.wire import ReconnectBackoff
+
+    backoff = ReconnectBackoff(base=0.1, cap=5.0, seed=1)
+    for _ in range(20):
+        backoff.next()
+    backoff.reset()
+    # First post-reset delay is drawn from [base, 3*base].
+    assert 0.1 <= backoff.next() <= 0.3
+
+
+def test_backoff_rejects_bad_bounds():
+    from repro.fabric.wire import ReconnectBackoff
+
+    with pytest.raises(RpcError):
+        ReconnectBackoff(base=0.0)
+    with pytest.raises(RpcError):
+        ReconnectBackoff(base=1.0, cap=0.5)
+
+
+# ----------------------------------------------------------------------
+# Partition gate
+# ----------------------------------------------------------------------
+def test_partition_gate_directional_and_wildcards():
+    from repro.fabric.wire import PartitionGate
+
+    gate = PartitionGate()
+    gate.partition("w1", "10.0.0.1:9")
+    assert gate.blocked("w1", "10.0.0.1:9")
+    assert not gate.blocked("w2", "10.0.0.1:9")  # asymmetric: only w1 cut
+    assert not gate.blocked("w1", "10.0.0.2:9")
+    gate.partition("*", "10.0.0.9:9")
+    assert gate.blocked("anyone", "10.0.0.9:9")
+    gate.heal(dst="10.0.0.9:9")
+    assert not gate.blocked("anyone", "10.0.0.9:9")
+    assert gate.blocked("w1", "10.0.0.1:9")  # unrelated rule survives
+    gate.heal()
+    assert not gate.blocked("w1", "10.0.0.1:9")
+
+
+def test_partition_gate_blocks_channel_and_heals(tmp_path):
+    from repro.fabric.wire import (
+        PartitionGate,
+        clear_partition_gate,
+        install_partition_gate,
+    )
+
+    with _server({"echo": lambda x: x}) as server:
+        address = "%s:%d" % server.address
+        gate = install_partition_gate(PartitionGate())
+        try:
+            gate.partition("w1", address)
+            cut = FleetChannel(
+                address, label="w1", call_timeout=1.0,
+                reconnect_budget=0.2, sleep=lambda s: None,
+            )
+            with pytest.raises(RpcError):
+                cut.call("echo", 1)
+            # Another worker's traffic flows: the cut is per-source.
+            with FleetChannel(address, label="w2") as open_channel:
+                assert open_channel.call("echo", 2) == 2
+            gate.heal(src="w1")
+            assert cut.call("echo", 3) == 3
+            cut.close()
+        finally:
+            clear_partition_gate()

@@ -1,18 +1,26 @@
 #!/usr/bin/env python
-"""Fleet chaos drill: the CI-facing version of the fabric failover test.
+"""Fleet chaos drill: the CI-facing version of the fabric failover tests.
 
 Orchestrates real processes over localhost — exactly what
-``tests/integration/test_fleet_fabric.py`` does with in-process threads,
-but with the OS in the loop:
+``tests/integration/test_fleet_fabric.py`` and ``test_fleet_failover.py``
+do with in-process threads, but with the OS in the loop.  Three
+scenarios (``--scenario``):
 
-1. run the reference campaign locally (``repro campaign --jobs 2``),
-2. serve the same plan over a 3-worker fabric (``repro fabric serve`` +
-   3x ``repro fabric worker``),
-3. SIGKILL one worker mid-batch, then SIGKILL the coordinator itself and
-   restart it with ``--resume``,
-4. assert the merged fleet database's digest is byte-identical to the
-   local run's, and that the journal actually recorded the failover
-   (two coordinator sessions, the dead worker's lease expired).
+``kill-worker`` (default)
+    SIGKILL one worker mid-batch, then SIGKILL the coordinator itself
+    and restart it with ``--resume``; assert the merged digest is
+    byte-identical to the local reference and the journal recorded the
+    failover (two sessions, the dead worker's lease expired).
+``kill-leader-with-standby``
+    SIGKILL the leader mid-batch with a hot standby watching the
+    election ledger; assert the standby claims the next epoch within
+    the leadership-lease TTL, workers re-resolve through their seed
+    lists, and the digest matches with exactly-once commits.
+``partition-heal``
+    SIGSTOP the leader (a partition: the process is alive but silent)
+    until a standby takes over, then SIGCONT it; assert the healed
+    stale leader is fenced out (exits 3, deposed), and the digest
+    matches with exactly-once commits.
 
 Prints ``DIGEST-MATCH`` and ``FAILOVER-OK`` markers for the CI job to
 grep; exits non-zero on any divergence.  Stdlib only.
@@ -22,6 +30,7 @@ import argparse
 import json
 import os
 import shutil
+import signal
 import socket
 import subprocess
 import sys
@@ -30,6 +39,8 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
+
+ELECTION_TTL = 3.0
 
 
 def repro_env():
@@ -92,6 +103,8 @@ def holds_pending_lease(ledger_path, worker_id):
         if not line.strip():
             continue
         rec = json.loads(line)
+        if rec["op"] == "epoch":
+            continue
         lease_id = rec["lease_id"]
         if rec["op"] == "grant":
             pending[lease_id] = set(rec["run_ids"])
@@ -115,8 +128,260 @@ def write_description(path, replications, seed):
     path.write_text(description_to_xml(desc), encoding="utf-8")
 
 
+def journal_checks(work, replications, failures):
+    """Shared exactly-once assertions on the fleet campaign journal."""
+    from repro.campaign.journal import CampaignJournal
+
+    journal = CampaignJournal(work / "fleet.campaign")
+    completions = [e for e in journal.entries() if e["type"] == "run_complete"]
+    run_ids = [e["run_id"] for e in completions]
+    print(
+        f"[drill] journal: sessions={journal.session_count()} "
+        f"run_complete={len(completions)} finished={journal.finished()}"
+    )
+    if len(run_ids) != len(set(run_ids)):
+        failures.append("a run has more than one run_complete entry "
+                        "(double commit)")
+    if len(set(run_ids)) != replications:
+        failures.append(f"journal completed {len(set(run_ids))} distinct runs, "
+                        f"expected {replications}")
+    if not journal.finished():
+        failures.append("journal never recorded campaign_complete")
+    return journal, completions
+
+
+def wait_first_commit(address, deadline):
+    """Block until the coordinator at *address* settled ≥1 run."""
+    while True:
+        if time.monotonic() > deadline:
+            raise RuntimeError("drill timed out waiting for first completed run")
+        status = fleet_status(address)
+        if status and status["scheduler"]["done"] >= 1:
+            if status["finished"]:
+                raise RuntimeError(
+                    "campaign finished before the drill could inject faults; "
+                    "raise --replications"
+                )
+            return status
+        time.sleep(0.05)
+
+
+def wait_takeover(work, killed_at, budget, failures):
+    """Wait for a claim at epoch 2; enforce the lease-TTL takeover bound."""
+    from repro.fabric.election import ElectionLedger
+
+    ledger = ElectionLedger(work / "fleet.campaign", ttl=ELECTION_TTL)
+    deadline = killed_at + budget
+    while time.monotonic() < deadline:
+        record = ledger.leader()
+        if record is not None and record.epoch >= 2:
+            took = time.monotonic() - killed_at
+            print(f"[drill] takeover: {record.leader_id} claimed epoch "
+                  f"{record.epoch} after {took:.1f}s")
+            if took > ELECTION_TTL + 3.0:
+                failures.append(
+                    f"takeover took {took:.1f}s, beyond the {ELECTION_TTL:g}s "
+                    "leadership-lease TTL (+3s promotion slack)"
+                )
+            return record
+        time.sleep(0.05)
+    failures.append("no standby claimed the lapsed leadership lease")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def scenario_kill_worker(args, work, xml, ref, procs, deadline):
+    port = free_port()
+    address = f"127.0.0.1:{port}"
+    serve_args = [
+        "fabric", "serve", xml, "--bind", address,
+        "--dir", work / "fleet.campaign", "--db", work / "fleet.db",
+        "--batch-size", args.batch_size, "--lease-ttl", args.lease_ttl,
+        "--linger", "5",
+    ]
+    print(f"[drill] coordinator on {address}, 3 workers")
+    coordinator = spawn(serve_args, work / "coordinator-1.log")
+    procs.append(coordinator)
+    workers = {}
+    for i in range(3):
+        workers[f"w{i}"] = spawn(
+            [
+                "fabric", "worker", address, "--id", f"w{i}",
+                "--workdir", work / f"w{i}", "--poll", "0.2",
+                "--reconnect-budget", "120", "--quiet",
+            ],
+            work / f"worker-w{i}.log",
+        )
+    procs.extend(workers.values())
+
+    # Kill w0 while the lease ledger shows it mid-batch, so its open
+    # lease is left behind for TTL expiry to reclaim.
+    ledger = work / "fleet.campaign" / "leases.jsonl"
+    while not holds_pending_lease(ledger, "w0"):
+        if time.monotonic() > deadline:
+            raise RuntimeError("drill timed out waiting for w0 to hold a batch")
+        time.sleep(0.02)
+    print("[drill] SIGKILL worker w0 mid-batch")
+    workers["w0"].kill()
+    workers["w0"].wait()
+
+    status = wait_first_commit(address, deadline)
+    done = status["scheduler"]["done"]
+    print(f"[drill] SIGKILL coordinator after {done} completed run(s)")
+    coordinator.kill()
+    coordinator.wait()
+
+    print("[drill] restarting coordinator with --resume on the same port")
+    coordinator = spawn(serve_args + ["--resume"], work / "coordinator-2.log")
+    procs.append(coordinator)
+    rc = coordinator.wait(timeout=max(10.0, deadline - time.monotonic()))
+    if rc != 0:
+        sys.stdout.write((work / "coordinator-2.log").read_text())
+        raise RuntimeError(f"resumed coordinator exited with {rc}")
+    for worker_id in ("w1", "w2"):
+        try:
+            workers[worker_id].wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            workers[worker_id].terminate()
+
+    failures = []
+    journal, _ = journal_checks(work, args.replications, failures)
+    if journal.session_count() < 2:
+        failures.append("coordinator restart did not journal a second session")
+    expiries = [e for e in journal.entries() if e["type"] == "lease_expired"]
+    if not any(e["worker_id"] == "w0" for e in expiries):
+        failures.append("the killed worker's lease never expired")
+    return failures
+
+
+def _spawn_fleet_with_standby(args, work, xml, procs, deadline):
+    """Leader + hot standby + 2 seed-listed workers; returns the procs."""
+    leader_port, standby_port = free_port(), free_port()
+    leader_addr = f"127.0.0.1:{leader_port}"
+    standby_addr = f"127.0.0.1:{standby_port}"
+    seeds = f"{leader_addr},{standby_addr}"
+    common = [
+        "--dir", work / "fleet.campaign", "--db", work / "fleet.db",
+        "--batch-size", args.batch_size, "--lease-ttl", args.lease_ttl,
+        "--election-ttl", ELECTION_TTL, "--linger", "5",
+    ]
+    print(f"[drill] leader on {leader_addr}, standby on {standby_addr}")
+    leader = spawn(
+        ["fabric", "serve", xml, "--bind", leader_addr,
+         "--leader-id", "leader-1", *common],
+        work / "leader.log",
+    )
+    procs.append(leader)
+    # The standby spawns only once the leader serves: a standby watching
+    # an unclaimed ledger would bootstrap leadership itself.
+    while fleet_status(leader_addr) is None:
+        if time.monotonic() > deadline:
+            raise RuntimeError("drill timed out waiting for the leader to serve")
+        time.sleep(0.1)
+    standby = spawn(
+        ["fabric", "serve", xml, "--bind", standby_addr, "--standby",
+         "--leader-id", "standby-1", *common],
+        work / "standby.log",
+    )
+    procs.append(standby)
+    workers = []
+    for i in range(2):
+        worker = spawn(
+            [
+                "fabric", "worker", seeds, "--id", f"w{i}",
+                "--workdir", work / f"w{i}", "--poll", "0.2",
+                "--call-timeout", "5", "--reconnect-budget", "20", "--quiet",
+            ],
+            work / f"worker-w{i}.log",
+        )
+        workers.append(worker)
+    procs.extend(workers)
+    return leader, standby, workers, leader_addr
+
+
+def _settle_standby_fleet(standby, workers, deadline):
+    rc = standby.wait(timeout=max(10.0, deadline - time.monotonic()))
+    if rc != 0:
+        raise RuntimeError(f"promoted standby exited with {rc}")
+    for worker in workers:
+        try:
+            worker.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            worker.terminate()
+
+
+def scenario_kill_leader(args, work, xml, ref, procs, deadline):
+    leader, standby, workers, leader_addr = _spawn_fleet_with_standby(
+        args, work, xml, procs, deadline,
+    )
+    wait_first_commit(leader_addr, deadline)
+    ledger = work / "fleet.campaign" / "leases.jsonl"
+    while not (holds_pending_lease(ledger, "w0") or holds_pending_lease(ledger, "w1")):
+        if time.monotonic() > deadline:
+            raise RuntimeError("drill timed out waiting for a mid-batch lease")
+        time.sleep(0.02)
+    print("[drill] SIGKILL leader mid-batch (standby watching)")
+    leader.kill()
+    leader.wait()
+    killed_at = time.monotonic()
+
+    failures = []
+    record = wait_takeover(work, killed_at, ELECTION_TTL + 10.0, failures)
+    if record is not None and record.leader_id != "standby-1":
+        failures.append(f"unexpected epoch-2 leader {record.leader_id!r}")
+    _settle_standby_fleet(standby, workers, deadline)
+    _, completions = journal_checks(work, args.replications, failures)
+    if 2 not in {e.get("epoch") for e in completions}:
+        failures.append("no run was committed under the successor's epoch")
+    return failures
+
+
+def scenario_partition_heal(args, work, xml, ref, procs, deadline):
+    leader, standby, workers, leader_addr = _spawn_fleet_with_standby(
+        args, work, xml, procs, deadline,
+    )
+    wait_first_commit(leader_addr, deadline)
+    print("[drill] SIGSTOP leader (partition: alive but silent)")
+    os.kill(leader.pid, signal.SIGSTOP)
+    stopped_at = time.monotonic()
+
+    failures = []
+    record = wait_takeover(work, stopped_at, ELECTION_TTL + 10.0, failures)
+    if record is not None and record.leader_id != "standby-1":
+        failures.append(f"unexpected epoch-2 leader {record.leader_id!r}")
+    print("[drill] SIGCONT leader (partition heals; stale leader wakes)")
+    os.kill(leader.pid, signal.SIGCONT)
+    try:
+        leader_rc = leader.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:
+        leader.terminate()
+        failures.append("healed stale leader did not exit on deposition")
+        leader_rc = None
+    if leader_rc is not None and leader_rc != 3:
+        failures.append(
+            f"healed stale leader exited {leader_rc}, expected 3 (deposed)"
+        )
+    _settle_standby_fleet(standby, workers, deadline)
+    journal_checks(work, args.replications, failures)
+    leader_log = (work / "leader.log").read_text(encoding="utf-8")
+    if "stopped leading" not in leader_log:
+        failures.append("stale leader never reported its deposition")
+    return failures
+
+
+SCENARIOS = {
+    "kill-worker": scenario_kill_worker,
+    "kill-leader-with-standby": scenario_kill_leader,
+    "partition-heal": scenario_partition_heal,
+}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="kill-worker")
     parser.add_argument("--replications", type=int, default=12)
     parser.add_argument("--seed", type=int, default=31)
     parser.add_argument("--workdir", type=Path, default=Path("fleet-drill"))
@@ -133,6 +398,7 @@ def main():
     xml = work / "exp.xml"
     write_description(xml, args.replications, args.seed)
 
+    print(f"[drill] scenario: {args.scenario}")
     print(f"[drill] local reference campaign ({args.replications} runs)")
     repro(
         "campaign", xml, "--jobs", "2", "--pool", "thread",
@@ -141,76 +407,10 @@ def main():
     ref = digest(work / "local.db")
     print(f"[drill] local digest:  {ref}")
 
-    port = free_port()
-    address = f"127.0.0.1:{port}"
-    serve_args = [
-        "fabric", "serve", xml, "--bind", address,
-        "--dir", work / "fleet.campaign", "--db", work / "fleet.db",
-        "--batch-size", args.batch_size, "--lease-ttl", args.lease_ttl,
-        "--linger", "5",
-    ]
     deadline = time.monotonic() + args.timeout
     procs = []
     try:
-        print(f"[drill] coordinator on {address}, 3 workers")
-        coordinator = spawn(serve_args, work / "coordinator-1.log")
-        procs.append(coordinator)
-        workers = {}
-        for i in range(3):
-            workers[f"w{i}"] = spawn(
-                [
-                    "fabric", "worker", address, "--id", f"w{i}",
-                    "--workdir", work / f"w{i}", "--poll", "0.2",
-                    "--reconnect-budget", "120", "--quiet",
-                ],
-                work / f"worker-w{i}.log",
-            )
-        procs.extend(workers.values())
-
-        # Kill w0 while the lease ledger shows it mid-batch, so its open
-        # lease is left behind for TTL expiry to reclaim.
-        ledger = work / "fleet.campaign" / "leases.jsonl"
-        while not holds_pending_lease(ledger, "w0"):
-            if time.monotonic() > deadline:
-                raise RuntimeError("drill timed out waiting for w0 to hold a batch")
-            time.sleep(0.02)
-        print("[drill] SIGKILL worker w0 mid-batch")
-        workers["w0"].kill()
-        workers["w0"].wait()
-
-        # Then kill the coordinator itself once at least one run has
-        # committed (so the resume actually has prior work to honor).
-        while True:
-            if time.monotonic() > deadline:
-                raise RuntimeError("drill timed out waiting for first completed run")
-            status = fleet_status(address)
-            if status and status["scheduler"]["done"] >= 1:
-                if status["finished"]:
-                    raise RuntimeError(
-                        "campaign finished before the drill could inject faults; "
-                        "raise --replications"
-                    )
-                break
-            time.sleep(0.05)
-        done = status["scheduler"]["done"]
-        print(f"[drill] SIGKILL coordinator after {done} completed run(s)")
-        coordinator.kill()
-        coordinator.wait()
-
-        print("[drill] restarting coordinator with --resume on the same port")
-        coordinator = spawn(
-            serve_args + ["--resume"], work / "coordinator-2.log"
-        )
-        procs.append(coordinator)
-        rc = coordinator.wait(timeout=max(10.0, deadline - time.monotonic()))
-        if rc != 0:
-            sys.stdout.write((work / "coordinator-2.log").read_text())
-            raise RuntimeError(f"resumed coordinator exited with {rc}")
-        for worker_id in ("w1", "w2"):
-            try:
-                workers[worker_id].wait(timeout=30.0)
-            except subprocess.TimeoutExpired:
-                workers[worker_id].terminate()
+        failures = SCENARIOS[args.scenario](args, work, xml, ref, procs, deadline)
     finally:
         for proc in procs:
             if proc.poll() is None:
@@ -218,27 +418,9 @@ def main():
 
     flt = digest(work / "fleet.db")
     print(f"[drill] fleet digest:  {flt}")
-
-    from repro.campaign.journal import CampaignJournal
-
-    journal = CampaignJournal(work / "fleet.campaign")
-    sessions = journal.session_count()
-    expiries = [e for e in journal.entries() if e["type"] == "lease_expired"]
-    completed = len(journal.completed())
-    print(
-        f"[drill] journal: sessions={sessions} lease_expired={len(expiries)} "
-        f"completed_runs={completed}"
-    )
-    failures = []
     if flt != ref:
         failures.append("merged fleet digest diverged from the local campaign")
-    if sessions < 2:
-        failures.append("coordinator restart did not journal a second session")
-    if not any(e["worker_id"] == "w0" for e in expiries):
-        failures.append("the killed worker's lease never expired")
-    if completed != args.replications:
-        failures.append(f"journal has {completed} completed runs, "
-                        f"expected {args.replications}")
+
     if failures:
         for failure in failures:
             print(f"[drill] FAIL: {failure}")
