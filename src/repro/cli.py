@@ -64,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the level-3 SQLite package here")
     p_run.add_argument("--resume", action="store_true",
                        help="resume an aborted execution in --store")
-    p_run.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
+    p_run.add_argument("--protocol", choices=("mdns", "slp", "hybrid", "registry"),
                        default="mdns", help="SD protocol agents (default mdns)")
     p_run.add_argument("--topology", default="mesh",
                        choices=("mesh", "grid", "line", "full"),
@@ -125,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "level-2 data and re-execute runs whose dropped-"
                              "record fraction exceeds FRACTION (0 re-queues on "
                              "any loss)")
-    p_camp.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
+    p_camp.add_argument("--protocol", choices=("mdns", "slp", "hybrid", "registry"),
                         default="mdns", help="SD protocol agents (default mdns)")
     p_camp.add_argument("--topology", default="mesh",
                         choices=("mesh", "grid", "line", "full"),
@@ -180,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     f_serve.add_argument("--chaos-json", type=Path, default=None,
                          metavar="FILE",
                          help="JSON list of control-plane fault entries")
-    f_serve.add_argument("--protocol", choices=("mdns", "slp", "hybrid"),
+    f_serve.add_argument("--protocol", choices=("mdns", "slp", "hybrid", "registry"),
                          default="mdns",
                          help="SD protocol agents (default mdns)")
     f_serve.add_argument("--topology", default="mesh",

@@ -104,8 +104,11 @@ def default_registry() -> ActionRegistry:
     reg.register(ActionSpec(
         "sd_init", node,
         doc="Mandatory action to allow participation of a node in the SD. "
-            "Parameter 'role': scm, su, sm (or su+sm).",
-        emits=("sd_init_done", "scm_started", "scm_found"),
+            "Parameter 'role': scm, su, sm (or su+sm); the registry "
+            "family adds 'broker' and a 'replicas' count activating a "
+            "prefix of the configured registry nodes.",
+        emits=("sd_init_done", "scm_started", "scm_found", "sd_subscribed",
+               "scm_gossip_sync"),
     ))
     reg.register(ActionSpec(
         "sd_exit", node,
@@ -116,7 +119,8 @@ def default_registry() -> ActionRegistry:
     reg.register(ActionSpec(
         "sd_start_search", node,
         doc="Initiates a continuous SD process for a given service type.",
-        emits=("sd_start_search", "sd_service_add", "sd_service_del"),
+        emits=("sd_start_search", "sd_service_add", "sd_service_del",
+               "sd_subscribed"),
     ))
     reg.register(ActionSpec(
         "sd_stop_search", node,
@@ -126,7 +130,8 @@ def default_registry() -> ActionRegistry:
     reg.register(ActionSpec(
         "sd_start_publish", node,
         doc="Starts publishing an instance of a given service type.",
-        emits=("sd_start_publish", "scm_registration_add"),
+        emits=("sd_start_publish", "scm_registration_add",
+               "scm_registration_upd"),
     ))
     reg.register(ActionSpec(
         "sd_stop_publish", node,
@@ -184,6 +189,31 @@ def default_registry() -> ActionRegistry:
         "env_drop_all_stop", env,
         doc="Lift the drop-all manipulation.",
         emits=("env_drop_all_stopped",),
+    ))
+    reg.register(ActionSpec(
+        "env_churn_start", env,
+        doc="Seeded node churn (registry family).  Parameters: nodes "
+            "(victim pool selector), mode (leave|crash), interval (mean "
+            "seconds between events), downtime, random_seed, rejoin_role, "
+            "replicas, republish.",
+        emits=("env_churn_started", "env_churn_event"),
+    ))
+    reg.register(ActionSpec(
+        "env_churn_stop", env,
+        doc="Stop the churn schedule.",
+        emits=("env_churn_stopped",),
+    ))
+    reg.register(ActionSpec(
+        "env_population_start", env,
+        doc="Client-population query load (registry family).  Parameters: "
+            "users, per_user_qps, nodes (targets), dst_port, service_type, "
+            "packet_size, choice (source pool).",
+        emits=("env_population_started",),
+    ))
+    reg.register(ActionSpec(
+        "env_population_stop", env,
+        doc="Stop the population query load.",
+        emits=("env_population_stopped",),
     ))
     reg.register(ActionSpec(
         "generic", node,

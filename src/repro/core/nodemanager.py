@@ -27,7 +27,7 @@ from repro.core.events import ExEvent
 from repro.core.rpc import RpcServer
 from repro.faults.controller import FAULT_KINDS, FaultController
 from repro.faults.injectors import DropExperimentFilter
-from repro.net.traffic import TrafficFlow
+from repro.net.traffic import TRAFFIC_PORT, TrafficFlow
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.rpc import ControlChannel
@@ -359,6 +359,8 @@ class NodeManager:
                 rate_kbps=float(spec["rate_kbps"]),
                 rng=rng,
                 packet_size=int(spec.get("packet_size", 512)),
+                dst_port=int(spec.get("dst_port", TRAFFIC_PORT)),
+                payload_base=spec.get("payload"),
             )
             flow.start()
             self._flows.append(flow)

@@ -110,6 +110,24 @@ SPECIAL_PARAM_DEFS: Dict[str, ParamDef] = {
             "Idle time between consecutive runs, seconds.",
         ),
         ParamDef(
+            "sd_registry_nodes", str, "",
+            "Registry family: whitespace/comma separated abstract or "
+            "platform node ids hosting registry replicas, in replica "
+            "order (the 'replicas' sd_init parameter activates a "
+            "prefix of this list).",
+        ),
+        ParamDef(
+            "sd_broker_nodes", str, "",
+            "Registry family: node ids (abstract or platform) hosting "
+            "broker relays for the 'broker' dissemination mode.",
+        ),
+        ParamDef(
+            "sd_dissemination", str, "",
+            "Registry family: how clients learn records — 'direct' "
+            "(poll the registry) or 'broker' (subscribe at a relay).  "
+            "Empty keeps the agent default.",
+        ),
+        ParamDef(
             "collect_packets", bool, True,
             "Whether packet captures are collected into storage (large).",
         ),

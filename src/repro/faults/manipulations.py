@@ -16,6 +16,18 @@ Implemented manipulations:
 ``env_drop_all_start`` / ``env_drop_all_stop``
     *"All experiment nodes stop receiving, sending and forwarding the
     experiment process packets."*
+``env_churn_start`` / ``env_churn_stop``
+    Seeded node churn against the acting nodes (registry family): a
+    master-side process repeatedly picks a victim and either makes it
+    *leave* gracefully (``sd_exit``, downtime, re-init + re-publish) or
+    *crash* (interface fault for the downtime, auto-reverted).  Victim
+    choice and cadence derive from ``random_seed`` and the run id, so
+    every run's churn schedule is reproducible.
+``env_population_start`` / ``env_population_stop``
+    Client-population scaling (registry family): an aggregate query rate
+    of ``users × per_user_qps`` is spread across the environment nodes as
+    query-shaped CBR flows aimed at the registry/broker service port, so
+    10²–10⁵ simulated users load the directory's actual handler path.
 ``generic``
     Arbitrary parameters forwarded to the acting nodes.
 
@@ -127,6 +139,8 @@ class EnvironmentController:
         self.emit = emit
         self._traffic_nodes: List[str] = []
         self._drop_all_nodes: List[str] = []
+        self._population_nodes: List[str] = []
+        self._churn_procs: List[Any] = []
         self.last_pairs: List[Tuple[str, str]] = []
         #: Per-node errors swallowed by the last :meth:`cleanup` sweep.
         self.last_cleanup_errors: List[str] = []
@@ -158,6 +172,14 @@ class EnvironmentController:
             yield from self._drop_all_start(params, ctx)
         elif name == "env_drop_all_stop":
             yield from self._drop_all_stop()
+        elif name == "env_churn_start":
+            yield from self._churn_start(params, ctx)
+        elif name == "env_churn_stop":
+            yield from self._churn_stop()
+        elif name == "env_population_start":
+            yield from self._population_start(params, ctx)
+        elif name == "env_population_stop":
+            yield from self._population_stop()
         elif name == "generic":
             yield from self._generic(params, ctx)
         else:
@@ -230,6 +252,135 @@ class EnvironmentController:
         self._drop_all_nodes = []
         self.emit("env_drop_all_stopped", params=())
 
+    # ------------------------------------------------------------------
+    # Node churn (registry family)
+    # ------------------------------------------------------------------
+    def _churn_start(self, params: Dict[str, Any], ctx: EnvContext):
+        victims = params.get("nodes") or ctx.acting_nodes
+        if isinstance(victims, str):
+            victims = [victims]
+        victims = sorted(str(v) for v in victims)
+        if not victims:
+            raise ValueError("env_churn_start needs a non-empty victim pool")
+        mode = str(params.get("mode", "leave"))
+        if mode not in ("leave", "crash"):
+            raise ValueError(f"churn mode must be 'leave' or 'crash', got {mode!r}")
+        interval = float(params.get("interval", 2.0))
+        downtime = float(params.get("downtime", 1.0))
+        seed = int(params.get("random_seed", 0))
+        rejoin_params: Dict[str, Any] = {"role": str(params.get("rejoin_role", "sm"))}
+        if params.get("replicas") is not None:
+            rejoin_params["replicas"] = int(params["replicas"])
+        republish = bool(params.get("republish", True))
+        rng = RngRegistry(seed).fresh("churn", ctx.run_id)
+        proc = self.sim.process(
+            self._churn_loop(victims, mode, interval, downtime, rejoin_params,
+                             republish, rng),
+            name=f"env:churn:{ctx.run_id}",
+        )
+        self._churn_procs.append(proc)
+        self.emit(
+            "env_churn_started", params=(mode, len(victims), interval, downtime)
+        )
+        yield from ()
+
+    def _churn_loop(self, victims, mode, interval, downtime, rejoin_params,
+                    republish, rng):
+        while True:
+            # Uniform on [interval/2, 3*interval/2]: mean = interval, never
+            # two churn events in the same instant.
+            yield self.sim.timeout(interval * (0.5 + rng.random()))
+            victim = rng.choice(victims)
+            if mode == "crash":
+                # A crash is invisible to the victim's own software: the
+                # data plane dies for `downtime` (auto-reverted fault lease)
+                # while its registrations silently stale out.
+                yield from self.channel.call(
+                    victim, "execute_action", "iface_fault_start",
+                    {"direction": "both", "duration": downtime},
+                )
+                self.emit("env_churn_event", params=(victim, "crash", downtime))
+            else:
+                yield from self.channel.call(
+                    victim, "execute_action", "sd_exit", {}
+                )
+                self.emit("env_churn_event", params=(victim, "leave", downtime))
+                yield self.sim.timeout(downtime)
+                yield from self.channel.call(
+                    victim, "execute_action", "sd_init", dict(rejoin_params)
+                )
+                if republish:
+                    yield from self.channel.call(
+                        victim, "execute_action", "sd_start_publish", {}
+                    )
+                self.emit("env_churn_event", params=(victim, "rejoin", 0.0))
+
+    def _churn_stop(self):
+        procs, self._churn_procs = self._churn_procs, []
+        for proc in procs:
+            if proc.alive:
+                proc.interrupt("env_churn_stop")
+        if procs:
+            self.emit("env_churn_stopped", params=())
+        yield from ()
+
+    # ------------------------------------------------------------------
+    # Client-population scaling (registry family)
+    # ------------------------------------------------------------------
+    def _population_start(self, params: Dict[str, Any], ctx: EnvContext):
+        users = int(params.get("users", 100))
+        per_user_qps = float(params.get("per_user_qps", 0.1))
+        packet_size = int(params.get("packet_size", 160))
+        service_type = str(params.get("service_type", "_exp._udp"))
+        dst_port = int(params.get("dst_port", 7447))
+        choice = int(params.get("choice", 0))
+        targets = params.get("nodes") or []
+        if isinstance(targets, str):
+            targets = [targets]
+        targets = sorted(str(t) for t in targets)
+        if not targets:
+            raise ValueError(
+                "env_population_start needs target 'nodes' (the registry or "
+                "broker nodes absorbing the query load)"
+            )
+        sources = [s for s in ctx.candidates(choice) if s not in targets]
+        if not sources:
+            raise ValueError(
+                "env_population_start has no source nodes left after "
+                "excluding the targets"
+            )
+        total_qps = users * per_user_qps
+        share_qps = total_qps / (len(sources) * len(targets))
+        # One query every 1/share_qps seconds per flow; the CBR flow's
+        # rate is derived so that its interval equals that spacing.
+        rate_kbps = share_qps * packet_size * 8.0 / 1000.0
+        payload = {"kind": "query", "type": service_type, "population": True}
+        started: List[str] = []
+        for src in sources:
+            specs = [
+                {
+                    "peer_addr": ctx.addr_of(t),
+                    "rate_kbps": rate_kbps,
+                    "packet_size": packet_size,
+                    "dst_port": dst_port,
+                    "payload": dict(payload),
+                }
+                for t in targets
+            ]
+            yield from self.channel.call(src, "traffic_start", specs)
+            started.append(src)
+        self._population_nodes = started
+        self.emit(
+            "env_population_started",
+            params=(users, total_qps, len(sources), len(targets)),
+        )
+
+    def _population_stop(self):
+        for node_id in self._population_nodes:
+            yield from self.channel.call(node_id, "traffic_stop")
+        self._population_nodes = []
+        self.emit("env_population_stopped", params=())
+
     def _generic(self, params: Dict[str, Any], ctx: EnvContext):
         wire_params = {str(k): v for k, v in params.items()}
         for node_id in ctx.acting_nodes:
@@ -253,6 +404,21 @@ class EnvironmentController:
         self.last_cleanup_errors = []
         traffic_nodes, self._traffic_nodes = self._traffic_nodes, []
         drop_all_nodes, self._drop_all_nodes = self._drop_all_nodes, []
+        population_nodes, self._population_nodes = self._population_nodes, []
+        churn_procs, self._churn_procs = self._churn_procs, []
+        for proc in churn_procs:
+            if proc.alive:
+                proc.interrupt("env_cleanup")
+        if churn_procs:
+            self.emit("env_churn_stopped", params=())
+        for node_id in population_nodes:
+            try:
+                yield from self.channel.call(node_id, "traffic_stop")
+            except Exception as exc:  # noqa: BLE001 - sweep must continue
+                self.last_cleanup_errors.append(f"{node_id}/traffic_stop: {exc}")
+                self._record_swallowed(exc, node_id, "traffic_stop")
+        if population_nodes:
+            self.emit("env_population_stopped", params=())
         for node_id in traffic_nodes:
             try:
                 yield from self.channel.call(node_id, "traffic_stop")

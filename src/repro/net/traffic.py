@@ -16,7 +16,7 @@ responsiveness numbers.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.net.node import NetNode
 
@@ -46,6 +46,14 @@ class TrafficFlow:
     jitter_frac:
         Uniform randomization of each inter-packet gap (fraction of the
         nominal interval), breaking phase lock between flows.
+    dst_port:
+        Destination port; default :data:`TRAFFIC_PORT` (dropped unheard).
+        The population manipulation points flows at a *bound* service
+        port instead, so the load exercises the receiver's handler path.
+    payload_base:
+        Extra payload keys merged under the per-packet ``seq``/``flow``
+        bookkeeping — e.g. a query-shaped dict the receiving protocol
+        actually parses and answers.
     """
 
     def __init__(
@@ -57,6 +65,8 @@ class TrafficFlow:
         rng: random.Random,
         packet_size: int = 512,
         jitter_frac: float = 0.1,
+        dst_port: int = TRAFFIC_PORT,
+        payload_base: Optional[Dict[str, object]] = None,
     ) -> None:
         if rate_kbps <= 0:
             raise ValueError(f"rate must be positive, got {rate_kbps}")
@@ -66,6 +76,8 @@ class TrafficFlow:
         self.rate_kbps = float(rate_kbps)
         self.packet_size = int(packet_size)
         self.jitter_frac = float(jitter_frac)
+        self.dst_port = int(dst_port)
+        self.payload_base = dict(payload_base or {})
         self.rng = rng
         self.interval = (self.packet_size * 8.0) / (self.rate_kbps * 1000.0)
         self.sent_packets = 0
@@ -92,10 +104,13 @@ class TrafficFlow:
                 1.0 + self.rng.uniform(-self.jitter_frac, self.jitter_frac)
             )
             yield self.sim.timeout(max(gap, 1e-6))
+            payload = dict(self.payload_base)
+            payload["seq"] = seq
+            payload["flow"] = TRAFFIC_FLOW_LABEL
             self.src.send_datagram(
-                payload={"seq": seq, "flow": TRAFFIC_FLOW_LABEL},
+                payload=payload,
                 dst_addr=self.dst.address,
-                dst_port=TRAFFIC_PORT,
+                dst_port=self.dst_port,
                 src_port=TRAFFIC_PORT,
                 size=self.packet_size,
                 flow=TRAFFIC_FLOW_LABEL,

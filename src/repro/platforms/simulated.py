@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.description import ExperimentDescription
-from repro.core.errors import PlatformError
+from repro.core.errors import DescriptionError, PlatformError
 from repro.core.nodemanager import NodeManager
 from repro.core.params import SpecialParams
 from repro.core.rpc import ControlChannel, RetryPolicy
@@ -45,13 +45,19 @@ from repro.platforms.base import Platform
 from repro.sd.agent import install_sd_agent
 from repro.sd.hybrid import HybridAgent
 from repro.sd.mdns import MdnsAgent
+from repro.sd.registry import RegistryAgent
 from repro.sd.slp import SlpAgent
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry, derive_seed
 
 __all__ = ["PlatformConfig", "SimulatedPlatform"]
 
-_AGENT_CLASSES = {"mdns": MdnsAgent, "slp": SlpAgent, "hybrid": HybridAgent}
+_AGENT_CLASSES = {
+    "mdns": MdnsAgent,
+    "slp": SlpAgent,
+    "hybrid": HybridAgent,
+    "registry": RegistryAgent,
+}
 
 
 @dataclass
@@ -150,6 +156,16 @@ class SimulatedPlatform(Platform):
         agent_cls = _AGENT_CLASSES[self.config.protocol]
         sd_config = dict(self.config.sd_config)
         sd_config.setdefault("service_type", params.get("service_type"))
+        registry_addrs = self._resolve_sd_node_addrs(
+            params.get("sd_registry_nodes")
+        )
+        if registry_addrs:
+            sd_config.setdefault("registry_addrs", registry_addrs)
+        broker_addrs = self._resolve_sd_node_addrs(params.get("sd_broker_nodes"))
+        if broker_addrs:
+            sd_config.setdefault("broker_addrs", broker_addrs)
+        if params.get("sd_dissemination"):
+            sd_config.setdefault("dissemination", str(params.get("sd_dissemination")))
 
         for node_id in node_ids:
             clock = random_clock(
@@ -173,6 +189,28 @@ class SimulatedPlatform(Platform):
             install_sd_agent(manager, agent)
             self.node_managers[node_id] = manager
             self.agents[node_id] = agent
+
+    # ------------------------------------------------------------------
+    def _resolve_sd_node_addrs(self, raw: Any) -> List[str]:
+        """Resolve the ``sd_registry_nodes`` / ``sd_broker_nodes`` special
+        params — abstract ids (preferred) or platform node ids, comma or
+        whitespace separated — to network addresses in listed order."""
+        if not raw:
+            return []
+        addrs = []
+        for token in str(raw).replace(",", " ").split():
+            try:
+                node = self.description.platform.for_abstract(token)
+            except DescriptionError:
+                try:
+                    node = self.description.platform.by_id(token)
+                except DescriptionError:
+                    raise PlatformError(
+                        f"sd registry/broker node {token!r} is neither an "
+                        "abstract nor a platform node id"
+                    ) from None
+            addrs.append(node.address)
+        return addrs
 
     # ------------------------------------------------------------------
     def _build_topology(self, node_ids: List[str]) -> Topology:

@@ -18,6 +18,12 @@ same SD concepts can be compared in experiments"* (Sec. V):
 :mod:`repro.sd.hybrid`
     Adaptive architecture: behaves two-party, upgrades to directed
     discovery once an SCM is found (``scm_found``).
+:mod:`repro.sd.registry`
+    Explicit-registry architecture: providers register records with TTLs
+    at configured registry replicas and renew them; clients poll the
+    registry directly or subscribe through a broker relay
+    (:mod:`repro.sd.broker`); replicas converge by anti-entropy gossip
+    (:mod:`repro.sd.gossip`).
 
 Roles follow the taxonomy of the general SD model: service user (SU),
 service manager (SM), service cache manager (SCM).
@@ -35,6 +41,7 @@ from repro.sd.model import (
     Role,
     ServiceInstance,
 )
+from repro.sd.registry import RegistryAgent
 from repro.sd.slp import SlpAgent
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "EVENT_SD_START_SEARCH",
     "HybridAgent",
     "MdnsAgent",
+    "RegistryAgent",
     "Role",
     "SDAgent",
     "ServiceInstance",

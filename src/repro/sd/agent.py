@@ -79,6 +79,10 @@ class SDAgent:
         #: instance per search).
         self._announced: set = set()
         self._procs: List["Process"] = []
+        #: Lifecycle epoch: bumped by every :meth:`_teardown`.  Background
+        #: generators capture the epoch they were spawned under and become
+        #: inert once it moves on — see :meth:`cache_housekeeping`.
+        self._epoch: int = 0
         self._run_id: int = -1
         self.rng: random.Random = rngs.fresh("sd", self.protocol, node.name, -1)
 
@@ -226,6 +230,15 @@ class SDAgent:
         complete description has been received."*
         """
         _is_new, is_update = self.cache.add(instance, self.sim.now)
+        self._announce(instance, is_update)
+
+    def discovered_until(self, instance: ServiceInstance, expires_at: float) -> None:
+        """Like :meth:`discovered`, for records learned with an explicit
+        remaining lifetime (registry snapshots, broker pushes)."""
+        _is_new, is_update = self.cache.refresh(instance, expires_at, self.sim.now)
+        self._announce(instance, is_update)
+
+    def _announce(self, instance: ServiceInstance, is_update: bool) -> None:
         if instance.service_type not in self.searching:
             return
         key = (instance.service_type, instance.name)
@@ -242,9 +255,23 @@ class SDAgent:
             self.emit(M.EVENT_SD_SERVICE_DEL, params=instance.event_params())
 
     def cache_housekeeping(self, interval: float = 1.0):
-        """Generator: periodically expire cache entries."""
+        """Generator: periodically expire cache entries.
+
+        The epoch check closes a teardown race: when the housekeeping
+        timeout fires in the same instant as ``sd_exit``, the kernel has
+        already moved this process's resume callback out of the timeout,
+        so ``interrupt()`` cannot cancel it — the loop body would run one
+        more time *after* ``_teardown`` cleared the cache, purging (and
+        potentially announcing ``lost()`` for) state belonging to the
+        next lifecycle, and scheduling a fresh timeout that perturbs the
+        deterministic event schedule.  A stale epoch means the agent this
+        generator served is gone: return without touching anything.
+        """
+        epoch = self._epoch
         while True:
             yield self.sim.timeout(interval)
+            if epoch != self._epoch:
+                return
             for instance in self.cache.purge_expired(self.sim.now):
                 self.lost(instance)
 
@@ -256,6 +283,7 @@ class SDAgent:
             )
 
     def _teardown(self, emit_event: bool) -> None:
+        self._epoch += 1
         for proc in self._procs:
             if proc.alive:
                 proc.interrupt("sd_teardown")

@@ -38,6 +38,8 @@ __all__ = [
     "EVENT_SCM_REGISTRATION_ADD",
     "EVENT_SCM_REGISTRATION_DEL",
     "EVENT_SCM_REGISTRATION_UPD",
+    "EVENT_SD_SUBSCRIBED",
+    "EVENT_SCM_GOSSIP_SYNC",
     "SD_EVENT_NAMES",
 ]
 
@@ -55,6 +57,11 @@ EVENT_SCM_FOUND = "scm_found"
 EVENT_SCM_REGISTRATION_ADD = "scm_registration_add"
 EVENT_SCM_REGISTRATION_DEL = "scm_registration_del"
 EVENT_SCM_REGISTRATION_UPD = "scm_registration_upd"
+#: A subscriber (client or broker) received its snapshot of the registry
+#: state and is now on the push path (registry/broker family).
+EVENT_SD_SUBSCRIBED = "sd_subscribed"
+#: A registry replica merged at least one record from a gossip peer.
+EVENT_SCM_GOSSIP_SYNC = "scm_gossip_sync"
 
 #: Every event name of the Sec. V vocabulary.
 SD_EVENT_NAMES = (
@@ -72,16 +79,24 @@ SD_EVENT_NAMES = (
     EVENT_SCM_REGISTRATION_ADD,
     EVENT_SCM_REGISTRATION_DEL,
     EVENT_SCM_REGISTRATION_UPD,
+    EVENT_SD_SUBSCRIBED,
+    EVENT_SCM_GOSSIP_SYNC,
 )
 
 
 class Role(enum.Enum):
-    """The three SD roles of the Dabrowski model (Sec. III-A)."""
+    """The SD roles of the Dabrowski model (Sec. III-A).
+
+    ``BROKER`` extends the model for the registry family: a relay that
+    subscribes to the registry on behalf of clients and fans record
+    changes out to them — neither a service user nor a manager itself.
+    """
 
     SU = "su"
     SM = "sm"
     SU_SM = "su+sm"
     SCM = "scm"
+    BROKER = "broker"
 
     @classmethod
     def parse(cls, text: str) -> "Role":
@@ -89,7 +104,9 @@ class Role(enum.Enum):
         for role in cls:
             if role.value == text:
                 return role
-        raise ValueError(f"unknown SD role {text!r} (expected su, sm, su+sm or scm)")
+        raise ValueError(
+            f"unknown SD role {text!r} (expected su, sm, su+sm, scm or broker)"
+        )
 
     @property
     def is_user(self) -> bool:

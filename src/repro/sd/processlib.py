@@ -12,6 +12,11 @@ benchmarks don't each re-assemble the Fig. 9/10 sequences by hand.
 ``build_three_party_description``
     The same discovery task in the centralized architecture: an additional
     SCM actor runs the directory; SUs/SMs use the SLP (or hybrid) agent.
+``build_registry_description``
+    The explicit-registry family (:mod:`repro.sd.registry`): dedicated
+    registry-replica actors (plus optional broker-relay actors), a
+    registry-replica-count factor, and optional churn / client-population
+    environment processes.
 """
 
 from __future__ import annotations
@@ -40,8 +45,12 @@ __all__ = [
     "sm_actions",
     "su_actions",
     "scm_actions",
+    "registry_sm_actions",
+    "registry_su_actions",
+    "registry_server_actions",
     "build_two_party_description",
     "build_three_party_description",
+    "build_registry_description",
 ]
 
 #: Default service type of the case study.
@@ -106,6 +115,83 @@ def scm_actions() -> list:
     """The directory role: run the SCM until the SUs are done."""
     return [
         DomainAction(name="sd_init", params={"role": "scm"}),
+        WaitForEvent(event="done"),
+        DomainAction(name="sd_exit"),
+    ]
+
+
+def registry_sm_actions(
+    service_type: str = SERVICE_TYPE, replicas: object = None
+) -> list:
+    """The provider role of the registry family.
+
+    Unlike :func:`sm_actions` there is no ``sd_stop_publish``: under a
+    churn schedule the environment may have sd_exit'ed this node already,
+    and ``sd_stop_publish`` on an uninitialized agent is an error while
+    ``sd_exit`` is not.  The registry's record TTL handles revocation.
+    """
+    init_params: dict = {"role": "sm"}
+    if replicas is not None:
+        init_params["replicas"] = replicas
+    return [
+        DomainAction(name="sd_init", params=init_params),
+        DomainAction(name="sd_start_publish", params={"type": service_type}),
+        WaitForEvent(event="done"),
+        DomainAction(name="sd_exit"),
+    ]
+
+
+def registry_su_actions(
+    sm_actor: str = "actor0",
+    su_actor: str = "actor1",
+    service_type: str = SERVICE_TYPE,
+    deadline: float = 30.0,
+    replicas: object = None,
+    hold_time: float = 0.0,
+) -> list:
+    """The requester role of the registry family (Fig. 10 shape).
+
+    ``hold_time`` keeps the discovered system under observation for a
+    fixed window after first discovery before raising ``done`` — churn
+    and population manipulations act during that window (lost/rediscovered
+    services land in the event record as ``sd_service_del``/``_add``).
+    """
+    init_params: dict = {"role": "su"}
+    if replicas is not None:
+        init_params["replicas"] = replicas
+    actions: list = [
+        WaitForEvent(
+            event="sd_start_publish",
+            from_nodes=NodeSelector(actor=sm_actor, instance="all"),
+        ),
+        WaitForEvent(event="ready_to_init"),
+        DomainAction(name="sd_init", params=init_params),
+        WaitMarker(),
+        DomainAction(name="sd_start_search", params={"type": service_type}),
+        WaitForEvent(
+            event="sd_service_add",
+            from_nodes=NodeSelector(actor=su_actor, instance="all"),
+            param_nodes=NodeSelector(actor=sm_actor, instance="all"),
+            timeout=deadline,
+        ),
+    ]
+    if hold_time > 0:
+        actions.append(WaitForTime(seconds=hold_time))
+    actions += [
+        EventFlag(value="done"),
+        DomainAction(name="sd_stop_search", params={"type": service_type}),
+        DomainAction(name="sd_exit"),
+    ]
+    return actions
+
+
+def registry_server_actions(role: str = "scm", replicas: object = None) -> list:
+    """A registry replica (``scm``) or broker relay (``broker``)."""
+    init_params: dict = {"role": role}
+    if replicas is not None:
+        init_params["replicas"] = replicas
+    return [
+        DomainAction(name="sd_init", params=init_params),
         WaitForEvent(event="done"),
         DomainAction(name="sd_exit"),
     ]
@@ -304,4 +390,187 @@ def build_three_party_description(
     desc.actors.append(ActorDescription("actor2", name="SCM", actions=scm_actions()))
     # Rebuild the platform spec to cover the extra abstract node.
     desc.platform = _platform_spec(desc.abstract_nodes, env_count)
+    return desc
+
+
+def build_registry_description(
+    name: str = "sd-registry",
+    seed: int = 1,
+    sm_count: int = 1,
+    su_count: int = 1,
+    registry_count: int = 1,
+    broker_count: int = 0,
+    env_count: int = 4,
+    replications: int = 3,
+    deadline: float = 30.0,
+    replica_levels: Optional[Sequence[int]] = None,
+    churn: bool = False,
+    churn_mode: str = "leave",
+    churn_interval_levels: Optional[Sequence[float]] = None,
+    churn_downtime: float = 1.0,
+    population: bool = False,
+    population_levels: Optional[Sequence[int]] = None,
+    per_user_qps: float = 0.1,
+    hold_time: float = 0.0,
+    service_type: str = SERVICE_TYPE,
+    special_params: Optional[Dict] = None,
+) -> ExperimentDescription:
+    """The registry-family scenario (ROADMAP item 4).
+
+    actor0 = providers (SM), actor1 = clients (SU), actor2 = registry
+    replicas, actor3 = broker relays (when ``broker_count > 0``, which
+    also switches the clients to ``broker`` dissemination via the
+    ``sd_dissemination`` special parameter).
+
+    Factors: ``fact_replicas`` sweeps the active-replica count over
+    ``replica_levels`` (default: the full ``registry_count``); with
+    ``churn=True`` a seeded churn schedule runs against the providers and
+    ``fact_churn_interval`` sweeps its cadence; with ``population=True``
+    ``fact_users`` sweeps the simulated client population (Sec. IV-D2's
+    traffic generator shaped as registry queries).
+    """
+    sm_abstract = _abstract_names(sm_count, "SM")
+    su_abstract = _abstract_names(su_count, "SU")
+    reg_abstract = _abstract_names(registry_count, "REG")
+    brk_abstract = _abstract_names(broker_count, "BRK")
+    abstract = sm_abstract + su_abstract + reg_abstract + brk_abstract
+
+    actor_map = {
+        "actor0": {str(i): node for i, node in enumerate(sm_abstract)},
+        "actor1": {str(i): node for i, node in enumerate(su_abstract)},
+        "actor2": {str(i): node for i, node in enumerate(reg_abstract)},
+    }
+    if broker_count:
+        actor_map["actor3"] = {str(i): node for i, node in enumerate(brk_abstract)}
+
+    replicas_ref = FactorRef("fact_replicas")
+    factors = [
+        Factor(
+            id="fact_nodes",
+            type="actor_node_map",
+            usage=Usage.BLOCKING,
+            levels=[Level(actor_map)],
+        ),
+        Factor(
+            id="fact_replicas",
+            type="int",
+            usage=Usage.CONSTANT,
+            levels=[Level(int(v)) for v in (replica_levels or (registry_count,))],
+            description="active registry replicas",
+        ),
+    ]
+    if churn:
+        factors.append(
+            Factor(
+                id="fact_churn_interval",
+                type="float",
+                usage=Usage.CONSTANT,
+                levels=[Level(float(v)) for v in (churn_interval_levels or (2.0,))],
+                description="mean seconds between churn events",
+            )
+        )
+    if population:
+        factors.append(
+            Factor(
+                id="fact_users",
+                type="int",
+                usage=Usage.CONSTANT,
+                levels=[Level(int(v)) for v in (population_levels or (100,))],
+                description="simulated client population size",
+            )
+        )
+
+    env_actions: list = [EventFlag(value="ready_to_init")]
+    if churn:
+        env_actions.append(
+            DomainAction(
+                name="env_churn_start",
+                params={
+                    "nodes": NodeSelector(actor="actor0", instance="all"),
+                    "mode": churn_mode,
+                    "interval": FactorRef("fact_churn_interval"),
+                    "downtime": churn_downtime,
+                    "random_seed": FactorRef("fact_replication_id"),
+                    "rejoin_role": "sm",
+                    "replicas": replicas_ref,
+                },
+            )
+        )
+    if population:
+        # Brokers absorb the query load in broker mode; the registry
+        # replicas do in direct mode.
+        target_actor = "actor3" if broker_count else "actor2"
+        env_actions.append(
+            DomainAction(
+                name="env_population_start",
+                params={
+                    "users": FactorRef("fact_users"),
+                    "per_user_qps": per_user_qps,
+                    "nodes": NodeSelector(actor=target_actor, instance="all"),
+                    "dst_port": 7447,
+                    "service_type": service_type,
+                    "choice": 0,
+                },
+            )
+        )
+    env_actions.append(WaitForEvent(event="done"))
+    if population:
+        env_actions.append(DomainAction(name="env_population_stop"))
+    if churn:
+        env_actions.append(DomainAction(name="env_churn_stop"))
+
+    actors = [
+        ActorDescription(
+            "actor0",
+            name="SM",
+            actions=registry_sm_actions(service_type, replicas=replicas_ref),
+        ),
+        ActorDescription(
+            "actor1",
+            name="SU",
+            actions=registry_su_actions(
+                service_type=service_type,
+                deadline=deadline,
+                replicas=replicas_ref,
+                hold_time=hold_time,
+            ),
+        ),
+        ActorDescription(
+            "actor2",
+            name="REG",
+            actions=registry_server_actions("scm", replicas=replicas_ref),
+        ),
+    ]
+    if broker_count:
+        actors.append(
+            ActorDescription(
+                "actor3",
+                name="BRK",
+                actions=registry_server_actions("broker", replicas=replicas_ref),
+            )
+        )
+
+    special = {"sd_registry_nodes": " ".join(reg_abstract)}
+    if broker_count:
+        special["sd_broker_nodes"] = " ".join(brk_abstract)
+        special["sd_dissemination"] = "broker"
+    special.update(special_params or {})
+
+    desc = ExperimentDescription(
+        name=name,
+        seed=seed,
+        parameters={
+            "sd_architecture": "registry",
+            "sd_protocol": "registry",
+            "sd_mode": "broker" if broker_count else "direct",
+        },
+        abstract_nodes=abstract,
+        factors=FactorList(
+            factors, ReplicationFactor(id="fact_replication_id", count=replications)
+        ),
+        actors=actors,
+        environment_processes=[EnvironmentProcess(actions=env_actions)],
+        platform=_platform_spec(abstract, env_count),
+        special_params=special,
+    )
     return desc

@@ -57,15 +57,61 @@ class ServiceCache:
 
         Returns ``(is_new, is_update)``: *new* when the instance was not
         cached; *update* when it was cached with an older version.
+
+        A record with ``ttl <= 0`` is a goodbye, not an offer: it never
+        enters the cache (it would sit there pre-expired until the next
+        housekeeping sweep, visible to ``entries_for_type``/``get`` in
+        the meantime) — instead any cached entry for the same key is
+        dropped.  A record carrying an *older* description version than
+        the cached one is stale (late-arriving response, gossip echo)
+        and must not overwrite the newer description or reset its
+        expiry.  Re-registration with the same or newer version always
+        extends ``expires_at`` to ``now + ttl`` — that is the renewal
+        path registries and SCMs rely on.
         """
         key = (instance.service_type, instance.name)
         existing = self._entries.get(key)
+        if instance.ttl <= 0:
+            self._entries.pop(key, None)
+            return False, False
+        if existing is not None and instance.version < existing.instance.version:
+            return False, False
         entry = CacheEntry(
             instance=instance,
             expires_at=now + instance.ttl,
             learned_at=now,
         )
         self._entries[key] = entry
+        if existing is None:
+            return True, False
+        return False, instance.version > existing.instance.version
+
+    def refresh(
+        self, instance: ServiceInstance, expires_at: float, learned_at: float
+    ) -> Tuple[bool, bool]:
+        """Merge a record with an *explicit* expiry deadline.
+
+        Used by anti-entropy gossip, where the sender ships the remaining
+        lifetime of each record rather than its full TTL.  The newer
+        description version wins; at equal versions the later deadline
+        wins (a peer that heard a more recent renewal extends ours).
+        Returns ``(is_new, is_update)`` like :meth:`add`.
+        """
+        key = (instance.service_type, instance.name)
+        existing = self._entries.get(key)
+        if expires_at <= learned_at:
+            return False, False
+        if existing is not None:
+            if instance.version < existing.instance.version:
+                return False, False
+            if (
+                instance.version == existing.instance.version
+                and expires_at <= existing.expires_at
+            ):
+                return False, False
+        self._entries[key] = CacheEntry(
+            instance=instance, expires_at=expires_at, learned_at=learned_at
+        )
         if existing is None:
             return True, False
         return False, instance.version > existing.instance.version

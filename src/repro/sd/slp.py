@@ -114,8 +114,14 @@ class SlpAgent(SDAgent):
         }
 
     def _registration_reaper(self):
+        # Same teardown-race guard as SDAgent.cache_housekeeping: a reaper
+        # whose wakeup fired in the sd_exit instant must not purge (or
+        # announce expiry for) the next lifecycle's registrations.
+        epoch = self._epoch
         while True:
             yield self.sim.timeout(1.0)
+            if epoch != self._epoch:
+                return
             for gone in self.registrations.purge_expired(self.sim.now):
                 self.emit(M.EVENT_SCM_REGISTRATION_DEL, params=gone.event_params())
 

@@ -80,3 +80,57 @@ def hybrid_trio():
     from repro.sd.hybrid import HybridAgent
 
     return AgentHarness(HybridAgent, n=3)
+
+
+@pytest.fixture
+def registry_trio():
+    """s0 = registry, s1 = provider, s2 = client (direct polling)."""
+    from repro.sd.registry import RegistryAgent
+
+    return AgentHarness(
+        RegistryAgent,
+        n=3,
+        config={
+            "registry_addrs": ["10.3.0.1"],
+            "registration_ttl": 3.0,
+            "poll_interval": 0.5,
+        },
+    )
+
+
+@pytest.fixture
+def registry_broker_quad():
+    """s0 = registry, s1 = broker, s2 = provider, s3 = subscriber."""
+    from repro.sd.registry import RegistryAgent
+
+    return AgentHarness(
+        RegistryAgent,
+        n=4,
+        config={
+            "registry_addrs": ["10.3.0.1"],
+            "broker_addrs": ["10.3.0.2"],
+            "dissemination": "broker",
+            "registration_ttl": 3.0,
+        },
+    )
+
+
+@pytest.fixture
+def registry_replicated():
+    """s0/s1/s2 = replicas, s3 = provider, s4 = client.
+
+    The crc32 home assignment puts the provider on s1 and the client on
+    s0, so direct discovery only works once gossip has converged.
+    """
+    from repro.sd.registry import RegistryAgent
+
+    return AgentHarness(
+        RegistryAgent,
+        n=5,
+        config={
+            "registry_addrs": ["10.3.0.1", "10.3.0.2", "10.3.0.3"],
+            "registration_ttl": 5.0,
+            "poll_interval": 0.5,
+            "gossip_interval": 0.5,
+        },
+    )

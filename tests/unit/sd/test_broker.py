@@ -1,0 +1,135 @@
+"""Broker-relay dissemination: subscriptions, snapshots, push fan-out."""
+
+from __future__ import annotations
+
+from repro.sd.broker import SubscriberTable
+from repro.sd.model import ServiceInstance
+
+SVC = "_exp._udp"
+
+
+def _instance(provider="p0", stype=SVC, version=1, ttl=10.0):
+    return ServiceInstance(
+        name=f"{provider}.{stype}",
+        service_type=stype,
+        provider_node=provider,
+        address="10.3.0.9",
+        ttl=ttl,
+        version=version,
+    )
+
+
+class TestSubscriberTable:
+    def test_add_is_idempotent_and_counted(self):
+        table = SubscriberTable()
+        assert table.add("10.0.0.1", SVC)
+        assert not table.add("10.0.0.1", SVC)
+        assert table.add("10.0.0.1", "*")
+        assert len(table) == 2
+
+    def test_targets_match_type_and_wildcard_sorted(self):
+        table = SubscriberTable()
+        table.add("10.0.0.3", SVC)
+        table.add("10.0.0.1", "*")
+        table.add("10.0.0.2", "_other._udp")
+        assert table.targets_for(SVC) == ["10.0.0.1", "10.0.0.3"]
+        assert table.targets_for("_other._udp") == ["10.0.0.1", "10.0.0.2"]
+
+    def test_notify_fans_out_one_datagram_per_target(self):
+        table = SubscriberTable()
+        table.add("10.0.0.1", SVC)
+        table.add("10.0.0.2", "*")
+        sent = []
+        count = table.notify(
+            lambda addr, payload, size: sent.append((addr, payload, size)),
+            _instance(),
+            "add",
+            7.5,
+        )
+        assert count == 2
+        assert [addr for addr, _p, _s in sent] == ["10.0.0.1", "10.0.0.2"]
+        for _addr, payload, size in sent:
+            assert payload["kind"] == "notify"
+            assert payload["op"] == "add"
+            assert payload["remaining"] == 7.5
+            assert size == 160
+
+    def test_remove_and_clear(self):
+        table = SubscriberTable()
+        table.add("10.0.0.1", SVC)
+        table.remove("10.0.0.1", SVC)
+        assert table.targets_for(SVC) == []
+        table.add("10.0.0.1", SVC)
+        table.clear()
+        assert len(table) == 0
+
+
+class TestBrokerDissemination:
+    def test_subscriber_gets_snapshot_and_pushes(self, registry_broker_quad):
+        h = registry_broker_quad
+        h.agents["s0"].action_init({"role": "scm"})
+        h.agents["s1"].action_init({"role": "broker"})
+        h.agents["s2"].action_init({"role": "sm"})
+        h.agents["s3"].action_init({"role": "su"})
+        h.agents["s2"].action_start_publish({})
+        h.run(until=4.0)
+        h.agents["s3"].action_start_search({})
+        h.run(until=8.0)
+
+        # The broker synced its wildcard mirror from the registry ...
+        assert h.first("s1", "sd_subscribed") is not None
+        assert h.agents["s1"].relay.synced
+        assert len(h.agents["s1"].relay.mirror) == 1
+        # ... and the client got a subscription snapshot, not a poll.
+        t_sub, sub = h.first("s3", "sd_subscribed")
+        assert sub[0] == "s1"
+        assert h.first("s3", "sd_service_add")[1] == (f"s2.{SVC}", "s2")
+
+    def test_new_registration_is_pushed_without_polling(self, registry_broker_quad):
+        h = registry_broker_quad
+        h.agents["s0"].action_init({"role": "scm"})
+        h.agents["s1"].action_init({"role": "broker"})
+        h.agents["s3"].action_init({"role": "su"})
+        h.agents["s3"].action_start_search({})
+        h.run(until=2.0)
+        # Provider appears *after* the client subscribed: push path only.
+        h.agents["s2"].action_init({"role": "sm"})
+        h.agents["s2"].action_start_publish({})
+        h.run(until=4.0)
+        t_add, params = h.first("s3", "sd_service_add")
+        assert params == (f"s2.{SVC}", "s2")
+        assert t_add > 2.0
+        # Push latency is network RTTs, far below any poll interval.
+        assert t_add < 2.5
+
+    def test_deregistration_is_pushed_as_del(self, registry_broker_quad):
+        h = registry_broker_quad
+        h.agents["s0"].action_init({"role": "scm"})
+        h.agents["s1"].action_init({"role": "broker"})
+        h.agents["s2"].action_init({"role": "sm"})
+        h.agents["s3"].action_init({"role": "su"})
+        h.agents["s2"].action_start_publish({})
+        h.agents["s3"].action_start_search({})
+        h.run(until=4.0)
+        h.agents["s2"].action_stop_publish({})
+        h.run(until=6.0)
+        t_del, params = h.first("s3", "sd_service_del")
+        assert params == (f"s2.{SVC}", "s2")
+        # TTL expiry would need > 3 s more; the push lands within ~RTT.
+        assert t_del < 4.5
+
+    def test_renewals_extend_client_deadlines_via_refresh(self, registry_broker_quad):
+        h = registry_broker_quad
+        h.agents["s0"].action_init({"role": "scm"})
+        h.agents["s1"].action_init({"role": "broker"})
+        h.agents["s2"].action_init({"role": "sm"})
+        h.agents["s3"].action_init({"role": "su"})
+        h.agents["s2"].action_start_publish({})
+        h.agents["s3"].action_start_search({})
+        # registration_ttl=3.0: without refresh pushes the client's cached
+        # deadline from the initial snapshot would lapse within 3 s.
+        h.run(until=12.0)
+        assert "sd_service_del" not in h.names_on("s3")
+        entry = h.agents["s3"].cache.get(SVC, f"s2.{SVC}")
+        assert entry is not None
+        assert entry.expires_at > 12.0

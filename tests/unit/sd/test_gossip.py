@@ -1,0 +1,94 @@
+"""Anti-entropy gossip merge semantics (pure functions + replicator)."""
+
+from __future__ import annotations
+
+from repro.sd.gossip import gossip_wire, merge_gossip
+from repro.sd.model import ServiceInstance
+from repro.sd.records import ServiceCache
+
+SVC = "_exp._udp"
+
+
+def _instance(provider="p0", version=1, ttl=10.0):
+    return ServiceInstance(
+        name=f"{provider}.{SVC}",
+        service_type=SVC,
+        provider_node=provider,
+        address="10.3.0.9",
+        ttl=ttl,
+        version=version,
+    )
+
+
+def test_gossip_wire_carries_remaining_lifetimes():
+    cache = ServiceCache()
+    cache.add(_instance("a", ttl=10.0), now=0.0)
+    cache.add(_instance("b", ttl=4.0), now=2.0)
+    wire = gossip_wire(cache, now=3.0)
+    assert [(w["provider"], rem) for w, rem in wire] == [("a", 7.0), ("b", 3.0)]
+
+
+def test_merge_reports_adds_and_updates():
+    cache = ServiceCache()
+    cache.add(_instance("a", version=1), now=0.0)
+    payload = [
+        [_instance("a", version=2).as_wire(), 8.0],
+        [_instance("b").as_wire(), 5.0],
+    ]
+    changes, extended = merge_gossip(cache, payload, now=1.0)
+    assert [(i.provider_node, op) for i, op in changes] == [("a", "upd"), ("b", "add")]
+    assert extended == 0
+    assert cache.get(SVC, f"a.{SVC}").instance.version == 2
+
+
+def test_merge_counts_pure_deadline_extensions_separately():
+    cache = ServiceCache()
+    cache.add(_instance("a"), now=0.0)  # expires at 10
+    changes, extended = merge_gossip(cache, [[_instance("a").as_wire(), 9.5]], now=4.0)
+    assert changes == []
+    assert extended == 1
+    assert cache.get(SVC, f"a.{SVC}").expires_at == 13.5
+
+
+def test_merge_ignores_stale_versions_and_earlier_deadlines():
+    cache = ServiceCache()
+    cache.add(_instance("a", version=3), now=0.0)  # expires at 10
+    changes, extended = merge_gossip(
+        cache,
+        [
+            [_instance("a", version=2).as_wire(), 50.0],  # stale version
+            [_instance("a", version=3).as_wire(), 1.0],  # earlier deadline
+        ],
+        now=1.0,
+    )
+    assert changes == []
+    assert extended == 0
+    entry = cache.get(SVC, f"a.{SVC}")
+    assert entry.instance.version == 3
+    assert entry.expires_at == 10.0
+
+
+def test_merge_skips_already_expired_payload_records():
+    cache = ServiceCache()
+    changes, extended = merge_gossip(cache, [[_instance("a").as_wire(), 0.0]], now=5.0)
+    assert changes == []
+    assert extended == 0
+    assert len(cache) == 0
+
+
+def test_replicator_tracks_rounds_and_merges(registry_replicated):
+    h = registry_replicated
+    for replica in ("s0", "s1", "s2"):
+        h.agents[replica].action_init({"role": "scm", "replicas": 3})
+    h.agents["s3"].action_init({"role": "sm", "replicas": 3})
+    h.agents["s3"].action_start_publish({})
+    h.run(until=6.0)
+    total_rounds = sum(
+        h.agents[r].gossip.rounds_sent for r in ("s0", "s1", "s2")
+    )
+    # ~interval 0.5 over 6 s per replica.
+    assert total_rounds >= 20
+    merged = [r for r in ("s0", "s1", "s2") if h.agents[r].gossip.merges_applied]
+    assert merged  # somebody learned the record via anti-entropy
+    for replica in ("s0", "s1", "s2"):
+        assert len(h.agents[replica].registrations) == 1

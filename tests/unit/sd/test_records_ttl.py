@@ -1,0 +1,124 @@
+"""TTL edge cases in the service record cache (the SD-layer bug sweep).
+
+Each test pins one audited behaviour of :class:`ServiceCache` /
+:class:`CacheEntry`:
+
+* a ``ttl <= 0`` record is a goodbye — it never enters the cache, and it
+  evicts any cached entry for the same key,
+* re-registration always extends ``expires_at`` to ``now + ttl`` (the
+  renewal path),
+* a stale (older-version) record neither overwrites the cached
+  description nor refreshes its expiry,
+* purge drops entries exactly at the expiry boundary (consistent with
+  ``remaining() == 0`` / ``fresh_fraction() == 0`` there),
+* ``fresh_fraction`` of a non-positive-TTL record is 0.
+"""
+
+from repro.sd.model import ServiceInstance, instance_name
+from repro.sd.records import CacheEntry, ServiceCache
+
+
+def _instance(ttl=10.0, version=1, provider="p0", stype="_exp._udp"):
+    return ServiceInstance(
+        name=instance_name(stype, provider),
+        service_type=stype,
+        provider_node=provider,
+        address="10.0.0.1",
+        ttl=ttl,
+        version=version,
+    )
+
+
+def test_zero_ttl_record_is_not_cached():
+    cache = ServiceCache()
+    is_new, is_update = cache.add(_instance(ttl=0.0), now=5.0)
+    assert (is_new, is_update) == (False, False)
+    assert len(cache) == 0
+    assert cache.get("_exp._udp", "p0._exp._udp") is None
+    assert cache.entries_for_type("_exp._udp") == []
+
+
+def test_negative_ttl_record_evicts_existing_entry():
+    cache = ServiceCache()
+    cache.add(_instance(ttl=10.0), now=0.0)
+    assert len(cache) == 1
+    cache.add(_instance(ttl=-1.0), now=1.0)
+    assert len(cache) == 0
+
+
+def test_reregistration_extends_expiry():
+    cache = ServiceCache()
+    cache.add(_instance(ttl=10.0), now=0.0)
+    entry = cache.get("_exp._udp", "p0._exp._udp")
+    assert entry.expires_at == 10.0
+    # Renewal at t=8 with the same version pushes the deadline out.
+    is_new, is_update = cache.add(_instance(ttl=10.0), now=8.0)
+    assert (is_new, is_update) == (False, False)
+    entry = cache.get("_exp._udp", "p0._exp._udp")
+    assert entry.expires_at == 18.0
+    assert entry.learned_at == 8.0
+    assert cache.purge_expired(now=10.0) == []
+
+
+def test_stale_version_does_not_overwrite_or_refresh():
+    cache = ServiceCache()
+    cache.add(_instance(ttl=10.0, version=3), now=0.0)
+    is_new, is_update = cache.add(_instance(ttl=10.0, version=2), now=5.0)
+    assert (is_new, is_update) == (False, False)
+    entry = cache.get("_exp._udp", "p0._exp._udp")
+    assert entry.instance.version == 3
+    assert entry.expires_at == 10.0  # expiry not reset by the stale echo
+    assert entry.learned_at == 0.0
+
+
+def test_newer_version_replaces_and_reports_update():
+    cache = ServiceCache()
+    cache.add(_instance(ttl=10.0, version=1), now=0.0)
+    is_new, is_update = cache.add(_instance(ttl=10.0, version=2), now=4.0)
+    assert (is_new, is_update) == (False, True)
+    assert cache.get("_exp._udp", "p0._exp._udp").instance.version == 2
+
+
+def test_purge_at_exact_expiry_boundary():
+    cache = ServiceCache()
+    cache.add(_instance(ttl=10.0), now=0.0)
+    entry = cache.get("_exp._udp", "p0._exp._udp")
+    # At the boundary the record has no remaining lifetime...
+    assert entry.remaining(10.0) == 0.0
+    assert entry.fresh_fraction(10.0) == 0.0
+    # ...and purge is consistent with that: it drops the entry.
+    assert cache.purge_expired(now=9.999) == []
+    gone = cache.purge_expired(now=10.0)
+    assert [i.name for i in gone] == ["p0._exp._udp"]
+    assert len(cache) == 0
+
+
+def test_fresh_fraction_guards_non_positive_ttl():
+    entry = CacheEntry(instance=_instance(ttl=0.0), expires_at=5.0, learned_at=0.0)
+    assert entry.fresh_fraction(1.0) == 0.0
+    entry = CacheEntry(instance=_instance(ttl=-3.0), expires_at=5.0, learned_at=0.0)
+    assert entry.fresh_fraction(1.0) == 0.0
+
+
+def test_refresh_merges_by_version_then_deadline():
+    cache = ServiceCache()
+    cache.add(_instance(ttl=10.0, version=2), now=0.0)  # expires 10
+    # Same version, earlier deadline: ignored.
+    assert cache.refresh(_instance(ttl=10.0, version=2), 8.0, 1.0) == (False, False)
+    assert cache.get("_exp._udp", "p0._exp._udp").expires_at == 10.0
+    # Same version, later deadline: extends.
+    assert cache.refresh(_instance(ttl=10.0, version=2), 14.0, 1.0) == (False, False)
+    assert cache.get("_exp._udp", "p0._exp._udp").expires_at == 14.0
+    # Older version: ignored even with a later deadline.
+    assert cache.refresh(_instance(ttl=10.0, version=1), 99.0, 2.0) == (False, False)
+    assert cache.get("_exp._udp", "p0._exp._udp").instance.version == 2
+    # Newer version wins regardless of deadline ordering.
+    assert cache.refresh(_instance(ttl=10.0, version=3), 12.0, 2.0) == (False, True)
+    entry = cache.get("_exp._udp", "p0._exp._udp")
+    assert entry.instance.version == 3 and entry.expires_at == 12.0
+    # Already-expired gossip records never enter.
+    assert cache.refresh(_instance(ttl=10.0, version=9), 2.0, 2.0) == (False, False)
+    assert cache.get("_exp._udp", "p0._exp._udp").instance.version == 3
+    # Unknown key with a live deadline is new.
+    other = _instance(ttl=10.0, provider="p1")
+    assert cache.refresh(other, 20.0, 2.0) == (True, False)

@@ -1,0 +1,180 @@
+"""Registry-family agent behaviour: registration/renewal, direct polling,
+replica activation and gossip convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+SVC = "_exp._udp"
+
+
+def _init(harness, node, role, **params):
+    harness.agents[node].action_init({"role": role, **params})
+
+
+class TestRegistrationLifecycle:
+    def test_provider_registers_and_client_discovers(self, registry_trio):
+        h = registry_trio
+        _init(h, "s0", "scm")
+        _init(h, "s1", "sm")
+        _init(h, "s2", "su")
+        h.agents["s1"].action_start_publish({})
+        h.agents["s2"].action_start_search({})
+        h.run(until=10.0)
+
+        assert h.first("s0", "scm_started") is not None
+        t_add, params = h.first("s0", "scm_registration_add")
+        assert params == (f"s1.{SVC}", "s1")
+        # The provider confirms the configured directory at first ack.
+        assert h.first("s1", "scm_found")[1] == ("s0",)
+        t_disc, disc = h.first("s2", "sd_service_add")
+        assert disc == (f"s1.{SVC}", "s1")
+        assert t_disc < 2.0
+
+    def test_renewal_keeps_registration_alive(self, registry_trio):
+        h = registry_trio
+        _init(h, "s0", "scm")
+        _init(h, "s1", "sm")
+        h.agents["s1"].action_start_publish({})
+        # registration_ttl=3.0, renewed at 80% — over 12 s the record
+        # would expire four times without renewals.
+        h.run(until=12.0)
+        assert h.names_on("s0").count("scm_registration_add") == 1
+        assert "scm_registration_del" not in h.names_on("s0")
+
+    def test_crashed_provider_expires_at_registry_and_client(self, registry_trio):
+        h = registry_trio
+        _init(h, "s0", "scm")
+        _init(h, "s1", "sm")
+        _init(h, "s2", "su")
+        h.agents["s1"].action_start_publish({})
+        h.agents["s2"].action_start_search({})
+        h.run(until=6.0)
+        # Churn-style crash: exit without stop_publish (no deregistration).
+        h.agents["s1"].action_exit({})
+        h.run(until=14.0)
+        t_del, params = h.first("s0", "scm_registration_del")
+        assert params == (f"s1.{SVC}", "s1")
+        assert t_del > 6.0
+        # The client's cached deadline mirrors the registry's, so the
+        # loss surfaces there too.
+        t_lost, lost = h.first("s2", "sd_service_del")
+        assert lost == (f"s1.{SVC}", "s1")
+        assert t_lost > 6.0
+
+    def test_graceful_stop_publish_deregisters(self, registry_trio):
+        h = registry_trio
+        _init(h, "s0", "scm")
+        _init(h, "s1", "sm")
+        h.agents["s1"].action_start_publish({})
+        h.run(until=4.0)
+        h.agents["s1"].action_stop_publish({})
+        h.run(until=5.0)
+        t_del, params = h.first("s0", "scm_registration_del")
+        assert params == (f"s1.{SVC}", "s1")
+        # Explicit deregistration beats TTL expiry by a wide margin.
+        assert t_del < 4.5
+
+    def test_missing_registry_addrs_is_an_error(self, registry_trio):
+        agent = registry_trio.agents["s2"]
+        agent.config.pop("registry_addrs")
+        with pytest.raises(RuntimeError, match="registry_addrs"):
+            agent.action_init({"role": "su"})
+
+
+class TestReplicasAndGossip:
+    def test_home_assignment_spreads_and_is_deterministic(self, registry_replicated):
+        h = registry_replicated
+        active = ["10.3.0.1", "10.3.0.2", "10.3.0.3"]
+        sm_home = h.agents["s3"]._home_addr(active)
+        su_home = h.agents["s4"]._home_addr(active)
+        assert sm_home == "10.3.0.2"
+        assert su_home == "10.3.0.1"
+        assert sm_home != su_home
+
+    def test_gossip_carries_record_to_clients_home_replica(self, registry_replicated):
+        h = registry_replicated
+        for replica in ("s0", "s1", "s2"):
+            _init(h, replica, "scm", replicas=3)
+        _init(h, "s3", "sm", replicas=3)
+        _init(h, "s4", "su", replicas=3)
+        h.agents["s3"].action_start_publish({})
+        h.agents["s4"].action_start_search({})
+        h.run(until=10.0)
+
+        # The record registered at s1 but the client polls s0: only
+        # anti-entropy can have carried it over.
+        assert h.first("s1", "scm_registration_add") is not None
+        assert h.first("s0", "scm_registration_add") is not None
+        assert h.first("s4", "sd_service_add")[1] == (f"s3.{SVC}", "s3")
+        assert h.names_on("s0").count("scm_gossip_sync") >= 1
+
+    def test_gossip_sync_announced_only_for_real_changes(self, registry_replicated):
+        h = registry_replicated
+        for replica in ("s0", "s1", "s2"):
+            _init(h, replica, "scm", replicas=3)
+        _init(h, "s3", "sm", replicas=3)
+        h.agents["s3"].action_start_publish({})
+        h.run(until=30.0)
+        # One record propagates once per learning replica; renewals only
+        # extend deadlines and must not keep announcing syncs (~60 gossip
+        # rounds happen in 30 s at interval 0.5).
+        for replica in ("s0", "s1", "s2"):
+            assert h.names_on(replica).count("scm_gossip_sync") <= 1
+        assert (
+            h.names_on("s0").count("scm_gossip_sync")
+            + h.names_on("s2").count("scm_gossip_sync")
+        ) == 2
+
+    def test_replica_prefix_limits_active_replicas(self, registry_replicated):
+        h = registry_replicated
+        for replica in ("s0", "s1", "s2"):
+            _init(h, replica, "scm", replicas=1)
+        _init(h, "s3", "sm", replicas=1)
+        _init(h, "s4", "su", replicas=1)
+        h.agents["s3"].action_start_publish({})
+        h.agents["s4"].action_start_search({})
+        h.run(until=8.0)
+
+        assert h.agents["s0"].is_active_replica
+        assert not h.agents["s1"].is_active_replica
+        assert not h.agents["s2"].is_active_replica
+        # With a single active replica there are no gossip peers.
+        assert h.agents["s0"].gossip is None
+        assert all("scm_gossip_sync" not in h.names_on(r) for r in ("s0", "s1", "s2"))
+        # Everyone homes onto the single active replica, so discovery
+        # still works end to end.
+        assert h.first("s0", "scm_registration_add") is not None
+        assert h.first("s1", "scm_registration_add") is None
+        assert h.first("s4", "sd_service_add")[1] == (f"s3.{SVC}", "s3")
+
+    def test_update_publication_propagates_version(self, registry_trio):
+        h = registry_trio
+        _init(h, "s0", "scm")
+        _init(h, "s1", "sm")
+        _init(h, "s2", "su")
+        h.agents["s1"].action_start_publish({})
+        h.agents["s2"].action_start_search({})
+        h.run(until=3.0)
+        h.agents["s1"].action_update_publication({})
+        h.run(until=6.0)
+        assert "scm_registration_upd" in h.names_on("s0")
+        assert "sd_service_upd" in h.names_on("s2")
+
+
+class TestTeardown:
+    def test_exit_unbinds_and_silences_the_agent(self, registry_trio):
+        h = registry_trio
+        _init(h, "s0", "scm")
+        _init(h, "s1", "sm")
+        _init(h, "s2", "su")
+        h.agents["s1"].action_start_publish({})
+        h.agents["s2"].action_start_search({})
+        h.run(until=5.0)
+        for node in ("s0", "s1", "s2"):
+            h.agents[node].action_exit({})
+        marker = len(h.events["s2"])
+        h.run(until=20.0)
+        after = [name for _t, name, _p in h.events["s2"][marker:]]
+        assert after == []
+        assert h.agents["s0"].registrations.all_entries() == []

@@ -8,6 +8,10 @@ enforces two rules:
   (default 85%) — the distributed-campaign layer is the code whose
   failure modes are hardest to see in review, so its tests carry a
   contractual floor.
+* the registry discovery family (``src/repro/sd/registry.py``,
+  ``broker.py``, ``gossip.py``) must be at least ``--registry-min``
+  (default 85%) — same rationale: convergence and expiry bugs hide in
+  the branches tests skip.
 * repo-wide line coverage must not regress more than
   ``--max-regression`` points (default 2.0) below the committed
   baseline (``coverage-baseline.json``).  A ``null`` baseline total
@@ -24,6 +28,14 @@ import sys
 from pathlib import Path
 
 FABRIC_PREFIX = ("src/repro/fabric/", "src\\repro\\fabric\\")
+REGISTRY_PREFIX = (
+    "src/repro/sd/registry.py",
+    "src/repro/sd/broker.py",
+    "src/repro/sd/gossip.py",
+    "src\\repro\\sd\\registry.py",
+    "src\\repro\\sd\\broker.py",
+    "src\\repro\\sd\\gossip.py",
+)
 
 
 def tree_percent(report, prefixes):
@@ -46,6 +58,7 @@ def main():
                         help="coverage.py JSON report (coverage json -o ...)")
     parser.add_argument("--baseline", type=Path, default=Path("coverage-baseline.json"))
     parser.add_argument("--fabric-min", type=float, default=85.0)
+    parser.add_argument("--registry-min", type=float, default=85.0)
     parser.add_argument("--max-regression", type=float, default=2.0)
     parser.add_argument("--update", action="store_true",
                         help="write the measured totals back to the baseline file")
@@ -59,11 +72,22 @@ def main():
         print("src/repro/fabric/ not present in the report", file=sys.stderr)
         return 1
     print(f"src/repro/fabric/ coverage: {fabric:.2f}%")
+    registry = tree_percent(report, REGISTRY_PREFIX)
+    if registry is None:
+        print("registry family (sd/registry|broker|gossip) not present in the report",
+              file=sys.stderr)
+        return 1
+    print(f"sd registry-family coverage: {registry:.2f}%")
 
     failures = []
     if fabric < args.fabric_min:
         failures.append(
             f"fabric coverage {fabric:.2f}% is below the {args.fabric_min:.0f}% floor"
+        )
+    if registry < args.registry_min:
+        failures.append(
+            f"registry-family coverage {registry:.2f}% is below the "
+            f"{args.registry_min:.0f}% floor"
         )
 
     baseline_total = None
@@ -87,6 +111,7 @@ def main():
                 {
                     "total_percent": round(total, 2),
                     "fabric_percent": round(fabric, 2),
+                    "registry_percent": round(registry, 2),
                     "note": "refreshed by tools/check_coverage.py --update",
                 },
                 indent=2,
